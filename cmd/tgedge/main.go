@@ -1,0 +1,146 @@
+// Command tgedge runs Sensing-as-a-Service edge nodes as a standalone
+// process, turning the in-process testbed into a real multi-process
+// deployment: start the nodes here (possibly across machines, one process
+// per subset), then drive the workload with
+// `tgtestbed -manifest nodes.json`.
+//
+// Usage:
+//
+//	tgedge -manifest nodes.json                 # all 32 nodes, ephemeral ports
+//	tgedge -nodes 0-7 -manifest sr.json         # just the server-room cluster
+//
+// The process serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"tailguard/internal/saas"
+)
+
+func main() {
+	if err := run(os.Args[1:], false); err != nil {
+		fmt.Fprintln(os.Stderr, "tgedge:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the nodes; when exitAfterStart is set (tests) it returns
+// instead of blocking on signals.
+func run(args []string, exitAfterStart bool) error {
+	fs := flag.NewFlagSet("tgedge", flag.ContinueOnError)
+	nodesSpec := fs.String("nodes", "0-31", "node IDs to host: a-b range or comma list")
+	manifestPath := fs.String("manifest", "", "write the node manifest (JSON) to this file (default stdout)")
+	compression := fs.Float64("compression", 10, "time compression factor (must match the workload driver)")
+	interval := fs.Duration("record-interval", time.Hour, "sensing record spacing")
+	seed := fs.Int64("seed", 1, "RNG seed for delay injection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids, err := parseNodeSpec(*nodesSpec)
+	if err != nil {
+		return err
+	}
+
+	start, end := saas.DefaultStoreSpan()
+	nodes := make([]*saas.EdgeNode, 0, len(ids))
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	refs := make([]saas.NodeRef, 0, len(ids))
+	for _, id := range ids {
+		cluster, err := saas.NodeCluster(id)
+		if err != nil {
+			return err
+		}
+		store, err := saas.NewStore(saas.StoreConfig{Start: start, End: end, Interval: *interval, Node: id})
+		if err != nil {
+			return err
+		}
+		delay, err := saas.ClusterDelayModel(cluster, *compression)
+		if err != nil {
+			return err
+		}
+		n, err := saas.NewEdgeNode(saas.EdgeConfig{
+			ID:    id,
+			Store: store,
+			Delay: delay,
+			Seed:  *seed + int64(id)*7919,
+		})
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, n)
+		refs = append(refs, n.Ref())
+		fmt.Fprintf(os.Stderr, "node %2d (%s): http=%s tcp=%s\n", id, cluster, n.Ref().HTTPURL, n.Ref().TCPAddr)
+	}
+
+	m := &saas.Manifest{
+		Refs:        refs,
+		StoreFirst:  start.Unix(),
+		StoreLast:   end.Add(-*interval).Unix(),
+		Compression: *compression,
+	}
+	// Partial deployments produce partial manifests; only a full 32-node
+	// manifest validates for the workload driver, but partial ones can be
+	// merged by hand or by running tgedge once with -nodes 0-31.
+	out := os.Stdout
+	if *manifestPath != "" {
+		f, err := os.Create(*manifestPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := m.Save(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving %d nodes; interrupt to stop\n", len(nodes))
+
+	if exitAfterStart {
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}
+
+// parseNodeSpec parses "0-31" or "0,5,9".
+func parseNodeSpec(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if lo, hi, ok := strings.Cut(s, "-"); ok && !strings.Contains(s, ",") {
+		a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || a > b {
+			return nil, fmt.Errorf("bad node range %q", s)
+		}
+		out := make([]int, 0, b-a+1)
+		for i := a; i <= b; i++ {
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty node spec")
+	}
+	return out, nil
+}

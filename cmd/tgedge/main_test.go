@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseNodeSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"0-3", []int{0, 1, 2, 3}, true},
+		{"5", []int{5}, true},
+		{"0,7,31", []int{0, 7, 31}, true},
+		{"3-1", nil, false},
+		{"a-b", nil, false},
+		{"1,x", nil, false},
+	}
+	for _, tc := range cases {
+		got, err := parseNodeSpec(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseNodeSpec(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseNodeSpec(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseNodeSpec(%q)[%d] = %d, want %d", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestRunWritesManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nodes.json")
+	if err := run([]string{
+		"-nodes", "0-31", "-manifest", path,
+		"-compression", "20", "-record-interval", "720h",
+	}, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("manifest missing or empty: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nodes", "bad"}, true); err == nil {
+		t.Error("bad node spec succeeded, want error")
+	}
+	if err := run([]string{"-nodes", "40"}, true); err == nil {
+		t.Error("out-of-range node succeeded, want error")
+	}
+	if err := run([]string{"-not-a-flag"}, true); err == nil {
+		t.Error("unknown flag succeeded, want error")
+	}
+}

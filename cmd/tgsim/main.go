@@ -1,0 +1,173 @@
+// Command tgsim regenerates the paper's simulation tables and figures.
+//
+// Usage:
+//
+//	tgsim -exp table2                 # reproduce Table II
+//	tgsim -exp fig4 -fidelity full    # Fig. 4 at publication fidelity
+//	tgsim -exp all -fidelity quick    # everything, CI-sized
+//
+// Experiments: fig3, table2, fig4, table3, fig5, fig6, fig7, nscale,
+// request, ablation, all. Output is an aligned plain-text table per
+// experiment (the same rows/series the paper plots).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tailguard/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tgsim", flag.ContinueOnError)
+	exp := fs.String("exp", "table2", "experiment: fig3|table2|fig4|table3|fig5|fig6|fig7|nscale|request|ablation|all")
+	fidelity := fs.String("fidelity", "quick", "fidelity: quick|full")
+	seed := fs.Int64("seed", 1, "base RNG seed")
+	queries := fs.Int("queries", 0, "override queries per probe (0 = fidelity default)")
+	workloads := fs.String("workloads", "", "comma-separated workload subset (default: all three)")
+	svgDir := fs.String("svg", "", "also render figures as SVG files into this directory")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	replicates := fs.Int("replicates", 1, "for -exp fig4: independent max-load searches per point (mean±sd)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, dir := range []string{*svgDir, *csvDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fmt.Errorf("creating output dir: %w", err)
+			}
+		}
+	}
+
+	var fid experiment.Fidelity
+	switch *fidelity {
+	case "quick":
+		fid = experiment.Quick
+	case "full":
+		fid = experiment.Full
+	default:
+		return fmt.Errorf("unknown fidelity %q (want quick or full)", *fidelity)
+	}
+	fid.Seed = *seed
+	if *queries > 0 {
+		fid.Queries = *queries
+		if fid.Warmup >= fid.Queries {
+			fid.Warmup = fid.Queries / 10
+		}
+	}
+	var wl []string
+	if *workloads != "" {
+		wl = strings.Split(*workloads, ",")
+	}
+
+	runners := map[string]func() ([]*experiment.Table, error){
+		"fig3":   func() ([]*experiment.Table, error) { return one(experiment.Fig3()) },
+		"table2": func() ([]*experiment.Table, error) { return one(experiment.Table2()) },
+		"fig4": func() ([]*experiment.Table, error) {
+			if *replicates > 1 {
+				return one(experiment.Fig4Replicated(fid, wl, nil, *replicates))
+			}
+			return one(experiment.Fig4(fid, wl, nil))
+		},
+		"table3": func() ([]*experiment.Table, error) { return one(experiment.Table3(fid, nil)) },
+		"fig5":   func() ([]*experiment.Table, error) { return one(experiment.Fig5(fid, nil, nil)) },
+		"fig6":   func() ([]*experiment.Table, error) { return one(experiment.Fig6(fid, wl, nil)) },
+		"fig7":   func() ([]*experiment.Table, error) { return one(experiment.Fig7(fid, nil)) },
+		"nscale": func() ([]*experiment.Table, error) { return one(experiment.NScale(fid, 1.0)) },
+		"request": func() ([]*experiment.Table, error) {
+			return one(experiment.RequestExperiment(fid, 3.0))
+		},
+		"failure": func() ([]*experiment.Table, error) {
+			return one(experiment.ExtFailure(fid, 0.40))
+		},
+		"surge": func() ([]*experiment.Table, error) {
+			return one(experiment.ExtSurge(fid, 0.40, 0.5))
+		},
+		"ablation": func() ([]*experiment.Table, error) {
+			var tables []*experiment.Table
+			q, err := experiment.AblationQueues(fid, 0.30)
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, q)
+			h, err := experiment.AblationHeterogeneity(fid, 0.30)
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, h)
+			a, err := experiment.AblationAdmissionWindow(fid, 0.65, nil)
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, a)
+			d, err := experiment.AblationDispatch(fid, 0.30, 0.05)
+			if err != nil {
+				return nil, err
+			}
+			return append(tables, d), nil
+		},
+	}
+
+	order := []string{"fig3", "table2", "fig4", "table3", "fig5", "fig6", "fig7", "nscale", "request", "failure", "surge", "ablation"}
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			return fmt.Errorf("unknown experiment %q (want one of %s, all)", *exp, strings.Join(order, ", "))
+		}
+		selected = []string{*exp}
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		tables, err := runners[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					return fmt.Errorf("writing %s: %w", path, err)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+			if *svgDir != "" {
+				figs, err := experiment.Render(t)
+				if err != nil {
+					return fmt.Errorf("%s: rendering: %w", name, err)
+				}
+				for _, fig := range figs {
+					path := filepath.Join(*svgDir, fig.Name+".svg")
+					if err := os.WriteFile(path, []byte(fig.SVG), 0o644); err != nil {
+						return fmt.Errorf("writing %s: %w", path, err)
+					}
+					fmt.Printf("wrote %s\n", path)
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// one adapts a single-table runner to the []*Table shape.
+func one(t *experiment.Table, err error) ([]*experiment.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*experiment.Table{t}, nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunTable2(t *testing.T) {
+	if err := run([]string{"-exp", "table2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	if err := run([]string{"-exp", "fig3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment succeeded, want error")
+	}
+	if err := run([]string{"-fidelity", "bogus"}); err == nil {
+		t.Error("unknown fidelity succeeded, want error")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag succeeded, want error")
+	}
+}
+
+func TestRunQueriesOverride(t *testing.T) {
+	// A tiny fig4 via the CLI path: exercises the override plumbing.
+	if err := run([]string{"-exp", "fig4", "-queries", "3000", "-workloads", "masstree"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

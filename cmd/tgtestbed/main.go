@@ -1,0 +1,229 @@
+// Command tgtestbed runs the live Sensing-as-a-Service testbed
+// (Section IV.E): 32 real HTTP edge nodes in four heterogeneity-calibrated
+// clusters, a central TailGuard query handler, and the paper's three-class
+// workload.
+//
+// Usage:
+//
+//	tgtestbed -exp fig9a                          # per-cluster CDF stats
+//	tgtestbed -exp fig9 -loads 0.2,0.3,0.4,0.5    # p99 vs load, 4 policies
+//	tgtestbed -policy tailguard -load 0.4         # one run
+//
+// All latencies are reported at paper scale (compression-corrected ms).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tailguard/internal/core"
+	"tailguard/internal/plot"
+	"tailguard/internal/saas"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tgtestbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tgtestbed", flag.ContinueOnError)
+	exp := fs.String("exp", "", "experiment: fig9a | fig9 (overrides -policy/-load)")
+	policyName := fs.String("policy", "tailguard", "policy: fifo|priq|tedfq|tailguard")
+	load := fs.Float64("load", 0.35, "target server-room cluster load")
+	loadsFlag := fs.String("loads", "0.20,0.25,0.30,0.35,0.40,0.45,0.50,0.55", "load sweep for -exp fig9")
+	queries := fs.Int("queries", 2000, "queries per run")
+	warmup := fs.Int("warmup", 200, "warm-up queries excluded from statistics")
+	compression := fs.Float64("compression", 10, "time compression factor (1 = paper real time)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	interval := fs.Duration("record-interval", time.Hour, "sensing record spacing")
+	transport := fs.String("transport", "http", "wire protocol: http (paper) | tcp (gob, lower overhead)")
+	svgPath := fs.String("svg", "", "with -exp fig9a: also render the CDF figure to this SVG file")
+	manifestPath := fs.String("manifest", "", "drive remote edge nodes from this tgedge manifest instead of booting in-process nodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind := saas.TransportKind(*transport)
+	switch kind {
+	case saas.HTTPTransport, saas.TCPTransport:
+	default:
+		return fmt.Errorf("unknown transport %q (want http or tcp)", *transport)
+	}
+
+	spec, err := core.SpecByName(*policyName)
+	if err != nil {
+		return err
+	}
+
+	if *manifestPath != "" {
+		f, err := os.Open(*manifestPath)
+		if err != nil {
+			return err
+		}
+		m, err := saas.LoadManifest(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		res, err := saas.RunWorkload(saas.WorkloadRunConfig{
+			Manifest:  m,
+			Spec:      spec,
+			Load:      *load,
+			Queries:   *queries,
+			Warmup:    *warmup,
+			Seed:      *seed,
+			Transport: kind,
+		})
+		if err != nil {
+			return err
+		}
+		printRun(res)
+		return nil
+	}
+
+	stores, err := saas.BuildStores(*interval)
+	if err != nil {
+		return err
+	}
+	base := saas.TestbedConfig{
+		Spec:         spec,
+		Load:         *load,
+		Queries:      *queries,
+		Warmup:       *warmup,
+		Compression:  *compression,
+		Seed:         *seed,
+		SharedStores: stores,
+		Transport:    kind,
+	}
+
+	switch *exp {
+	case "":
+		res, err := saas.RunTestbed(base)
+		if err != nil {
+			return err
+		}
+		printRun(res)
+		return nil
+	case "fig9a":
+		// A moderate-load TailGuard run; the per-cluster post-queuing
+		// statistics are the Fig. 9(a) CDF markers.
+		cfg := base
+		cfg.Spec = core.TFEDFQ
+		res, err := saas.RunTestbed(cfg)
+		if err != nil {
+			return err
+		}
+		printClusters(res)
+		if *svgPath != "" {
+			if err := writeFig9aSVG(res, *svgPath); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *svgPath)
+		}
+		return nil
+	case "fig9":
+		loads, err := parseLoads(*loadsFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== fig9: p99 (ms) per class vs server-room load, 4 policies ==")
+		fmt.Printf("%-10s %-7s %-9s %-9s %-9s %-8s\n", "policy", "load", "p99_A", "p99_B", "p99_C", "all_slos")
+		for _, s := range []core.Spec{core.TFEDFQ, core.FIFO, core.PRIQ, core.TEDFQ} {
+			for _, l := range loads {
+				cfg := base
+				cfg.Spec = s
+				cfg.Load = l
+				res, err := saas.RunTestbed(cfg)
+				if err != nil {
+					return fmt.Errorf("%s load=%v: %w", s.Name, l, err)
+				}
+				if len(res.Errors) > 0 {
+					return fmt.Errorf("%s load=%v: task errors: %v", s.Name, l, res.Errors[0])
+				}
+				fmt.Printf("%-10s %-7.0f %-9.0f %-9.0f %-9.0f %-8v\n",
+					s.Name, l*100,
+					res.ByClass[saas.ClassA].P99Ms,
+					res.ByClass[saas.ClassB].P99Ms,
+					res.ByClass[saas.ClassC].P99Ms,
+					res.MeetsAllSLOs())
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (want fig9a or fig9)", *exp)
+	}
+}
+
+func parseLoads(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func printRun(res *saas.TestbedResult) {
+	fmt.Printf("policy=%s target_sr_load=%.0f%% measured_sr_load=%.0f%% miss_ratio=%.2f%% wall=%.1fs\n",
+		res.Spec, res.Load*100, res.MeasuredSRLoad*100, res.TaskMissRatio*100, res.ElapsedWallMs/1000)
+	fmt.Printf("%-7s %-8s %-10s %-10s %-9s %-6s\n", "class", "count", "mean_ms", "p99_ms", "slo_ms", "met")
+	names := []string{"A", "B", "C"}
+	for class := 0; class < 3; class++ {
+		c, ok := res.ByClass[class]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-7s %-8d %-10.0f %-10.0f %-9.0f %-6v\n",
+			names[class], c.Count, c.MeanMs, c.P99Ms, c.SLOMs, c.MeetsSLO)
+	}
+	printClusters(res)
+}
+
+// writeFig9aSVG renders the measured per-cluster post-queuing CDFs.
+func writeFig9aSVG(res *saas.TestbedResult, path string) error {
+	chart := &plot.LineChart{
+		Title:  "Task post-queuing time CDFs per cluster (Fig. 9a)",
+		XLabel: "Task post-queuing time (ms)",
+		YLabel: "Cumulative probability",
+	}
+	for _, name := range saas.ClusterNames() {
+		c, ok := res.PerCluster[name]
+		if !ok {
+			continue
+		}
+		s := plot.Series{Name: string(name)}
+		for _, pt := range c.CDF {
+			s.X = append(s.X, pt.Ms)
+			s.Y = append(s.Y, pt.P)
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	svg, err := chart.SVG()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(svg), 0o644)
+}
+
+func printClusters(res *saas.TestbedResult) {
+	fmt.Printf("\n%-13s %-8s %-9s %-9s %-9s  (paper: mean/p95/p99)\n", "cluster", "samples", "mean_ms", "p95_ms", "p99_ms")
+	for _, name := range saas.ClusterNames() {
+		c, ok := res.PerCluster[name]
+		if !ok {
+			continue
+		}
+		paper := saas.PaperClusterStats[name]
+		fmt.Printf("%-13s %-8d %-9.0f %-9.0f %-9.0f  (%.0f/%.0f/%.0f)\n",
+			name, c.Samples, c.MeanMs, c.P95Ms, c.P99Ms, paper.MeanMs, paper.P95Ms, paper.P99Ms)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "bogus"},
+		{"-policy", "bogus"},
+		{"-loads", "not-a-number", "-exp", "fig9"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseLoads(t *testing.T) {
+	got, err := parseLoads("0.2, 0.35,0.5")
+	if err != nil {
+		t.Fatalf("parseLoads: %v", err)
+	}
+	if len(got) != 3 || got[1] != 0.35 {
+		t.Errorf("parseLoads = %v", got)
+	}
+	if _, err := parseLoads("a,b"); err == nil {
+		t.Error("bad loads succeeded, want error")
+	}
+}
+
+func TestSingleRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live testbed run in -short mode")
+	}
+	err := run([]string{
+		"-policy", "fifo", "-load", "0.25", "-queries", "120",
+		"-warmup", "20", "-compression", "10", "-record-interval", "24h",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

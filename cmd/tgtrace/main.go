@@ -1,0 +1,229 @@
+// Command tgtrace generates, inspects, and replays query traces.
+//
+// Usage:
+//
+//	tgtrace gen -workload masstree -n 100000 -out trace.jsonl
+//	tgtrace info trace.jsonl
+//	tgtrace replay -policy tailguard -slo 1.0 trace.jsonl
+//
+// A trace pins arrivals, classes, fanouts, placements, and per-task
+// service times, so `replay` compares queuing policies on bit-identical
+// workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tailguard/internal/cluster"
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/trace"
+	"tailguard/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tgtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: tgtrace gen|info|replay [flags] [file]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "info":
+		return runInfo(args[1:])
+	case "replay":
+		return runReplay(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen, info, or replay)", args[0])
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("tgtrace gen", flag.ContinueOnError)
+	workloadName := fs.String("workload", "masstree", "tailbench workload: masstree|shore|xapian")
+	n := fs.Int("n", 100000, "queries to generate")
+	servers := fs.Int("servers", 100, "cluster size")
+	load := fs.Float64("load", 0.3, "offered load the arrival rate is derived from")
+	classesN := fs.Int("classes", 1, "service classes (1 or 2)")
+	out := fs.String("out", "", "output file (default stdout)")
+	gobFmt := fs.Bool("gob", false, "write gob instead of JSON lines")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := dist.TailbenchWorkload(*workloadName)
+	if err != nil {
+		return err
+	}
+	fan, err := workload.NewInverseProportional([]int{1, 10, 100})
+	if err != nil {
+		return err
+	}
+	var classes *workload.ClassSet
+	switch *classesN {
+	case 1:
+		classes, err = workload.SingleClass(1.0)
+	case 2:
+		classes, err = workload.TwoClasses(1.0, 1.5)
+	default:
+		return fmt.Errorf("classes must be 1 or 2, got %d", *classesN)
+	}
+	if err != nil {
+		return err
+	}
+	rate, err := workload.RateForLoad(*load, *servers, fan.MeanTasks(), w.ServiceTime.Mean())
+	if err != nil {
+		return err
+	}
+	arr, err := workload.NewPoisson(rate)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: *servers, Arrival: arr, Fanout: fan, Classes: classes,
+	}, *seed)
+	if err != nil {
+		return err
+	}
+	recs, err := trace.Generate(gen, []dist.Distribution{w.ServiceTime}, *servers, *n, *seed+1)
+	if err != nil {
+		return err
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if *gobFmt {
+		return trace.SaveGob(dst, recs)
+	}
+	return trace.Save(dst, recs)
+}
+
+func openTrace(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gob") {
+		return trace.LoadGob(f)
+	}
+	return trace.Load(f)
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("tgtrace info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tgtrace info <file>")
+	}
+	recs, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	stats, err := trace.Summarize(recs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("queries:        %d\n", stats.Queries)
+	fmt.Printf("tasks:          %d\n", stats.Tasks)
+	fmt.Printf("duration:       %.1f ms\n", stats.DurationMs)
+	fmt.Printf("mean fanout:    %.2f\n", stats.MeanFanout)
+	fmt.Printf("mean service:   %.3f ms\n", stats.MeanService)
+	fmt.Printf("p99 service:    %.3f ms\n", stats.P99Service)
+	fmt.Printf("class counts:   %v\n", stats.ClassCounts)
+	fmt.Printf("fanout counts:  %v\n", stats.FanoutCounts)
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("tgtrace replay", flag.ContinueOnError)
+	policyName := fs.String("policy", "tailguard", "policy: fifo|priq|tedfq|tailguard")
+	workloadName := fs.String("workload", "masstree", "tailbench model for deadline estimation")
+	servers := fs.Int("servers", 100, "cluster size the trace was generated for")
+	slo := fs.Float64("slo", 1.0, "99th-percentile SLO (ms) for the single class")
+	warmup := fs.Int("warmup", 0, "queries excluded from statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tgtrace replay [flags] <file>")
+	}
+	recs, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := trace.NewReplayer(recs)
+	if err != nil {
+		return err
+	}
+	spec, err := core.SpecByName(*policyName)
+	if err != nil {
+		return err
+	}
+	w, err := dist.TailbenchWorkload(*workloadName)
+	if err != nil {
+		return err
+	}
+	classes, err := workload.SingleClass(*slo)
+	if err != nil {
+		return err
+	}
+	est, err := core.NewHomogeneousStaticTailEstimator(w.ServiceTime, *servers)
+	if err != nil {
+		return err
+	}
+	dl, err := core.NewDeadliner(spec, est, classes)
+	if err != nil {
+		return err
+	}
+	res, err := cluster.Run(cluster.Config{
+		Servers:      *servers,
+		Spec:         spec,
+		ServiceTimes: []dist.Distribution{w.ServiceTime}, // fallback; trace pins services
+		Generator:    rep,
+		Classes:      classes,
+		Deadliner:    dl,
+		Queries:      len(recs),
+		Warmup:       *warmup,
+	})
+	if err != nil {
+		return err
+	}
+	overall, err := res.Overall.P99()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy=%s queries=%d utilization=%.1f%% p99=%.3fms slo=%.3fms\n",
+		res.Spec, res.Completed, res.Utilization*100, overall, *slo)
+	for _, k := range []int{1, 10, 100} {
+		rec := res.ByFanout.Recorder(k)
+		if rec == nil {
+			continue
+		}
+		p99, err := rec.P99()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  fanout %-4d p99=%.3fms (n=%d)\n", k, p99, rec.Count())
+	}
+	return nil
+}

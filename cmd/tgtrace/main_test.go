@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenInfoReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	if err := run([]string{"gen", "-workload", "masstree", "-n", "2000", "-out", path}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	if err := run([]string{"info", path}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	for _, policy := range []string{"tailguard", "fifo"} {
+		if err := run([]string{"replay", "-policy", policy, "-slo", "1.0", path}); err != nil {
+			t.Fatalf("replay %s: %v", policy, err)
+		}
+	}
+}
+
+func TestGobFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.gob")
+	if err := run([]string{"gen", "-n", "500", "-gob", "-out", path}); err != nil {
+		t.Fatalf("gen gob: %v", err)
+	}
+	if err := run([]string{"info", path}); err != nil {
+		t.Fatalf("info gob: %v", err)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"info"},                       // missing file
+		{"info", "/nonexistent/file"},  // unreadable
+		{"replay"},                     // missing file
+		{"gen", "-classes", "7"},       // bad class count
+		{"gen", "-workload", "bogus"},  // unknown workload
+		{"replay", "-policy", "bogus"}, // parses flags before file check
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package tailguard_test
+
+import (
+	"fmt"
+
+	"tailguard"
+)
+
+// The motivating arithmetic of the paper's introduction: the same per-task
+// violation probability blows up with fanout.
+func ExampleSLOViolationProbability() {
+	for _, fanout := range []int{1, 10, 100} {
+		v, err := tailguard.SLOViolationProbability(0.01, fanout)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("fanout %3d: query violation %.1f%%\n", fanout, v*100)
+	}
+	// Output:
+	// fanout   1: query violation 1.0%
+	// fanout  10: query violation 9.6%
+	// fanout 100: query violation 63.4%
+}
+
+// Eqn. 6 end to end: task queuing budgets for the Masstree model under a
+// two-class SLO configuration. These are the paper's own Section IV.C
+// numbers.
+func ExampleDeadliner() {
+	w, err := tailguard.TailbenchWorkload("masstree")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	est, err := tailguard.NewHomogeneousStaticTailEstimator(w.ServiceTime, 100)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	classes, err := tailguard.TwoClasses(1.0, 1.5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dl, err := tailguard.NewDeadliner(tailguard.TFEDFQ, est, classes)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for class := 0; class < 2; class++ {
+		b, err := dl.Budget(class, 100)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("class %d, fanout 100: budget %.3f ms\n", class, b)
+	}
+	// Output:
+	// class 0, fanout 100: budget 0.527 ms
+	// class 1, fanout 100: budget 1.027 ms
+}
+
+// A complete simulation through the facade: the paper's mixed-fanout
+// workload at a load between FIFO's and TailGuard's maximum.
+func ExampleScenario() {
+	w, err := tailguard.TailbenchWorkload("masstree")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fan, err := tailguard.NewInverseProportional([]int{1, 10, 100})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	classes, err := tailguard.SingleClass(0.8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, spec := range []tailguard.Spec{tailguard.TFEDFQ, tailguard.FIFO} {
+		s := tailguard.Scenario{
+			Workload: w, Servers: 100, Spec: spec, Fanout: fan,
+			Classes: classes, Load: 0.25,
+			Fidelity: tailguard.Fidelity{Queries: 60000, Warmup: 5000, MinSamples: 100, LoadTol: 0.02, Seed: 1},
+		}
+		res, err := s.Run()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		ok, _, err := res.MeetsSLOs(classes, 100)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%s meets the 0.8 ms SLO at 25%% load: %v\n", spec.Name, ok)
+	}
+	// Output:
+	// TailGuard meets the 0.8 ms SLO at 25% load: true
+	// FIFO meets the 0.8 ms SLO at 25% load: false
+}
+
+// The request-level extension: tails do not add across a request's
+// sequential queries.
+func ExampleUnloadedRequestQuantile() {
+	w, err := tailguard.TailbenchWorkload("masstree")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fanouts := []int{1, 10, 100}
+	x, err := tailguard.UnloadedRequestQuantile(w.ServiceTime, fanouts, 0.99, 400000, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var naive float64
+	for _, k := range fanouts {
+		q, err := tailguard.HomogeneousQueryQuantile(w.ServiceTime, k, 0.99)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		naive += q
+	}
+	fmt.Printf("sum of per-query p99s: %.2f ms\n", naive)
+	fmt.Printf("request p99 is smaller: %v\n", x < naive)
+	// Output:
+	// sum of per-query p99s: 0.94 ms
+	// request p99 is smaller: true
+}

@@ -1,0 +1,81 @@
+// Quickstart: the TailGuard idea in one file.
+//
+// It walks the math of the paper's introduction (why fanout changes task
+// resource demands), derives task queuing budgets for a few (SLO, fanout)
+// pairs, and runs two small simulations showing TailGuard meeting an SLO
+// at a load where FIFO misses it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tailguard"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The motivating identity: with each task exceeding 100 ms with
+	// probability 1%, a fanout-100 query exceeds it with probability 63%.
+	v1, err := tailguard.SLOViolationProbability(0.01, 1)
+	check(err)
+	v100, err := tailguard.SLOViolationProbability(0.01, 100)
+	check(err)
+	fmt.Printf("per-task violation 1%%  -> query violation: fanout 1: %.1f%%, fanout 100: %.1f%%\n",
+		v1*100, v100*100)
+
+	// 2. Task queuing budgets (Eqn. 6) for the Masstree service-time
+	// model at a 1 ms p99 SLO.
+	w, err := tailguard.TailbenchWorkload("masstree")
+	check(err)
+	est, err := tailguard.NewHomogeneousStaticTailEstimator(w.ServiceTime, 100)
+	check(err)
+	classes, err := tailguard.SingleClass(1.0)
+	check(err)
+	dl, err := tailguard.NewDeadliner(tailguard.TFEDFQ, est, classes)
+	check(err)
+	fmt.Println("\ntask pre-dequeuing budgets at a 1.0 ms p99 SLO (masstree):")
+	for _, fanout := range []int{1, 10, 100} {
+		b, err := dl.Budget(0, fanout)
+		check(err)
+		fmt.Printf("  fanout %-4d budget %.3f ms\n", fanout, b)
+	}
+
+	// 3. Run TailGuard and FIFO on the paper's mixed-fanout workload at
+	// 25% load with a tight 0.8 ms SLO and compare the binding query
+	// type's tail.
+	fmt.Println("\nsimulating 60k queries at 25% load, 0.8 ms p99 SLO (paper: FIFO max 20%, TailGuard max 28%):")
+	fan, err := tailguard.NewInverseProportional([]int{1, 10, 100})
+	check(err)
+	tight, err := tailguard.SingleClass(0.8)
+	check(err)
+	for _, spec := range []tailguard.Spec{tailguard.TFEDFQ, tailguard.FIFO} {
+		s := tailguard.Scenario{
+			Workload: w,
+			Servers:  100,
+			Spec:     spec,
+			Fanout:   fan,
+			Classes:  tight,
+			Load:     0.25,
+			Fidelity: tailguard.Fidelity{Queries: 60000, Warmup: 5000, MinSamples: 100, LoadTol: 0.02, Seed: 1},
+		}
+		res, err := s.Run()
+		check(err)
+		ok, margin, err := res.MeetsSLOs(tight, 100)
+		check(err)
+		rec := res.ByFanout.Recorder(100)
+		p99, err := rec.P99()
+		check(err)
+		fmt.Printf("  %-10s fanout-100 p99 = %.3f ms, all types meet SLO: %v (worst margin %.2f)\n",
+			spec.Name, p99, ok, margin)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

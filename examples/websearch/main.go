@@ -1,0 +1,65 @@
+// Web search (OLDI): every query touches every shard.
+//
+// This example reproduces the shape of the paper's Section IV.C case
+// study on the Xapian (web search) service-time model: a 100-server
+// cluster, every query fanning out to all 100 servers, and two service
+// classes — interactive search at a 10 ms p99 SLO and a batch-ish tier at
+// 15 ms. It sweeps the load, prints the per-class p99 under TailGuard,
+// FIFO and PRIQ, and reports each policy's maximum compliant load.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tailguard"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	w, err := tailguard.TailbenchWorkload("xapian")
+	check(err)
+	fan, err := tailguard.NewFixedFanout(100)
+	check(err)
+	classes, err := tailguard.TwoClasses(10, 1.5) // 10 ms and 15 ms p99
+	check(err)
+	fid := tailguard.Fidelity{Queries: 8000, Warmup: 800, MinSamples: 200, LoadTol: 0.02, Seed: 7}
+
+	scenario := func(spec tailguard.Spec, load float64) tailguard.Scenario {
+		return tailguard.Scenario{
+			Workload: w, Servers: 100, Spec: spec, Fanout: fan,
+			Classes: classes, Load: load, Fidelity: fid,
+		}
+	}
+
+	fmt.Println("p99 per class vs load (xapian, fanout 100, SLOs 10/15 ms):")
+	fmt.Printf("%-10s %-6s %-12s %-12s\n", "policy", "load", "search_p99", "batch_p99")
+	specs := []tailguard.Spec{tailguard.TFEDFQ, tailguard.FIFO, tailguard.PRIQ}
+	for _, spec := range specs {
+		for _, load := range []float64{0.30, 0.40, 0.50} {
+			res, err := scenario(spec, load).Run()
+			check(err)
+			hi, err := res.ByClass.Recorder(0).P99()
+			check(err)
+			lo, err := res.ByClass.Recorder(1).P99()
+			check(err)
+			fmt.Printf("%-10s %-6.0f %-12.2f %-12.2f\n", spec.Name, load*100, hi, lo)
+		}
+	}
+
+	fmt.Println("\nmaximum load meeting both SLOs:")
+	for _, spec := range specs {
+		ml, err := tailguard.ScenarioMaxLoad(scenario(spec, 0.3), tailguard.MaxLoadBounds{Lo: 0.05, Hi: 0.9})
+		check(err)
+		fmt.Printf("  %-10s %.0f%%\n", spec.Name, ml*100)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module tailguard
+
+go 1.22

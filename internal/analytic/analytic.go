@@ -1,0 +1,120 @@
+// Package analytic provides closed-form queueing-theory results used to
+// validate the discrete-event simulator against ground truth: M/M/1 and
+// M/G/1 waiting times (Pollaczek–Khinchine), and Erlang-C style occupancy
+// identities. A simulator that reproduces these on purpose-built inputs is
+// trustworthy on the paper's workloads, where no closed form exists.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"tailguard/internal/dist"
+)
+
+// MM1MeanWait returns the mean time in queue (excluding service) of an
+// M/M/1 system with arrival rate lambda and mean service time s:
+//
+//	Wq = rho * s / (1 - rho),  rho = lambda * s
+func MM1MeanWait(lambda, meanService float64) (float64, error) {
+	rho := lambda * meanService
+	if err := checkStable(lambda, meanService, rho); err != nil {
+		return 0, err
+	}
+	return rho * meanService / (1 - rho), nil
+}
+
+// MM1MeanSojourn returns the mean total time in system of an M/M/1 queue.
+func MM1MeanSojourn(lambda, meanService float64) (float64, error) {
+	wq, err := MM1MeanWait(lambda, meanService)
+	if err != nil {
+		return 0, err
+	}
+	return wq + meanService, nil
+}
+
+// MM1SojournQuantile returns the p-quantile of the M/M/1 sojourn time,
+// which is exponential with rate mu - lambda:
+//
+//	T_p = -ln(1-p) / (mu - lambda)
+func MM1SojournQuantile(lambda, meanService, p float64) (float64, error) {
+	rho := lambda * meanService
+	if err := checkStable(lambda, meanService, rho); err != nil {
+		return 0, err
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("analytic: quantile probability %v outside (0, 1)", p)
+	}
+	mu := 1 / meanService
+	return -math.Log(1-p) / (mu - lambda), nil
+}
+
+// MG1MeanWait returns the Pollaczek–Khinchine mean queueing delay of an
+// M/G/1 system:
+//
+//	Wq = lambda * E[S^2] / (2 * (1 - rho))
+func MG1MeanWait(lambda, meanService, secondMoment float64) (float64, error) {
+	rho := lambda * meanService
+	if err := checkStable(lambda, meanService, rho); err != nil {
+		return 0, err
+	}
+	if secondMoment < meanService*meanService {
+		return 0, fmt.Errorf("analytic: E[S^2]=%v below E[S]^2=%v", secondMoment, meanService*meanService)
+	}
+	return lambda * secondMoment / (2 * (1 - rho)), nil
+}
+
+// SecondMoment numerically computes E[S^2] of a distribution by Gaussian
+// quadrature over its quantile function (4096 probability points — exact
+// enough for validation against simulation noise).
+func SecondMoment(d dist.Distribution) (float64, error) {
+	if d == nil {
+		return 0, fmt.Errorf("analytic: nil distribution")
+	}
+	const n = 4096
+	var sum float64
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / n
+		q := d.Quantile(p)
+		if math.IsInf(q, 1) || math.IsNaN(q) {
+			return 0, fmt.Errorf("analytic: quantile at p=%v is %v", p, q)
+		}
+		sum += q * q
+	}
+	return sum / n, nil
+}
+
+// MG1WaitFromDist is MG1MeanWait with the service moments taken from a
+// distribution model.
+func MG1WaitFromDist(lambda float64, service dist.Distribution) (float64, error) {
+	if service == nil {
+		return 0, fmt.Errorf("analytic: nil service distribution")
+	}
+	m2, err := SecondMoment(service)
+	if err != nil {
+		return 0, err
+	}
+	return MG1MeanWait(lambda, service.Mean(), m2)
+}
+
+// Utilization returns rho = lambda * E[S] with stability validation.
+func Utilization(lambda, meanService float64) (float64, error) {
+	rho := lambda * meanService
+	if err := checkStable(lambda, meanService, rho); err != nil {
+		return 0, err
+	}
+	return rho, nil
+}
+
+func checkStable(lambda, meanService, rho float64) error {
+	if lambda <= 0 {
+		return fmt.Errorf("analytic: arrival rate must be positive, got %v", lambda)
+	}
+	if meanService <= 0 {
+		return fmt.Errorf("analytic: mean service must be positive, got %v", meanService)
+	}
+	if rho >= 1 {
+		return fmt.Errorf("analytic: unstable system (rho = %v >= 1)", rho)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"tailguard/internal/dist"
+)
+
+func TestMM1KnownValues(t *testing.T) {
+	// lambda=0.5, s=1 -> rho=0.5, Wq = 0.5*1/0.5 = 1, T = 2.
+	wq, err := MM1MeanWait(0.5, 1)
+	if err != nil {
+		t.Fatalf("MM1MeanWait: %v", err)
+	}
+	if math.Abs(wq-1) > 1e-12 {
+		t.Errorf("Wq = %v, want 1", wq)
+	}
+	tm, err := MM1MeanSojourn(0.5, 1)
+	if err != nil {
+		t.Fatalf("MM1MeanSojourn: %v", err)
+	}
+	if math.Abs(tm-2) > 1e-12 {
+		t.Errorf("T = %v, want 2", tm)
+	}
+	// Sojourn quantile: exp(mu-lambda=0.5): p99 = ln(100)/0.5.
+	q, err := MM1SojournQuantile(0.5, 1, 0.99)
+	if err != nil {
+		t.Fatalf("MM1SojournQuantile: %v", err)
+	}
+	if want := math.Log(100) / 0.5; math.Abs(q-want) > 1e-9 {
+		t.Errorf("T99 = %v, want %v", q, want)
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: E[S^2] = 2s^2, PK gives the M/M/1 value.
+	wqPK, err := MG1MeanWait(0.5, 1, 2)
+	if err != nil {
+		t.Fatalf("MG1MeanWait: %v", err)
+	}
+	wqMM1, _ := MM1MeanWait(0.5, 1)
+	if math.Abs(wqPK-wqMM1) > 1e-12 {
+		t.Errorf("PK = %v, M/M/1 = %v", wqPK, wqMM1)
+	}
+}
+
+func TestMG1Deterministic(t *testing.T) {
+	// Deterministic service halves the M/M/1 wait: Wq = lambda*s^2/(2(1-rho)).
+	wq, err := MG1MeanWait(0.5, 1, 1)
+	if err != nil {
+		t.Fatalf("MG1MeanWait: %v", err)
+	}
+	if math.Abs(wq-0.5) > 1e-12 {
+		t.Errorf("Wq = %v, want 0.5", wq)
+	}
+}
+
+func TestSecondMoment(t *testing.T) {
+	exp, _ := dist.NewExponential(2)
+	m2, err := SecondMoment(exp)
+	if err != nil {
+		t.Fatalf("SecondMoment: %v", err)
+	}
+	// E[S^2] of Exp(mean 2) = 2*2^2 = 8 (quadrature truncates the extreme
+	// tail slightly).
+	if math.Abs(m2-8)/8 > 0.01 {
+		t.Errorf("E[S^2] = %v, want ~8", m2)
+	}
+	u, _ := dist.NewUniform(0, 2)
+	m2u, err := SecondMoment(u)
+	if err != nil {
+		t.Fatalf("SecondMoment: %v", err)
+	}
+	if math.Abs(m2u-4.0/3) > 1e-3 {
+		t.Errorf("uniform E[S^2] = %v, want 4/3", m2u)
+	}
+	if _, err := SecondMoment(nil); err == nil {
+		t.Error("nil distribution succeeded, want error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := MM1MeanWait(0, 1); err == nil {
+		t.Error("zero lambda succeeded")
+	}
+	if _, err := MM1MeanWait(1, 0); err == nil {
+		t.Error("zero service succeeded")
+	}
+	if _, err := MM1MeanWait(2, 1); err == nil {
+		t.Error("unstable system succeeded")
+	}
+	if _, err := MM1SojournQuantile(0.5, 1, 1); err == nil {
+		t.Error("p=1 succeeded")
+	}
+	if _, err := MG1MeanWait(0.5, 1, 0.5); err == nil {
+		t.Error("impossible second moment succeeded")
+	}
+	if _, err := Utilization(0.5, 1); err != nil {
+		t.Error("valid utilization failed")
+	}
+	if _, err := MG1WaitFromDist(0.5, nil); err == nil {
+		t.Error("nil dist succeeded")
+	}
+}

@@ -1,0 +1,592 @@
+// Package cluster simulates the paper's query processing model (Fig. 2):
+// a query arrival process feeding a query handler that spawns kf tasks per
+// query, dispatches them to task-server queues managed by a pluggable
+// queuing policy, and merges task results; the slowest task determines the
+// query response time. It is the engine behind every simulation experiment
+// in Section IV.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/metrics"
+	"tailguard/internal/policy"
+	"tailguard/internal/sim"
+	"tailguard/internal/workload"
+)
+
+// ClassFanout identifies one "query type" in the paper's sense: a service
+// class and fanout pair. SLO compliance is verified per type.
+type ClassFanout struct {
+	Class  int
+	Fanout int
+}
+
+// Config configures one simulation run.
+type Config struct {
+	// Servers is the cluster size N.
+	Servers int
+	// Spec selects the queuing policy (queue discipline + deadline rule).
+	Spec core.Spec
+	// ServiceTimes holds per-server task service-time distributions:
+	// either one entry (homogeneous, used by all servers) or exactly
+	// Servers entries.
+	ServiceTimes []dist.Distribution
+	// Generator produces the query stream (arrivals, classes, fanouts,
+	// placements). Finite sources (trace replays) may end before Queries
+	// queries; the run then simply drains.
+	Generator workload.QuerySource
+	// Classes defines the service classes and their SLOs.
+	Classes *workload.ClassSet
+	// Deadliner computes task queuing deadlines for the chosen Spec.
+	Deadliner *core.Deadliner
+	// Queries is the total number of queries to generate.
+	Queries int
+	// Warmup queries are simulated but excluded from statistics.
+	Warmup int
+	// Seed drives service-time sampling.
+	Seed int64
+	// Admission, if non-nil, applies query admission control.
+	Admission *core.AdmissionController
+	// Estimator, if non-nil, receives online post-queuing-time
+	// observations (the paper's online updating process). Must be an
+	// updatable (non-static) estimator.
+	Estimator *core.TailEstimator
+	// HeterogeneousDeadlines computes deadlines from each query's actual
+	// server set (Eqn. 1 product form) instead of the homogeneous fanout
+	// shortcut. Needed when ServiceTimes differ across servers.
+	HeterogeneousDeadlines bool
+	// OnQueryDone, if non-nil, is invoked when a query completes (warmup
+	// or not) and may return follow-up queries to inject with arrival set
+	// to the completion time. The request-level extension chains a
+	// request's sequential queries through it. Injected queries bypass
+	// admission control (the request was already admitted).
+	OnQueryDone func(q workload.Query, latencyMs, now float64) []workload.Query
+	// Queuing selects where task queuing takes place (the paper's
+	// footnote 3): centrally at the query handler (default) or at the
+	// task servers. The difference only matters with a DispatchDelay.
+	Queuing QueuingMode
+	// DispatchDelay, if non-nil, models the per-task dispatch network
+	// delay. Under central queuing it is incurred after dequeue (part of
+	// the post-queuing time t_po and of server occupancy); under
+	// per-server queuing it is incurred before enqueue (part of the
+	// pre-dequeuing time t_pr).
+	DispatchDelay dist.Distribution
+	// Failures injects server outages: during [Start, End) the server
+	// finishes its in-flight task but starts no new ones; its queue keeps
+	// accumulating. This models the paper's "hardware/software failures"
+	// motivation for admission control.
+	Failures []Failure
+	// TimelineBucketMs, when positive, buckets post-warmup query
+	// latencies and admission decisions by arrival time, enabling
+	// transient analysis (e.g. behavior across a failure window).
+	TimelineBucketMs float64
+}
+
+// Failure is one server outage window.
+type Failure struct {
+	Server int
+	Start  float64 // ms
+	End    float64 // ms, > Start
+}
+
+// QueuingMode selects the task queuing location.
+type QueuingMode int
+
+// Queuing modes.
+const (
+	// CentralQueuing keeps all task queues at the query handler.
+	CentralQueuing QueuingMode = iota
+	// PerServerQueuing dispatches tasks to per-server queues first.
+	PerServerQueuing
+)
+
+func (c *Config) validate() error {
+	if c.Servers < 1 {
+		return fmt.Errorf("cluster: need >= 1 server, got %d", c.Servers)
+	}
+	switch len(c.ServiceTimes) {
+	case 1, c.Servers:
+	default:
+		return fmt.Errorf("cluster: ServiceTimes must have 1 or %d entries, got %d", c.Servers, len(c.ServiceTimes))
+	}
+	for i, d := range c.ServiceTimes {
+		if d == nil {
+			return fmt.Errorf("cluster: nil service-time distribution at %d", i)
+		}
+	}
+	if c.Generator == nil {
+		return fmt.Errorf("cluster: generator is required")
+	}
+	if c.Classes == nil {
+		return fmt.Errorf("cluster: class set is required")
+	}
+	if c.Deadliner == nil {
+		return fmt.Errorf("cluster: deadliner is required")
+	}
+	if c.Queries < 1 {
+		return fmt.Errorf("cluster: need >= 1 query, got %d", c.Queries)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Queries {
+		return fmt.Errorf("cluster: warmup %d outside [0, %d)", c.Warmup, c.Queries)
+	}
+	for i, f := range c.Failures {
+		if f.Server < 0 || f.Server >= c.Servers {
+			return fmt.Errorf("cluster: failure %d targets server %d outside [0, %d)", i, f.Server, c.Servers)
+		}
+		if f.Start < 0 || f.End <= f.Start {
+			return fmt.Errorf("cluster: failure %d window [%v, %v) invalid", i, f.Start, f.End)
+		}
+	}
+	if c.TimelineBucketMs < 0 {
+		return fmt.Errorf("cluster: timeline bucket %v negative", c.TimelineBucketMs)
+	}
+	return nil
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	Spec      string
+	Queries   int // generated by the source
+	Injected  int // injected by the OnQueryDone hook
+	Admitted  int
+	Rejected  int
+	Completed int // admitted queries that finished
+
+	// Duration is the simulated time from t=0 to the last completion (ms).
+	Duration float64
+	// Utilization is total busy time / (Servers * Duration): the achieved
+	// (accepted) load.
+	Utilization float64
+	// OfferedLoad is the expected demand of all generated queries
+	// (admitted or not) relative to capacity.
+	OfferedLoad float64
+	// TaskMissRatio is the fraction of tasks dequeued after their queuing
+	// deadline (always 0 for policies without deadlines).
+	TaskMissRatio float64
+
+	// Overall holds query latencies across all types; ByClass, ByFanout
+	// and ByType break them down (post-warmup only).
+	Overall  *metrics.LatencyRecorder
+	ByClass  *metrics.Breakdown[int]
+	ByFanout *metrics.Breakdown[int]
+	ByType   *metrics.Breakdown[ClassFanout]
+	// TaskWait records task pre-dequeuing times t_pr (post-warmup).
+	TaskWait *metrics.LatencyRecorder
+	// Timeline buckets post-warmup query latencies by arrival time
+	// (bucket = arrival / TimelineBucketMs); nil unless enabled.
+	Timeline *metrics.Breakdown[int]
+	// TimelineAdmitted/TimelineRejected count admission decisions per
+	// arrival bucket; nil unless the timeline is enabled.
+	TimelineAdmitted map[int]int
+	TimelineRejected map[int]int
+}
+
+// queryState tracks one in-flight query.
+type queryState struct {
+	query     workload.Query
+	maxFinish float64 // latest task completion time so far
+	remaining int32
+	counted   bool // include in statistics (past warmup)
+}
+
+// runner executes one simulation.
+type runner struct {
+	cfg     Config
+	engine  *sim.Engine
+	rng     *rand.Rand
+	queues  []policy.Queue
+	busy    []bool
+	paused  []bool
+	busyAcc []float64
+	states  map[int64]*queryState
+	res     *Result
+	missed  int
+	tasks   int
+	err     error // first internal error; aborts the run
+}
+
+// Run executes the configured simulation to completion and returns its
+// measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:     cfg,
+		engine:  sim.NewEngine(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		queues:  make([]policy.Queue, cfg.Servers),
+		busy:    make([]bool, cfg.Servers),
+		busyAcc: make([]float64, cfg.Servers),
+		states:  make(map[int64]*queryState),
+		res: &Result{
+			Spec:     cfg.Spec.Name,
+			Overall:  metrics.NewLatencyRecorder(cfg.Queries - cfg.Warmup),
+			ByClass:  metrics.NewBreakdown[int](1024),
+			ByFanout: metrics.NewBreakdown[int](1024),
+			ByType:   metrics.NewBreakdown[ClassFanout](1024),
+			TaskWait: metrics.NewLatencyRecorder(4096),
+		},
+	}
+	r.paused = make([]bool, cfg.Servers)
+	for i := range r.queues {
+		q, err := policy.New(cfg.Spec.Queue)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building queue: %w", err)
+		}
+		r.queues[i] = q
+	}
+	if cfg.TimelineBucketMs > 0 {
+		r.res.Timeline = metrics.NewBreakdown[int](256)
+		r.res.TimelineAdmitted = make(map[int]int)
+		r.res.TimelineRejected = make(map[int]int)
+	}
+	for _, f := range cfg.Failures {
+		f := f
+		if err := r.engine.Schedule(f.Start, func() { r.paused[f.Server] = true }); err != nil {
+			return nil, err
+		}
+		if err := r.engine.Schedule(f.End, func() { r.resume(f.Server) }); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.scheduleNextArrival(); err != nil {
+		return nil, err
+	}
+	r.engine.Run()
+	if r.err != nil {
+		return nil, r.err
+	}
+	r.finalize()
+	return r.res, nil
+}
+
+// fail records the first internal error and stops the engine.
+func (r *runner) fail(err error) {
+	if r.err == nil {
+		r.err = err
+		r.engine.Stop()
+	}
+}
+
+// serviceDist returns the service-time distribution for server s.
+func (r *runner) serviceDist(s int) dist.Distribution {
+	if len(r.cfg.ServiceTimes) == 1 {
+		return r.cfg.ServiceTimes[0]
+	}
+	return r.cfg.ServiceTimes[s]
+}
+
+// scheduleNextArrival draws the next query from the generator and
+// schedules its arrival event; each arrival schedules its successor until
+// Queries have been generated or the source ends.
+func (r *runner) scheduleNextArrival() error {
+	if r.res.Queries >= r.cfg.Queries {
+		return nil
+	}
+	q, ok := r.cfg.Generator.Next()
+	if !ok {
+		return nil
+	}
+	r.res.Queries++
+	return r.engine.Schedule(q.Arrival, func() { r.onArrival(q, false) })
+}
+
+// onArrival processes one query arrival: admission, deadline computation,
+// and task dispatch. Injected queries (request chaining) skip admission.
+func (r *runner) onArrival(q workload.Query, injected bool) {
+	if !injected {
+		if err := r.scheduleNextArrival(); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	// Offered demand bookkeeping uses the expected service time so that
+	// rejected queries (whose tasks are never sampled) count too.
+	for _, s := range q.Servers {
+		r.res.OfferedLoad += r.serviceDist(s).Mean()
+	}
+
+	if !injected && r.cfg.Admission != nil && !r.cfg.Admission.Admit(q.Arrival) {
+		r.res.Rejected++
+		if r.res.TimelineRejected != nil {
+			r.res.TimelineRejected[r.timelineBucket(q.Arrival)]++
+		}
+		return
+	}
+	r.res.Admitted++
+	if r.res.TimelineAdmitted != nil && !injected {
+		r.res.TimelineAdmitted[r.timelineBucket(q.Arrival)]++
+	}
+
+	deadline, err := r.deadlineFor(q)
+	if err != nil {
+		r.fail(fmt.Errorf("cluster: deadline for query %d: %w", q.ID, err))
+		return
+	}
+	if _, exists := r.states[q.ID]; exists {
+		r.fail(fmt.Errorf("cluster: duplicate query ID %d", q.ID))
+		return
+	}
+	r.states[q.ID] = &queryState{
+		query:     q,
+		remaining: int32(q.Fanout),
+		counted:   q.ID >= int64(r.cfg.Warmup),
+	}
+
+	for i, s := range q.Servers {
+		svc := 0.0
+		if q.Services != nil {
+			svc = q.Services[i]
+		} else {
+			svc = r.serviceDist(s).Sample(r.rng)
+		}
+		t := &policy.Task{
+			QueryID:  q.ID,
+			Index:    i,
+			Server:   s,
+			Class:    q.Class,
+			Arrival:  q.Arrival,
+			Deadline: deadline,
+			Enqueued: q.Arrival,
+			Service:  svc,
+		}
+		if r.cfg.Queuing == PerServerQueuing && r.cfg.DispatchDelay != nil {
+			// The task travels to the server before queuing; its wait
+			// (t_pr) includes the dispatch leg.
+			s := s
+			at := q.Arrival + r.cfg.DispatchDelay.Sample(r.rng)
+			if err := r.engine.Schedule(at, func() { r.enqueue(s, t) }); err != nil {
+				r.fail(err)
+				return
+			}
+			continue
+		}
+		r.enqueue(s, t)
+	}
+}
+
+// enqueue places a task at its server, starting service if idle and up.
+func (r *runner) enqueue(s int, t *policy.Task) {
+	if r.busy[s] || r.paused[s] {
+		r.queues[s].Push(t)
+	} else {
+		r.startService(s, t)
+	}
+}
+
+// resume ends a server's outage and restarts its queue.
+func (r *runner) resume(s int) {
+	r.paused[s] = false
+	if !r.busy[s] {
+		if next := r.queues[s].Pop(); next != nil {
+			r.startService(s, next)
+		}
+	}
+}
+
+// timelineBucket maps an arrival time onto its timeline bucket.
+func (r *runner) timelineBucket(arrival float64) int {
+	return int(arrival / r.cfg.TimelineBucketMs)
+}
+
+// deadlineFor computes the task queuing deadline for a query, honoring
+// per-query budget overrides (the request-level extension).
+func (r *runner) deadlineFor(q workload.Query) (float64, error) {
+	if q.HasBudget {
+		return q.Arrival + q.Budget, nil
+	}
+	if r.cfg.HeterogeneousDeadlines {
+		return r.cfg.Deadliner.DeadlineServers(q.Arrival, q.Class, q.Servers)
+	}
+	return r.cfg.Deadliner.Deadline(q.Arrival, q.Class, q.Fanout)
+}
+
+// startService begins serving a task on an idle server.
+func (r *runner) startService(s int, t *policy.Task) {
+	now := r.engine.Now()
+	r.busy[s] = true
+	r.tasks++
+
+	missed := now > t.Deadline // +Inf deadlines never miss
+	if missed {
+		r.missed++
+	}
+	if r.cfg.Admission != nil {
+		r.cfg.Admission.ObserveTask(missed, now)
+	}
+
+	st := r.states[t.QueryID]
+	if st != nil && st.counted {
+		if err := r.res.TaskWait.Observe(now - t.Enqueued); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+
+	// Under central queuing the dequeued task still has to travel to the
+	// server; the dispatch leg is part of its post-queuing time and of
+	// the server occupancy (the server cannot accept another task until
+	// this one completes and the idle signal returns).
+	occupancy := t.Service
+	if r.cfg.Queuing == CentralQueuing && r.cfg.DispatchDelay != nil {
+		occupancy += r.cfg.DispatchDelay.Sample(r.rng)
+	}
+	if err := r.engine.ScheduleAfter(occupancy, func() { r.onComplete(s, t, occupancy) }); err != nil {
+		r.fail(err)
+	}
+}
+
+// onComplete handles a task finishing service.
+func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
+	now := r.engine.Now()
+	r.busyAcc[s] += svc
+
+	// Online updating: the post-queuing time observed by the handler when
+	// merging the task result. In the simulator that is the service time
+	// (dispatch and merge are instantaneous).
+	if r.cfg.Estimator != nil {
+		if err := r.cfg.Estimator.Observe(s, svc); err != nil {
+			r.fail(fmt.Errorf("cluster: online update: %w", err))
+			return
+		}
+	}
+
+	st := r.states[t.QueryID]
+	if st == nil {
+		r.fail(fmt.Errorf("cluster: completion for unknown query %d", t.QueryID))
+		return
+	}
+	if now > st.maxFinish {
+		st.maxFinish = now
+	}
+	st.remaining--
+	if st.remaining == 0 {
+		r.onQueryDone(t.QueryID, st)
+	}
+
+	// Work conservation: immediately serve the next queued task, unless
+	// the server is inside a failure window.
+	r.busy[s] = false
+	if r.paused[s] {
+		return
+	}
+	if next := r.queues[s].Pop(); next != nil {
+		r.startService(s, next)
+	}
+}
+
+// onQueryDone records a finished query and lets the completion hook inject
+// follow-up queries (request chaining).
+func (r *runner) onQueryDone(id int64, st *queryState) {
+	r.res.Completed++
+	delete(r.states, id)
+	now := r.engine.Now()
+	latency := st.maxFinish - st.query.Arrival
+	if st.counted {
+		cls, fanout := st.query.Class, st.query.Fanout
+		if err := r.res.Overall.Observe(latency); err != nil {
+			r.fail(err)
+			return
+		}
+		if err := r.res.ByClass.Observe(cls, latency); err != nil {
+			r.fail(err)
+			return
+		}
+		if err := r.res.ByFanout.Observe(fanout, latency); err != nil {
+			r.fail(err)
+			return
+		}
+		if err := r.res.ByType.Observe(ClassFanout{Class: cls, Fanout: fanout}, latency); err != nil {
+			r.fail(err)
+			return
+		}
+		if r.res.Timeline != nil {
+			if err := r.res.Timeline.Observe(r.timelineBucket(st.query.Arrival), latency); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+	}
+	if r.cfg.OnQueryDone == nil {
+		return
+	}
+	for _, next := range r.cfg.OnQueryDone(st.query, latency, now) {
+		next := next
+		if next.Arrival < now {
+			next.Arrival = now
+		}
+		r.res.Injected++
+		if err := r.engine.Schedule(next.Arrival, func() { r.onArrival(next, true) }); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+}
+
+// finalize computes the run-level aggregates.
+func (r *runner) finalize() {
+	r.res.Duration = r.engine.Now()
+	if r.res.Duration > 0 {
+		var busy float64
+		for _, b := range r.busyAcc {
+			busy += b
+		}
+		capacity := r.res.Duration * float64(r.cfg.Servers)
+		r.res.Utilization = busy / capacity
+		r.res.OfferedLoad /= capacity
+	}
+	if r.tasks > 0 {
+		r.res.TaskMissRatio = float64(r.missed) / float64(r.tasks)
+	}
+}
+
+// MeetsSLOs reports whether every query type (class, fanout) with at least
+// minSamples post-warmup samples met its class's tail-latency SLO — the
+// paper's per-type compliance criterion. It returns the worst margin
+// (measured tail / SLO) across checked types; a margin <= 1 passes.
+func (res *Result) MeetsSLOs(classes *workload.ClassSet, minSamples int) (bool, float64, error) {
+	if classes == nil {
+		return false, 0, fmt.Errorf("cluster: class set required")
+	}
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	ok := true
+	worst := 0.0
+	var firstErr error
+	res.ByType.Each(func(key ClassFanout, rec *metrics.LatencyRecorder) {
+		if rec.Count() < minSamples || firstErr != nil {
+			return
+		}
+		cls, err := classes.Class(key.Class)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		tail, err := rec.Quantile(cls.Percentile)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		margin := tail / cls.SLOMs
+		if margin > worst {
+			worst = margin
+		}
+		if tail > cls.SLOMs {
+			ok = false
+		}
+	})
+	if firstErr != nil {
+		return false, 0, firstErr
+	}
+	if math.IsNaN(worst) {
+		return false, 0, fmt.Errorf("cluster: NaN SLO margin")
+	}
+	return ok, worst, nil
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/policy"
+	"tailguard/internal/trace"
+	"tailguard/internal/workload"
+)
+
+// TestWorkConservationAcrossPolicies replays one pinned trace (identical
+// arrivals, placements, and per-task service times) under every queue
+// discipline. For non-preemptive work-conserving scheduling, the server
+// busy periods are invariant to queue order, so total busy time, run
+// duration, and completion counts must be bit-identical across policies —
+// only the latency distributions may differ. This pins down a large class
+// of bookkeeping bugs (lost tasks, double service, idle servers with
+// non-empty queues).
+func TestWorkConservationAcrossPolicies(t *testing.T) {
+	const servers = 50
+	w := dist.MustTailbenchWorkload("shore")
+	arr, err := workload.NewPoisson(2)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	fan, err := workload.NewInverseProportional([]int{1, 10, 50})
+	if err != nil {
+		t.Fatalf("NewInverseProportional: %v", err)
+	}
+	classes, err := workload.TwoClasses(5, 1.5)
+	if err != nil {
+		t.Fatalf("TwoClasses: %v", err)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: servers, Arrival: arr, Fanout: fan, Classes: classes,
+	}, 17)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	recs, err := trace.Generate(gen, []dist.Distribution{w.ServiceTime}, servers, 20000, 18)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+
+	est, err := core.NewHomogeneousStaticTailEstimator(w.ServiceTime, servers)
+	if err != nil {
+		t.Fatalf("NewHomogeneousStaticTailEstimator: %v", err)
+	}
+
+	specs := []core.Spec{
+		core.FIFO,
+		core.PRIQ,
+		core.TEDFQ,
+		core.TFEDFQ,
+		{Name: "LIFO", Queue: policy.LIFO, Deadline: core.DeadlineNone},
+		{Name: "SJF", Queue: policy.SJF, Deadline: core.DeadlineNone},
+	}
+	type invariant struct {
+		busyTotal float64
+		duration  float64
+		completed int
+		counted   int
+	}
+	var base *invariant
+	var baseName string
+	p99s := map[string]float64{}
+	for _, spec := range specs {
+		rep, err := trace.NewReplayer(recs)
+		if err != nil {
+			t.Fatalf("NewReplayer: %v", err)
+		}
+		dl, err := core.NewDeadliner(spec, est, classes)
+		if err != nil {
+			t.Fatalf("NewDeadliner(%s): %v", spec.Name, err)
+		}
+		res, err := Run(Config{
+			Servers:      servers,
+			Spec:         spec,
+			ServiceTimes: []dist.Distribution{w.ServiceTime},
+			Generator:    rep,
+			Classes:      classes,
+			Deadliner:    dl,
+			Queries:      len(recs),
+			Warmup:       1000,
+			Seed:         99, // irrelevant: services pinned by the trace
+		})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", spec.Name, err)
+		}
+		got := &invariant{
+			busyTotal: res.Utilization * res.Duration * float64(servers),
+			duration:  res.Duration,
+			completed: res.Completed,
+			counted:   res.Overall.Count(),
+		}
+		p99, err := res.Overall.P99()
+		if err != nil {
+			t.Fatalf("P99: %v", err)
+		}
+		p99s[spec.Name] = p99
+		if base == nil {
+			base, baseName = got, spec.Name
+			continue
+		}
+		if got.completed != base.completed || got.counted != base.counted {
+			t.Errorf("%s vs %s: completed/counted %d/%d != %d/%d",
+				spec.Name, baseName, got.completed, got.counted, base.completed, base.counted)
+		}
+		if math.Abs(got.busyTotal-base.busyTotal) > 1e-6*base.busyTotal {
+			t.Errorf("%s vs %s: busy time %v != %v (work not conserved)",
+				spec.Name, baseName, got.busyTotal, base.busyTotal)
+		}
+		if math.Abs(got.duration-base.duration) > 1e-6*base.duration {
+			t.Errorf("%s vs %s: duration %v != %v", spec.Name, baseName, got.duration, base.duration)
+		}
+	}
+	// The latency profiles must NOT all coincide (the policies do differ):
+	// LIFO's p99 is reliably far from FIFO's at this load.
+	if math.Abs(p99s["LIFO"]-p99s["FIFO"]) < 1e-9 {
+		t.Errorf("LIFO and FIFO produced identical p99 %v — policies not taking effect", p99s["FIFO"])
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/workload"
+)
+
+// runWithDispatch runs a single-server deterministic scenario under the
+// given queuing mode with a fixed dispatch delay.
+func runWithDispatch(t *testing.T, mode QueuingMode, dispatch float64) *Result {
+	t.Helper()
+	classes, _ := workload.SingleClass(100)
+	fan, _ := workload.NewFixed(1)
+	svc := dist.Deterministic{V: 1}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 1, Arrival: fixedGap{gap: 10}, Fanout: fan, Classes: classes,
+	}, 1)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	est, _ := core.NewHomogeneousStaticTailEstimator(svc, 1)
+	dl, _ := core.NewDeadliner(core.FIFO, est, classes)
+	res, err := Run(Config{
+		Servers:       1,
+		Spec:          core.FIFO,
+		ServiceTimes:  []dist.Distribution{svc},
+		Generator:     gen,
+		Classes:       classes,
+		Deadliner:     dl,
+		Queries:       10,
+		Warmup:        0,
+		Seed:          2,
+		Queuing:       mode,
+		DispatchDelay: dist.Deterministic{V: dispatch},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestDispatchDelayCentral(t *testing.T) {
+	// Uncontended: latency = dispatch + service under central queuing
+	// (the dispatch leg happens after dequeue).
+	res := runWithDispatch(t, CentralQueuing, 0.5)
+	for _, v := range res.Overall.Samples() {
+		if math.Abs(v-1.5) > 1e-9 {
+			t.Fatalf("central latency = %v, want 1.5", v)
+		}
+	}
+	// Occupancy includes the dispatch leg: busy time = 10 * 1.5.
+	busy := res.Utilization * res.Duration
+	if math.Abs(busy-15) > 1e-6 {
+		t.Errorf("busy time = %v, want 15", busy)
+	}
+	// Task wait is still zero (no contention).
+	if res.TaskWait.Mean() != 0 {
+		t.Errorf("central mean wait = %v, want 0", res.TaskWait.Mean())
+	}
+}
+
+func TestDispatchDelayPerServer(t *testing.T) {
+	// Uncontended: latency = dispatch + service as well, but the dispatch
+	// leg is pre-queue: it shows up in the measured task wait, and server
+	// occupancy excludes it.
+	res := runWithDispatch(t, PerServerQueuing, 0.5)
+	for _, v := range res.Overall.Samples() {
+		if math.Abs(v-1.5) > 1e-9 {
+			t.Fatalf("per-server latency = %v, want 1.5", v)
+		}
+	}
+	busy := res.Utilization * res.Duration
+	if math.Abs(busy-10) > 1e-6 {
+		t.Errorf("busy time = %v, want 10 (dispatch not occupancy)", busy)
+	}
+	if got := res.TaskWait.Mean(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("per-server mean wait = %v, want 0.5 (includes dispatch)", got)
+	}
+}
+
+func TestDispatchDelayNilIsZero(t *testing.T) {
+	classes, _ := workload.SingleClass(100)
+	fan, _ := workload.NewFixed(1)
+	svc := dist.Deterministic{V: 1}
+	gen, _ := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 1, Arrival: fixedGap{gap: 10}, Fanout: fan, Classes: classes,
+	}, 1)
+	est, _ := core.NewHomogeneousStaticTailEstimator(svc, 1)
+	dl, _ := core.NewDeadliner(core.FIFO, est, classes)
+	res, err := Run(Config{
+		Servers: 1, Spec: core.FIFO, ServiceTimes: []dist.Distribution{svc},
+		Generator: gen, Classes: classes, Deadliner: dl, Queries: 5,
+		Queuing: PerServerQueuing, // no DispatchDelay
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, v := range res.Overall.Samples() {
+		if v != 1 {
+			t.Fatalf("latency = %v, want 1", v)
+		}
+	}
+}

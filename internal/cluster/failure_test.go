@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/workload"
+)
+
+func TestFailureValidation(t *testing.T) {
+	classes, _ := workload.SingleClass(100)
+	fan, _ := workload.NewFixed(1)
+	svc := dist.Deterministic{V: 1}
+	gen, _ := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 1, Arrival: fixedGap{gap: 10}, Fanout: fan, Classes: classes,
+	}, 1)
+	est, _ := core.NewHomogeneousStaticTailEstimator(svc, 1)
+	dl, _ := core.NewDeadliner(core.FIFO, est, classes)
+	base := Config{
+		Servers: 1, Spec: core.FIFO, ServiceTimes: []dist.Distribution{svc},
+		Generator: gen, Classes: classes, Deadliner: dl, Queries: 5,
+	}
+	cases := []struct {
+		name string
+		f    Failure
+	}{
+		{"server out of range", Failure{Server: 5, Start: 1, End: 2}},
+		{"inverted window", Failure{Server: 0, Start: 2, End: 1}},
+		{"negative start", Failure{Server: 0, Start: -1, End: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Failures = []Failure{tc.f}
+			if _, err := Run(cfg); err == nil {
+				t.Error("Run succeeded, want error")
+			}
+		})
+	}
+	cfg := base
+	cfg.TimelineBucketMs = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative timeline bucket succeeded, want error")
+	}
+}
+
+// TestFailureStallsServer pins the outage semantics with deterministic
+// arithmetic: one server, 1 ms tasks arriving every 2 ms, an outage over
+// [3, 9). The query arriving at 4 ms must wait for the recovery.
+func TestFailureStallsServer(t *testing.T) {
+	classes, _ := workload.SingleClass(1000)
+	fan, _ := workload.NewFixed(1)
+	svc := dist.Deterministic{V: 1}
+	gen, _ := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 1, Arrival: fixedGap{gap: 2}, Fanout: fan, Classes: classes,
+	}, 1)
+	est, _ := core.NewHomogeneousStaticTailEstimator(svc, 1)
+	dl, _ := core.NewDeadliner(core.FIFO, est, classes)
+	res, err := Run(Config{
+		Servers: 1, Spec: core.FIFO, ServiceTimes: []dist.Distribution{svc},
+		Generator: gen, Classes: classes, Deadliner: dl, Queries: 3,
+		Failures: []Failure{{Server: 0, Start: 3, End: 9}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Arrivals at 2, 4, 6. Query 1 (t=2): served 2-3, latency 1.
+	// Query 2 (t=4): server down until 9, served 9-10, latency 6.
+	// Query 3 (t=6): queued behind, served 10-11, latency 5.
+	got := res.Overall.Samples()
+	want := []float64{1, 6, 5} // completion order
+	if len(got) != 3 {
+		t.Fatalf("latencies = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("latency[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if res.Duration != 11 {
+		t.Errorf("Duration = %v, want 11", res.Duration)
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	classes, _ := workload.SingleClass(1000)
+	fan, _ := workload.NewFixed(1)
+	svc := dist.Deterministic{V: 0.1}
+	gen, _ := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 1, Arrival: fixedGap{gap: 1}, Fanout: fan, Classes: classes,
+	}, 1)
+	est, _ := core.NewHomogeneousStaticTailEstimator(svc, 1)
+	dl, _ := core.NewDeadliner(core.FIFO, est, classes)
+	res, err := Run(Config{
+		Servers: 1, Spec: core.FIFO, ServiceTimes: []dist.Distribution{svc},
+		Generator: gen, Classes: classes, Deadliner: dl, Queries: 10,
+		TimelineBucketMs: 5,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Arrivals at 1..10: buckets 0 (1-4.99: 4 queries) 1 (5-9.99: 5) 2 (10: 1).
+	if res.Timeline == nil {
+		t.Fatal("Timeline not populated")
+	}
+	if got := res.Timeline.Recorder(0).Count(); got != 4 {
+		t.Errorf("bucket 0 count = %d, want 4", got)
+	}
+	if got := res.Timeline.Recorder(1).Count(); got != 5 {
+		t.Errorf("bucket 1 count = %d, want 5", got)
+	}
+	if got := res.TimelineAdmitted[0]; got != 4 {
+		t.Errorf("bucket 0 admitted = %d, want 4", got)
+	}
+}

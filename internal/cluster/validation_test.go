@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"tailguard/internal/analytic"
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/workload"
+)
+
+// runSingleServer drives an M/G/1 system through the full cluster stack:
+// one server, fanout 1, Poisson arrivals at the given rate.
+func runSingleServer(t *testing.T, svc dist.Distribution, lambda float64, queries int) *Result {
+	t.Helper()
+	arr, err := workload.NewPoisson(lambda)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	fan, err := workload.NewFixed(1)
+	if err != nil {
+		t.Fatalf("NewFixed: %v", err)
+	}
+	classes, err := workload.SingleClass(1e9)
+	if err != nil {
+		t.Fatalf("SingleClass: %v", err)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 1, Arrival: arr, Fanout: fan, Classes: classes,
+	}, 21)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	est, err := core.NewHomogeneousStaticTailEstimator(svc, 1)
+	if err != nil {
+		t.Fatalf("NewHomogeneousStaticTailEstimator: %v", err)
+	}
+	dl, err := core.NewDeadliner(core.FIFO, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner: %v", err)
+	}
+	res, err := Run(Config{
+		Servers:      1,
+		Spec:         core.FIFO,
+		ServiceTimes: []dist.Distribution{svc},
+		Generator:    gen,
+		Classes:      classes,
+		Deadliner:    dl,
+		Queries:      queries,
+		Warmup:       queries / 10,
+		Seed:         22,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestSimulatorMatchesMM1 validates the whole engine against the M/M/1
+// closed form: mean sojourn and p99 sojourn of an exponential-service
+// single-server FIFO queue at rho = 0.7.
+func TestSimulatorMatchesMM1(t *testing.T) {
+	const (
+		meanService = 1.0
+		lambda      = 0.7
+		queries     = 400000
+	)
+	svc, err := dist.NewExponential(meanService)
+	if err != nil {
+		t.Fatalf("NewExponential: %v", err)
+	}
+	res := runSingleServer(t, svc, lambda, queries)
+
+	wantMean, err := analytic.MM1MeanSojourn(lambda, meanService)
+	if err != nil {
+		t.Fatalf("MM1MeanSojourn: %v", err)
+	}
+	gotMean := res.Overall.Mean()
+	if math.Abs(gotMean-wantMean)/wantMean > 0.03 {
+		t.Errorf("mean sojourn = %v, M/M/1 predicts %v", gotMean, wantMean)
+	}
+
+	wantP99, err := analytic.MM1SojournQuantile(lambda, meanService, 0.99)
+	if err != nil {
+		t.Fatalf("MM1SojournQuantile: %v", err)
+	}
+	gotP99, err := res.Overall.P99()
+	if err != nil {
+		t.Fatalf("P99: %v", err)
+	}
+	if math.Abs(gotP99-wantP99)/wantP99 > 0.05 {
+		t.Errorf("p99 sojourn = %v, M/M/1 predicts %v", gotP99, wantP99)
+	}
+
+	wantRho, err := analytic.Utilization(lambda, meanService)
+	if err != nil {
+		t.Fatalf("Utilization: %v", err)
+	}
+	if math.Abs(res.Utilization-wantRho)/wantRho > 0.02 {
+		t.Errorf("utilization = %v, want %v", res.Utilization, wantRho)
+	}
+}
+
+// TestSimulatorMatchesMG1PollaczekKhinchine validates mean waiting time
+// against the P-K formula for two decidedly non-exponential services: the
+// deterministic distribution and the heavy-bimodal Shore model.
+func TestSimulatorMatchesMG1PollaczekKhinchine(t *testing.T) {
+	cases := []struct {
+		name string
+		svc  dist.Distribution
+	}{
+		{"deterministic", dist.Deterministic{V: 1}},
+		{"shore", dist.MustTailbenchWorkload("shore").ServiceTime},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			meanService := tc.svc.Mean()
+			lambda := 0.6 / meanService // rho = 0.6
+			res := runSingleServer(t, tc.svc, lambda, 400000)
+			wantWait, err := analytic.MG1WaitFromDist(lambda, tc.svc)
+			if err != nil {
+				t.Fatalf("MG1WaitFromDist: %v", err)
+			}
+			gotWait := res.Overall.Mean() - meanService
+			// Mean queueing delay converges slowly for heavy-tailed
+			// services; 5% at 400k queries.
+			if math.Abs(gotWait-wantWait)/wantWait > 0.05 {
+				t.Errorf("mean wait = %v, P-K predicts %v", gotWait, wantWait)
+			}
+		})
+	}
+}

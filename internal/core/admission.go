@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// AdmissionController implements the paper's query admission control
+// (Section III.C): it tracks the fraction of tasks that missed their
+// queuing deadlines over a moving time window and rejects incoming
+// queries while that ratio exceeds the threshold Rth. Per the paper, "the
+// moving time window can be set to be the same as the time window in which
+// the tail latency SLOs should be guaranteed" — the Fig. 7 configuration
+// corresponds to the span of ~1000 queries (~100k tasks) at the operating
+// load, with Rth = 1.7%.
+//
+// Two engineering choices depart from the paper's one-paragraph sketch,
+// both forced by closed-loop stability (and documented in DESIGN.md):
+//
+//  1. The window is time-based rather than task-count-based: while queries
+//     are being rejected no new tasks are observed, so a count window
+//     freezes above the threshold and rejects forever; with a time window
+//     old misses expire and admission resumes.
+//  2. Rejection is proportional rather than bang-bang. "Reject everything
+//     while ratio > Rth" time-shares the cluster between full overload
+//     and full lockout — each admit burst creates a cohort of queries
+//     that miss the SLO before the dequeue-time miss signal can react.
+//     Instead, a drop probability integrates the sign of (ratio − Rth)
+//     with a bounded slew rate, converging to the rejection level that
+//     holds the windowed miss ratio at Rth — the fixed point the paper's
+//     rule also aims for.
+//
+// Times are float64 in the caller's unit (simulated ms or wall-clock ms)
+// and must be non-decreasing across calls. AdmissionController is safe for
+// concurrent use.
+type AdmissionController struct {
+	mu        sync.Mutex
+	windowMs  float64
+	threshold float64
+	rng       *rand.Rand
+	events    []admissionEvent // chronological queue of observations
+	head      int              // index of oldest live event
+	misses    int              // misses among live events
+	dropProb  float64
+	lastCtl   float64 // time of the last drop-probability update
+	accepted  int
+	rejected  int
+}
+
+type admissionEvent struct {
+	at     float64
+	missed bool
+}
+
+// NewAdmissionController builds a controller with the given moving time
+// window (in the same unit as the times passed to Admit/ObserveTask) and
+// miss-ratio threshold Rth in (0, 1). Per the paper's calibration
+// procedure, Rth should be the task deadline-miss ratio measured at the
+// maximum acceptable load without admission control.
+func NewAdmissionController(windowMs, threshold float64) (*AdmissionController, error) {
+	if windowMs <= 0 {
+		return nil, fmt.Errorf("core: admission window must be positive, got %v", windowMs)
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("core: admission threshold %v outside (0, 1)", threshold)
+	}
+	return &AdmissionController{
+		windowMs:  windowMs,
+		threshold: threshold,
+		rng:       rand.New(rand.NewSource(admissionSeed)),
+	}, nil
+}
+
+// admissionSeed fixes the drop-decision stream so experiments are
+// reproducible; the controller's behavior is insensitive to its value.
+const admissionSeed = 0x7a11
+
+// slewWindows is how many window spans the drop probability needs to sweep
+// its full range: small enough to react within a few control horizons,
+// large enough not to chatter.
+const slewWindows = 3.0
+
+// updateDropLocked integrates the drop probability toward the level that
+// pins the windowed miss ratio at the threshold.
+func (a *AdmissionController) updateDropLocked(now float64) {
+	dt := now - a.lastCtl
+	if dt <= 0 {
+		return
+	}
+	a.lastCtl = now
+	step := dt / (slewWindows * a.windowMs)
+	if step > 0.25 {
+		step = 0.25 // a single long gap must not slam the control
+	}
+	if a.ratioLocked() > a.threshold {
+		a.dropProb += step
+		if a.dropProb > 1 {
+			a.dropProb = 1
+		}
+	} else {
+		a.dropProb -= step
+		if a.dropProb < 0 {
+			a.dropProb = 0
+		}
+	}
+}
+
+// evict drops observations older than now - windowMs and compacts the
+// backing slice when the dead prefix dominates.
+func (a *AdmissionController) evict(now float64) {
+	cutoff := now - a.windowMs
+	for a.head < len(a.events) && a.events[a.head].at < cutoff {
+		if a.events[a.head].missed {
+			a.misses--
+		}
+		a.head++
+	}
+	if a.head > 1024 && a.head*2 >= len(a.events) {
+		a.events = append(a.events[:0], a.events[a.head:]...)
+		a.head = 0
+	}
+}
+
+// ratioLocked returns the windowed miss ratio; callers hold the lock.
+func (a *AdmissionController) ratioLocked() float64 {
+	live := len(a.events) - a.head
+	if live == 0 {
+		return 0
+	}
+	return float64(a.misses) / float64(live)
+}
+
+// Admit decides whether a query arriving at time now is accepted, and
+// records the decision. Queries are dropped with the current rejection
+// probability, which rises while the windowed task deadline-miss ratio
+// exceeds Rth and falls back to zero otherwise.
+func (a *AdmissionController) Admit(now float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.evict(now)
+	a.updateDropLocked(now)
+	if a.dropProb > 0 && a.rng.Float64() < a.dropProb {
+		a.rejected++
+		return false
+	}
+	a.accepted++
+	return true
+}
+
+// DropProbability returns the current rejection probability as of now.
+func (a *AdmissionController) DropProbability(now float64) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.evict(now)
+	a.updateDropLocked(now)
+	return a.dropProb
+}
+
+// ObserveTask records whether a task dequeued at time now missed its
+// queuing deadline. In the central-queuing deployment this is known at
+// dequeue time; with per-server queues it is piggybacked on the task
+// result (Section III.C).
+func (a *AdmissionController) ObserveTask(missedDeadline bool, now float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.evict(now)
+	a.events = append(a.events, admissionEvent{at: now, missed: missedDeadline})
+	if missedDeadline {
+		a.misses++
+	}
+}
+
+// MissRatio returns the windowed task deadline-miss ratio as of time now.
+func (a *AdmissionController) MissRatio(now float64) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.evict(now)
+	return a.ratioLocked()
+}
+
+// Threshold returns Rth.
+func (a *AdmissionController) Threshold() float64 { return a.threshold }
+
+// WindowMs returns the moving-window span.
+func (a *AdmissionController) WindowMs() float64 { return a.windowMs }
+
+// Counts returns the number of accepted and rejected queries so far.
+func (a *AdmissionController) Counts() (accepted, rejected int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.accepted, a.rejected
+}
+
+// Reset clears the window, the control state, and the decision counters.
+func (a *AdmissionController) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events = a.events[:0]
+	a.head, a.misses = 0, 0
+	a.accepted, a.rejected = 0, 0
+	a.dropProb, a.lastCtl = 0, 0
+}

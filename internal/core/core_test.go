@@ -1,0 +1,414 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tailguard/internal/dist"
+	"tailguard/internal/workload"
+)
+
+func TestSpecByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Spec
+	}{
+		{"fifo", FIFO}, {"priq", PRIQ}, {"tedfq", TEDFQ}, {"tfedfq", TFEDFQ}, {"tailguard", TFEDFQ},
+	}
+	for _, tc := range cases {
+		got, err := SpecByName(tc.name)
+		if err != nil {
+			t.Errorf("SpecByName(%q): %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("SpecByName(%q) = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	if _, err := SpecByName("bogus"); err == nil {
+		t.Error("SpecByName(bogus) succeeded, want error")
+	}
+	if got := len(Specs()); got != 4 {
+		t.Errorf("Specs() has %d entries, want 4", got)
+	}
+}
+
+func TestStaticEstimatorHomogeneous(t *testing.T) {
+	w := dist.MustTailbenchWorkload("masstree")
+	e, err := NewHomogeneousStaticTailEstimator(w.ServiceTime, 100)
+	if err != nil {
+		t.Fatalf("NewHomogeneousStaticTailEstimator: %v", err)
+	}
+	if got := e.Servers(); got != 100 {
+		t.Errorf("Servers() = %d, want 100", got)
+	}
+	// x99^u(kf) must match Table II exactly.
+	for _, tc := range []struct {
+		fanout int
+		want   float64
+	}{{1, 0.219}, {10, 0.247}, {100, 0.473}} {
+		got, err := e.XPuFanout(0.99, tc.fanout)
+		if err != nil {
+			t.Fatalf("XPuFanout(0.99, %d): %v", tc.fanout, err)
+		}
+		if math.Abs(got-tc.want)/tc.want > 1e-9 {
+			t.Errorf("XPuFanout(0.99, %d) = %v, want %v", tc.fanout, got, tc.want)
+		}
+	}
+	// Static estimators reject observations.
+	if err := e.Observe(0, 1); err == nil {
+		t.Error("Observe on static estimator succeeded, want error")
+	}
+}
+
+func TestEstimatorXPuFanoutValidation(t *testing.T) {
+	w := dist.MustTailbenchWorkload("masstree")
+	e, _ := NewHomogeneousStaticTailEstimator(w.ServiceTime, 10)
+	if _, err := e.XPuFanout(0.99, 0); err == nil {
+		t.Error("fanout 0 succeeded, want error")
+	}
+	if _, err := e.XPuFanout(0, 10); err == nil {
+		t.Error("percentile 0 succeeded, want error")
+	}
+	if _, err := e.XPuFanout(1, 10); err == nil {
+		t.Error("percentile 1 succeeded, want error")
+	}
+}
+
+func TestEstimatorXPuServersHeterogeneous(t *testing.T) {
+	fast, _ := dist.NewExponential(1)
+	slow, _ := dist.NewExponential(10)
+	e, err := NewStaticTailEstimator([]dist.Distribution{fast, slow})
+	if err != nil {
+		t.Fatalf("NewStaticTailEstimator: %v", err)
+	}
+	x, err := e.XPuServers(0.99, []int{0, 1})
+	if err != nil {
+		t.Fatalf("XPuServers: %v", err)
+	}
+	want, err := dist.QueryQuantile([]dist.Distribution{fast, slow}, 0.99)
+	if err != nil {
+		t.Fatalf("QueryQuantile: %v", err)
+	}
+	if math.Abs(x-want)/want > 1e-9 {
+		t.Errorf("XPuServers = %v, want %v", x, want)
+	}
+	if _, err := e.XPuServers(0.99, nil); err == nil {
+		t.Error("empty server set succeeded, want error")
+	}
+	if _, err := e.XPuServers(0.99, []int{5}); err == nil {
+		t.Error("out-of-range server succeeded, want error")
+	}
+}
+
+func TestOnlineEstimatorSeedAndObserve(t *testing.T) {
+	exp, _ := dist.NewExponential(1)
+	e, err := NewTailEstimator(4, exp, 20000, 0)
+	if err != nil {
+		t.Fatalf("NewTailEstimator: %v", err)
+	}
+	// Seeded quantile close to the analytic one.
+	x, err := e.XPuFanout(0.99, 1)
+	if err != nil {
+		t.Fatalf("XPuFanout: %v", err)
+	}
+	want := exp.Quantile(0.99)
+	if math.Abs(x-want)/want > 0.1 {
+		t.Errorf("seeded x99(1) = %v, want ~%v", x, want)
+	}
+	// Observations shift the estimate and invalidate the cache.
+	for i := 0; i < 200000; i++ {
+		if err := e.Observe(0, 50); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	x2, err := e.XPuFanout(0.99, 1)
+	if err != nil {
+		t.Fatalf("XPuFanout after observe: %v", err)
+	}
+	if x2 < 10 {
+		t.Errorf("x99(1) after heavy slow observations = %v, want shifted toward 50", x2)
+	}
+	if err := e.Observe(99, 1); err == nil {
+		t.Error("Observe out-of-range server succeeded, want error")
+	}
+}
+
+func TestEstimatorConstructorValidation(t *testing.T) {
+	exp, _ := dist.NewExponential(1)
+	if _, err := NewTailEstimator(0, exp, 10, 0); err == nil {
+		t.Error("0 servers succeeded, want error")
+	}
+	if _, err := NewTailEstimator(1, nil, 10, 0); err == nil {
+		t.Error("nil offline dist succeeded, want error")
+	}
+	if _, err := NewTailEstimator(1, exp, 0, 0); err == nil {
+		t.Error("0 seed samples succeeded, want error")
+	}
+	if _, err := NewStaticTailEstimator(nil); err == nil {
+		t.Error("empty static set succeeded, want error")
+	}
+	if _, err := NewStaticTailEstimator([]dist.Distribution{nil}); err == nil {
+		t.Error("nil static dist succeeded, want error")
+	}
+	if _, err := NewHomogeneousStaticTailEstimator(exp, 0); err == nil {
+		t.Error("0 homogeneous servers succeeded, want error")
+	}
+}
+
+func TestServerQuantile(t *testing.T) {
+	fast, _ := dist.NewExponential(1)
+	slow, _ := dist.NewExponential(10)
+	e, _ := NewStaticTailEstimator([]dist.Distribution{fast, slow})
+	q0, err := e.ServerQuantile(0, 0.5)
+	if err != nil {
+		t.Fatalf("ServerQuantile: %v", err)
+	}
+	q1, _ := e.ServerQuantile(1, 0.5)
+	if q1 <= q0 {
+		t.Errorf("slow server quantile %v not above fast %v", q1, q0)
+	}
+	if _, err := e.ServerQuantile(5, 0.5); err == nil {
+		t.Error("out-of-range server succeeded, want error")
+	}
+}
+
+func testClasses(t *testing.T) *workload.ClassSet {
+	t.Helper()
+	cs, err := workload.TwoClasses(1.0, 1.5)
+	if err != nil {
+		t.Fatalf("TwoClasses: %v", err)
+	}
+	return cs
+}
+
+func TestDeadlinerBudgets(t *testing.T) {
+	w := dist.MustTailbenchWorkload("masstree")
+	est, _ := NewHomogeneousStaticTailEstimator(w.ServiceTime, 100)
+	classes := testClasses(t)
+
+	// FIFO/PRIQ: infinite budget (deadline unused).
+	for _, spec := range []Spec{FIFO, PRIQ} {
+		d, err := NewDeadliner(spec, nil, classes)
+		if err != nil {
+			t.Fatalf("NewDeadliner(%s): %v", spec.Name, err)
+		}
+		b, err := d.Budget(0, 100)
+		if err != nil {
+			t.Fatalf("Budget: %v", err)
+		}
+		if !math.IsInf(b, 1) {
+			t.Errorf("%s budget = %v, want +Inf", spec.Name, b)
+		}
+	}
+
+	// T-EDFQ: budget equals the SLO, fanout-blind.
+	d, err := NewDeadliner(TEDFQ, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner(TEDFQ): %v", err)
+	}
+	for _, k := range []int{1, 10, 100} {
+		b, err := d.Budget(0, k)
+		if err != nil {
+			t.Fatalf("Budget: %v", err)
+		}
+		if b != 1.0 {
+			t.Errorf("T-EDFQ budget(class 0, k=%d) = %v, want 1.0", k, b)
+		}
+	}
+
+	// TF-EDFQ: budget = SLO - x99^u(kf); the paper's Section IV.C example:
+	// class I budget = 1 - 0.473 = 0.527 ms, class II = 1.5 - 0.473 = 1.027 ms.
+	dg, err := NewDeadliner(TFEDFQ, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner(TFEDFQ): %v", err)
+	}
+	b0, err := dg.Budget(0, 100)
+	if err != nil {
+		t.Fatalf("Budget: %v", err)
+	}
+	if math.Abs(b0-0.527) > 1e-9 {
+		t.Errorf("TailGuard class I budget = %v, want 0.527", b0)
+	}
+	b1, _ := dg.Budget(1, 100)
+	if math.Abs(b1-1.027) > 1e-9 {
+		t.Errorf("TailGuard class II budget = %v, want 1.027", b1)
+	}
+	// Budget decreases with fanout.
+	bk1, _ := dg.Budget(0, 1)
+	bk10, _ := dg.Budget(0, 10)
+	if !(bk1 > bk10 && bk10 > b0) {
+		t.Errorf("budgets not decreasing in fanout: %v, %v, %v", bk1, bk10, b0)
+	}
+}
+
+func TestDeadlinerDeadline(t *testing.T) {
+	w := dist.MustTailbenchWorkload("masstree")
+	est, _ := NewHomogeneousStaticTailEstimator(w.ServiceTime, 100)
+	classes := testClasses(t)
+	d, err := NewDeadliner(TFEDFQ, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner: %v", err)
+	}
+	// tD = t0 + budget.
+	td, err := d.Deadline(100, 0, 100)
+	if err != nil {
+		t.Fatalf("Deadline: %v", err)
+	}
+	if math.Abs(td-100.527) > 1e-9 {
+		t.Errorf("Deadline = %v, want 100.527", td)
+	}
+	if _, err := d.Deadline(0, 9, 100); err == nil {
+		t.Error("unknown class succeeded, want error")
+	}
+}
+
+func TestDeadlinerServersPath(t *testing.T) {
+	fast, _ := dist.NewExponential(0.1)
+	slow, _ := dist.NewExponential(1.0)
+	est, _ := NewStaticTailEstimator([]dist.Distribution{fast, slow})
+	classes, _ := workload.SingleClass(10)
+	d, err := NewDeadliner(TFEDFQ, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner: %v", err)
+	}
+	// A query touching only the fast server gets a bigger budget than one
+	// touching the slow server.
+	bFast, err := d.BudgetServers(0, []int{0})
+	if err != nil {
+		t.Fatalf("BudgetServers: %v", err)
+	}
+	bSlow, _ := d.BudgetServers(0, []int{1})
+	if bFast <= bSlow {
+		t.Errorf("fast-server budget %v not above slow-server budget %v", bFast, bSlow)
+	}
+	td, err := d.DeadlineServers(50, 0, []int{0, 1})
+	if err != nil {
+		t.Fatalf("DeadlineServers: %v", err)
+	}
+	if td <= 50 {
+		t.Errorf("DeadlineServers = %v, want > t0", td)
+	}
+}
+
+func TestDeadlinerValidation(t *testing.T) {
+	classes := testClasses(t)
+	if _, err := NewDeadliner(TFEDFQ, nil, classes); err == nil {
+		t.Error("deadline policy without estimator succeeded, want error")
+	}
+	if _, err := NewDeadliner(FIFO, nil, nil); err == nil {
+		t.Error("nil class set succeeded, want error")
+	}
+}
+
+func TestNegativeBudgetAllowed(t *testing.T) {
+	// SLO tighter than the unloaded tail: budget goes negative, meaning
+	// the deadline is already past at arrival — EDF treats it as maximally
+	// urgent. This must not error.
+	w := dist.MustTailbenchWorkload("masstree")
+	est, _ := NewHomogeneousStaticTailEstimator(w.ServiceTime, 100)
+	classes, _ := workload.SingleClass(0.3) // x99u(100) = 0.473 > 0.3
+	d, _ := NewDeadliner(TFEDFQ, est, classes)
+	b, err := d.Budget(0, 100)
+	if err != nil {
+		t.Fatalf("Budget: %v", err)
+	}
+	if b >= 0 {
+		t.Errorf("budget = %v, want negative", b)
+	}
+}
+
+func TestAdmissionController(t *testing.T) {
+	// 10 ms moving window, Rth = 20%.
+	a, err := NewAdmissionController(10, 0.2)
+	if err != nil {
+		t.Fatalf("NewAdmissionController: %v", err)
+	}
+	if got := a.Threshold(); got != 0.2 {
+		t.Errorf("Threshold() = %v, want 0.2", got)
+	}
+	if got := a.WindowMs(); got != 10 {
+		t.Errorf("WindowMs() = %v, want 10", got)
+	}
+	// Empty window: admit, zero drop probability.
+	if !a.Admit(0) {
+		t.Error("Admit at t=0 = false on empty window")
+	}
+	if got := a.DropProbability(0); got != 0 {
+		t.Errorf("DropProbability(0) = %v, want 0", got)
+	}
+	// At t=1: 7 hits, 3 misses -> ratio 0.3 > 0.2.
+	for i := 0; i < 7; i++ {
+		a.ObserveTask(false, 1)
+	}
+	for i := 0; i < 3; i++ {
+		a.ObserveTask(true, 1)
+	}
+	if got := a.MissRatio(2); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("MissRatio(2) = %v, want 0.3", got)
+	}
+	// The drop probability integrates while the ratio stays above the
+	// threshold (repeated misses keep the window hot); after several
+	// window spans it saturates at 1 and admissions become rejections.
+	for ts := 2.0; ts <= 100; ts++ {
+		a.ObserveTask(true, ts)
+		a.DropProbability(ts) // advance the control integrator
+	}
+	if got := a.DropProbability(100); got != 1 {
+		t.Errorf("DropProbability after sustained misses = %v, want 1", got)
+	}
+	if a.Admit(100) {
+		t.Error("Admit at saturated drop probability = true")
+	}
+	// Once the misses expire, the probability ramps back down and
+	// admission resumes — recovery requires no new observations.
+	for ts := 101.0; ts <= 200; ts++ {
+		a.DropProbability(ts)
+	}
+	if got := a.MissRatio(200); got != 0 {
+		t.Errorf("MissRatio after expiry = %v, want 0", got)
+	}
+	if got := a.DropProbability(200); got != 0 {
+		t.Errorf("DropProbability after recovery = %v, want 0", got)
+	}
+	if !a.Admit(200) {
+		t.Error("Admit after recovery = false")
+	}
+	acc, rej := a.Counts()
+	if acc < 2 || rej < 1 {
+		t.Errorf("Counts() = (%d, %d), want >= (2, 1)", acc, rej)
+	}
+	a.Reset()
+	acc, rej = a.Counts()
+	if acc != 0 || rej != 0 || a.MissRatio(201) != 0 {
+		t.Errorf("Reset left state: %d/%d", acc, rej)
+	}
+}
+
+func TestAdmissionControllerPartialExpiry(t *testing.T) {
+	a, err := NewAdmissionController(10, 0.5)
+	if err != nil {
+		t.Fatalf("NewAdmissionController: %v", err)
+	}
+	a.ObserveTask(true, 0)  // expires at t=10
+	a.ObserveTask(false, 5) // expires at t=15
+	if got := a.MissRatio(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MissRatio(5) = %v, want 0.5", got)
+	}
+	// At t=12 only the miss has expired.
+	if got := a.MissRatio(12); got != 0 {
+		t.Errorf("MissRatio(12) = %v, want 0", got)
+	}
+}
+
+func TestAdmissionControllerValidation(t *testing.T) {
+	if _, err := NewAdmissionController(0, 0.1); err == nil {
+		t.Error("zero window succeeded, want error")
+	}
+	if _, err := NewAdmissionController(10, 0); err == nil {
+		t.Error("zero threshold succeeded, want error")
+	}
+	if _, err := NewAdmissionController(10, 1); err == nil {
+		t.Error("threshold 1 succeeded, want error")
+	}
+}

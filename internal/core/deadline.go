@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tailguard/internal/workload"
+)
+
+// Deadliner computes task queuing deadlines for queries. One Deadliner is
+// shared by all task queues of a cluster (queuing may be central or
+// per-server; the deadline is a property of the query either way).
+type Deadliner struct {
+	spec      Spec
+	estimator *TailEstimator
+	classes   *workload.ClassSet
+}
+
+// NewDeadliner builds the deadline calculator for the given policy. The
+// estimator may be nil for DeadlineNone policies; classes are always
+// required (PRIQ reads class IDs, and budget reporting reads SLOs).
+func NewDeadliner(spec Spec, estimator *TailEstimator, classes *workload.ClassSet) (*Deadliner, error) {
+	if classes == nil {
+		return nil, fmt.Errorf("core: deadliner needs a class set")
+	}
+	if spec.Deadline != DeadlineNone && estimator == nil {
+		return nil, fmt.Errorf("core: policy %s needs a tail estimator", spec.Name)
+	}
+	return &Deadliner{spec: spec, estimator: estimator, classes: classes}, nil
+}
+
+// Spec returns the policy this deadliner serves.
+func (d *Deadliner) Spec() Spec { return d.spec }
+
+// Budget returns the task pre-dequeuing time budget T_b(x_p^SLO, kf) for a
+// query of the given class and fanout (Eqn. 6):
+//
+//	DeadlineNone:      +Inf (deadline ignored by the queue discipline)
+//	DeadlineSLO:       x_p^SLO
+//	DeadlineSLOFanout: x_p^SLO - x_p^u(kf)
+//
+// A negative budget is legal: it means the SLO is unreachable even with
+// zero queuing for this fanout; EDF then simply schedules the task as
+// maximally urgent.
+func (d *Deadliner) Budget(classID, fanout int) (float64, error) {
+	cls, err := d.classes.Class(classID)
+	if err != nil {
+		return 0, err
+	}
+	switch d.spec.Deadline {
+	case DeadlineNone:
+		return math.Inf(1), nil
+	case DeadlineSLO:
+		return cls.SLOMs, nil
+	case DeadlineSLOFanout:
+		xpu, err := d.estimator.XPuFanout(cls.Percentile, fanout)
+		if err != nil {
+			return 0, err
+		}
+		return cls.SLOMs - xpu, nil
+	default:
+		return 0, fmt.Errorf("core: unknown deadline rule %d", d.spec.Deadline)
+	}
+}
+
+// BudgetServers is Budget using the actual per-query server set instead of
+// the homogeneous fanout shortcut — the heterogeneous (testbed) path.
+func (d *Deadliner) BudgetServers(classID int, servers []int) (float64, error) {
+	cls, err := d.classes.Class(classID)
+	if err != nil {
+		return 0, err
+	}
+	switch d.spec.Deadline {
+	case DeadlineNone:
+		return math.Inf(1), nil
+	case DeadlineSLO:
+		return cls.SLOMs, nil
+	case DeadlineSLOFanout:
+		xpu, err := d.estimator.XPuServers(cls.Percentile, servers)
+		if err != nil {
+			return 0, err
+		}
+		return cls.SLOMs - xpu, nil
+	default:
+		return 0, fmt.Errorf("core: unknown deadline rule %d", d.spec.Deadline)
+	}
+}
+
+// Deadline returns tD = t0 + T_b for a query arriving at t0 (Eqn. 6).
+func (d *Deadliner) Deadline(t0 float64, classID, fanout int) (float64, error) {
+	b, err := d.Budget(classID, fanout)
+	if err != nil {
+		return 0, err
+	}
+	return t0 + b, nil
+}
+
+// DeadlineServers is Deadline with an explicit server set.
+func (d *Deadliner) DeadlineServers(t0 float64, classID int, servers []int) (float64, error) {
+	b, err := d.BudgetServers(classID, servers)
+	if err != nil {
+		return 0, err
+	}
+	return t0 + b, nil
+}

@@ -1,0 +1,68 @@
+// Package core implements TailGuard itself: the task-decomposition /
+// queuing-deadline estimation of Section III.B (translating a query's
+// tail-latency SLO and fanout into a per-task queuing deadline), the
+// policy specifications that map the paper's four evaluated policies onto
+// queue disciplines and deadline rules, and the query admission controller
+// of Section III.C.
+package core
+
+import (
+	"fmt"
+
+	"tailguard/internal/policy"
+)
+
+// DeadlineRule says how a policy computes the task queuing deadline tD for
+// a query arriving at t0 with tail-latency SLO x_p^SLO and fanout kf.
+type DeadlineRule int
+
+// Deadline rules.
+const (
+	// DeadlineNone: the policy ignores deadlines (FIFO, PRIQ).
+	DeadlineNone DeadlineRule = iota
+	// DeadlineSLO: tD = t0 + x_p^SLO (T-EDFQ) — SLO-aware, fanout-blind.
+	DeadlineSLO
+	// DeadlineSLOFanout: tD = t0 + x_p^SLO - x_p^u(kf) (TF-EDFQ, i.e.
+	// TailGuard) — both SLO- and fanout-aware via Eqn. 6.
+	DeadlineSLOFanout
+)
+
+// Spec is a named scheduling policy: a queue discipline plus a deadline
+// rule. The paper's comparison set differs only along these two axes.
+type Spec struct {
+	Name     string
+	Queue    policy.Kind
+	Deadline DeadlineRule
+}
+
+// The four policies evaluated in the paper.
+var (
+	// FIFO: first-in-first-out task queuing.
+	FIFO = Spec{Name: "FIFO", Queue: policy.FIFO, Deadline: DeadlineNone}
+	// PRIQ: strict class-priority queuing.
+	PRIQ = Spec{Name: "PRIQ", Queue: policy.PRIQ, Deadline: DeadlineNone}
+	// TEDFQ: tail-latency-SLO-aware EDF queuing (fanout-blind).
+	TEDFQ = Spec{Name: "T-EDFQ", Queue: policy.EDF, Deadline: DeadlineSLO}
+	// TFEDFQ: TailGuard's tail-latency-SLO-and-fanout-aware EDF queuing.
+	TFEDFQ = Spec{Name: "TailGuard", Queue: policy.EDF, Deadline: DeadlineSLOFanout}
+)
+
+// Specs returns the paper's four policies in presentation order.
+func Specs() []Spec { return []Spec{TFEDFQ, FIFO, PRIQ, TEDFQ} }
+
+// SpecByName resolves a policy by case-sensitive short name: "fifo",
+// "priq", "tedfq", "tfedfq" (alias "tailguard").
+func SpecByName(name string) (Spec, error) {
+	switch name {
+	case "fifo":
+		return FIFO, nil
+	case "priq":
+		return PRIQ, nil
+	case "tedfq":
+		return TEDFQ, nil
+	case "tfedfq", "tailguard":
+		return TFEDFQ, nil
+	default:
+		return Spec{}, fmt.Errorf("core: unknown policy %q (want fifo, priq, tedfq, tfedfq)", name)
+	}
+}

@@ -1,0 +1,52 @@
+// Package dist provides the probability-distribution substrate used
+// throughout TailGuard: parametric samplers, piecewise-linear quantile
+// models, empirical CDFs built from observed samples, an online-updating
+// streaming CDF, and the order-statistics math that converts per-server
+// task latency distributions into unloaded query tail latencies (Eqns. 1-2
+// of the paper).
+//
+// All latencies in this package are expressed as float64 milliseconds,
+// matching the paper's units and the simulator's clock. Conversions to and
+// from time.Duration happen at the live-testbed boundary.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Distribution is a one-dimensional latency distribution. Implementations
+// must be safe for concurrent readers after construction; mutating
+// implementations (e.g. OnlineCDF) document their own synchronization.
+type Distribution interface {
+	// CDF returns P(X <= t). It is non-decreasing in t, 0 for t below the
+	// support and 1 above it.
+	CDF(t float64) float64
+	// Quantile returns the smallest t with CDF(t) >= p, for p in [0, 1].
+	// Implementations clamp p outside [0, 1].
+	Quantile(p float64) float64
+	// Mean returns E[X].
+	Mean() float64
+	// Sample draws one value using the provided random source.
+	Sample(r *rand.Rand) float64
+}
+
+// clampProb clamps p to [0, 1].
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// checkProb returns an error for probabilities outside [0, 1]; used by
+// constructors that validate caller input instead of clamping.
+func checkProb(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("dist: probability %v outside [0, 1]", p)
+	}
+	return nil
+}

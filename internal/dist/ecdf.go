@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ECDF is the empirical distribution of a fixed set of samples. It backs
+// the paper's offline estimation process (Section III.B.2): collect task
+// post-queuing-time samples from a single loaded task server, construct
+// F(t), and use it as the initial distribution for every server.
+//
+// ECDF is immutable after construction and safe for concurrent use.
+type ECDF struct {
+	sorted []float64
+	mean   float64
+}
+
+// NewECDF builds an empirical CDF from samples. The input slice is copied.
+// All samples must be non-negative (latencies).
+func NewECDF(samples []float64) (*ECDF, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("dist: ECDF needs at least one sample")
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if s[0] < 0 {
+		return nil, fmt.Errorf("dist: ECDF sample %v is negative", s[0])
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return &ECDF{sorted: s, mean: sum / float64(len(s))}, nil
+}
+
+// N returns the number of samples.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// CDF implements Distribution: the fraction of samples <= t.
+func (e *ECDF) CDF(t float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, t)
+	// SearchFloat64s returns the first index with sorted[i] >= t; advance
+	// over equal values to count them as <= t.
+	for i < len(e.sorted) && e.sorted[i] == t {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile implements Distribution using linear interpolation between
+// order statistics, which keeps tail estimates smooth for the deadline
+// math even with moderate sample counts.
+func (e *ECDF) Quantile(p float64) float64 {
+	p = clampProb(p)
+	n := len(e.sorted)
+	if n == 1 {
+		return e.sorted[0]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return e.sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return e.sorted[i] + frac*(e.sorted[i+1]-e.sorted[i])
+}
+
+// Mean implements Distribution.
+func (e *ECDF) Mean() float64 { return e.mean }
+
+// Sample implements Distribution (inverse-transform over the interpolated
+// quantile function).
+func (e *ECDF) Sample(r *rand.Rand) float64 { return e.Quantile(r.Float64()) }
+
+// Table materializes the ECDF as a QuantileTable with at most maxPoints
+// breakpoints, preserving the extreme tail exactly (the last few order
+// statistics are always kept, since the deadline math lives at p >= 0.99).
+func (e *ECDF) Table(maxPoints int) (*QuantileTable, error) {
+	if maxPoints < 2 {
+		return nil, fmt.Errorf("dist: quantile table needs >= 2 points, got %d", maxPoints)
+	}
+	n := len(e.sorted)
+	add := func(bps []Breakpoint, p float64) []Breakpoint {
+		t := e.Quantile(p)
+		if len(bps) > 0 {
+			if p <= bps[len(bps)-1].P {
+				return bps
+			}
+			if t < bps[len(bps)-1].T {
+				t = bps[len(bps)-1].T
+			}
+		}
+		return append(bps, Breakpoint{P: p, T: t})
+	}
+	bps := add(nil, 0)
+	// Two-thirds of the budget covers the body uniformly; one-third covers
+	// the tail at geometrically increasing percentiles.
+	bodyPts := (maxPoints - 2) * 2 / 3
+	for i := 1; i <= bodyPts; i++ {
+		bps = add(bps, 0.99*float64(i)/float64(bodyPts+1))
+	}
+	tailPts := maxPoints - 2 - bodyPts
+	q := 0.99
+	for i := 0; i < tailPts; i++ {
+		bps = add(bps, q)
+		q = 1 - (1-q)/4
+		if 1-q < 1/float64(n) {
+			break
+		}
+	}
+	bps = add(bps, 1)
+	return NewQuantileTable(bps)
+}

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2, 4})
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	if got := e.N(); got != 4 {
+		t.Errorf("N() = %d, want 4", got)
+	}
+	if got := e.Mean(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Mean() = %v, want 2.5", got)
+	}
+	tests := []struct {
+		t, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {3.9, 0.75}, {4, 1}, {5, 1},
+	}
+	for _, tc := range tests {
+		if got := e.CDF(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestECDFDuplicates(t *testing.T) {
+	e, err := NewECDF([]float64{2, 2, 2, 5})
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	if got := e.CDF(2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("CDF(2) = %v, want 0.75", got)
+	}
+}
+
+func TestECDFInvalid(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("NewECDF(nil) succeeded, want error")
+	}
+	if _, err := NewECDF([]float64{-1, 2}); err == nil {
+		t.Error("NewECDF with negative sample succeeded, want error")
+	}
+}
+
+func TestECDFQuantileInterpolation(t *testing.T) {
+	e, err := NewECDF([]float64{0, 10})
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	if got := e.Quantile(0.5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v, want 5", got)
+	}
+	if got := e.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	if got := e.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v, want 10", got)
+	}
+}
+
+func TestECDFSingleSample(t *testing.T) {
+	e, err := NewECDF([]float64{7})
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := e.Quantile(p); got != 7 {
+			t.Errorf("Quantile(%v) = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestECDFRecoversKnownDistribution(t *testing.T) {
+	exp, _ := NewExponential(1)
+	r := rand.New(rand.NewSource(42))
+	samples := make([]float64, 200000)
+	for i := range samples {
+		samples[i] = exp.Sample(r)
+	}
+	e, err := NewECDF(samples)
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got, want := e.Quantile(p), exp.Quantile(p)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", p, got, want)
+		}
+	}
+	if math.Abs(e.Mean()-1) > 0.02 {
+		t.Errorf("Mean() = %v, want ~1", e.Mean())
+	}
+}
+
+func TestECDFTable(t *testing.T) {
+	exp, _ := NewExponential(1)
+	r := rand.New(rand.NewSource(43))
+	samples := make([]float64, 100000)
+	for i := range samples {
+		samples[i] = exp.Sample(r)
+	}
+	e, err := NewECDF(samples)
+	if err != nil {
+		t.Fatalf("NewECDF: %v", err)
+	}
+	tbl, err := e.Table(64)
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	// The materialized table must agree with the ECDF at body and tail
+	// quantiles, since the deadline math reads p >= 0.99.
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, want := tbl.Quantile(p), e.Quantile(p)
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("table Quantile(%v) = %v, ECDF = %v", p, got, want)
+		}
+	}
+	if _, err := e.Table(1); err == nil {
+		t.Error("Table(1) succeeded, want error")
+	}
+}

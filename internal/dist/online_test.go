@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestOnlineCDFEmpty(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{})
+	if got := o.Count(); got != 0 {
+		t.Errorf("Count() = %v, want 0", got)
+	}
+	if got := o.CDF(1); got != 0 {
+		t.Errorf("CDF on empty = %v, want 0", got)
+	}
+	if got := o.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty = %v, want 0", got)
+	}
+	if _, err := o.Snapshot(32); err == nil {
+		t.Error("Snapshot of empty online CDF succeeded, want error")
+	}
+}
+
+func TestOnlineCDFInvalidAdd(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{})
+	if err := o.Add(-1); err == nil {
+		t.Error("Add(-1) succeeded, want error")
+	}
+	if err := o.Add(math.NaN()); err == nil {
+		t.Error("Add(NaN) succeeded, want error")
+	}
+}
+
+func TestOnlineCDFRecoversExponential(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{})
+	exp, _ := NewExponential(2)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		if err := o.Add(exp.Sample(r)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, want := o.Quantile(p), exp.Quantile(p)
+		if math.Abs(got-want)/want > 0.06 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", p, got, want)
+		}
+	}
+	if got := o.Mean(); math.Abs(got-2) > 0.05 {
+		t.Errorf("Mean() = %v, want ~2", got)
+	}
+	// Round trip through CDF.
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q := o.Quantile(p)
+		if c := o.CDF(q); math.Abs(c-p) > 0.02 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, c)
+		}
+	}
+}
+
+func TestOnlineCDFDecayTracksDrift(t *testing.T) {
+	// Feed a slow regime, then a fast one; with decay the quantiles must
+	// follow the new regime (the paper's heterogeneity/drift adaptation).
+	o := NewOnlineCDF(OnlineCDFConfig{HalfLife: 2000, DecayInterval: 256})
+	slow := Deterministic{V: 100}
+	fast := Deterministic{V: 1}
+	for i := 0; i < 20000; i++ {
+		if err := o.Add(slow.Sample(nil)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if got := o.Quantile(0.99); got < 90 {
+		t.Fatalf("pre-drift Quantile(0.99) = %v, want ~100", got)
+	}
+	for i := 0; i < 40000; i++ {
+		if err := o.Add(fast.Sample(nil)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if got := o.Quantile(0.99); got > 2 {
+		t.Errorf("post-drift Quantile(0.99) = %v, want ~1 (decay failed to track)", got)
+	}
+}
+
+func TestOnlineCDFNoDecayRemembers(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{})
+	for i := 0; i < 1000; i++ {
+		_ = o.Add(100)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = o.Add(1)
+	}
+	// Without decay the median sits between the modes and p99 stays high.
+	if got := o.Quantile(0.99); got < 90 {
+		t.Errorf("Quantile(0.99) = %v, want ~100 without decay", got)
+	}
+}
+
+func TestOnlineCDFVersionAdvances(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{DecayInterval: 64})
+	v0 := o.Version()
+	for i := 0; i < 1000; i++ {
+		_ = o.Add(1)
+	}
+	if o.Version() == v0 {
+		t.Error("Version() did not advance after 1000 adds")
+	}
+}
+
+func TestOnlineCDFSeed(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{})
+	exp, _ := NewExponential(3)
+	if err := o.Seed(exp, 10000); err != nil {
+		t.Fatalf("Seed: %v", err)
+	}
+	if got := o.Count(); math.Abs(got-10000) > 1 {
+		t.Errorf("Count() = %v, want 10000", got)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got, want := o.Quantile(p), exp.Quantile(p)
+		if math.Abs(got-want)/want > 0.06 {
+			t.Errorf("seeded Quantile(%v) = %v, want ~%v", p, got, want)
+		}
+	}
+	if err := o.Seed(exp, 0); err == nil {
+		t.Error("Seed(d, 0) succeeded, want error")
+	}
+}
+
+func TestOnlineCDFSnapshot(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{})
+	exp, _ := NewExponential(1)
+	if err := o.Seed(exp, 50000); err != nil {
+		t.Fatalf("Seed: %v", err)
+	}
+	tbl, err := o.Snapshot(64)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got, want := tbl.Quantile(p), exp.Quantile(p)
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("snapshot Quantile(%v) = %v, want ~%v", p, got, want)
+		}
+	}
+	if _, err := o.Snapshot(1); err == nil {
+		t.Error("Snapshot(1) succeeded, want error")
+	}
+}
+
+func TestOnlineCDFConcurrent(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{HalfLife: 10000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			exp, _ := NewExponential(1)
+			for i := 0; i < 5000; i++ {
+				_ = o.Add(exp.Sample(r))
+				if i%100 == 0 {
+					_ = o.Quantile(0.99)
+					_ = o.CDF(1)
+					_ = o.Mean()
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := o.Quantile(0.5); math.Abs(got-math.Ln2) > 0.15 {
+		t.Errorf("median after concurrent adds = %v, want ~%v", got, math.Ln2)
+	}
+}
+
+func TestOnlineCDFClampedRange(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{Min: 1, Max: 100})
+	_ = o.Add(0.001) // below min: clamped into first bucket
+	_ = o.Add(1e9)   // above max: clamped into last bucket
+	if got := o.Count(); got != 2 {
+		t.Errorf("Count() = %v, want 2", got)
+	}
+	if q := o.Quantile(0.25); q > 1.2 {
+		t.Errorf("low quantile = %v, want near Min", q)
+	}
+}

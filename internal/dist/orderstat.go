@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the order-statistics core of the paper's task
+// decomposition (Section III.B, Eqns. 1-2):
+//
+//	F_Q^u(t; kf) = Π_{k=1..kf} F_{n(k)}^u(t)     (Eqn. 1)
+//	x_p^u(kf)    = F_Q^{u,-1}(p/100)             (Eqn. 2)
+//
+// The unloaded query latency is the maximum of the kf task post-queuing
+// times, so its CDF is the product of the per-server CDFs, and the
+// unloaded query tail quantile is the inverse of that product.
+
+// QueryCDF returns the CDF of the unloaded query latency for a query whose
+// tasks run on servers with the given latency distributions (Eqn. 1).
+func QueryCDF(servers []Distribution, t float64) float64 {
+	p := 1.0
+	for _, d := range servers {
+		p *= d.CDF(t)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// QueryQuantile returns the p-quantile of the unloaded query latency for a
+// query fanned out to the given servers (Eqn. 2), found by bisection on
+// the product CDF.
+func QueryQuantile(servers []Distribution, p float64) (float64, error) {
+	if len(servers) == 0 {
+		return 0, fmt.Errorf("dist: query quantile of empty server set")
+	}
+	if err := checkProb(p); err != nil {
+		return 0, err
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	// Each per-server CDF must reach at least p^{1/k} at the query
+	// quantile; the largest per-server quantile at that level brackets
+	// the answer from below and is a tight starting hint.
+	perServer := math.Pow(p, 1/float64(len(servers)))
+	hint := 1e-9
+	for _, d := range servers {
+		q := d.Quantile(perServer)
+		if math.IsInf(q, 1) {
+			return 0, fmt.Errorf("dist: server distribution has unbounded %v-quantile", perServer)
+		}
+		if q > hint {
+			hint = q
+		}
+	}
+	cdf := func(t float64) float64 { return QueryCDF(servers, t) }
+	return invertCDF(cdf, p, hint), nil
+}
+
+// HomogeneousQueryQuantile returns x_p^u(kf) when all kf task servers share
+// one distribution d: F_Q(t) = F(t)^kf, so x_p^u(kf) = F^{-1}(p^{1/kf}).
+// This closed form is what the simulation case studies use (the paper's
+// homogeneous-cluster assumption) and is O(1) given d's quantile function.
+func HomogeneousQueryQuantile(d Distribution, fanout int, p float64) (float64, error) {
+	if fanout < 1 {
+		return 0, fmt.Errorf("dist: fanout must be >= 1, got %d", fanout)
+	}
+	if err := checkProb(p); err != nil {
+		return 0, err
+	}
+	return d.Quantile(math.Pow(p, 1/float64(fanout))), nil
+}
+
+// SLOViolationProbability returns the probability that a query with the
+// given fanout exceeds latency slo when each of its tasks independently
+// exceeds slo with probability taskViolation. This is the introduction's
+// motivating identity: 1 - (1 - v)^kf.
+func SLOViolationProbability(taskViolation float64, fanout int) (float64, error) {
+	if err := checkProb(taskViolation); err != nil {
+		return 0, err
+	}
+	if fanout < 1 {
+		return 0, fmt.Errorf("dist: fanout must be >= 1, got %d", fanout)
+	}
+	return 1 - math.Pow(1-taskViolation, float64(fanout)), nil
+}
+
+// RequiredTaskQuantile inverts SLOViolationProbability: to give a query of
+// the given fanout at most queryViolation probability of exceeding the SLO,
+// each task may exceed it with probability at most 1-(1-qv)^{1/kf}.
+// For the paper's example, fanout 100 and queryViolation 0.01 yields
+// ~1e-4 per task.
+func RequiredTaskQuantile(queryViolation float64, fanout int) (float64, error) {
+	if err := checkProb(queryViolation); err != nil {
+		return 0, err
+	}
+	if fanout < 1 {
+		return 0, fmt.Errorf("dist: fanout must be >= 1, got %d", fanout)
+	}
+	return 1 - math.Pow(1-queryViolation, 1/float64(fanout)), nil
+}

@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryCDFProduct(t *testing.T) {
+	u1, _ := NewUniform(0, 1)
+	u2, _ := NewUniform(0, 2)
+	// At t=0.5: F1=0.5, F2=0.25 -> product 0.125.
+	if got := QueryCDF([]Distribution{u1, u2}, 0.5); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("QueryCDF = %v, want 0.125", got)
+	}
+	if got := QueryCDF(nil, 0.5); got != 1 {
+		t.Errorf("QueryCDF(no servers) = %v, want 1 (empty product)", got)
+	}
+}
+
+func TestHomogeneousQueryQuantileClosedForm(t *testing.T) {
+	exp, _ := NewExponential(1)
+	// x_p(k) = F^{-1}(p^{1/k}).
+	for _, k := range []int{1, 10, 100} {
+		got, err := HomogeneousQueryQuantile(exp, k, 0.99)
+		if err != nil {
+			t.Fatalf("HomogeneousQueryQuantile: %v", err)
+		}
+		want := exp.Quantile(math.Pow(0.99, 1/float64(k)))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("k=%d: got %v, want %v", k, got, want)
+		}
+		// Must grow with fanout.
+		if k > 1 {
+			base, _ := HomogeneousQueryQuantile(exp, 1, 0.99)
+			if got <= base {
+				t.Errorf("k=%d quantile %v not above fanout-1 quantile %v", k, got, base)
+			}
+		}
+	}
+	if _, err := HomogeneousQueryQuantile(exp, 0, 0.99); err == nil {
+		t.Error("fanout 0 succeeded, want error")
+	}
+	if _, err := HomogeneousQueryQuantile(exp, 1, 1.5); err == nil {
+		t.Error("p > 1 succeeded, want error")
+	}
+}
+
+func TestQueryQuantileMatchesClosedFormWhenHomogeneous(t *testing.T) {
+	exp, _ := NewExponential(1.7)
+	servers := make([]Distribution, 25)
+	for i := range servers {
+		servers[i] = exp
+	}
+	got, err := QueryQuantile(servers, 0.99)
+	if err != nil {
+		t.Fatalf("QueryQuantile: %v", err)
+	}
+	want, _ := HomogeneousQueryQuantile(exp, 25, 0.99)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("QueryQuantile = %v, closed form = %v", got, want)
+	}
+}
+
+func TestQueryQuantileHeterogeneous(t *testing.T) {
+	fast, _ := NewExponential(1)
+	slow, _ := NewExponential(10)
+	got, err := QueryQuantile([]Distribution{fast, slow}, 0.99)
+	if err != nil {
+		t.Fatalf("QueryQuantile: %v", err)
+	}
+	// The slow server dominates: the query quantile must be at least the
+	// slow server's own p99 (the other factor only pushes it up).
+	if lo := slow.Quantile(0.99); got < lo*(1-1e-9) {
+		t.Errorf("QueryQuantile = %v, want >= slow p99 %v", got, lo)
+	}
+	// And the product CDF at the result equals 0.99.
+	if c := QueryCDF([]Distribution{fast, slow}, got); math.Abs(c-0.99) > 1e-6 {
+		t.Errorf("QueryCDF at quantile = %v, want 0.99", c)
+	}
+}
+
+func TestQueryQuantileErrors(t *testing.T) {
+	if _, err := QueryQuantile(nil, 0.99); err == nil {
+		t.Error("empty server set succeeded, want error")
+	}
+	exp, _ := NewExponential(1)
+	if _, err := QueryQuantile([]Distribution{exp}, -0.1); err == nil {
+		t.Error("negative p succeeded, want error")
+	}
+	if got, err := QueryQuantile([]Distribution{exp}, 0); err != nil || got != 0 {
+		t.Errorf("p=0: got (%v, %v), want (0, nil)", got, err)
+	}
+}
+
+func TestSLOViolationProbabilityPaperExample(t *testing.T) {
+	// Introduction example: 1% per-task violation, fanout 100 ->
+	// 1-0.99^100 = 63.4% query violation.
+	got, err := SLOViolationProbability(0.01, 100)
+	if err != nil {
+		t.Fatalf("SLOViolationProbability: %v", err)
+	}
+	if math.Abs(got-0.634) > 0.001 {
+		t.Errorf("violation = %v, want ~0.634", got)
+	}
+	// And with per-task 0.01%: 1-0.9999^100 ≈ 1%.
+	got, err = SLOViolationProbability(0.0001, 100)
+	if err != nil {
+		t.Fatalf("SLOViolationProbability: %v", err)
+	}
+	if math.Abs(got-0.00995) > 0.0002 {
+		t.Errorf("violation = %v, want ~0.00995", got)
+	}
+}
+
+func TestRequiredTaskQuantileInverse(t *testing.T) {
+	// RequiredTaskQuantile inverts SLOViolationProbability.
+	prop := func(rawV float64, rawK uint8) bool {
+		v := math.Mod(math.Abs(rawV), 0.999)
+		k := int(rawK%200) + 1
+		tv, err := RequiredTaskQuantile(v, k)
+		if err != nil {
+			return false
+		}
+		back, err := SLOViolationProbability(tv, k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-v) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Errorf("inverse property violated: %v", err)
+	}
+	if _, err := RequiredTaskQuantile(0.01, 0); err == nil {
+		t.Error("fanout 0 succeeded, want error")
+	}
+	if _, err := SLOViolationProbability(1.5, 10); err == nil {
+		t.Error("probability > 1 succeeded, want error")
+	}
+}
+
+// Property: query quantile is monotone in fanout and in p.
+func TestQueryQuantileMonotoneProperty(t *testing.T) {
+	exp, _ := NewExponential(1)
+	prop := func(rawK uint8, rawP float64) bool {
+		k := int(rawK%100) + 1
+		p := 0.5 + math.Mod(math.Abs(rawP), 0.49)
+		q1, err1 := HomogeneousQueryQuantile(exp, k, p)
+		q2, err2 := HomogeneousQueryQuantile(exp, k+1, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return q2+1e-12 >= q1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("fanout monotonicity violated: %v", err)
+	}
+}

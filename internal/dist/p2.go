@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// P2Quantile is the Jain–Chlamtac P² streaming estimator of a single
+// quantile: five markers, O(1) memory and O(1) update, no buckets. It is
+// the memory-light alternative to OnlineCDF when a deployment tracks only
+// one or two percentiles per server (e.g. just the p99 feeding Eqn. 6)
+// instead of full CDFs — thousands of servers times one float-quintet
+// instead of a histogram each.
+//
+// P2Quantile is not safe for concurrent use; wrap it if needed.
+type P2Quantile struct {
+	p     float64
+	n     int
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based)
+	want  [5]float64 // desired positions
+	dWant [5]float64 // desired-position increments
+	init  []float64  // first observations until 5 arrive
+}
+
+// NewP2Quantile tracks the p-quantile, p in (0, 1).
+func NewP2Quantile(p float64) (*P2Quantile, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("dist: p2 quantile probability %v outside (0, 1)", p)
+	}
+	e := &P2Quantile{p: p}
+	e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.dWant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e, nil
+}
+
+// P returns the tracked probability.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// Count returns the number of observations.
+func (e *P2Quantile) Count() int { return e.n }
+
+// Add feeds one observation.
+func (e *P2Quantile) Add(x float64) error {
+	if math.IsNaN(x) {
+		return fmt.Errorf("dist: p2 observation is NaN")
+	}
+	e.n++
+	if e.n <= 5 {
+		e.init = append(e.init, x)
+		if e.n == 5 {
+			// Initialize markers from the sorted first five.
+			sortFive(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.init = nil
+		}
+		return nil
+	}
+
+	// Find the cell k containing x and update extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.dWant[i]
+	}
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := sign(d)
+			qNew := e.parabolic(i, s)
+			if e.q[i-1] < qNew && qNew < e.q[i+1] {
+				e.q[i] = qNew
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+	return nil
+}
+
+// Quantile returns the current estimate. With fewer than 5 observations it
+// falls back to the sorted sample.
+func (e *P2Quantile) Quantile() (float64, error) {
+	if e.n == 0 {
+		return 0, fmt.Errorf("dist: p2 quantile of empty estimator")
+	}
+	if e.n < 5 {
+		buf := append([]float64(nil), e.init...)
+		sortFive(buf)
+		idx := int(e.p * float64(len(buf)))
+		if idx >= len(buf) {
+			idx = len(buf) - 1
+		}
+		return buf[idx], nil
+	}
+	return e.q[2], nil
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback marker update.
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+func sign(v float64) float64 {
+	if v >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// sortFive sorts a tiny slice in place (insertion sort; n <= 5).
+func sortFive(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMean draws n samples and returns their mean.
+func sampleMean(t *testing.T, d Distribution, n int, seed int64) float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("Sample returned invalid value %v", v)
+		}
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{V: 3.5}
+	if got := d.CDF(3.4); got != 0 {
+		t.Errorf("CDF(3.4) = %v, want 0", got)
+	}
+	if got := d.CDF(3.5); got != 1 {
+		t.Errorf("CDF(3.5) = %v, want 1", got)
+	}
+	if got := d.Quantile(0.99); got != 3.5 {
+		t.Errorf("Quantile(0.99) = %v, want 3.5", got)
+	}
+	if got := d.Mean(); got != 3.5 {
+		t.Errorf("Mean() = %v, want 3.5", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u, err := NewUniform(1, 3)
+	if err != nil {
+		t.Fatalf("NewUniform: %v", err)
+	}
+	tests := []struct {
+		t, want float64
+	}{
+		{0.5, 0}, {1, 0}, {2, 0.5}, {3, 1}, {4, 1},
+	}
+	for _, tc := range tests {
+		if got := u.CDF(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if got := u.Quantile(0.25); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Quantile(0.25) = %v, want 1.5", got)
+	}
+	if got := u.Mean(); got != 2 {
+		t.Errorf("Mean() = %v, want 2", got)
+	}
+	if m := sampleMean(t, u, 20000, 1); math.Abs(m-2) > 0.02 {
+		t.Errorf("sample mean = %v, want ~2", m)
+	}
+}
+
+func TestUniformInvalid(t *testing.T) {
+	if _, err := NewUniform(3, 1); err == nil {
+		t.Error("NewUniform(3, 1) succeeded, want error")
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e, err := NewExponential(2)
+	if err != nil {
+		t.Fatalf("NewExponential: %v", err)
+	}
+	if got := e.Mean(); got != 2 {
+		t.Errorf("Mean() = %v, want 2", got)
+	}
+	// Median of Exp(mean 2) is 2*ln 2.
+	if got, want := e.Quantile(0.5), 2*math.Ln2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+	// CDF(Quantile(p)) == p.
+	for _, p := range []float64{0.01, 0.5, 0.9, 0.99, 0.9999} {
+		if got := e.CDF(e.Quantile(p)); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if m := sampleMean(t, e, 50000, 2); math.Abs(m-2) > 0.05 {
+		t.Errorf("sample mean = %v, want ~2", m)
+	}
+}
+
+func TestExponentialInvalid(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Error("NewExponential(0) succeeded, want error")
+	}
+	if _, err := NewExponential(-1); err == nil {
+		t.Error("NewExponential(-1) succeeded, want error")
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	l, err := NewLogNormal(0, 0.5)
+	if err != nil {
+		t.Fatalf("NewLogNormal: %v", err)
+	}
+	// Median is exp(mu).
+	if got := l.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 1", got)
+	}
+	if got, want := l.Mean(), math.Exp(0.125); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	for _, p := range []float64{0.001, 0.1, 0.5, 0.9, 0.99, 0.9999} {
+		if got := l.CDF(l.Quantile(p)); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if m := sampleMean(t, l, 100000, 3); math.Abs(m-l.Mean()) > 0.02 {
+		t.Errorf("sample mean = %v, want ~%v", m, l.Mean())
+	}
+}
+
+func TestLogNormalInvalid(t *testing.T) {
+	if _, err := NewLogNormal(0, 0); err == nil {
+		t.Error("NewLogNormal(0, 0) succeeded, want error")
+	}
+}
+
+func TestBoundedPareto(t *testing.T) {
+	b, err := NewBoundedPareto(1, 1.5, 100)
+	if err != nil {
+		t.Fatalf("NewBoundedPareto: %v", err)
+	}
+	if got := b.CDF(1); got != 0 {
+		t.Errorf("CDF(xm) = %v, want 0", got)
+	}
+	if got := b.CDF(100); got != 1 {
+		t.Errorf("CDF(cap) = %v, want 1", got)
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99, 0.9999} {
+		if got := b.CDF(b.Quantile(p)); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if m := sampleMean(t, b, 200000, 4); math.Abs(m-b.Mean())/b.Mean() > 0.03 {
+		t.Errorf("sample mean = %v, want ~%v", m, b.Mean())
+	}
+}
+
+func TestBoundedParetoAlphaOneMean(t *testing.T) {
+	b, err := NewBoundedPareto(1, 1, math.E)
+	if err != nil {
+		t.Fatalf("NewBoundedPareto: %v", err)
+	}
+	// For alpha=1: mean = xm*ln(cap/xm)/(1-xm/cap) = 1/(1-1/e).
+	want := 1 / (1 - 1/math.E)
+	if got := b.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+}
+
+func TestBoundedParetoInvalid(t *testing.T) {
+	cases := [][3]float64{{0, 1, 2}, {1, 0, 2}, {2, 1, 1}}
+	for _, c := range cases {
+		if _, err := NewBoundedPareto(c[0], c[1], c[2]); err == nil {
+			t.Errorf("NewBoundedPareto(%v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestShiftedAndScaled(t *testing.T) {
+	e, _ := NewExponential(1)
+	s := Shifted{D: e, Offset: 5}
+	if got := s.Mean(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Shifted.Mean() = %v, want 6", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-(5+math.Ln2)) > 1e-12 {
+		t.Errorf("Shifted.Quantile(0.5) = %v", got)
+	}
+	if got := s.CDF(5 + math.Ln2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Shifted.CDF = %v, want 0.5", got)
+	}
+
+	sc, err := NewScaled(e, 3)
+	if err != nil {
+		t.Fatalf("NewScaled: %v", err)
+	}
+	if got := sc.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Scaled.Mean() = %v, want 3", got)
+	}
+	if got := sc.CDF(sc.Quantile(0.9)); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("Scaled CDF/Quantile roundtrip = %v", got)
+	}
+	if _, err := NewScaled(e, 0); err == nil {
+		t.Error("NewScaled(e, 0) succeeded, want error")
+	}
+}
+
+func TestMixtureBimodal(t *testing.T) {
+	fast := Deterministic{V: 1}
+	slow := Deterministic{V: 10}
+	m, err := NewMixture([]Distribution{fast, slow}, []float64{0.9, 0.1})
+	if err != nil {
+		t.Fatalf("NewMixture: %v", err)
+	}
+	if got := m.Mean(); math.Abs(got-1.9) > 1e-12 {
+		t.Errorf("Mean() = %v, want 1.9", got)
+	}
+	if got := m.CDF(5); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("CDF(5) = %v, want 0.9", got)
+	}
+	// p=0.95 falls in the slow mode.
+	if got := m.Quantile(0.95); math.Abs(got-10) > 1e-6 {
+		t.Errorf("Quantile(0.95) = %v, want 10", got)
+	}
+	// Sampling proportions.
+	r := rand.New(rand.NewSource(5))
+	var slowCount int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if m.Sample(r) > 5 {
+			slowCount++
+		}
+	}
+	if frac := float64(slowCount) / n; math.Abs(frac-0.1) > 0.01 {
+		t.Errorf("slow-mode fraction = %v, want ~0.1", frac)
+	}
+}
+
+func TestMixtureWeightNormalization(t *testing.T) {
+	e, _ := NewExponential(1)
+	m, err := NewMixture([]Distribution{e, e}, []float64{2, 6})
+	if err != nil {
+		t.Fatalf("NewMixture: %v", err)
+	}
+	if got := m.weights[0]; math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("normalized weight = %v, want 0.25", got)
+	}
+}
+
+func TestMixtureInvalid(t *testing.T) {
+	e, _ := NewExponential(1)
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture succeeded, want error")
+	}
+	if _, err := NewMixture([]Distribution{e}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch succeeded, want error")
+	}
+	if _, err := NewMixture([]Distribution{e}, []float64{-1}); err == nil {
+		t.Error("negative weight succeeded, want error")
+	}
+	if _, err := NewMixture([]Distribution{e}, []float64{0}); err == nil {
+		t.Error("zero-sum weights succeeded, want error")
+	}
+}
+
+func TestErfcInvAccuracy(t *testing.T) {
+	for _, x := range []float64{1e-10, 1e-6, 0.001, 0.01, 0.1, 0.5, 1, 1.5, 1.9, 1.999} {
+		z := erfcInv(x)
+		if got := math.Erfc(z); math.Abs(got-x) > 1e-10*math.Max(1, 1/x) {
+			t.Errorf("Erfc(erfcInv(%v)) = %v", x, got)
+		}
+	}
+}
+
+// Property: for every parametric distribution, CDF is monotone and the
+// quantile function is its (generalized) inverse.
+func TestQuantileCDFInverseProperty(t *testing.T) {
+	e, _ := NewExponential(1.3)
+	l, _ := NewLogNormal(-0.5, 0.8)
+	b, _ := NewBoundedPareto(0.5, 1.2, 50)
+	u, _ := NewUniform(0.1, 9)
+	dists := map[string]Distribution{"exp": e, "lognormal": l, "pareto": b, "uniform": u}
+	for name, d := range dists {
+		d := d
+		prop := func(raw float64) bool {
+			p := math.Mod(math.Abs(raw), 1)
+			q := d.Quantile(p)
+			if math.IsInf(q, 1) {
+				return p == 1
+			}
+			c := d.CDF(q)
+			return c+1e-7 >= p
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: CDF(Quantile(p)) >= p violated: %v", name, err)
+		}
+		propMono := func(a, b float64) bool {
+			x, y := math.Abs(a), math.Abs(b)
+			if x > y {
+				x, y = y, x
+			}
+			return d.CDF(x) <= d.CDF(y)+1e-12
+		}
+		if err := quick.Check(propMono, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: CDF monotonicity violated: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func simpleTable(t *testing.T) *QuantileTable {
+	t.Helper()
+	q, err := NewQuantileTable([]Breakpoint{
+		{P: 0, T: 1}, {P: 0.5, T: 2}, {P: 0.9, T: 4}, {P: 1, T: 10},
+	})
+	if err != nil {
+		t.Fatalf("NewQuantileTable: %v", err)
+	}
+	return q
+}
+
+func TestQuantileTableValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		bps  []Breakpoint
+	}{
+		{"too few", []Breakpoint{{P: 0, T: 1}}},
+		{"not starting at 0", []Breakpoint{{P: 0.1, T: 1}, {P: 1, T: 2}}},
+		{"not ending at 1", []Breakpoint{{P: 0, T: 1}, {P: 0.9, T: 2}}},
+		{"non-increasing P", []Breakpoint{{P: 0, T: 1}, {P: 0.5, T: 2}, {P: 0.5, T: 3}, {P: 1, T: 4}}},
+		{"decreasing T", []Breakpoint{{P: 0, T: 1}, {P: 0.5, T: 0.5}, {P: 1, T: 4}}},
+		{"negative T", []Breakpoint{{P: 0, T: -1}, {P: 1, T: 4}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewQuantileTable(tc.bps); err == nil {
+				t.Errorf("NewQuantileTable(%v) succeeded, want error", tc.bps)
+			}
+		})
+	}
+}
+
+func TestQuantileTableInterpolation(t *testing.T) {
+	q := simpleTable(t)
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 1}, {0.25, 1.5}, {0.5, 2}, {0.7, 3}, {0.9, 4}, {0.95, 7}, {1, 10},
+		{-0.5, 1}, {1.5, 10}, // clamped
+	}
+	for _, tc := range tests {
+		if got := q.Quantile(tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileTableCDF(t *testing.T) {
+	q := simpleTable(t)
+	tests := []struct {
+		t, want float64
+	}{
+		{0.5, 0}, {1, 0}, {1.5, 0.25}, {2, 0.5}, {3, 0.7}, {4, 0.9}, {7, 0.95}, {10, 1}, {11, 1},
+	}
+	for _, tc := range tests {
+		if got := q.CDF(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileTableFlatSegmentCDF(t *testing.T) {
+	q, err := NewQuantileTable([]Breakpoint{
+		{P: 0, T: 1}, {P: 0.3, T: 2}, {P: 0.7, T: 2}, {P: 1, T: 3},
+	})
+	if err != nil {
+		t.Fatalf("NewQuantileTable: %v", err)
+	}
+	// A flat quantile segment is a point mass: CDF(2) must include it all.
+	if got := q.CDF(2); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("CDF(2) = %v, want 0.7", got)
+	}
+}
+
+func TestQuantileTableMeanExact(t *testing.T) {
+	q := simpleTable(t)
+	// Trapezoid integral: 0.5*1.5 + 0.4*3 + 0.1*7 = 0.75+1.2+0.7 = 2.65.
+	if got := q.Mean(); math.Abs(got-2.65) > 1e-12 {
+		t.Errorf("Mean() = %v, want 2.65", got)
+	}
+	if m := sampleMean(t, q, 200000, 7); math.Abs(m-2.65) > 0.02 {
+		t.Errorf("sample mean = %v, want ~2.65", m)
+	}
+}
+
+func TestQuantileTableRoundTripProperty(t *testing.T) {
+	q := simpleTable(t)
+	prop := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 1)
+		return q.CDF(q.Quantile(p))+1e-9 >= p
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("CDF(Quantile(p)) >= p violated: %v", err)
+	}
+}
+
+func TestScaleBody(t *testing.T) {
+	q := simpleTable(t)
+	scaled, err := q.ScaleBody(0.5, 2)
+	if err != nil {
+		t.Fatalf("ScaleBody: %v", err)
+	}
+	if got := scaled.Quantile(0); got != 2 {
+		t.Errorf("scaled Quantile(0) = %v, want 2", got)
+	}
+	if got := scaled.Quantile(0.5); got != 4 {
+		t.Errorf("scaled Quantile(0.5) = %v, want 4", got)
+	}
+	// Tail untouched.
+	if got := scaled.Quantile(1); got != 10 {
+		t.Errorf("scaled Quantile(1) = %v, want 10", got)
+	}
+	// Monotonicity violation: scaling the body above the fixed tail fails.
+	if _, err := q.ScaleBody(0.5, 3); err == nil {
+		t.Error("ScaleBody(0.5, 3) succeeded, want monotonicity error")
+	}
+	if _, err := q.ScaleBody(0.5, 0); err == nil {
+		t.Error("ScaleBody with factor 0 succeeded, want error")
+	}
+	if _, err := q.ScaleBody(1.5, 1); err == nil {
+		t.Error("ScaleBody with pBody > 1 succeeded, want error")
+	}
+}
+
+func TestCalibrateMean(t *testing.T) {
+	q := simpleTable(t)
+	for _, target := range []float64{2.0, 2.65, 3.0} {
+		cal, err := q.CalibrateMean(0.5, target)
+		if err != nil {
+			t.Fatalf("CalibrateMean(%v): %v", target, err)
+		}
+		if got := cal.Mean(); math.Abs(got-target) > 1e-9 {
+			t.Errorf("calibrated mean = %v, want %v", got, target)
+		}
+		// Tail quantiles preserved.
+		if got := cal.Quantile(0.95); math.Abs(got-q.Quantile(0.95)) > 1e-12 {
+			t.Errorf("tail quantile moved: %v != %v", got, q.Quantile(0.95))
+		}
+	}
+	if _, err := q.CalibrateMean(0.5, 0); err == nil {
+		t.Error("CalibrateMean target 0 succeeded, want error")
+	}
+	// Unreachable target: tail alone already contributes more.
+	if _, err := q.CalibrateMean(0.5, 0.01); err == nil {
+		t.Error("CalibrateMean to unreachably small mean succeeded, want error")
+	}
+}
+
+func TestQuantileTableSampleWithinSupport(t *testing.T) {
+	q := simpleTable(t)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		v := q.Sample(r)
+		if v < 1 || v > 10 {
+			t.Fatalf("Sample() = %v outside support [1, 10]", v)
+		}
+	}
+}
+
+func TestBreakpointsCopy(t *testing.T) {
+	q := simpleTable(t)
+	bps := q.Breakpoints()
+	bps[0].T = 999
+	if got := q.Quantile(0); got != 1 {
+		t.Errorf("mutating Breakpoints() result changed the table: Quantile(0) = %v", got)
+	}
+}

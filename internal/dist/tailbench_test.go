@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTailbenchNames(t *testing.T) {
+	got := TailbenchNames()
+	want := []string{"masstree", "shore", "xapian"}
+	if len(got) != len(want) {
+		t.Fatalf("TailbenchNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TailbenchNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTailbenchUnknown(t *testing.T) {
+	if _, err := TailbenchWorkload("nope"); err == nil {
+		t.Error("unknown workload succeeded, want error")
+	}
+}
+
+// TestTailbenchTable2 validates the calibration against the paper's
+// Table II: mean task service time and unloaded p99 query tails at fanouts
+// 1, 10, 100 must reproduce the published values.
+func TestTailbenchTable2(t *testing.T) {
+	for _, name := range TailbenchNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := TailbenchWorkload(name)
+			if err != nil {
+				t.Fatalf("TailbenchWorkload: %v", err)
+			}
+			if got, want := w.ServiceTime.Mean(), w.Paper.MeanMs; math.Abs(got-want)/want > 1e-6 {
+				t.Errorf("mean = %v ms, want %v ms", got, want)
+			}
+			checks := []struct {
+				fanout int
+				want   float64
+			}{
+				{1, w.Paper.X99K1}, {10, w.Paper.X99K10}, {100, w.Paper.X99K100},
+			}
+			for _, c := range checks {
+				got, err := w.X99(c.fanout)
+				if err != nil {
+					t.Fatalf("X99(%d): %v", c.fanout, err)
+				}
+				if math.Abs(got-c.want)/c.want > 1e-9 {
+					t.Errorf("x99^u(%d) = %v ms, want %v ms", c.fanout, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+// TestTailbenchSampledStats confirms that statistics recovered from samples
+// (the only thing the scheduler ever sees) match the model.
+func TestTailbenchSampledStats(t *testing.T) {
+	for _, name := range TailbenchNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := MustTailbenchWorkload(name)
+			r := rand.New(rand.NewSource(99))
+			const n = 400000
+			samples := make([]float64, n)
+			for i := range samples {
+				samples[i] = w.ServiceTime.Sample(r)
+			}
+			e, err := NewECDF(samples)
+			if err != nil {
+				t.Fatalf("NewECDF: %v", err)
+			}
+			if got, want := e.Mean(), w.Paper.MeanMs; math.Abs(got-want)/want > 0.01 {
+				t.Errorf("sampled mean = %v, want ~%v", got, want)
+			}
+			if got, want := e.Quantile(0.99), w.Paper.X99K1; math.Abs(got-want)/want > 0.03 {
+				t.Errorf("sampled p99 = %v, want ~%v", got, want)
+			}
+		})
+	}
+}
+
+// TestTailbenchX99MonotoneInFanout checks the structural property that
+// drives the whole paper: the unloaded query tail grows with fanout.
+func TestTailbenchX99MonotoneInFanout(t *testing.T) {
+	for _, name := range TailbenchNames() {
+		w := MustTailbenchWorkload(name)
+		prev := 0.0
+		for _, k := range []int{1, 2, 5, 10, 20, 50, 100, 200} {
+			x, err := w.X99(k)
+			if err != nil {
+				t.Fatalf("%s X99(%d): %v", name, k, err)
+			}
+			if x < prev {
+				t.Errorf("%s: x99(%d) = %v < x99(prev) = %v", name, k, x, prev)
+			}
+			prev = x
+		}
+	}
+}
+
+// TestTailbenchFig3Shape spot-checks the qualitative CDF shapes of Fig. 3.
+func TestTailbenchFig3Shape(t *testing.T) {
+	masstree := MustTailbenchWorkload("masstree")
+	shore := MustTailbenchWorkload("shore")
+	xapian := MustTailbenchWorkload("xapian")
+
+	// Masstree: tight — p90/p10 ratio below 2.
+	ratio := masstree.ServiceTime.Quantile(0.9) / masstree.ServiceTime.Quantile(0.1)
+	if ratio > 2 {
+		t.Errorf("masstree p90/p10 = %v, want < 2 (tight unimodal)", ratio)
+	}
+	// Shore: bimodal — 80% of mass below 0.4 ms but p99 above 2 ms.
+	if c := shore.ServiceTime.CDF(0.4); c < 0.75 {
+		t.Errorf("shore CDF(0.4ms) = %v, want >= 0.75 (fast mode)", c)
+	}
+	if q := shore.ServiceTime.Quantile(0.99); q < 2 {
+		t.Errorf("shore p99 = %v, want > 2 ms (slow mode)", q)
+	}
+	// Xapian: broad — interquartile range wider than 0.4 ms.
+	iqr := xapian.ServiceTime.Quantile(0.75) - xapian.ServiceTime.Quantile(0.25)
+	if iqr < 0.4 {
+		t.Errorf("xapian IQR = %v ms, want >= 0.4 (broad body)", iqr)
+	}
+}
+
+func TestMustTailbenchWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTailbenchWorkload(unknown) did not panic")
+		}
+	}()
+	MustTailbenchWorkload("unknown")
+}

@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tailguard/internal/dist"
+	"tailguard/internal/plot"
+)
+
+// Figure is one rendered SVG with a file-friendly name.
+type Figure struct {
+	Name string // e.g. "fig6-masstree-classI"
+	SVG  string
+}
+
+// Render turns an experiment table into the figure(s) the paper draws
+// from it. Tables without a graphical form (Table II/III) return nil.
+func Render(tbl *Table) ([]Figure, error) {
+	if tbl == nil {
+		return nil, fmt.Errorf("experiment: nil table")
+	}
+	switch tbl.ID {
+	case "fig3":
+		return renderFig3(tbl)
+	case "fig4":
+		return renderMaxLoadBars(tbl, "fig4", 0, 2, "slo_ms", "max_load", "SLO (ms)")
+	case "fig5":
+		return renderFig5(tbl)
+	case "fig6":
+		return renderFig6(tbl)
+	case "fig7":
+		return renderFig7(tbl)
+	default:
+		return nil, nil
+	}
+}
+
+// renderFig3 draws the three workload CDFs.
+func renderFig3(tbl *Table) ([]Figure, error) {
+	var series []plot.Series
+	for _, name := range dist.TailbenchNames() {
+		s := plot.Series{Name: name}
+		for _, raw := range tbl.Raw {
+			s.X = append(s.X, raw[name])
+			s.Y = append(s.Y, raw["percentile"])
+		}
+		series = append(series, s)
+	}
+	c := &plot.LineChart{
+		Title:  "Task service-time CDFs (Fig. 3)",
+		XLabel: "Task service time (ms)",
+		YLabel: "Cumulative probability",
+		Series: series,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		return nil, err
+	}
+	return []Figure{{Name: "fig3-cdfs", SVG: svg}}, nil
+}
+
+// renderMaxLoadBars draws grouped max-load bars: rows grouped by the
+// string cell at groupCol (e.g. workload), bars labeled by the raw key
+// xKey, series from the string cell at policyCol.
+func renderMaxLoadBars(tbl *Table, id string, groupCol, policyCol int, xKey, yKey, xName string) ([]Figure, error) {
+	type cell struct{ group, label, policy string }
+	values := map[cell]float64{}
+	var groups, labels, policies []string
+	seenG, seenL, seenP := map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for i, row := range tbl.Rows {
+		g, p := row[groupCol], row[policyCol]
+		label := fmt.Sprintf("%g", tbl.Raw[i][xKey])
+		values[cell{g, label, p}] = tbl.Raw[i][yKey] * 100
+		if !seenG[g] {
+			seenG[g] = true
+			groups = append(groups, g)
+		}
+		if !seenL[label] {
+			seenL[label] = true
+			labels = append(labels, label)
+		}
+		if !seenP[p] {
+			seenP[p] = true
+			policies = append(policies, p)
+		}
+	}
+	var figs []Figure
+	for _, g := range groups {
+		bars := &plot.BarChart{
+			Title:       fmt.Sprintf("Max load meeting the SLO — %s (%s)", g, tbl.ID),
+			YLabel:      "Max load (%)",
+			SeriesNames: policies,
+		}
+		for _, label := range labels {
+			grp := plot.BarGroup{Label: label + " " + xName}
+			for _, p := range policies {
+				grp.Values = append(grp.Values, values[cell{g, label, p}])
+			}
+			bars.Groups = append(bars.Groups, grp)
+		}
+		svg, err := bars.SVG()
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, Figure{Name: fmt.Sprintf("%s-%s", id, sanitize(g)), SVG: svg})
+	}
+	return figs, nil
+}
+
+// renderFig5 draws one bar chart per arrival process.
+func renderFig5(tbl *Table) ([]Figure, error) {
+	return renderMaxLoadBars(tbl, "fig5", 0, 2, "high_slo_ms", "max_load", "ms SLO")
+}
+
+// renderFig6 draws one p99-vs-load line chart per (workload, class).
+func renderFig6(tbl *Table) ([]Figure, error) {
+	type key struct{ workload, class string }
+	series := map[key]map[string]*plot.Series{} // -> policy -> series
+	slos := map[key]float64{}
+	var order []key
+	for i, row := range tbl.Rows {
+		w, p := row[0], row[1]
+		for ci, class := range []string{"classI", "classII"} {
+			k := key{w, class}
+			if series[k] == nil {
+				series[k] = map[string]*plot.Series{}
+				order = append(order, k)
+			}
+			s := series[k][p]
+			if s == nil {
+				s = &plot.Series{Name: p}
+				series[k][p] = s
+			}
+			s.X = append(s.X, tbl.Raw[i]["load"]*100)
+			s.Y = append(s.Y, tbl.Raw[i]["p99_"+class])
+			if ci == 0 {
+				slos[k] = tbl.Raw[i]["sloI"]
+			} else {
+				slos[k] = tbl.Raw[i]["sloII"]
+			}
+		}
+	}
+	var figs []Figure
+	for _, k := range order {
+		c := &plot.LineChart{
+			Title:  fmt.Sprintf("p99 vs load — %s, %s (Fig. 6)", k.workload, k.class),
+			XLabel: "Load (%)",
+			YLabel: "99th percentile latency (ms)",
+			Refs:   []plot.RefLine{{Name: "SLO", Y: slos[k]}},
+		}
+		for _, p := range []string{"TailGuard", "FIFO", "PRIQ", "T-EDFQ"} {
+			if s := series[k][p]; s != nil {
+				c.Series = append(c.Series, *s)
+			}
+		}
+		svg, err := c.SVG()
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, Figure{Name: fmt.Sprintf("fig6-%s-%s", sanitize(k.workload), k.class), SVG: svg})
+	}
+	return figs, nil
+}
+
+// renderFig7 draws the accepted-load and per-class-p99 charts.
+func renderFig7(tbl *Table) ([]Figure, error) {
+	loads := plot.Series{Name: "accepted"}
+	offered := plot.Series{Name: "offered"}
+	p99I := plot.Series{Name: "class I p99"}
+	p99II := plot.Series{Name: "class II p99"}
+	var sloI, sloII float64
+	for _, raw := range tbl.Raw {
+		x := raw["offered"] * 100
+		offered.X = append(offered.X, x)
+		offered.Y = append(offered.Y, x)
+		loads.X = append(loads.X, x)
+		loads.Y = append(loads.Y, raw["accepted"]*100)
+		p99I.X = append(p99I.X, x)
+		p99I.Y = append(p99I.Y, raw["p99_classI"])
+		p99II.X = append(p99II.X, x)
+		p99II.Y = append(p99II.Y, raw["p99_classII"])
+		sloI, sloII = raw["sloI"], raw["sloII"]
+	}
+	if sloI == 0 {
+		sloI, sloII = 1.0, 1.5 // fig7 runs the Masstree OLDI classes
+	}
+	acc := &plot.LineChart{
+		Title:  "Admission control: accepted vs offered load (Fig. 7a)",
+		XLabel: "Offered load (%)",
+		YLabel: "Load (%)",
+		Series: []plot.Series{loads, offered},
+	}
+	accSVG, err := acc.SVG()
+	if err != nil {
+		return nil, err
+	}
+	tails := &plot.LineChart{
+		Title:  "Admission control: per-class p99 (Fig. 7b)",
+		XLabel: "Offered load (%)",
+		YLabel: "99th percentile latency (ms)",
+		Series: []plot.Series{p99I, p99II},
+		Refs:   []plot.RefLine{{Name: "SLO I", Y: sloI}, {Name: "SLO II", Y: sloII}},
+	}
+	tailsSVG, err := tails.SVG()
+	if err != nil {
+		return nil, err
+	}
+	return []Figure{
+		{Name: "fig7a-accepted-load", SVG: accSVG},
+		{Name: "fig7b-class-p99", SVG: tailsSVG},
+	}, nil
+}
+
+// sanitize makes a string file-name friendly.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

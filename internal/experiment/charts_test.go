@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderFig3(t *testing.T) {
+	tbl, err := Fig3()
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	figs, err := Render(tbl)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if len(figs) != 1 || figs[0].Name != "fig3-cdfs" {
+		t.Fatalf("figs = %+v", figs)
+	}
+	for _, w := range []string{"masstree", "shore", "xapian", "<svg"} {
+		if !strings.Contains(figs[0].SVG, w) {
+			t.Errorf("fig3 SVG missing %q", w)
+		}
+	}
+}
+
+func TestRenderFig4AndFig5(t *testing.T) {
+	// Build synthetic tables with the real schema (no simulation needed).
+	fig4 := &Table{
+		ID:      "fig4",
+		Columns: []string{"workload", "slo_ms", "policy", "max_load", "gain_vs_fifo"},
+		Rows: [][]string{
+			{"masstree", "0.80", "TailGuard", "30%", "25%"},
+			{"masstree", "0.80", "FIFO", "24%", "0%"},
+			{"masstree", "1.00", "TailGuard", "41%", "21%"},
+			{"masstree", "1.00", "FIFO", "34%", "0%"},
+		},
+		Raw: []map[string]float64{
+			{"slo_ms": 0.8, "max_load": 0.30},
+			{"slo_ms": 0.8, "max_load": 0.24},
+			{"slo_ms": 1.0, "max_load": 0.41},
+			{"slo_ms": 1.0, "max_load": 0.34},
+		},
+	}
+	figs, err := Render(fig4)
+	if err != nil {
+		t.Fatalf("Render(fig4): %v", err)
+	}
+	if len(figs) != 1 || !strings.Contains(figs[0].Name, "masstree") {
+		t.Fatalf("fig4 figs = %+v", figs)
+	}
+	if !strings.Contains(figs[0].SVG, "TailGuard") {
+		t.Error("fig4 SVG missing legend")
+	}
+
+	fig5 := &Table{
+		ID:      "fig5",
+		Columns: []string{"arrival", "high_slo_ms", "policy", "max_load"},
+		Rows: [][]string{
+			{"poisson", "0.80", "TailGuard", "40%"},
+			{"poisson", "0.80", "FIFO", "25%"},
+			{"pareto", "0.80", "TailGuard", "35%"},
+			{"pareto", "0.80", "FIFO", "18%"},
+		},
+		Raw: []map[string]float64{
+			{"high_slo_ms": 0.8, "max_load": 0.40},
+			{"high_slo_ms": 0.8, "max_load": 0.25},
+			{"high_slo_ms": 0.8, "max_load": 0.35},
+			{"high_slo_ms": 0.8, "max_load": 0.18},
+		},
+	}
+	figs, err = Render(fig5)
+	if err != nil {
+		t.Fatalf("Render(fig5): %v", err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("fig5 produced %d figures, want 2 (one per arrival)", len(figs))
+	}
+}
+
+func TestRenderFig6(t *testing.T) {
+	tbl := &Table{
+		ID:      "fig6",
+		Columns: []string{"workload", "policy", "load", "p99_classI", "p99_classII", "sloI", "sloII"},
+		Rows: [][]string{
+			{"masstree", "TailGuard", "20%", "0.6", "0.8", "1.0", "1.5"},
+			{"masstree", "TailGuard", "40%", "0.7", "1.1", "1.0", "1.5"},
+			{"masstree", "FIFO", "20%", "0.66", "0.66", "1.0", "1.5"},
+			{"masstree", "FIFO", "40%", "0.88", "0.88", "1.0", "1.5"},
+		},
+		Raw: []map[string]float64{
+			{"load": 0.2, "p99_classI": 0.6, "p99_classII": 0.8, "sloI": 1, "sloII": 1.5},
+			{"load": 0.4, "p99_classI": 0.7, "p99_classII": 1.1, "sloI": 1, "sloII": 1.5},
+			{"load": 0.2, "p99_classI": 0.66, "p99_classII": 0.66, "sloI": 1, "sloII": 1.5},
+			{"load": 0.4, "p99_classI": 0.88, "p99_classII": 0.88, "sloI": 1, "sloII": 1.5},
+		},
+	}
+	figs, err := Render(tbl)
+	if err != nil {
+		t.Fatalf("Render(fig6): %v", err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("fig6 produced %d figures, want 2 (one per class)", len(figs))
+	}
+	for _, f := range figs {
+		if !strings.Contains(f.SVG, "stroke-dasharray") {
+			t.Errorf("%s missing SLO reference line", f.Name)
+		}
+	}
+}
+
+func TestRenderFig7(t *testing.T) {
+	tbl := &Table{
+		ID:      "fig7",
+		Columns: []string{"offered", "accepted", "rejected", "p99_classI", "p99_classII", "miss_ratio"},
+		Rows:    [][]string{{"45%", "44%", "1%", "0.77", "1.19", "0.2%"}},
+		Raw: []map[string]float64{
+			{"offered": 0.45, "accepted": 0.44, "rejected": 0.01, "p99_classI": 0.77, "p99_classII": 1.19},
+		},
+	}
+	figs, err := Render(tbl)
+	if err != nil {
+		t.Fatalf("Render(fig7): %v", err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("fig7 produced %d figures, want 2", len(figs))
+	}
+}
+
+func TestRenderUnknownAndNil(t *testing.T) {
+	figs, err := Render(&Table{ID: "table2"})
+	if err != nil || figs != nil {
+		t.Errorf("table-only ID: figs=%v err=%v, want nil/nil", figs, err)
+	}
+	if _, err := Render(nil); err == nil {
+		t.Error("Render(nil) succeeded, want error")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("wet-lab (x/y)"); got != "wet-lab__x_y_" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

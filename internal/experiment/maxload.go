@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tailguard/internal/workload"
+)
+
+// MaxLoadBounds brackets the maximum-load binary search. The paper's case
+// studies choose SLOs so the answer lands in 20-60% load; the default
+// bracket is generous around that.
+type MaxLoadBounds struct {
+	Lo, Hi float64
+}
+
+// DefaultMaxLoadBounds covers every case study in the paper.
+var DefaultMaxLoadBounds = MaxLoadBounds{Lo: 0.05, Hi: 0.95}
+
+// MaxLoad binary-searches the highest offered load at which every query
+// type still meets its tail-latency SLO (the paper's "maximum load").
+// probe must run one simulation at the given load and report compliance.
+// The search maintains the invariant lo passes / hi fails and returns lo
+// once hi-lo <= tol.
+func MaxLoad(bounds MaxLoadBounds, tol float64, probe func(load float64) (bool, error)) (float64, error) {
+	if tol <= 0 {
+		return 0, fmt.Errorf("experiment: tolerance must be positive, got %v", tol)
+	}
+	if bounds.Lo <= 0 || bounds.Hi <= bounds.Lo {
+		return 0, fmt.Errorf("experiment: invalid bounds [%v, %v]", bounds.Lo, bounds.Hi)
+	}
+	okLo, err := probe(bounds.Lo)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		// Even the lightest probed load violates the SLO.
+		return 0, nil
+	}
+	okHi, err := probe(bounds.Hi)
+	if err != nil {
+		return 0, err
+	}
+	if okHi {
+		return bounds.Hi, nil
+	}
+	lo, hi := bounds.Lo, bounds.Hi
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// ScenarioMaxLoad runs MaxLoad over copies of the scenario with varying
+// load, using the scenario's class SLOs for compliance.
+func ScenarioMaxLoad(s Scenario, bounds MaxLoadBounds) (float64, error) {
+	return MaxLoad(bounds, s.Fidelity.LoadTol, func(load float64) (bool, error) {
+		sc := s
+		sc.Load = load
+		res, err := sc.Run()
+		if err != nil {
+			return false, err
+		}
+		ok, _, err := res.MeetsSLOs(s.Classes, s.Fidelity.MinSamples)
+		return ok, err
+	})
+}
+
+// classSetForPaper returns the class configurations the paper's case
+// studies use: one class, or two classes with the low class at ratio times
+// the high-class SLO.
+func classSetForPaper(sloMs float64, classesN int, ratio float64) (*workload.ClassSet, error) {
+	switch classesN {
+	case 1:
+		return workload.SingleClass(sloMs)
+	case 2:
+		return workload.TwoClasses(sloMs, ratio)
+	default:
+		// n classes with SLOs spaced linearly from slo to ratio*slo.
+		if classesN < 1 {
+			return nil, fmt.Errorf("experiment: need >= 1 class, got %d", classesN)
+		}
+		classes := make([]workload.Class, classesN)
+		for i := range classes {
+			frac := float64(i) / float64(classesN-1)
+			classes[i] = workload.Class{
+				ID:         i,
+				Name:       fmt.Sprintf("class-%d", i),
+				SLOMs:      sloMs * (1 + frac*(ratio-1)),
+				Percentile: 0.99,
+				Weight:     1,
+			}
+		}
+		return workload.NewClassSet(classes)
+	}
+}

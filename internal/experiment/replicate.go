@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Replicated is a replicated measurement: mean, sample standard
+// deviation, and the individual replicate values.
+type Replicated struct {
+	Mean   float64
+	StdDev float64
+	Values []float64
+}
+
+// summarize computes the mean and sample standard deviation.
+func summarize(values []float64) Replicated {
+	r := Replicated{Values: values}
+	for _, v := range values {
+		r.Mean += v
+	}
+	r.Mean /= float64(len(values))
+	if len(values) > 1 {
+		var ss float64
+		for _, v := range values {
+			d := v - r.Mean
+			ss += d * d
+		}
+		r.StdDev = math.Sqrt(ss / float64(len(values)-1))
+	}
+	return r
+}
+
+// ReplicatedScenarioMaxLoad repeats the max-load search with independent
+// seeds and reports the spread — the honest way to quote a max-load
+// number, since a single search inherits the tail noise of each probe.
+func ReplicatedScenarioMaxLoad(s Scenario, bounds MaxLoadBounds, replicates int) (Replicated, error) {
+	if replicates < 2 {
+		return Replicated{}, fmt.Errorf("experiment: need >= 2 replicates, got %d", replicates)
+	}
+	values := make([]float64, replicates)
+	for i := range values {
+		sc := s
+		sc.Fidelity.Seed = s.Fidelity.Seed + int64(i)*1000003
+		ml, err := ScenarioMaxLoad(sc, bounds)
+		if err != nil {
+			return Replicated{}, fmt.Errorf("experiment: replicate %d: %w", i, err)
+		}
+		values[i] = ml
+	}
+	return summarize(values), nil
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tailguard/internal/cluster"
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/workload"
+)
+
+// ArrivalKind selects the query arrival process.
+type ArrivalKind string
+
+// Arrival kinds.
+const (
+	Poisson ArrivalKind = "poisson"
+	Pareto  ArrivalKind = "pareto"
+)
+
+// Scenario declares one simulation setup at a given load; Build turns it
+// into a runnable cluster.Config. The zero value is not valid — populate
+// every field group as the case studies do.
+type Scenario struct {
+	Workload *dist.Workload // service-time model (Tailbench)
+	Servers  int            // cluster size N
+	Spec     core.Spec      // queuing policy
+	Fanout   workload.FanoutDist
+	Classes  *workload.ClassSet
+	Arrival  ArrivalKind // default Poisson
+	// ParetoAlpha is the Pareto shape when Arrival == Pareto
+	// (default workload.DefaultParetoAlpha).
+	ParetoAlpha float64
+	Load        float64
+	Fidelity    Fidelity
+	// AdmissionWindowMs/AdmissionThreshold enable admission control when
+	// the window is positive. The window is a moving time span (ms of
+	// simulated time), sized to the horizon over which the SLO must hold.
+	AdmissionWindowMs  float64
+	AdmissionThreshold float64
+}
+
+// Build assembles the cluster configuration (generator, estimator,
+// deadliner, admission) for this scenario.
+func (s Scenario) Build() (cluster.Config, error) {
+	if s.Workload == nil {
+		return cluster.Config{}, fmt.Errorf("experiment: scenario needs a workload")
+	}
+	if s.Servers < 1 {
+		return cluster.Config{}, fmt.Errorf("experiment: scenario needs >= 1 server")
+	}
+	if s.Fanout == nil {
+		return cluster.Config{}, fmt.Errorf("experiment: scenario needs a fanout distribution")
+	}
+	if s.Classes == nil {
+		return cluster.Config{}, fmt.Errorf("experiment: scenario needs a class set")
+	}
+	if s.Load <= 0 || s.Load > 2 {
+		return cluster.Config{}, fmt.Errorf("experiment: load %v outside (0, 2]", s.Load)
+	}
+	if err := s.Fidelity.validate(); err != nil {
+		return cluster.Config{}, err
+	}
+
+	rate, err := workload.RateForLoad(s.Load, s.Servers, s.Fanout.MeanTasks(), s.Workload.ServiceTime.Mean())
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	var arrival workload.ArrivalProcess
+	switch s.Arrival {
+	case Poisson, "":
+		arrival, err = workload.NewPoisson(rate)
+	case Pareto:
+		alpha := s.ParetoAlpha
+		if alpha == 0 {
+			alpha = workload.DefaultParetoAlpha
+		}
+		arrival, err = workload.NewPareto(rate, alpha)
+	default:
+		return cluster.Config{}, fmt.Errorf("experiment: unknown arrival kind %q", s.Arrival)
+	}
+	if err != nil {
+		return cluster.Config{}, err
+	}
+
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: s.Servers,
+		Arrival: arrival,
+		Fanout:  s.Fanout,
+		Classes: s.Classes,
+	}, s.Fidelity.Seed)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	est, err := core.NewHomogeneousStaticTailEstimator(s.Workload.ServiceTime, s.Servers)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	dl, err := core.NewDeadliner(s.Spec, est, s.Classes)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	cfg := cluster.Config{
+		Servers:      s.Servers,
+		Spec:         s.Spec,
+		ServiceTimes: []dist.Distribution{s.Workload.ServiceTime},
+		Generator:    gen,
+		Classes:      s.Classes,
+		Deadliner:    dl,
+		Queries:      s.Fidelity.Queries,
+		Warmup:       s.Fidelity.Warmup,
+		Seed:         s.Fidelity.Seed + 1,
+	}
+	if s.AdmissionWindowMs > 0 {
+		adm, err := core.NewAdmissionController(s.AdmissionWindowMs, s.AdmissionThreshold)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		cfg.Admission = adm
+	}
+	return cfg, nil
+}
+
+// Run builds and executes the scenario.
+func (s Scenario) Run() (*cluster.Result, error) {
+	cfg, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Run(cfg)
+}

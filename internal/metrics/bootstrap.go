@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// QuantileCI is a bootstrap confidence interval for a quantile estimate.
+type QuantileCI struct {
+	Point float64 // the sample quantile itself
+	Lo    float64
+	Hi    float64
+}
+
+// BootstrapQuantileCI estimates a confidence interval for the recorder's
+// p-quantile by the percentile bootstrap: resamples (with replacement)
+// times, quantile of each, then the (1±conf)/2 percentiles of those. Tail
+// statistics like the p99 are noisy at realistic sample counts; reporting
+// the interval keeps experiment comparisons honest.
+//
+// For large recorders an m-out-of-n bootstrap (m capped at 20000) keeps
+// the cost bounded; the interval is rescaled accordingly (sqrt(m/n)
+// shrinkage around the point estimate).
+func BootstrapQuantileCI(r *LatencyRecorder, p float64, resamples int, conf float64, seed int64) (QuantileCI, error) {
+	if r == nil || r.Count() == 0 {
+		return QuantileCI{}, fmt.Errorf("metrics: bootstrap of empty recorder")
+	}
+	if resamples < 10 {
+		return QuantileCI{}, fmt.Errorf("metrics: need >= 10 resamples, got %d", resamples)
+	}
+	if conf <= 0 || conf >= 1 {
+		return QuantileCI{}, fmt.Errorf("metrics: confidence %v outside (0, 1)", conf)
+	}
+	point, err := r.Quantile(p)
+	if err != nil {
+		return QuantileCI{}, err
+	}
+	samples := r.Samples()
+	n := len(samples)
+	m := n
+	const mCap = 20000
+	if m > mCap {
+		m = mCap
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats := make([]float64, resamples)
+	buf := make([]float64, m)
+	for b := 0; b < resamples; b++ {
+		for i := range buf {
+			buf[i] = samples[rng.Intn(n)]
+		}
+		sort.Float64s(buf)
+		pos := p * float64(m-1)
+		i := int(pos)
+		if i >= m-1 {
+			stats[b] = buf[m-1]
+		} else {
+			frac := pos - float64(i)
+			stats[b] = buf[i] + frac*(buf[i+1]-buf[i])
+		}
+	}
+	sort.Float64s(stats)
+	alpha := (1 - conf) / 2
+	lo := stats[int(alpha*float64(resamples-1))]
+	hi := stats[int((1-alpha)*float64(resamples-1))]
+	if m < n {
+		// m-out-of-n widens the spread by ~sqrt(n/m); shrink back toward
+		// the point estimate.
+		scale := 1 / math.Sqrt(float64(n)/float64(m))
+		lo = point + (lo-point)*scale
+		hi = point + (hi-point)*scale
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return QuantileCI{Point: point, Lo: lo, Hi: hi}, nil
+}

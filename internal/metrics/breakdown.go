@@ -1,0 +1,79 @@
+package metrics
+
+import "sort"
+
+// Breakdown groups latency samples by a comparable key — service class,
+// query fanout, cluster name — so experiments can verify the SLO per query
+// type, which the paper stresses: "meeting the tail latency SLO for queries
+// as a whole does not guarantee that queries of individual types can meet
+// the tail latency SLO" (Section IV.B).
+type Breakdown[K comparable] struct {
+	recorders map[K]*LatencyRecorder
+	hint      int
+}
+
+// NewBreakdown returns an empty breakdown; capacityHint sizes each per-key
+// recorder on first use.
+func NewBreakdown[K comparable](capacityHint int) *Breakdown[K] {
+	return &Breakdown[K]{recorders: make(map[K]*LatencyRecorder), hint: capacityHint}
+}
+
+// Observe records a sample under the given key.
+func (b *Breakdown[K]) Observe(key K, v float64) error {
+	r, ok := b.recorders[key]
+	if !ok {
+		r = NewLatencyRecorder(b.hint)
+		b.recorders[key] = r
+	}
+	return r.Observe(v)
+}
+
+// Recorder returns the recorder for key, or nil if no sample was recorded
+// under it.
+func (b *Breakdown[K]) Recorder(key K) *LatencyRecorder { return b.recorders[key] }
+
+// Len returns the number of distinct keys observed.
+func (b *Breakdown[K]) Len() int { return len(b.recorders) }
+
+// Total returns the total number of samples across all keys.
+func (b *Breakdown[K]) Total() int {
+	var n int
+	for _, r := range b.recorders {
+		n += r.Count()
+	}
+	return n
+}
+
+// Each calls fn for every (key, recorder) pair in unspecified order.
+func (b *Breakdown[K]) Each(fn func(key K, r *LatencyRecorder)) {
+	for k, r := range b.recorders {
+		fn(k, r)
+	}
+}
+
+// Reset discards all keys and samples.
+func (b *Breakdown[K]) Reset() {
+	b.recorders = make(map[K]*LatencyRecorder)
+}
+
+// IntKeys returns the observed keys of an integer-keyed breakdown in
+// ascending order. It is a convenience for the common fanout/class cases.
+func IntKeys[K ~int](b *Breakdown[K]) []K {
+	keys := make([]K, 0, b.Len())
+	for k := range b.recorders {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// StringKeys returns the observed keys of a string-keyed breakdown in
+// ascending order.
+func StringKeys[K ~string](b *Breakdown[K]) []K {
+	keys := make([]K, 0, b.Len())
+	for k := range b.recorders {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

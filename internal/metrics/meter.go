@@ -1,0 +1,91 @@
+package metrics
+
+import "fmt"
+
+// BusyMeter measures the utilization of a set of servers by accumulating
+// per-server busy time against elapsed simulated time. Utilization here is
+// the paper's "load": offered work divided by cluster capacity.
+type BusyMeter struct {
+	busy  []float64
+	start float64
+	end   float64
+}
+
+// NewBusyMeter returns a meter over n servers with the measurement window
+// starting at the given time.
+func NewBusyMeter(n int, start float64) (*BusyMeter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("metrics: busy meter needs >= 1 server, got %d", n)
+	}
+	return &BusyMeter{busy: make([]float64, n), start: start, end: start}, nil
+}
+
+// AddBusy credits d time units of busy time to server i.
+func (b *BusyMeter) AddBusy(i int, d float64) error {
+	if i < 0 || i >= len(b.busy) {
+		return fmt.Errorf("metrics: server index %d out of range [0, %d)", i, len(b.busy))
+	}
+	if d < 0 {
+		return fmt.Errorf("metrics: negative busy time %v", d)
+	}
+	b.busy[i] += d
+	return nil
+}
+
+// Advance moves the end of the measurement window to now (monotone).
+func (b *BusyMeter) Advance(now float64) {
+	if now > b.end {
+		b.end = now
+	}
+}
+
+// Utilization returns total busy time divided by total server-time in the
+// window, in [0, ~1].
+func (b *BusyMeter) Utilization() float64 {
+	elapsed := b.end - b.start
+	if elapsed <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range b.busy {
+		sum += v
+	}
+	return sum / (elapsed * float64(len(b.busy)))
+}
+
+// PerServer returns each server's individual utilization.
+func (b *BusyMeter) PerServer() []float64 {
+	elapsed := b.end - b.start
+	out := make([]float64, len(b.busy))
+	if elapsed <= 0 {
+		return out
+	}
+	for i, v := range b.busy {
+		out[i] = v / elapsed
+	}
+	return out
+}
+
+// Counter is a monotonically increasing event counter with a rate helper.
+type Counter struct {
+	n     int
+	start float64
+}
+
+// NewCounter returns a counter whose rate window starts at the given time.
+func NewCounter(start float64) *Counter { return &Counter{start: start} }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Count returns the current count.
+func (c *Counter) Count() int { return c.n }
+
+// Rate returns events per time unit as of now, or 0 before any time has
+// elapsed.
+func (c *Counter) Rate(now float64) float64 {
+	if now <= c.start {
+		return 0
+	}
+	return float64(c.n) / (now - c.start)
+}

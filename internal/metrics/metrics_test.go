@@ -1,0 +1,293 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyRecorderBasics(t *testing.T) {
+	r := NewLatencyRecorder(4)
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		if err := r.Observe(v); err != nil {
+			t.Fatalf("Observe(%v): %v", v, err)
+		}
+	}
+	if got := r.Count(); got != 5 {
+		t.Errorf("Count() = %d, want 5", got)
+	}
+	if got := r.Mean(); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("Mean() = %v, want 2.8", got)
+	}
+	if got := r.Max(); got != 5 {
+		t.Errorf("Max() = %v, want 5", got)
+	}
+	med, err := r.Quantile(0.5)
+	if err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	if med != 3 {
+		t.Errorf("median = %v, want 3", med)
+	}
+	q0, _ := r.Quantile(0)
+	q1, _ := r.Quantile(1)
+	if q0 != 1 || q1 != 5 {
+		t.Errorf("Quantile(0)=%v Quantile(1)=%v, want 1 and 5", q0, q1)
+	}
+}
+
+func TestLatencyRecorderInvalid(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	if err := r.Observe(-1); err == nil {
+		t.Error("Observe(-1) succeeded, want error")
+	}
+	if err := r.Observe(math.NaN()); err == nil {
+		t.Error("Observe(NaN) succeeded, want error")
+	}
+	if _, err := r.Quantile(0.5); err == nil {
+		t.Error("Quantile on empty succeeded, want error")
+	}
+	_ = r.Observe(1)
+	if _, err := r.Quantile(1.5); err == nil {
+		t.Error("Quantile(1.5) succeeded, want error")
+	}
+}
+
+func TestLatencyRecorderObserveAfterQuantile(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	_ = r.Observe(10)
+	_ = r.Observe(20)
+	if _, err := r.Quantile(0.5); err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	// Observing after a quantile query must invalidate the sort cache.
+	_ = r.Observe(1)
+	q, err := r.Quantile(0)
+	if err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	if q != 1 {
+		t.Errorf("Quantile(0) = %v after late observe, want 1", q)
+	}
+}
+
+func TestLatencyRecorderReset(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	_ = r.Observe(5)
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 || r.Max() != 0 {
+		t.Errorf("Reset left state: count=%d mean=%v max=%v", r.Count(), r.Mean(), r.Max())
+	}
+}
+
+func TestLatencyRecorderP99MatchesDistribution(t *testing.T) {
+	r := NewLatencyRecorder(100000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		_ = r.Observe(rng.ExpFloat64())
+	}
+	p99, err := r.P99()
+	if err != nil {
+		t.Fatalf("P99: %v", err)
+	}
+	want := -math.Log(0.01) // exponential(1) p99
+	if math.Abs(p99-want)/want > 0.05 {
+		t.Errorf("P99 = %v, want ~%v", p99, want)
+	}
+}
+
+// Property: quantile is monotone in p and bounded by [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		_ = r.Observe(rng.Float64() * 100)
+	}
+	prop := func(a, b float64) bool {
+		p, q := math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)
+		if p > q {
+			p, q = q, p
+		}
+		vp, err1 := r.Quantile(p)
+		vq, err2 := r.Quantile(q)
+		return err1 == nil && err2 == nil && vp <= vq+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Errorf("quantile monotonicity violated: %v", err)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown[int](8)
+	_ = b.Observe(1, 10)
+	_ = b.Observe(1, 20)
+	_ = b.Observe(100, 500)
+	if got := b.Len(); got != 2 {
+		t.Errorf("Len() = %d, want 2", got)
+	}
+	if got := b.Total(); got != 3 {
+		t.Errorf("Total() = %d, want 3", got)
+	}
+	if r := b.Recorder(1); r == nil || r.Count() != 2 {
+		t.Errorf("Recorder(1) wrong: %+v", r)
+	}
+	if r := b.Recorder(7); r != nil {
+		t.Errorf("Recorder(7) = %+v, want nil", r)
+	}
+	keys := IntKeys(b)
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 100 {
+		t.Errorf("IntKeys = %v, want [1 100]", keys)
+	}
+	var visited int
+	b.Each(func(k int, r *LatencyRecorder) { visited += r.Count() })
+	if visited != 3 {
+		t.Errorf("Each visited %d samples, want 3", visited)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", b.Len())
+	}
+}
+
+func TestBreakdownStringKeys(t *testing.T) {
+	b := NewBreakdown[string](0)
+	_ = b.Observe("xapian", 1)
+	_ = b.Observe("masstree", 2)
+	keys := StringKeys(b)
+	if len(keys) != 2 || keys[0] != "masstree" || keys[1] != "xapian" {
+		t.Errorf("StringKeys = %v, want [masstree xapian]", keys)
+	}
+}
+
+func TestMovingRatio(t *testing.T) {
+	m, err := NewMovingRatio(4)
+	if err != nil {
+		t.Fatalf("NewMovingRatio: %v", err)
+	}
+	if got := m.Ratio(); got != 0 {
+		t.Errorf("empty Ratio() = %v, want 0", got)
+	}
+	m.Add(true)
+	m.Add(false)
+	if got := m.Ratio(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Ratio() = %v, want 0.5", got)
+	}
+	if m.Full() {
+		t.Error("Full() = true with 2/4 observations")
+	}
+	m.Add(false)
+	m.Add(false)
+	if !m.Full() {
+		t.Error("Full() = false with 4/4 observations")
+	}
+	if got := m.Ratio(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Ratio() = %v, want 0.25", got)
+	}
+	// Eviction: the initial true rolls out.
+	m.Add(false)
+	if got := m.Ratio(); got != 0 {
+		t.Errorf("Ratio() after eviction = %v, want 0", got)
+	}
+	m.Add(true)
+	m.Reset()
+	if m.Count() != 0 || m.Ratio() != 0 {
+		t.Errorf("Reset left state: count=%d ratio=%v", m.Count(), m.Ratio())
+	}
+}
+
+func TestMovingRatioInvalid(t *testing.T) {
+	if _, err := NewMovingRatio(0); err == nil {
+		t.Error("NewMovingRatio(0) succeeded, want error")
+	}
+}
+
+// Property: ratio always equals the true fraction of the last capacity bits.
+func TestMovingRatioMatchesNaive(t *testing.T) {
+	const capacity = 16
+	m, err := NewMovingRatio(capacity)
+	if err != nil {
+		t.Fatalf("NewMovingRatio: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var history []bool
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(2) == 0
+		m.Add(v)
+		history = append(history, v)
+		lo := len(history) - capacity
+		if lo < 0 {
+			lo = 0
+		}
+		var trues, n int
+		for _, h := range history[lo:] {
+			n++
+			if h {
+				trues++
+			}
+		}
+		want := float64(trues) / float64(n)
+		if math.Abs(m.Ratio()-want) > 1e-12 {
+			t.Fatalf("step %d: Ratio() = %v, want %v", i, m.Ratio(), want)
+		}
+	}
+}
+
+func TestBusyMeter(t *testing.T) {
+	b, err := NewBusyMeter(2, 100)
+	if err != nil {
+		t.Fatalf("NewBusyMeter: %v", err)
+	}
+	if err := b.AddBusy(0, 30); err != nil {
+		t.Fatalf("AddBusy: %v", err)
+	}
+	if err := b.AddBusy(1, 10); err != nil {
+		t.Fatalf("AddBusy: %v", err)
+	}
+	b.Advance(150)
+	// 40 busy over 2 servers * 50 elapsed = 0.4.
+	if got := b.Utilization(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Utilization() = %v, want 0.4", got)
+	}
+	per := b.PerServer()
+	if math.Abs(per[0]-0.6) > 1e-12 || math.Abs(per[1]-0.2) > 1e-12 {
+		t.Errorf("PerServer() = %v, want [0.6 0.2]", per)
+	}
+	// Advance is monotone: moving backwards is a no-op.
+	b.Advance(120)
+	if got := b.Utilization(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Utilization() after backward Advance = %v, want 0.4", got)
+	}
+}
+
+func TestBusyMeterInvalid(t *testing.T) {
+	if _, err := NewBusyMeter(0, 0); err == nil {
+		t.Error("NewBusyMeter(0) succeeded, want error")
+	}
+	b, _ := NewBusyMeter(1, 0)
+	if err := b.AddBusy(5, 1); err == nil {
+		t.Error("AddBusy out of range succeeded, want error")
+	}
+	if err := b.AddBusy(0, -1); err == nil {
+		t.Error("AddBusy negative succeeded, want error")
+	}
+	if got := b.Utilization(); got != 0 {
+		t.Errorf("Utilization with zero elapsed = %v, want 0", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(10)
+	if got := c.Rate(10); got != 0 {
+		t.Errorf("Rate at start = %v, want 0", got)
+	}
+	for i := 0; i < 20; i++ {
+		c.Inc()
+	}
+	if got := c.Count(); got != 20 {
+		t.Errorf("Count() = %d, want 20", got)
+	}
+	if got := c.Rate(20); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Rate(20) = %v, want 2", got)
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import "fmt"
+
+// MovingRatio tracks the fraction of true bits among the most recent
+// Capacity observations using a ring buffer. TailGuard's admission
+// controller feeds it one bit per task — "missed its queuing deadline?" —
+// over a window sized to the SLO-guarantee horizon (the paper uses 1000
+// queries ≈ 100k tasks) and rejects queries while Ratio() > Rth.
+type MovingRatio struct {
+	bits  []bool
+	next  int
+	count int // observations seen, capped at len(bits)
+	trues int
+}
+
+// NewMovingRatio returns a ratio tracker over the given window capacity.
+func NewMovingRatio(capacity int) (*MovingRatio, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("metrics: moving window capacity must be positive, got %d", capacity)
+	}
+	return &MovingRatio{bits: make([]bool, capacity)}, nil
+}
+
+// Add records one observation, evicting the oldest when full.
+func (m *MovingRatio) Add(v bool) {
+	if m.count == len(m.bits) {
+		if m.bits[m.next] {
+			m.trues--
+		}
+	} else {
+		m.count++
+	}
+	m.bits[m.next] = v
+	if v {
+		m.trues++
+	}
+	m.next = (m.next + 1) % len(m.bits)
+}
+
+// Ratio returns the fraction of true observations in the window, or 0 when
+// empty.
+func (m *MovingRatio) Ratio() float64 {
+	if m.count == 0 {
+		return 0
+	}
+	return float64(m.trues) / float64(m.count)
+}
+
+// Count returns the number of observations currently in the window.
+func (m *MovingRatio) Count() int { return m.count }
+
+// Capacity returns the window capacity.
+func (m *MovingRatio) Capacity() int { return len(m.bits) }
+
+// Full reports whether the window has reached capacity.
+func (m *MovingRatio) Full() bool { return m.count == len(m.bits) }
+
+// Reset empties the window.
+func (m *MovingRatio) Reset() {
+	m.next, m.count, m.trues = 0, 0, 0
+	for i := range m.bits {
+		m.bits[i] = false
+	}
+}

@@ -1,0 +1,289 @@
+// Package plot renders experiment results as standalone SVG figures using
+// only the standard library, so the harness can regenerate the paper's
+// figures as figures (line charts for latency-vs-load curves, grouped bar
+// charts for maximum-load comparisons).
+//
+// The renderer is deliberately small: fixed fonts, nice-number ticks,
+// a qualitative color palette, dashed reference lines for SLOs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// RefLine is a dashed horizontal reference line (e.g. an SLO).
+type RefLine struct {
+	Name string
+	Y    float64
+}
+
+// LineChart describes a latency-vs-load style figure.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Refs   []RefLine
+	// Width and Height default to 640x420.
+	Width, Height int
+}
+
+// palette is a colorblind-friendly qualitative set.
+var palette = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#999999"}
+
+const (
+	marginLeft   = 62.0
+	marginRight  = 16.0
+	marginTop    = 34.0
+	marginBottom = 46.0
+)
+
+// SVG renders the chart.
+func (c *LineChart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: line chart needs at least one series")
+	}
+	w, h := float64(c.Width), float64(c.Height)
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	var xs, ys []float64
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	for _, r := range c.Refs {
+		ys = append(ys, r.Y)
+	}
+	xlo, xhi := bounds(xs)
+	ylo, yhi := bounds(ys)
+	if ylo > 0 {
+		ylo = 0 // latency axes start at zero
+	}
+	xticks := niceTicks(xlo, xhi, 6)
+	yticks := niceTicks(ylo, yhi, 6)
+	xlo, xhi = xticks[0], xticks[len(xticks)-1]
+	ylo, yhi = yticks[0], yticks[len(yticks)-1]
+
+	px := func(x float64) float64 {
+		return marginLeft + (x-xlo)/(xhi-xlo)*(w-marginLeft-marginRight)
+	}
+	py := func(y float64) float64 {
+		return h - marginBottom - (y-ylo)/(yhi-ylo)*(h-marginTop-marginBottom)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n", w/2, escape(c.Title))
+
+	// Grid and ticks.
+	for _, t := range yticks {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#e0e0e0"/>`+"\n", px(xlo), y, px(xhi), y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="end">%s</text>`+"\n", marginLeft-6, y+4, fmtTick(t))
+	}
+	for _, t := range xticks {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#e0e0e0"/>`+"\n", x, py(ylo), x, py(yhi))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%s</text>`+"\n", x, h-marginBottom+16, fmtTick(t))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", px(xlo), py(ylo), px(xhi), py(ylo))
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", px(xlo), py(ylo), px(xlo), py(yhi))
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="12" text-anchor="middle">%s</text>`+"\n", (px(xlo)+px(xhi))/2, h-8, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n", (py(ylo)+py(yhi))/2, (py(ylo)+py(yhi))/2, escape(c.YLabel))
+
+	// Reference lines.
+	for _, r := range c.Refs {
+		y := py(r.Y)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#666" stroke-dasharray="6 4"/>`+"\n", px(xlo), y, px(xhi), y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" fill="#666" text-anchor="end">%s</text>`+"\n", px(xhi)-4, y-4, escape(r.Name))
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%g,%g", px(s.X[j]), py(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+		for j := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="3" fill="%s"/>`+"\n", px(s.X[j]), py(s.Y[j]), color)
+		}
+	}
+	// Legend.
+	lx, ly := marginLeft+10, marginTop+6
+	for i, s := range c.Series {
+		y := ly + float64(i)*16
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n", lx, y, lx+18, y, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11">%s</text>`+"\n", lx+24, y+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// BarGroup is one labeled cluster of bars.
+type BarGroup struct {
+	Label  string
+	Values []float64 // parallel to BarChart.SeriesNames
+}
+
+// BarChart describes a grouped bar figure (max-load comparisons).
+type BarChart struct {
+	Title       string
+	YLabel      string
+	SeriesNames []string
+	Groups      []BarGroup
+	Width       int
+	Height      int
+}
+
+// SVG renders the chart.
+func (c *BarChart) SVG() (string, error) {
+	if len(c.Groups) == 0 || len(c.SeriesNames) == 0 {
+		return "", fmt.Errorf("plot: bar chart needs groups and series names")
+	}
+	for _, g := range c.Groups {
+		if len(g.Values) != len(c.SeriesNames) {
+			return "", fmt.Errorf("plot: group %q has %d values for %d series", g.Label, len(g.Values), len(c.SeriesNames))
+		}
+	}
+	w, h := float64(c.Width), float64(c.Height)
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	var ys []float64
+	for _, g := range c.Groups {
+		ys = append(ys, g.Values...)
+	}
+	_, yhi := bounds(ys)
+	yticks := niceTicks(0, yhi, 6)
+	yhi = yticks[len(yticks)-1]
+	py := func(y float64) float64 {
+		return h - marginBottom - y/yhi*(h-marginTop-marginBottom)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n", w/2, escape(c.Title))
+	for _, t := range yticks {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#e0e0e0"/>`+"\n", marginLeft, y, w-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="end">%s</text>`+"\n", marginLeft-6, y+4, fmtTick(t))
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n", h/2, h/2, escape(c.YLabel))
+
+	groupW := (w - marginLeft - marginRight) / float64(len(c.Groups))
+	barW := groupW * 0.8 / float64(len(c.SeriesNames))
+	for gi, g := range c.Groups {
+		gx := marginLeft + float64(gi)*groupW
+		for si, v := range g.Values {
+			x := gx + groupW*0.1 + float64(si)*barW
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+				x, py(v), barW*0.92, py(0)-py(v), palette[si%len(palette)])
+		}
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, h-marginBottom+16, escape(g.Label))
+	}
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginLeft, py(0), w-marginRight, py(0))
+	// Legend.
+	lx, ly := marginLeft+10, marginTop+6
+	for i, name := range c.SeriesNames {
+		y := ly + float64(i)*16
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="10" fill="%s"/>`+"\n", lx, y-8, palette[i%len(palette)])
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11">%s</text>`+"\n", lx+18, y+1, escape(name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// bounds returns [min, max] of vs, widened slightly when degenerate.
+func bounds(vs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1
+	}
+	return lo, hi
+}
+
+// niceTicks returns round tick values (1/2/5 x 10^k spacing) covering
+// [lo, hi] with roughly n intervals.
+func niceTicks(lo, hi float64, n int) []float64 {
+	span := hi - lo
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch frac := raw / mag; {
+	case frac <= 1:
+		step = mag
+	case frac <= 2:
+		step = 2 * mag
+	case frac <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Floor(lo/step) * step
+	var ticks []float64
+	for t := start; ; t += step {
+		// Snap tiny float error to zero.
+		if math.Abs(t) < step*1e-9 {
+			t = 0
+		}
+		ticks = append(ticks, t)
+		if t >= hi || len(ticks) > 64 {
+			break
+		}
+	}
+	return ticks
+}
+
+// fmtTick renders a tick label without trailing zeros.
+func fmtTick(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// escape makes text safe for SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,122 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineChartSVG(t *testing.T) {
+	c := &LineChart{
+		Title:  "p99 vs load <masstree>",
+		XLabel: "Load (%)",
+		YLabel: "p99 (ms)",
+		Series: []Series{
+			{Name: "TailGuard", X: []float64{20, 40, 60}, Y: []float64{0.6, 0.7, 1.1}},
+			{Name: "FIFO", X: []float64{20, 40, 60}, Y: []float64{0.66, 0.88, 1.33}},
+		},
+		Refs: []RefLine{{Name: "SLO", Y: 1.0}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatalf("SVG: %v", err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "TailGuard", "FIFO",
+		"stroke-dasharray", "p99 vs load &lt;masstree&gt;", "Load (%)",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines, one per series.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := (&LineChart{}).SVG(); err == nil {
+		t.Error("empty chart succeeded, want error")
+	}
+	bad := &LineChart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched series succeeded, want error")
+	}
+	empty := &LineChart{Series: []Series{{Name: "x"}}}
+	if _, err := empty.SVG(); err == nil {
+		t.Error("empty series succeeded, want error")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := &BarChart{
+		Title:       "Max load",
+		YLabel:      "Load (%)",
+		SeriesNames: []string{"TailGuard", "FIFO"},
+		Groups: []BarGroup{
+			{Label: "0.8ms", Values: []float64{30.7, 24.3}},
+			{Label: "1.0ms", Values: []float64{41.6, 34.2}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatalf("SVG: %v", err)
+	}
+	// 4 bars + 2 legend swatches + 1 background rect.
+	if got := strings.Count(svg, "<rect"); got != 7 {
+		t.Errorf("rect count = %d, want 7", got)
+	}
+	if !strings.Contains(svg, "0.8ms") {
+		t.Error("missing group label")
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := (&BarChart{}).SVG(); err == nil {
+		t.Error("empty bar chart succeeded, want error")
+	}
+	bad := &BarChart{
+		SeriesNames: []string{"a", "b"},
+		Groups:      []BarGroup{{Label: "g", Values: []float64{1}}},
+	}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched group succeeded, want error")
+	}
+}
+
+func TestNiceTicksProperties(t *testing.T) {
+	prop := func(a, b float64) bool {
+		lo := math.Mod(math.Abs(a), 1000)
+		hi := lo + math.Mod(math.Abs(b), 1000) + 0.001
+		ticks := niceTicks(lo, hi, 6)
+		if len(ticks) < 2 || len(ticks) > 25 {
+			return false
+		}
+		// Cover the range and increase strictly.
+		if ticks[0] > lo || ticks[len(ticks)-1] < hi-1e-9 {
+			return false
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("tick property violated: %v", err)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 1: "1", 0.5: "0.5", 1.25: "1.25", 100: "100", 0.125: "0.125",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package policy implements the task queue disciplines compared in the
+// paper: FIFO, PRIQ (strict class priority), and EDF (earliest-deadline-
+// first, the queue behind both T-EDFQ and TF-EDFQ — the two differ only in
+// how the deadline is computed, which is the job of internal/core's
+// deadline estimators). LIFO and SJF are included as ablation baselines.
+//
+// All queues order deterministically: ties break by enqueue sequence, so
+// simulations are reproducible.
+package policy
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Task is one queued task. The scheduling-relevant keys are computed by
+// the dispatcher before Push; queues only read them.
+type Task struct {
+	QueryID  int64
+	Index    int     // task index within its query (0..kf-1)
+	Server   int     // destination task server
+	Class    int     // service class ID (0 = highest priority for PRIQ)
+	Arrival  float64 // query arrival time t0 (ms)
+	Deadline float64 // task queuing deadline tD (ms); consumed by EDF
+	Enqueued float64 // time the task entered the queue (ms)
+	Service  float64 // sampled service time (ms); consumed by SJF only
+	// Payload carries transport-specific data (e.g. the live testbed's
+	// HTTP request body) opaque to the queue disciplines.
+	Payload any
+	seq     uint64 // assigned by the queue at Push for tie-breaking
+}
+
+// Queue is a task queue discipline. Implementations are not safe for
+// concurrent use; the simulator is single-threaded and the live testbed
+// locks around them.
+type Queue interface {
+	// Push inserts a task.
+	Push(t *Task)
+	// Pop removes and returns the highest-priority task, or nil if empty.
+	Pop() *Task
+	// Peek returns the highest-priority task without removing it, or nil.
+	Peek() *Task
+	// Len returns the number of queued tasks.
+	Len() int
+}
+
+// Kind names a queue discipline.
+type Kind string
+
+// Queue disciplines.
+const (
+	FIFO Kind = "fifo" // first-in-first-out
+	PRIQ Kind = "priq" // strict class priority, FIFO within a class
+	EDF  Kind = "edf"  // earliest Deadline first
+	LIFO Kind = "lifo" // last-in-first-out (ablation)
+	SJF  Kind = "sjf"  // shortest Service first (ablation)
+)
+
+// Kinds lists all available disciplines.
+func Kinds() []Kind { return []Kind{FIFO, PRIQ, EDF, LIFO, SJF} }
+
+// New returns an empty queue of the given kind.
+func New(k Kind) (Queue, error) {
+	switch k {
+	case FIFO:
+		return &fifoQueue{}, nil
+	case PRIQ:
+		return &priQueue{}, nil
+	case EDF:
+		return newKeyQueue(func(a, b *Task) bool {
+			if a.Deadline != b.Deadline {
+				return a.Deadline < b.Deadline
+			}
+			return a.seq < b.seq
+		}), nil
+	case LIFO:
+		return &lifoQueue{}, nil
+	case SJF:
+		return newKeyQueue(func(a, b *Task) bool {
+			if a.Service != b.Service {
+				return a.Service < b.Service
+			}
+			return a.seq < b.seq
+		}), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown queue kind %q", k)
+	}
+}
+
+// fifoQueue is a slice-backed ring buffer FIFO.
+type fifoQueue struct {
+	buf  []*Task
+	head int
+	seq  uint64
+}
+
+func (q *fifoQueue) Push(t *Task) {
+	q.seq++
+	t.seq = q.seq
+	q.buf = append(q.buf, t)
+}
+
+func (q *fifoQueue) Pop() *Task {
+	if q.Len() == 0 {
+		return nil
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	// Reclaim space once the dead prefix dominates.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return t
+}
+
+func (q *fifoQueue) Peek() *Task {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *fifoQueue) Len() int { return len(q.buf) - q.head }
+
+// lifoQueue is a stack.
+type lifoQueue struct {
+	buf []*Task
+	seq uint64
+}
+
+func (q *lifoQueue) Push(t *Task) {
+	q.seq++
+	t.seq = q.seq
+	q.buf = append(q.buf, t)
+}
+
+func (q *lifoQueue) Pop() *Task {
+	n := len(q.buf)
+	if n == 0 {
+		return nil
+	}
+	t := q.buf[n-1]
+	q.buf[n-1] = nil
+	q.buf = q.buf[:n-1]
+	return t
+}
+
+func (q *lifoQueue) Peek() *Task {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	return q.buf[len(q.buf)-1]
+}
+
+func (q *lifoQueue) Len() int { return len(q.buf) }
+
+// priQueue keeps one FIFO per class with strict priority: class 0 drains
+// before class 1, and so on (the paper's PRIQ).
+type priQueue struct {
+	perClass []*fifoQueue // index = class ID; grown on demand
+	n        int
+	seq      uint64
+}
+
+func (q *priQueue) Push(t *Task) {
+	c := t.Class
+	if c < 0 {
+		c = 0
+	}
+	for len(q.perClass) <= c {
+		q.perClass = append(q.perClass, &fifoQueue{})
+	}
+	q.seq++
+	t.seq = q.seq
+	q.perClass[c].Push(t)
+	q.n++
+}
+
+func (q *priQueue) Pop() *Task {
+	for _, f := range q.perClass {
+		if f.Len() > 0 {
+			q.n--
+			return f.Pop()
+		}
+	}
+	return nil
+}
+
+func (q *priQueue) Peek() *Task {
+	for _, f := range q.perClass {
+		if f.Len() > 0 {
+			return f.Peek()
+		}
+	}
+	return nil
+}
+
+func (q *priQueue) Len() int { return q.n }
+
+// keyQueue is a binary heap over an arbitrary strict-weak-order less
+// function (EDF, SJF).
+type keyQueue struct {
+	h   taskHeap
+	seq uint64
+}
+
+func newKeyQueue(less func(a, b *Task) bool) *keyQueue {
+	return &keyQueue{h: taskHeap{less: less}}
+}
+
+func (q *keyQueue) Push(t *Task) {
+	q.seq++
+	t.seq = q.seq
+	heap.Push(&q.h, t)
+}
+
+func (q *keyQueue) Pop() *Task {
+	if len(q.h.items) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Task)
+}
+
+func (q *keyQueue) Peek() *Task {
+	if len(q.h.items) == 0 {
+		return nil
+	}
+	return q.h.items[0]
+}
+
+func (q *keyQueue) Len() int { return len(q.h.items) }
+
+type taskHeap struct {
+	items []*Task
+	less  func(a, b *Task) bool
+}
+
+func (h taskHeap) Len() int           { return len(h.items) }
+func (h taskHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+func (h taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *taskHeap) Push(x any)        { h.items = append(h.items, x.(*Task)) }
+func (h *taskHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return t
+}

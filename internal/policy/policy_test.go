@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustQueue(t *testing.T, k Kind) Queue {
+	t.Helper()
+	q, err := New(k)
+	if err != nil {
+		t.Fatalf("New(%s): %v", k, err)
+	}
+	return q
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New(Kind("bogus")); err == nil {
+		t.Error("New(bogus) succeeded, want error")
+	}
+}
+
+func TestKindsAllConstructible(t *testing.T) {
+	for _, k := range Kinds() {
+		if _, err := New(k); err != nil {
+			t.Errorf("New(%s): %v", k, err)
+		}
+	}
+}
+
+func TestEmptyQueueBehavior(t *testing.T) {
+	for _, k := range Kinds() {
+		q := mustQueue(t, k)
+		if q.Len() != 0 {
+			t.Errorf("%s: empty Len() = %d", k, q.Len())
+		}
+		if q.Pop() != nil {
+			t.Errorf("%s: Pop on empty != nil", k)
+		}
+		if q.Peek() != nil {
+			t.Errorf("%s: Peek on empty != nil", k)
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := mustQueue(t, FIFO)
+	for i := 0; i < 100; i++ {
+		q.Push(&Task{QueryID: int64(i)})
+	}
+	if got := q.Len(); got != 100 {
+		t.Fatalf("Len() = %d, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		got := q.Pop()
+		if got == nil || got.QueryID != int64(i) {
+			t.Fatalf("Pop %d = %+v, want QueryID %d", i, got, i)
+		}
+	}
+}
+
+func TestFIFOInterleavedPushPop(t *testing.T) {
+	// Exercises ring-buffer compaction.
+	q := mustQueue(t, FIFO)
+	next := int64(0)
+	expect := int64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			q.Push(&Task{QueryID: next})
+			next++
+		}
+		for i := 0; i < 35; i++ {
+			got := q.Pop()
+			if got == nil || got.QueryID != expect {
+				t.Fatalf("Pop = %+v, want QueryID %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		got := q.Pop()
+		if got.QueryID != expect {
+			t.Fatalf("drain Pop = %d, want %d", got.QueryID, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Errorf("drained %d tasks, pushed %d", expect, next)
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	q := mustQueue(t, LIFO)
+	for i := 0; i < 10; i++ {
+		q.Push(&Task{QueryID: int64(i)})
+	}
+	for i := 9; i >= 0; i-- {
+		got := q.Pop()
+		if got == nil || got.QueryID != int64(i) {
+			t.Fatalf("Pop = %+v, want QueryID %d", got, i)
+		}
+	}
+}
+
+func TestPRIQStrictPriority(t *testing.T) {
+	q := mustQueue(t, PRIQ)
+	q.Push(&Task{QueryID: 1, Class: 1})
+	q.Push(&Task{QueryID: 2, Class: 0})
+	q.Push(&Task{QueryID: 3, Class: 1})
+	q.Push(&Task{QueryID: 4, Class: 0})
+	q.Push(&Task{QueryID: 5, Class: 2})
+	wantOrder := []int64{2, 4, 1, 3, 5} // class 0 FIFO, then class 1 FIFO, then class 2
+	for i, want := range wantOrder {
+		got := q.Pop()
+		if got == nil || got.QueryID != want {
+			t.Fatalf("Pop %d = %+v, want QueryID %d", i, got, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len() = %d after drain", q.Len())
+	}
+}
+
+func TestPRIQHigherClassPreemptsQueuePosition(t *testing.T) {
+	q := mustQueue(t, PRIQ)
+	for i := 0; i < 10; i++ {
+		q.Push(&Task{QueryID: int64(i), Class: 1})
+	}
+	q.Push(&Task{QueryID: 100, Class: 0})
+	if got := q.Peek(); got == nil || got.QueryID != 100 {
+		t.Errorf("Peek = %+v, want the late class-0 task", got)
+	}
+}
+
+func TestPRIQNegativeClassClamped(t *testing.T) {
+	q := mustQueue(t, PRIQ)
+	q.Push(&Task{QueryID: 1, Class: -5})
+	if got := q.Pop(); got == nil || got.QueryID != 1 {
+		t.Errorf("Pop = %+v, want the clamped task", got)
+	}
+}
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	q := mustQueue(t, EDF)
+	deadlines := []float64{5, 1, 3, 2, 4}
+	for i, d := range deadlines {
+		q.Push(&Task{QueryID: int64(i), Deadline: d})
+	}
+	var got []float64
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Deadline)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("EDF pop order = %v, want sorted", got)
+	}
+}
+
+func TestEDFTieBreakIsFIFO(t *testing.T) {
+	q := mustQueue(t, EDF)
+	for i := 0; i < 50; i++ {
+		q.Push(&Task{QueryID: int64(i), Deadline: 7})
+	}
+	for i := 0; i < 50; i++ {
+		got := q.Pop()
+		if got.QueryID != int64(i) {
+			t.Fatalf("equal-deadline Pop %d = QueryID %d, want %d", i, got.QueryID, i)
+		}
+	}
+}
+
+func TestSJFOrdersByService(t *testing.T) {
+	q := mustQueue(t, SJF)
+	services := []float64{0.9, 0.1, 0.5, 0.3}
+	for i, s := range services {
+		q.Push(&Task{QueryID: int64(i), Service: s})
+	}
+	var got []float64
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Service)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("SJF pop order = %v, want sorted", got)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	for _, k := range Kinds() {
+		q := mustQueue(t, k)
+		q.Push(&Task{QueryID: 1, Deadline: 1, Service: 1})
+		if q.Peek() == nil {
+			t.Errorf("%s: Peek = nil with one task", k)
+		}
+		if q.Len() != 1 {
+			t.Errorf("%s: Peek changed Len to %d", k, q.Len())
+		}
+		if q.Pop() == nil {
+			t.Errorf("%s: Pop after Peek = nil", k)
+		}
+	}
+}
+
+// Property: EDF pops exactly the multiset pushed, in deadline order.
+func TestEDFSortProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		q, err := New(EDF)
+		if err != nil {
+			return false
+		}
+		want := make([]float64, len(raw))
+		for i, v := range raw {
+			d := float64(v)
+			want[i] = d
+			q.Push(&Task{QueryID: int64(i), Deadline: d})
+		}
+		sort.Float64s(want)
+		for i := 0; i < len(want); i++ {
+			got := q.Pop()
+			if got == nil || got.Deadline != want[i] {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("EDF sort property violated: %v", err)
+	}
+}
+
+// Property: every queue preserves the task multiset (no loss, no
+// duplication) under random interleavings of push and pop.
+func TestConservationProperty(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		prop := func(ops []bool, seed int64) bool {
+			q, err := New(k)
+			if err != nil {
+				return false
+			}
+			r := rand.New(rand.NewSource(seed))
+			pushed := map[int64]int{}
+			popped := map[int64]int{}
+			var next int64
+			for _, isPush := range ops {
+				if isPush {
+					id := next
+					next++
+					pushed[id]++
+					q.Push(&Task{QueryID: id, Class: r.Intn(3), Deadline: r.Float64(), Service: r.Float64()})
+				} else if got := q.Pop(); got != nil {
+					popped[got.QueryID]++
+				}
+			}
+			for q.Len() > 0 {
+				popped[q.Pop().QueryID]++
+			}
+			if len(pushed) != len(popped) {
+				return false
+			}
+			for id, n := range pushed {
+				if popped[id] != n {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: conservation property violated: %v", k, err)
+		}
+	}
+}

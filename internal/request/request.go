@@ -1,0 +1,186 @@
+// Package request implements the paper's request-level task decomposition
+// (the "remark on meeting request tail latency SLO" in Section III.B and
+// the stated future work): a user request is a sequence of M queries
+// issued sequentially — query i+1 cannot be issued until query i finishes
+// — with a tail-latency SLO on the whole request.
+//
+// Eqn. 7 establishes that the request pre-dequeuing budget is additive:
+//
+//	T_b^R = x_p^{R,SLO} - x_p^{R,u} = Σ_i T_b,i
+//
+// where x_p^{R,u} is the p-quantile of the sum of the constituent queries'
+// unloaded latencies. This package computes x_p^{R,u}, splits T_b^R across
+// queries under pluggable assignment strategies (the open problem the
+// paper poses), and runs request workloads on the cluster simulator via
+// its injection hook.
+package request
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tailguard/internal/dist"
+	"tailguard/internal/metrics"
+)
+
+// Plan describes the request template: the fanouts of its M sequential
+// queries and the request-level tail-latency SLO.
+type Plan struct {
+	Fanouts    []int   // fanout of each constituent query, in issue order
+	SLOMs      float64 // x_p^{R,SLO}: request tail-latency SLO (ms)
+	Percentile float64 // p, e.g. 0.99
+}
+
+func (p Plan) validate() error {
+	if len(p.Fanouts) == 0 {
+		return fmt.Errorf("request: plan needs >= 1 query")
+	}
+	for i, k := range p.Fanouts {
+		if k < 1 {
+			return fmt.Errorf("request: query %d fanout %d < 1", i, k)
+		}
+	}
+	if p.SLOMs <= 0 {
+		return fmt.Errorf("request: SLO must be positive, got %v", p.SLOMs)
+	}
+	if p.Percentile <= 0 || p.Percentile >= 1 {
+		return fmt.Errorf("request: percentile %v outside (0, 1)", p.Percentile)
+	}
+	return nil
+}
+
+// UnloadedRequestQuantile estimates x_p^{R,u}, the p-quantile of the sum
+// of the constituent queries' unloaded latencies, by Monte Carlo over the
+// homogeneous service distribution. Each query's unloaded latency is the
+// max of kf i.i.d. task times, sampled in O(1) via the inverse-CDF
+// identity max_k ~ Q(U^{1/k}).
+func UnloadedRequestQuantile(service dist.Distribution, fanouts []int, p float64, samples int, seed int64) (float64, error) {
+	if service == nil {
+		return 0, fmt.Errorf("request: service distribution required")
+	}
+	if len(fanouts) == 0 {
+		return 0, fmt.Errorf("request: need >= 1 fanout")
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("request: percentile %v outside (0, 1)", p)
+	}
+	if samples < 100 {
+		return 0, fmt.Errorf("request: need >= 100 samples, got %d", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sums := metrics.NewLatencyRecorder(samples)
+	for i := 0; i < samples; i++ {
+		var total float64
+		for _, k := range fanouts {
+			u := rng.Float64()
+			total += service.Quantile(math.Pow(u, 1/float64(k)))
+		}
+		if err := sums.Observe(total); err != nil {
+			return 0, err
+		}
+	}
+	return sums.Quantile(p)
+}
+
+// Strategy assigns the total request budget T_b^R across the M queries.
+// The unloaded per-query tails x_p^u(kf_i) are provided as context.
+type Strategy interface {
+	Name() string
+	// Assign returns M non-negative budgets summing to total (within
+	// floating-point error). total may be negative when the SLO is
+	// unreachable; strategies then return equal negative shares.
+	Assign(total float64, xpu []float64) ([]float64, error)
+}
+
+// EqualSplit gives every query the same budget T_b^R / M — optimal when
+// the queries are statistically identical (footnote 4's equal-budget
+// argument applied across queries).
+type EqualSplit struct{}
+
+// Name implements Strategy.
+func (EqualSplit) Name() string { return "equal" }
+
+// Assign implements Strategy.
+func (EqualSplit) Assign(total float64, xpu []float64) ([]float64, error) {
+	if len(xpu) == 0 {
+		return nil, fmt.Errorf("request: no queries to assign")
+	}
+	out := make([]float64, len(xpu))
+	share := total / float64(len(xpu))
+	for i := range out {
+		out[i] = share
+	}
+	return out, nil
+}
+
+// ProportionalSplit assigns budgets proportional to each query's unloaded
+// tail x_p^u(kf_i): queries that inherently take longer get proportionally
+// more queuing slack. This follows the intuition that task resource
+// demand scales with the unloaded tail.
+type ProportionalSplit struct{}
+
+// Name implements Strategy.
+func (ProportionalSplit) Name() string { return "proportional" }
+
+// Assign implements Strategy.
+func (ProportionalSplit) Assign(total float64, xpu []float64) ([]float64, error) {
+	if len(xpu) == 0 {
+		return nil, fmt.Errorf("request: no queries to assign")
+	}
+	var sum float64
+	for i, x := range xpu {
+		if x < 0 {
+			return nil, fmt.Errorf("request: negative unloaded tail %v at %d", x, i)
+		}
+		sum += x
+	}
+	out := make([]float64, len(xpu))
+	if sum == 0 {
+		return EqualSplit{}.Assign(total, xpu)
+	}
+	for i, x := range xpu {
+		out[i] = total * x / sum
+	}
+	return out, nil
+}
+
+// InverseFanoutSplit assigns budgets inversely proportional to fanout
+// rank: low-fanout queries (which queue behind fewer competitors and are
+// cheap to expedite) cede budget to high-fanout ones. Provided as a
+// deliberately contrasting baseline for the budget-assignment ablation.
+type InverseFanoutSplit struct{}
+
+// Name implements Strategy.
+func (InverseFanoutSplit) Name() string { return "inverse-fanout" }
+
+// Assign implements Strategy. It interprets xpu as monotone in fanout and
+// weights each query by sum-x_i, giving larger budgets to smaller tails.
+func (InverseFanoutSplit) Assign(total float64, xpu []float64) ([]float64, error) {
+	if len(xpu) == 0 {
+		return nil, fmt.Errorf("request: no queries to assign")
+	}
+	var sum float64
+	for _, x := range xpu {
+		sum += x
+	}
+	weights := make([]float64, len(xpu))
+	var wsum float64
+	for i, x := range xpu {
+		weights[i] = sum - x
+		if weights[i] <= 0 {
+			weights[i] = sum / float64(len(xpu)) // degenerate single-query case
+		}
+		wsum += weights[i]
+	}
+	out := make([]float64, len(xpu))
+	for i, w := range weights {
+		out[i] = total * w / wsum
+	}
+	return out, nil
+}
+
+// Strategies returns the built-in budget assignment strategies.
+func Strategies() []Strategy {
+	return []Strategy{EqualSplit{}, ProportionalSplit{}, InverseFanoutSplit{}}
+}

@@ -1,0 +1,236 @@
+package request
+
+import (
+	"math"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+)
+
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"no queries", Plan{SLOMs: 1, Percentile: 0.99}},
+		{"bad fanout", Plan{Fanouts: []int{0}, SLOMs: 1, Percentile: 0.99}},
+		{"bad slo", Plan{Fanouts: []int{1}, SLOMs: 0, Percentile: 0.99}},
+		{"bad percentile", Plan{Fanouts: []int{1}, SLOMs: 1, Percentile: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.validate(); err == nil {
+				t.Error("validate succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestUnloadedRequestQuantileSingleQuery(t *testing.T) {
+	// With M=1 the request quantile equals the query quantile
+	// x_p^u(kf) = Q(p^{1/k}).
+	exp, _ := dist.NewExponential(1)
+	got, err := UnloadedRequestQuantile(exp, []int{10}, 0.99, 400000, 1)
+	if err != nil {
+		t.Fatalf("UnloadedRequestQuantile: %v", err)
+	}
+	want, _ := dist.HomogeneousQueryQuantile(exp, 10, 0.99)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("x99^{R,u} = %v, want ~%v", got, want)
+	}
+}
+
+func TestUnloadedRequestQuantileSubadditive(t *testing.T) {
+	// The paper's point: x_p^{R,u} <= Σ x_p,i^u (tails don't add).
+	exp, _ := dist.NewExponential(1)
+	fanouts := []int{1, 10, 100}
+	got, err := UnloadedRequestQuantile(exp, fanouts, 0.99, 300000, 2)
+	if err != nil {
+		t.Fatalf("UnloadedRequestQuantile: %v", err)
+	}
+	var sum float64
+	for _, k := range fanouts {
+		x, _ := dist.HomogeneousQueryQuantile(exp, k, 0.99)
+		sum += x
+	}
+	if got >= sum {
+		t.Errorf("x99^{R,u} = %v not below Σ x99,i = %v", got, sum)
+	}
+	// But it must exceed the largest single-query tail.
+	biggest, _ := dist.HomogeneousQueryQuantile(exp, 100, 0.99)
+	if got <= biggest {
+		t.Errorf("x99^{R,u} = %v not above max single-query tail %v", got, biggest)
+	}
+}
+
+func TestUnloadedRequestQuantileValidation(t *testing.T) {
+	exp, _ := dist.NewExponential(1)
+	if _, err := UnloadedRequestQuantile(nil, []int{1}, 0.99, 1000, 1); err == nil {
+		t.Error("nil service succeeded, want error")
+	}
+	if _, err := UnloadedRequestQuantile(exp, nil, 0.99, 1000, 1); err == nil {
+		t.Error("no fanouts succeeded, want error")
+	}
+	if _, err := UnloadedRequestQuantile(exp, []int{1}, 1.5, 1000, 1); err == nil {
+		t.Error("bad percentile succeeded, want error")
+	}
+	if _, err := UnloadedRequestQuantile(exp, []int{1}, 0.99, 10, 1); err == nil {
+		t.Error("too few samples succeeded, want error")
+	}
+}
+
+func TestStrategiesSumToTotal(t *testing.T) {
+	xpu := []float64{0.2, 0.5, 1.5}
+	for _, s := range Strategies() {
+		for _, total := range []float64{3.0, 0.0, -1.0} {
+			got, err := s.Assign(total, xpu)
+			if err != nil {
+				t.Errorf("%s.Assign(%v): %v", s.Name(), total, err)
+				continue
+			}
+			if len(got) != len(xpu) {
+				t.Errorf("%s: %d budgets for %d queries", s.Name(), len(got), len(xpu))
+				continue
+			}
+			var sum float64
+			for _, b := range got {
+				sum += b
+			}
+			if math.Abs(sum-total) > 1e-9 {
+				t.Errorf("%s.Assign(%v) sums to %v", s.Name(), total, sum)
+			}
+		}
+	}
+}
+
+func TestProportionalSplitShape(t *testing.T) {
+	got, err := ProportionalSplit{}.Assign(4, []float64{1, 3})
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if math.Abs(got[0]-1) > 1e-12 || math.Abs(got[1]-3) > 1e-12 {
+		t.Errorf("proportional budgets = %v, want [1 3]", got)
+	}
+	// Zero tails degrade to equal split.
+	got, err = ProportionalSplit{}.Assign(4, []float64{0, 0})
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if got[0] != 2 || got[1] != 2 {
+		t.Errorf("zero-tail proportional = %v, want equal split", got)
+	}
+	if _, err := (ProportionalSplit{}).Assign(1, []float64{-1}); err == nil {
+		t.Error("negative xpu succeeded, want error")
+	}
+}
+
+func TestInverseFanoutSplitShape(t *testing.T) {
+	got, err := InverseFanoutSplit{}.Assign(3, []float64{1, 2})
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	// Weights are (3-1, 3-2) = (2, 1): the small-tail query gets more.
+	if got[0] <= got[1] {
+		t.Errorf("inverse-fanout budgets = %v, want first > second", got)
+	}
+}
+
+func TestStrategiesEmptyInput(t *testing.T) {
+	for _, s := range Strategies() {
+		if _, err := s.Assign(1, nil); err == nil {
+			t.Errorf("%s.Assign with no queries succeeded, want error", s.Name())
+		}
+	}
+}
+
+func TestRunRequestWorkload(t *testing.T) {
+	w := dist.MustTailbenchWorkload("masstree")
+	plan := Plan{Fanouts: []int{1, 10, 50}, SLOMs: 5, Percentile: 0.99}
+	res, err := Run(RunConfig{
+		Plan:          plan,
+		Servers:       100,
+		Spec:          core.TFEDFQ,
+		Service:       w.ServiceTime,
+		Strategy:      EqualSplit{},
+		Load:          0.3,
+		Requests:      5000,
+		Warmup:        500,
+		Seed:          7,
+		BudgetSamples: 50000,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Every request has 3 queries: the source supplies the first, the
+	// hook injects the rest.
+	if res.Cluster.Queries != 5000 {
+		t.Errorf("source queries = %d, want 5000", res.Cluster.Queries)
+	}
+	if res.Cluster.Injected != 10000 {
+		t.Errorf("injected queries = %d, want 10000", res.Cluster.Injected)
+	}
+	if res.Cluster.Completed != 15000 {
+		t.Errorf("completed queries = %d, want 15000", res.Cluster.Completed)
+	}
+	if got := res.PerRequest.Count(); got != 4500 {
+		t.Errorf("recorded %d requests, want 4500", got)
+	}
+	// Budget accounting per Eqn. 7.
+	if math.Abs(res.TotalBudget-(plan.SLOMs-res.XpRu)) > 1e-12 {
+		t.Errorf("TotalBudget = %v, want SLO - XpRu = %v", res.TotalBudget, plan.SLOMs-res.XpRu)
+	}
+	var sum float64
+	for _, b := range res.Budgets {
+		sum += b
+	}
+	if math.Abs(sum-res.TotalBudget) > 1e-9 {
+		t.Errorf("budgets sum to %v, want %v", sum, res.TotalBudget)
+	}
+	// At 30% load with a 5 ms SLO the request tail must comfortably pass.
+	if !res.MeetsSLO {
+		t.Errorf("request SLO violated: tail %v > %v", res.TailMs, plan.SLOMs)
+	}
+	// Request latency must be at least the sum of the three unloaded
+	// medians (sanity floor).
+	if res.TailMs < res.XpRu {
+		t.Errorf("loaded request tail %v below unloaded %v", res.TailMs, res.XpRu)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := dist.MustTailbenchWorkload("masstree")
+	good := RunConfig{
+		Plan:     Plan{Fanouts: []int{1}, SLOMs: 5, Percentile: 0.99},
+		Servers:  10,
+		Spec:     core.TFEDFQ,
+		Service:  w.ServiceTime,
+		Strategy: EqualSplit{},
+		Load:     0.3,
+		Requests: 10,
+		Warmup:   0,
+		Seed:     1,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*RunConfig)
+	}{
+		{"bad plan", func(c *RunConfig) { c.Plan.Fanouts = nil }},
+		{"no servers", func(c *RunConfig) { c.Servers = 0 }},
+		{"nil service", func(c *RunConfig) { c.Service = nil }},
+		{"nil strategy", func(c *RunConfig) { c.Strategy = nil }},
+		{"no requests", func(c *RunConfig) { c.Requests = 0 }},
+		{"warmup too big", func(c *RunConfig) { c.Warmup = 10 }},
+		{"bad load", func(c *RunConfig) { c.Load = 0 }},
+		{"fanout exceeds cluster", func(c *RunConfig) { c.Plan.Fanouts = []int{50} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("Run succeeded, want error")
+			}
+		})
+	}
+}

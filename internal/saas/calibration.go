@@ -1,0 +1,130 @@
+// Package saas is a real (not simulated) Sensing-as-a-Service testbed
+// reproducing the paper's Section IV.E evaluation in-process: four
+// clusters of eight edge nodes each, where every edge node is an actual
+// HTTP server over loopback TCP holding an in-memory store of eighteen
+// months of temperature/humidity records, and a central query handler
+// performs TailGuard's queuing, dispatch, and aggregation with real
+// goroutine concurrency and keep-alive HTTP/1.1 connections.
+//
+// Substitution (DESIGN.md §4): the paper's Raspberry Pi hardware
+// heterogeneity is reproduced by injecting per-cluster service delays
+// calibrated to the published post-queuing-time statistics (mean/p95/p99
+// of 82/235/300, 31/112/136, 92/226/306, 91/228/304 ms). A time
+// compression factor scales every delay and SLO for CI-speed runs.
+package saas
+
+import (
+	"fmt"
+
+	"tailguard/internal/dist"
+)
+
+// ClusterName identifies one of the four testbed clusters.
+type ClusterName string
+
+// The four clusters of the paper's testbed.
+const (
+	ServerRoom ClusterName = "server-room"
+	WetLab     ClusterName = "wet-lab"
+	Faculty    ClusterName = "faculty"
+	GTA        ClusterName = "gta"
+)
+
+// ClusterNames returns the clusters in the paper's presentation order.
+func ClusterNames() []ClusterName {
+	return []ClusterName{ServerRoom, WetLab, Faculty, GTA}
+}
+
+// NodesPerCluster matches the testbed: 8 Raspberry Pis per cluster.
+const NodesPerCluster = 8
+
+// TotalNodes is the 32-node testbed size.
+const TotalNodes = 4 * NodesPerCluster
+
+// ClusterStats is the published per-cluster task post-queuing-time
+// statistics (ms) that the delay models are calibrated against.
+type ClusterStats struct {
+	MeanMs float64
+	P95Ms  float64
+	P99Ms  float64
+}
+
+// PaperClusterStats records Section IV.E's measured values.
+var PaperClusterStats = map[ClusterName]ClusterStats{
+	ServerRoom: {MeanMs: 82, P95Ms: 235, P99Ms: 300},
+	WetLab:     {MeanMs: 31, P95Ms: 112, P99Ms: 136},
+	Faculty:    {MeanMs: 92, P95Ms: 226, P99Ms: 306},
+	GTA:        {MeanMs: 91, P95Ms: 228, P99Ms: 304},
+}
+
+// clusterBodyShape gives the pre-calibration body breakpoints per cluster;
+// tails are pinned at the published p95/p99 and the body is scaled to hit
+// the published mean exactly.
+var clusterBodyShape = map[ClusterName][]dist.Breakpoint{
+	ServerRoom: {{P: 0, T: 20}, {P: 0.5, T: 60}, {P: 0.9, T: 170}},
+	WetLab:     {{P: 0, T: 8}, {P: 0.5, T: 22}, {P: 0.9, T: 70}},
+	Faculty:    {{P: 0, T: 22}, {P: 0.5, T: 65}, {P: 0.9, T: 170}},
+	GTA:        {{P: 0, T: 22}, {P: 0.5, T: 65}, {P: 0.9, T: 170}},
+}
+
+// maxDelayFactor sets Q(1) relative to p99.
+const maxDelayFactor = 1.4
+
+// ClusterDelayModel returns the calibrated service-delay distribution for
+// a cluster, divided by the given time-compression factor (>= 1; 1 means
+// paper-scale real time).
+func ClusterDelayModel(name ClusterName, compression float64) (dist.Distribution, error) {
+	if compression < 1 {
+		return nil, fmt.Errorf("saas: compression must be >= 1, got %v", compression)
+	}
+	stats, ok := PaperClusterStats[name]
+	if !ok {
+		return nil, fmt.Errorf("saas: unknown cluster %q", name)
+	}
+	body, ok := clusterBodyShape[name]
+	if !ok {
+		return nil, fmt.Errorf("saas: no body shape for cluster %q", name)
+	}
+	bps := append([]dist.Breakpoint(nil), body...)
+	bps = append(bps,
+		dist.Breakpoint{P: 0.95, T: stats.P95Ms},
+		dist.Breakpoint{P: 0.99, T: stats.P99Ms},
+		dist.Breakpoint{P: 1, T: stats.P99Ms * maxDelayFactor},
+	)
+	raw, err := dist.NewQuantileTable(bps)
+	if err != nil {
+		return nil, fmt.Errorf("saas: building %s delay model: %w", name, err)
+	}
+	cal, err := raw.CalibrateMean(0.9, stats.MeanMs)
+	if err != nil {
+		return nil, fmt.Errorf("saas: calibrating %s delay model: %w", name, err)
+	}
+	if compression == 1 {
+		return cal, nil
+	}
+	return dist.NewScaled(cal, 1/compression)
+}
+
+// NodeCluster maps a node index in [0, TotalNodes) to its cluster, laid
+// out contiguously: nodes 0-7 server-room, 8-15 wet-lab, 16-23 faculty,
+// 24-31 GTA.
+func NodeCluster(node int) (ClusterName, error) {
+	if node < 0 || node >= TotalNodes {
+		return "", fmt.Errorf("saas: node %d outside [0, %d)", node, TotalNodes)
+	}
+	return ClusterNames()[node/NodesPerCluster], nil
+}
+
+// ClusterNodes returns the node indices of a cluster.
+func ClusterNodes(name ClusterName) ([]int, error) {
+	for i, c := range ClusterNames() {
+		if c == name {
+			nodes := make([]int, NodesPerCluster)
+			for j := range nodes {
+				nodes[j] = i*NodesPerCluster + j
+			}
+			return nodes, nil
+		}
+	}
+	return nil, fmt.Errorf("saas: unknown cluster %q", name)
+}

@@ -1,0 +1,102 @@
+package saas
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClusterModelsMatchPaperStats verifies the Fig. 9(a) calibration:
+// every cluster's delay model reproduces the published mean/p95/p99
+// exactly (p95/p99 by construction, mean by calibration).
+func TestClusterModelsMatchPaperStats(t *testing.T) {
+	for _, name := range ClusterNames() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			d, err := ClusterDelayModel(name, 1)
+			if err != nil {
+				t.Fatalf("ClusterDelayModel: %v", err)
+			}
+			want := PaperClusterStats[name]
+			if got := d.Mean(); math.Abs(got-want.MeanMs)/want.MeanMs > 1e-9 {
+				t.Errorf("mean = %v, want %v", got, want.MeanMs)
+			}
+			if got := d.Quantile(0.95); math.Abs(got-want.P95Ms)/want.P95Ms > 1e-9 {
+				t.Errorf("p95 = %v, want %v", got, want.P95Ms)
+			}
+			if got := d.Quantile(0.99); math.Abs(got-want.P99Ms)/want.P99Ms > 1e-9 {
+				t.Errorf("p99 = %v, want %v", got, want.P99Ms)
+			}
+		})
+	}
+}
+
+func TestClusterModelCompression(t *testing.T) {
+	base, err := ClusterDelayModel(WetLab, 1)
+	if err != nil {
+		t.Fatalf("ClusterDelayModel: %v", err)
+	}
+	fast, err := ClusterDelayModel(WetLab, 10)
+	if err != nil {
+		t.Fatalf("ClusterDelayModel(10): %v", err)
+	}
+	if got, want := fast.Mean(), base.Mean()/10; math.Abs(got-want) > 1e-9 {
+		t.Errorf("compressed mean = %v, want %v", got, want)
+	}
+	if _, err := ClusterDelayModel(WetLab, 0.5); err == nil {
+		t.Error("compression < 1 succeeded, want error")
+	}
+	if _, err := ClusterDelayModel(ClusterName("bogus"), 1); err == nil {
+		t.Error("unknown cluster succeeded, want error")
+	}
+}
+
+// TestWetLabFastest checks the paper's heterogeneity ordering: the Wet-lab
+// cluster is markedly faster than the other three.
+func TestWetLabFastest(t *testing.T) {
+	wet, _ := ClusterDelayModel(WetLab, 1)
+	for _, other := range []ClusterName{ServerRoom, Faculty, GTA} {
+		d, _ := ClusterDelayModel(other, 1)
+		if wet.Mean() >= d.Mean()/2 {
+			t.Errorf("wet-lab mean %v not well below %s mean %v", wet.Mean(), other, d.Mean())
+		}
+	}
+}
+
+func TestNodeClusterMapping(t *testing.T) {
+	cases := []struct {
+		node int
+		want ClusterName
+	}{
+		{0, ServerRoom}, {7, ServerRoom}, {8, WetLab}, {15, WetLab},
+		{16, Faculty}, {23, Faculty}, {24, GTA}, {31, GTA},
+	}
+	for _, tc := range cases {
+		got, err := NodeCluster(tc.node)
+		if err != nil {
+			t.Errorf("NodeCluster(%d): %v", tc.node, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("NodeCluster(%d) = %s, want %s", tc.node, got, tc.want)
+		}
+	}
+	if _, err := NodeCluster(-1); err == nil {
+		t.Error("NodeCluster(-1) succeeded, want error")
+	}
+	if _, err := NodeCluster(32); err == nil {
+		t.Error("NodeCluster(32) succeeded, want error")
+	}
+}
+
+func TestClusterNodes(t *testing.T) {
+	nodes, err := ClusterNodes(Faculty)
+	if err != nil {
+		t.Fatalf("ClusterNodes: %v", err)
+	}
+	if len(nodes) != NodesPerCluster || nodes[0] != 16 || nodes[7] != 23 {
+		t.Errorf("ClusterNodes(faculty) = %v", nodes)
+	}
+	if _, err := ClusterNodes(ClusterName("bogus")); err == nil {
+		t.Error("unknown cluster succeeded, want error")
+	}
+}

@@ -1,0 +1,186 @@
+package saas
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"tailguard/internal/dist"
+)
+
+// TaskRequest is the wire format of one task sent to an edge node: fetch
+// the sensing records in [FromTs, ToTs).
+type TaskRequest struct {
+	QueryID int64 `json:"query_id"`
+	TaskID  int   `json:"task_id"`
+	FromTs  int64 `json:"from_ts"`
+	ToTs    int64 `json:"to_ts"`
+}
+
+// TaskResponse is the edge node's reply: the retrieved records plus the
+// node's processing metadata.
+type TaskResponse struct {
+	QueryID   int64          `json:"query_id"`
+	TaskID    int            `json:"task_id"`
+	Node      int            `json:"node"`
+	Records   []SensorRecord `json:"records"`
+	ServiceMs float64        `json:"service_ms"` // injected delay actually slept
+}
+
+// EdgeNode is one sensing edge node: an HTTP server over loopback TCP
+// serving record-retrieval tasks from its in-memory store, with service
+// delays injected from the calibrated per-cluster model (substituting for
+// Raspberry Pi hardware — DESIGN.md §4).
+type EdgeNode struct {
+	id      int
+	cluster ClusterName
+	store   *Store
+	delay   dist.Distribution
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	server      *http.Server
+	listener    net.Listener
+	tcpListener net.Listener
+	baseURL     string
+}
+
+// EdgeConfig configures one edge node.
+type EdgeConfig struct {
+	ID    int
+	Store *Store
+	// Delay is the (already compression-scaled) service-delay model.
+	Delay dist.Distribution
+	Seed  int64
+}
+
+// NewEdgeNode creates the node and starts its HTTP server on an ephemeral
+// loopback port. Call Close to shut it down.
+func NewEdgeNode(cfg EdgeConfig) (*EdgeNode, error) {
+	cluster, err := NodeCluster(cfg.ID)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("saas: edge node %d needs a store", cfg.ID)
+	}
+	if cfg.Delay == nil {
+		return nil, fmt.Errorf("saas: edge node %d needs a delay model", cfg.ID)
+	}
+	n := &EdgeNode{
+		id:      cfg.ID,
+		cluster: cluster,
+		store:   cfg.Store,
+		delay:   cfg.Delay,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /task", n.handleTask)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("saas: edge node %d listen: %w", cfg.ID, err)
+	}
+	n.listener = ln
+	n.baseURL = "http://" + ln.Addr().String()
+	n.server = &http.Server{Handler: mux}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else
+		// surfaces when a task request next fails.
+		_ = n.server.Serve(ln)
+	}()
+	// The gob-over-TCP endpoint serves the same tasks with less per-call
+	// overhead (see TCPTransport).
+	tln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = n.server.Close()
+		return nil, fmt.Errorf("saas: edge node %d tcp listen: %w", cfg.ID, err)
+	}
+	n.tcpListener = tln
+	go n.serveTCP(tln)
+	return n, nil
+}
+
+// ID returns the node index.
+func (n *EdgeNode) ID() int { return n.id }
+
+// Cluster returns the node's cluster.
+func (n *EdgeNode) Cluster() ClusterName { return n.cluster }
+
+// URL returns the node's base HTTP URL.
+func (n *EdgeNode) URL() string { return n.baseURL }
+
+// TCPAddr returns the node's gob-over-TCP address.
+func (n *EdgeNode) TCPAddr() string { return n.tcpListener.Addr().String() }
+
+// Ref returns the node's address record for handler configuration and
+// multi-process manifests.
+func (n *EdgeNode) Ref() NodeRef {
+	return NodeRef{ID: n.id, Cluster: n.cluster, HTTPURL: n.baseURL, TCPAddr: n.TCPAddr()}
+}
+
+// Close shuts both endpoints down. It is idempotent.
+func (n *EdgeNode) Close() error {
+	tcpErr := n.tcpListener.Close()
+	if errors.Is(tcpErr, net.ErrClosed) {
+		tcpErr = nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := n.server.Shutdown(ctx); err != nil {
+		return err
+	}
+	return tcpErr
+}
+
+// sampleDelay draws one injected service delay (ms) plus the uniform
+// variate the calibrated sleeper needs.
+func (n *EdgeNode) sampleDelay() (delayMs, u float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delay.Sample(n.rng), n.rng.Float64()
+}
+
+// processTask retrieves the requested records and injects the calibrated
+// service delay — the shared core of both wire protocols.
+func (n *EdgeNode) processTask(req TaskRequest) (*TaskResponse, error) {
+	records, err := n.store.Range(req.FromTs, req.ToTs)
+	if err != nil {
+		return nil, err
+	}
+	delayMs, u := n.sampleDelay()
+	defaultSleeper.Sleep(delayMs, u)
+	return &TaskResponse{
+		QueryID:   req.QueryID,
+		TaskID:    req.TaskID,
+		Node:      n.id,
+		Records:   records,
+		ServiceMs: delayMs,
+	}, nil
+}
+
+// handleTask is the HTTP endpoint for processTask.
+func (n *EdgeNode) handleTask(w http.ResponseWriter, r *http.Request) {
+	var req TaskRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad task request: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp, err := n.processTask(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding errors mean the client has gone away; nothing useful to do.
+	_ = json.NewEncoder(w).Encode(resp)
+}

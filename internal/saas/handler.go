@@ -1,0 +1,481 @@
+package saas
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"tailguard/internal/core"
+	"tailguard/internal/metrics"
+	"tailguard/internal/policy"
+	"tailguard/internal/workload"
+)
+
+// Query is one SaS query: a set of record-retrieval tasks fanned out to
+// distinct edge nodes. Times are Unix seconds of the store span.
+type Query struct {
+	ID    int64
+	Class int
+	Nodes []int
+	// FromTs/ToTs give each task's retrieval window, parallel to Nodes.
+	FromTs []int64
+	ToTs   []int64
+}
+
+func (q *Query) validate(totalNodes int) error {
+	if len(q.Nodes) == 0 {
+		return fmt.Errorf("saas: query %d has no tasks", q.ID)
+	}
+	if len(q.FromTs) != len(q.Nodes) || len(q.ToTs) != len(q.Nodes) {
+		return fmt.Errorf("saas: query %d window count mismatch", q.ID)
+	}
+	seen := make(map[int]bool, len(q.Nodes))
+	for i, n := range q.Nodes {
+		if n < 0 || n >= totalNodes {
+			return fmt.Errorf("saas: query %d targets node %d outside [0, %d)", q.ID, n, totalNodes)
+		}
+		if seen[n] {
+			return fmt.Errorf("saas: query %d targets node %d twice", q.ID, n)
+		}
+		seen[n] = true
+		if q.ToTs[i] < q.FromTs[i] {
+			return fmt.Errorf("saas: query %d task %d window inverted", q.ID, i)
+		}
+	}
+	return nil
+}
+
+// Aggregate is the merged result returned to the "user": summary
+// statistics over all records retrieved by the query's tasks, computed by
+// the aggregator module as task results arrive.
+type Aggregate struct {
+	Records  int
+	MinTempC float64
+	MaxTempC float64
+	SumTempC float64
+}
+
+// NodeRef addresses one edge node, local or remote. EdgeNode.Ref produces
+// refs for in-process nodes; cmd/tgedge prints a manifest of them for
+// multi-process deployments.
+type NodeRef struct {
+	ID      int         `json:"id"`
+	Cluster ClusterName `json:"cluster"`
+	HTTPURL string      `json:"http_url"`
+	TCPAddr string      `json:"tcp_addr"`
+}
+
+func (r NodeRef) validate(expectID int) error {
+	if r.ID != expectID {
+		return fmt.Errorf("saas: node ref %d at position %d (refs must be ID-ordered)", r.ID, expectID)
+	}
+	if _, err := NodeCluster(r.ID); err != nil {
+		return err
+	}
+	if r.Cluster == "" || r.HTTPURL == "" || r.TCPAddr == "" {
+		return fmt.Errorf("saas: node ref %d incomplete: %+v", r.ID, r)
+	}
+	return nil
+}
+
+// HandlerConfig configures the central query handler.
+type HandlerConfig struct {
+	Nodes     []NodeRef
+	Spec      core.Spec
+	Classes   *workload.ClassSet // SLOs in compressed ms
+	Estimator *core.TailEstimator
+	// Warmup: queries with ID below it are processed but not measured.
+	Warmup int64
+	// Client optionally overrides the HTTP client (keep-alive transport
+	// by default). Only used with the HTTP transport.
+	Client *http.Client
+	// RequestTimeout bounds one task round trip (default 30s).
+	RequestTimeout time.Duration
+	// Transport selects the wire protocol (default HTTPTransport).
+	Transport TransportKind
+	// Admission, if non-nil, applies query admission control: Submit
+	// returns ErrRejected while the windowed task deadline-miss ratio
+	// holds the drop probability up (Section III.C, live path).
+	Admission *core.AdmissionController
+}
+
+// ErrRejected is returned by Submit when admission control rejects the
+// query.
+var ErrRejected = errors.New("saas: query rejected by admission control")
+
+// Handler is the paper's query handler (Fig. 8): central task queuing (one
+// queue set per edge node), policy-ordered dispatch over keep-alive
+// HTTP/1.1, online CDF updating from merged task results, and result
+// aggregation. Safe for concurrent Submit calls.
+type Handler struct {
+	cfg       HandlerConfig
+	deadliner *core.Deadliner
+	transport Transport
+	start     time.Time
+
+	mu       sync.Mutex
+	queues   []policy.Queue
+	busy     []bool
+	busyMs   []float64 // accumulated node occupancy (compressed ms)
+	states   map[int64]*saasQueryState
+	byClass  *metrics.Breakdown[int]
+	tpo      *metrics.Breakdown[ClusterName] // post-queuing times per cluster
+	tpr      *metrics.LatencyRecorder        // task pre-dequeuing waits
+	missed   int
+	tasks    int
+	rejected int
+	errs     []error
+	pending  sync.WaitGroup
+}
+
+type saasQueryState struct {
+	arrivalMs float64
+	maxRespMs float64
+	remaining int
+	class     int
+	agg       Aggregate
+	counted   bool
+}
+
+// NewHandler builds the handler and its per-node queues.
+func NewHandler(cfg HandlerConfig) (*Handler, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("saas: handler needs edge nodes")
+	}
+	for i, ref := range cfg.Nodes {
+		if err := ref.validate(i); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Classes == nil {
+		return nil, fmt.Errorf("saas: handler needs a class set")
+	}
+	if cfg.Estimator == nil && cfg.Spec.Deadline != core.DeadlineNone {
+		return nil, fmt.Errorf("saas: policy %s needs an estimator", cfg.Spec.Name)
+	}
+	dl, err := core.NewDeadliner(cfg.Spec, cfg.Estimator, cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handler{
+		cfg:       cfg,
+		deadliner: dl,
+		start:     time.Now(),
+		queues:    make([]policy.Queue, len(cfg.Nodes)),
+		busy:      make([]bool, len(cfg.Nodes)),
+		busyMs:    make([]float64, len(cfg.Nodes)),
+		states:    make(map[int64]*saasQueryState),
+		byClass:   metrics.NewBreakdown[int](1024),
+		tpo:       metrics.NewBreakdown[ClusterName](4096),
+		tpr:       metrics.NewLatencyRecorder(4096),
+	}
+	for i := range h.queues {
+		q, err := policy.New(cfg.Spec.Queue)
+		if err != nil {
+			return nil, err
+		}
+		h.queues[i] = q
+	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	switch cfg.Transport {
+	case HTTPTransport, "":
+		client := cfg.Client
+		if client == nil {
+			client = &http.Client{
+				Transport: &http.Transport{
+					MaxIdleConns:        2 * len(cfg.Nodes),
+					MaxIdleConnsPerHost: 2,
+					IdleConnTimeout:     90 * time.Second,
+				},
+			}
+		}
+		urls := make([]string, len(cfg.Nodes))
+		for i, n := range cfg.Nodes {
+			urls[i] = n.HTTPURL
+		}
+		h.transport = &httpClient{client: client, urls: urls, timeout: timeout}
+	case TCPTransport:
+		addrs := make([]string, len(cfg.Nodes))
+		for i, n := range cfg.Nodes {
+			addrs[i] = n.TCPAddr
+		}
+		h.transport = newTCPClient(addrs, timeout)
+	default:
+		return nil, fmt.Errorf("saas: unknown transport %q", cfg.Transport)
+	}
+	return h, nil
+}
+
+// Close releases the handler's transport connections; call after Drain.
+func (h *Handler) Close() error { return h.transport.Close() }
+
+// nowMs returns milliseconds since the handler started (the testbed's
+// compressed wall clock).
+func (h *Handler) nowMs() float64 {
+	return float64(time.Since(h.start)) / float64(time.Millisecond)
+}
+
+// fail records an asynchronous error (first 16 kept).
+func (h *Handler) fail(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.errs) < 16 {
+		h.errs = append(h.errs, err)
+	}
+}
+
+// Submit enqueues one query's tasks. It returns immediately; Drain waits
+// for completion.
+func (h *Handler) Submit(q Query) error {
+	if err := q.validate(len(h.cfg.Nodes)); err != nil {
+		return err
+	}
+	now := h.nowMs()
+	if h.cfg.Admission != nil && !h.cfg.Admission.Admit(now) {
+		h.mu.Lock()
+		h.rejected++
+		h.mu.Unlock()
+		return ErrRejected
+	}
+	deadline, err := h.deadliner.DeadlineServers(now, q.Class, q.Nodes)
+	if err != nil {
+		return fmt.Errorf("saas: deadline for query %d: %w", q.ID, err)
+	}
+	h.pending.Add(1)
+
+	h.mu.Lock()
+	if _, dup := h.states[q.ID]; dup {
+		h.mu.Unlock()
+		h.pending.Done()
+		return fmt.Errorf("saas: duplicate query ID %d", q.ID)
+	}
+	h.states[q.ID] = &saasQueryState{
+		arrivalMs: now,
+		remaining: len(q.Nodes),
+		class:     q.Class,
+		counted:   q.ID >= h.cfg.Warmup,
+		agg:       Aggregate{MinTempC: 1e300, MaxTempC: -1e300},
+	}
+	for i, node := range q.Nodes {
+		t := &policy.Task{
+			QueryID:  q.ID,
+			Index:    i,
+			Server:   node,
+			Class:    q.Class,
+			Arrival:  now,
+			Deadline: deadline,
+			Enqueued: now,
+		}
+		t.Payload = TaskRequest{QueryID: q.ID, TaskID: i, FromTs: q.FromTs[i], ToTs: q.ToTs[i]}
+		if h.busy[node] {
+			h.queues[node].Push(t)
+		} else {
+			h.busy[node] = true
+			go h.serveLoop(node, t)
+		}
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// serveLoop serves tasks on one node until its queue drains.
+func (h *Handler) serveLoop(node int, t *policy.Task) {
+	for t != nil {
+		h.serveOne(node, t)
+		h.mu.Lock()
+		next := h.queues[node].Pop()
+		if next == nil {
+			h.busy[node] = false
+		}
+		h.mu.Unlock()
+		t = next
+	}
+}
+
+// serveOne dispatches one task over HTTP and merges its result.
+func (h *Handler) serveOne(node int, t *policy.Task) {
+	dequeue := h.nowMs()
+	missed := dequeue > t.Deadline
+
+	if h.cfg.Admission != nil {
+		h.cfg.Admission.ObserveTask(missed, dequeue)
+	}
+	h.mu.Lock()
+	h.tasks++
+	if missed {
+		h.missed++
+	}
+	st := h.states[t.QueryID]
+	counted := st != nil && st.counted
+	if counted {
+		if err := h.tpr.Observe(dequeue - t.Enqueued); err != nil {
+			h.errs = append(h.errs, err)
+		}
+	}
+	h.mu.Unlock()
+
+	req, ok := t.Payload.(TaskRequest)
+	if !ok {
+		h.fail(fmt.Errorf("saas: task %d/%d has no request payload", t.QueryID, t.Index))
+		h.completeTask(node, t, h.nowMs(), dequeue, nil, counted)
+		return
+	}
+	resp, err := h.transport.Send(node, req)
+	receipt := h.nowMs()
+	if err != nil {
+		h.fail(fmt.Errorf("saas: task %d/%d on node %d: %w", t.QueryID, t.Index, node, err))
+		h.completeTask(node, t, receipt, dequeue, nil, counted)
+		return
+	}
+	h.completeTask(node, t, receipt, dequeue, resp, counted)
+}
+
+// httpClient is the keep-alive HTTP/1.1 transport of the paper's testbed.
+type httpClient struct {
+	client  *http.Client
+	urls    []string
+	timeout time.Duration
+}
+
+// Send implements Transport.
+func (c *httpClient) Send(node int, req TaskRequest) (*TaskResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, c.urls[node]+"/task", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	client := *c.client
+	client.Timeout = c.timeout
+	httpResp, err := client.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, httpResp.Body)
+		_ = httpResp.Body.Close()
+	}()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", httpResp.Status)
+	}
+	var resp TaskResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close implements Transport.
+func (c *httpClient) Close() error {
+	if t, ok := c.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+	return nil
+}
+
+// completeTask updates all bookkeeping after a task round trip (resp may
+// be nil on transport failure; the query still completes so Drain works).
+func (h *Handler) completeTask(node int, t *policy.Task, receipt, dequeue float64, resp *TaskResponse, counted bool) {
+	tpo := receipt - dequeue
+	cluster := h.cfg.Nodes[node].Cluster
+
+	// Online updating process: post-queuing time into the node's CDF.
+	if h.cfg.Estimator != nil {
+		if err := h.cfg.Estimator.Observe(node, tpo); err != nil {
+			h.fail(err)
+		}
+	}
+
+	h.mu.Lock()
+	h.busyMs[node] += tpo
+	if counted {
+		if err := h.tpo.Observe(cluster, tpo); err != nil {
+			h.errs = append(h.errs, err)
+		}
+	}
+	st := h.states[t.QueryID]
+	if st == nil {
+		h.mu.Unlock()
+		h.fail(fmt.Errorf("saas: completion for unknown query %d", t.QueryID))
+		return
+	}
+	if resp != nil {
+		for _, rec := range resp.Records {
+			st.agg.Records++
+			st.agg.SumTempC += rec.TempC
+			if rec.TempC < st.agg.MinTempC {
+				st.agg.MinTempC = rec.TempC
+			}
+			if rec.TempC > st.agg.MaxTempC {
+				st.agg.MaxTempC = rec.TempC
+			}
+		}
+	}
+	if receipt > st.maxRespMs {
+		st.maxRespMs = receipt
+	}
+	st.remaining--
+	done := st.remaining == 0
+	if done {
+		delete(h.states, t.QueryID)
+		if st.counted {
+			if err := h.byClass.Observe(st.class, st.maxRespMs-st.arrivalMs); err != nil {
+				h.errs = append(h.errs, err)
+			}
+		}
+	}
+	h.mu.Unlock()
+	if done {
+		h.pending.Done()
+	}
+}
+
+// Drain blocks until every submitted query has completed.
+func (h *Handler) Drain() { h.pending.Wait() }
+
+// Stats is the handler's measured output, in compressed milliseconds.
+type Stats struct {
+	ByClass       map[int]*metrics.LatencyRecorder
+	PerClusterTpo map[ClusterName]*metrics.LatencyRecorder
+	TaskWait      *metrics.LatencyRecorder
+	TaskMissRatio float64
+	// Rejected counts queries refused by admission control.
+	Rejected int
+	// NodeBusyMs is per-node accumulated occupancy.
+	NodeBusyMs []float64
+	ElapsedMs  float64
+	Errors     []error
+}
+
+// Snapshot returns the measurements collected so far. Call after Drain for
+// final numbers.
+func (h *Handler) Snapshot() *Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &Stats{
+		ByClass:       make(map[int]*metrics.LatencyRecorder),
+		PerClusterTpo: make(map[ClusterName]*metrics.LatencyRecorder),
+		TaskWait:      h.tpr,
+		Rejected:      h.rejected,
+		NodeBusyMs:    append([]float64(nil), h.busyMs...),
+		ElapsedMs:     h.nowMs(),
+		Errors:        append([]error(nil), h.errs...),
+	}
+	if h.tasks > 0 {
+		s.TaskMissRatio = float64(h.missed) / float64(h.tasks)
+	}
+	h.byClass.Each(func(k int, r *metrics.LatencyRecorder) { s.ByClass[k] = r })
+	h.tpo.Each(func(k ClusterName, r *metrics.LatencyRecorder) { s.PerClusterTpo[k] = r })
+	return s
+}

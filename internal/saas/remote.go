@@ -1,0 +1,266 @@
+package saas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tailguard/internal/core"
+)
+
+// Manifest describes a deployed set of edge nodes for multi-process
+// operation: cmd/tgedge writes one, cmd/tgtestbed -manifest consumes it.
+type Manifest struct {
+	Refs []NodeRef `json:"refs"`
+	// StoreFirst/StoreLast give the retrievable record span (Unix s).
+	StoreFirst int64 `json:"store_first"`
+	StoreLast  int64 `json:"store_last"`
+	// Compression is the time-compression factor the nodes were started
+	// with; the workload driver must match it.
+	Compression float64 `json:"compression"`
+}
+
+// Validate checks manifest invariants.
+func (m *Manifest) Validate() error {
+	if len(m.Refs) != TotalNodes {
+		return fmt.Errorf("saas: manifest has %d refs, want %d", len(m.Refs), TotalNodes)
+	}
+	for i, ref := range m.Refs {
+		if err := ref.validate(i); err != nil {
+			return err
+		}
+	}
+	if m.StoreLast <= m.StoreFirst {
+		return fmt.Errorf("saas: manifest store span inverted")
+	}
+	if m.Compression < 1 {
+		return fmt.Errorf("saas: manifest compression %v < 1", m.Compression)
+	}
+	return nil
+}
+
+// Save writes the manifest as JSON.
+func (m *Manifest) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// LoadManifest reads and validates a manifest.
+func LoadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("saas: decoding manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WorkloadRunConfig drives the three-class workload against an existing
+// set of edge nodes — in-process (RunTestbed assembles this internally) or
+// remote processes located by a Manifest.
+type WorkloadRunConfig struct {
+	Manifest             *Manifest
+	Spec                 core.Spec
+	Load                 float64 // target Server-room utilization
+	Queries              int
+	Warmup               int
+	Seed                 int64
+	EstimatorSeedSamples int // default 4000
+	Transport            TransportKind
+	// AdmissionWindowMs/AdmissionThreshold enable admission control
+	// (compressed ms).
+	AdmissionWindowMs  float64
+	AdmissionThreshold float64
+}
+
+// RunWorkload executes the Section IV.E workload against the manifest's
+// nodes and reports results at paper scale. The estimator is seeded from
+// the calibrated per-cluster models (offline estimation) and refined
+// online from observed round trips, exactly as in RunTestbed.
+func RunWorkload(cfg WorkloadRunConfig) (*TestbedResult, error) {
+	if cfg.Manifest == nil {
+		return nil, fmt.Errorf("saas: workload run needs a manifest")
+	}
+	if err := cfg.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Load <= 0 || cfg.Load > 1.5 {
+		return nil, fmt.Errorf("saas: load %v outside (0, 1.5]", cfg.Load)
+	}
+	if cfg.Queries < 1 {
+		return nil, fmt.Errorf("saas: need >= 1 query, got %d", cfg.Queries)
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Queries {
+		return nil, fmt.Errorf("saas: warmup %d outside [0, %d)", cfg.Warmup, cfg.Queries)
+	}
+	seedSamples := cfg.EstimatorSeedSamples
+	if seedSamples == 0 {
+		seedSamples = 4000
+	}
+	compression := cfg.Manifest.Compression
+
+	classes, err := SaSClasses(compression)
+	if err != nil {
+		return nil, err
+	}
+	var estimator *core.TailEstimator
+	srModel, err := ClusterDelayModel(ServerRoom, compression)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Spec.Deadline != core.DeadlineNone {
+		estimator, err = core.NewTailEstimator(TotalNodes, srModel, seedSamples, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < TotalNodes; i++ {
+			cluster, err := NodeCluster(i)
+			if err != nil {
+				return nil, err
+			}
+			if cluster == ServerRoom {
+				continue
+			}
+			model, err := ClusterDelayModel(cluster, compression)
+			if err != nil {
+				return nil, err
+			}
+			for s := 0; s < seedSamples*3; s++ {
+				p := (float64(s) + 0.5) / float64(seedSamples*3)
+				if err := estimator.Observe(i, model.Quantile(p)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	hc := HandlerConfig{
+		Nodes:     cfg.Manifest.Refs,
+		Spec:      cfg.Spec,
+		Classes:   classes,
+		Estimator: estimator,
+		Warmup:    int64(cfg.Warmup),
+		Transport: cfg.Transport,
+	}
+	if cfg.AdmissionWindowMs > 0 {
+		adm, err := core.NewAdmissionController(cfg.AdmissionWindowMs, cfg.AdmissionThreshold)
+		if err != nil {
+			return nil, err
+		}
+		hc.Admission = adm
+	}
+	handler, err := NewHandler(hc)
+	if err != nil {
+		return nil, err
+	}
+
+	rate, err := RateForServerRoomLoad(cfg.Load, srModel.Mean())
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := ArrivalSchedule(cfg.Queries, rate, cfg.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := NewQueryGen(classes, cfg.Manifest.StoreFirst, cfg.Manifest.StoreLast, cfg.Seed+202)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	for i := 0; i < cfg.Queries; i++ {
+		q, err := gen.Next()
+		if err != nil {
+			return nil, err
+		}
+		if sleep := time.Until(start.Add(arrivals[i])); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if err := handler.Submit(q); err != nil && !errors.Is(err, ErrRejected) {
+			return nil, err
+		}
+	}
+	handler.Drain()
+	if err := handler.Close(); err != nil {
+		return nil, fmt.Errorf("saas: closing transport: %w", err)
+	}
+	return collectResults(handler, cfg.Spec.Name, cfg.Load, cfg.Queries, compression)
+}
+
+// collectResults converts handler stats into a paper-scale TestbedResult.
+func collectResults(handler *Handler, specName string, load float64, queries int, compression float64) (*TestbedResult, error) {
+	stats := handler.Snapshot()
+	res := &TestbedResult{
+		Spec:          specName,
+		Load:          load,
+		ByClass:       make(map[int]ClassResult),
+		PerCluster:    make(map[ClusterName]ClusterResult),
+		TaskMissRatio: stats.TaskMissRatio,
+		ElapsedWallMs: stats.ElapsedMs,
+		Queries:       queries,
+		Rejected:      stats.Rejected,
+		Errors:        stats.Errors,
+	}
+	c := compression
+	for classID, rec := range stats.ByClass {
+		if rec.Count() == 0 {
+			continue
+		}
+		p99, err := rec.P99()
+		if err != nil {
+			return nil, err
+		}
+		slo := PaperClassSLOsMs[classID]
+		res.ByClass[classID] = ClassResult{
+			Count:    rec.Count(),
+			P99Ms:    p99 * c,
+			MeanMs:   rec.Mean() * c,
+			SLOMs:    slo,
+			MeetsSLO: p99*c <= slo,
+		}
+	}
+	for name, rec := range stats.PerClusterTpo {
+		if rec.Count() == 0 {
+			continue
+		}
+		p95, err := rec.Quantile(0.95)
+		if err != nil {
+			return nil, err
+		}
+		p99, err := rec.P99()
+		if err != nil {
+			return nil, err
+		}
+		cr := ClusterResult{
+			Samples: rec.Count(),
+			MeanMs:  rec.Mean() * c,
+			P95Ms:   p95 * c,
+			P99Ms:   p99 * c,
+		}
+		for _, p := range []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1} {
+			q, err := rec.Quantile(p)
+			if err != nil {
+				return nil, err
+			}
+			cr.CDF = append(cr.CDF, QuantilePoint{P: p, Ms: q * c})
+		}
+		res.PerCluster[name] = cr
+	}
+	if stats.ElapsedMs > 0 {
+		var busy float64
+		srNodes, err := ClusterNodes(ServerRoom)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range srNodes {
+			busy += stats.NodeBusyMs[n]
+		}
+		res.MeasuredSRLoad = busy / (stats.ElapsedMs * NodesPerCluster)
+	}
+	return res, nil
+}

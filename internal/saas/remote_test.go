@@ -1,0 +1,149 @@
+package saas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tailguard/internal/core"
+)
+
+func testManifest(t *testing.T) (*Manifest, []*EdgeNode) {
+	t.Helper()
+	start, end := DefaultStoreSpan()
+	nodes := make([]*EdgeNode, TotalNodes)
+	refs := make([]NodeRef, TotalNodes)
+	for i := range nodes {
+		cluster, err := NodeCluster(i)
+		if err != nil {
+			t.Fatalf("NodeCluster: %v", err)
+		}
+		delay, err := ClusterDelayModel(cluster, 50)
+		if err != nil {
+			t.Fatalf("ClusterDelayModel: %v", err)
+		}
+		store, err := NewStore(StoreConfig{Start: start, End: end, Interval: 24 * time.Hour, Node: i})
+		if err != nil {
+			t.Fatalf("NewStore: %v", err)
+		}
+		n, err := NewEdgeNode(EdgeConfig{ID: i, Store: store, Delay: delay, Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("NewEdgeNode: %v", err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		nodes[i] = n
+		refs[i] = n.Ref()
+	}
+	return &Manifest{
+		Refs:        refs,
+		StoreFirst:  start.Unix(),
+		StoreLast:   end.Add(-24 * time.Hour).Unix(),
+		Compression: 50,
+	}, nodes
+}
+
+func TestManifestSaveLoadRoundTrip(t *testing.T) {
+	m, _ := testManifest(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := LoadManifest(&buf)
+	if err != nil {
+		t.Fatalf("LoadManifest: %v", err)
+	}
+	if len(back.Refs) != TotalNodes || back.Compression != 50 {
+		t.Errorf("round trip lost data: %d refs, compression %v", len(back.Refs), back.Compression)
+	}
+	if back.Refs[9].Cluster != WetLab {
+		t.Errorf("ref 9 cluster = %s, want wet-lab", back.Refs[9].Cluster)
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	m, _ := testManifest(t)
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"too few refs", func(m *Manifest) { m.Refs = m.Refs[:5] }},
+		{"unordered refs", func(m *Manifest) { m.Refs[0], m.Refs[1] = m.Refs[1], m.Refs[0] }},
+		{"missing url", func(m *Manifest) { m.Refs[3].HTTPURL = "" }},
+		{"inverted span", func(m *Manifest) { m.StoreLast = m.StoreFirst }},
+		{"bad compression", func(m *Manifest) { m.Compression = 0.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := *m
+			c.Refs = append([]NodeRef(nil), m.Refs...)
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate succeeded, want error")
+			}
+		})
+	}
+	if _, err := LoadManifest(strings.NewReader("not json")); err == nil {
+		t.Error("LoadManifest(garbage) succeeded, want error")
+	}
+}
+
+// TestRunWorkloadAgainstManifest exercises the remote-driving path against
+// in-process nodes addressed purely by their manifest, over both wire
+// protocols.
+func TestRunWorkloadAgainstManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live workload run in -short mode")
+	}
+	m, _ := testManifest(t)
+	for _, transport := range []TransportKind{TCPTransport, HTTPTransport} {
+		transport := transport
+		t.Run(string(transport), func(t *testing.T) {
+			res, err := RunWorkload(WorkloadRunConfig{
+				Manifest:             m,
+				Spec:                 core.TFEDFQ,
+				Load:                 0.25,
+				Queries:              150,
+				Warmup:               20,
+				Seed:                 4,
+				EstimatorSeedSamples: 200,
+				Transport:            transport,
+			})
+			if err != nil {
+				t.Fatalf("RunWorkload: %v", err)
+			}
+			if len(res.Errors) != 0 {
+				t.Fatalf("errors: %v", res.Errors)
+			}
+			if res.ByClass[ClassA].Count == 0 {
+				t.Error("no class A samples")
+			}
+			if len(res.PerCluster) != 4 {
+				t.Errorf("clusters measured = %d, want 4", len(res.PerCluster))
+			}
+		})
+	}
+}
+
+func TestRunWorkloadValidation(t *testing.T) {
+	m, _ := testManifest(t)
+	good := WorkloadRunConfig{Manifest: m, Spec: core.FIFO, Load: 0.3, Queries: 10, Warmup: 1}
+	cases := []struct {
+		name   string
+		mutate func(*WorkloadRunConfig)
+	}{
+		{"nil manifest", func(c *WorkloadRunConfig) { c.Manifest = nil }},
+		{"bad load", func(c *WorkloadRunConfig) { c.Load = 0 }},
+		{"no queries", func(c *WorkloadRunConfig) { c.Queries = 0 }},
+		{"warmup too big", func(c *WorkloadRunConfig) { c.Warmup = 10 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			if _, err := RunWorkload(cfg); err == nil {
+				t.Error("RunWorkload succeeded, want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package saas
+
+import (
+	"sync"
+	"time"
+)
+
+// sleeper provides millisecond-accurate delay injection on systems where
+// time.Sleep has a coarse floor (container/VM timer slack commonly adds
+// ~1 ms plus a few percent proportional overshoot). It calibrates the
+// model actual ≈ add + (1+prop)*requested once, then inverts it.
+//
+// Requests below the achievable floor are realized probabilistically: the
+// node sleeps the minimal achievable time with probability d/floor and
+// returns immediately otherwise, preserving the injected delay's mean —
+// the quantity load calculations depend on.
+type sleeper struct {
+	mu   sync.Mutex
+	done bool
+	add  float64 // additive overshoot (ms)
+	prop float64 // proportional overshoot
+}
+
+// defaultSleeper is shared by all edge nodes. Calibration MUST run while
+// the process is otherwise idle: measuring under load inflates the model
+// and makes later sleeps undershoot. RunTestbed calls Recalibrate before
+// offering load; the lazy path exists only for direct EdgeNode users.
+var defaultSleeper sleeper
+
+// Recalibrate measures the overshoot model now. Call it while idle.
+func (s *sleeper) Recalibrate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calibrate()
+	s.done = true
+}
+
+// calibrate measures the sleep overshoot model; callers hold mu.
+func (s *sleeper) calibrate() {
+	measure := func(d time.Duration, n int) float64 {
+		var total time.Duration
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			time.Sleep(d)
+			total += time.Since(t0)
+		}
+		return float64(total) / float64(n) / float64(time.Millisecond)
+	}
+	// Warm the path, then fit two points.
+	measure(200*time.Microsecond, 3)
+	a1 := measure(500*time.Microsecond, 8) // ~floor
+	a2 := measure(5*time.Millisecond, 8)
+	slope := (a2 - a1) / 4.5
+	if slope < 1 {
+		slope = 1
+	}
+	s.prop = slope - 1
+	s.add = a1 - slope*0.5
+	if s.add < 0 {
+		s.add = 0
+	}
+}
+
+// floorMs returns the smallest achievable positive sleep.
+func (s *sleeper) floorMs() float64 { return s.add + (1 + s.prop) }
+
+// Sleep blocks for approximately ms milliseconds. u must be a uniform
+// random variate in [0, 1) supplied by the caller (it drives the
+// probabilistic branch for sub-floor requests).
+func (s *sleeper) Sleep(ms float64, u float64) {
+	if ms <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.calibrate()
+		s.done = true
+	}
+	add, prop := s.add, s.prop
+	s.mu.Unlock()
+	// Smallest request worth issuing: time.Sleep(1ms) lands near the
+	// floor; anything shorter behaves the same.
+	minActual := add + (1+prop)*0.2
+	if ms < minActual {
+		// Probabilistic shaping: mean preserved.
+		if u < ms/minActual {
+			time.Sleep(200 * time.Microsecond)
+		}
+		return
+	}
+	req := (ms - add) / (1 + prop)
+	// Even with a polluted calibration (measured under load), never
+	// undershoot below 60% of the requested delay: late is recoverable
+	// noise, early silently deflates the injected service times.
+	if floor := 0.6 * ms; req < floor {
+		req = floor
+	}
+	time.Sleep(time.Duration(req * float64(time.Millisecond)))
+}

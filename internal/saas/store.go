@@ -1,0 +1,120 @@
+package saas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// SensorRecord is one temperature/humidity reading kept by an edge node.
+type SensorRecord struct {
+	Timestamp int64   `json:"ts"` // Unix seconds
+	TempC     float64 `json:"temp_c"`
+	Humidity  float64 `json:"humidity_pct"`
+}
+
+// StoreConfig configures a sensing record store.
+type StoreConfig struct {
+	// Start is the first record's timestamp. End is exclusive. The paper
+	// keeps "up to eighteen-month-worth" of records per node.
+	Start, End time.Time
+	// Interval between consecutive records (default 1 hour).
+	Interval time.Duration
+	// Node seeds the deterministic synthetic readings so each edge node
+	// holds distinct data.
+	Node int
+}
+
+// DefaultStoreSpan returns an eighteen-month window ending at a fixed
+// reference date, so stores are reproducible.
+func DefaultStoreSpan() (time.Time, time.Time) {
+	end := time.Date(2023, time.March, 1, 0, 0, 0, 0, time.UTC)
+	return end.AddDate(0, -18, 0), end
+}
+
+// Store is an immutable in-memory time-series of sensing records, sorted
+// by timestamp. It is the per-edge-node "published sensing dataset" of the
+// paper's architecture. Safe for concurrent readers.
+type Store struct {
+	records  []SensorRecord
+	interval time.Duration
+}
+
+// NewStore generates a deterministic synthetic record series: seasonal and
+// diurnal temperature cycles plus node-specific phase and pseudo-random
+// jitter, mirroring what a real deployment's crowdsensed data would look
+// like while staying reproducible.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Hour
+	}
+	if !cfg.End.After(cfg.Start) {
+		return nil, fmt.Errorf("saas: store span inverted: %v .. %v", cfg.Start, cfg.End)
+	}
+	n := int(cfg.End.Sub(cfg.Start) / cfg.Interval)
+	if n < 1 {
+		return nil, fmt.Errorf("saas: store span %v shorter than interval %v", cfg.End.Sub(cfg.Start), cfg.Interval)
+	}
+	records := make([]SensorRecord, n)
+	phase := float64(cfg.Node) * 0.37
+	for i := range records {
+		ts := cfg.Start.Add(time.Duration(i) * cfg.Interval)
+		u := ts.Unix()
+		dayOfYear := float64(ts.YearDay())
+		hour := float64(ts.Hour()) + float64(ts.Minute())/60
+		seasonal := 8 * math.Sin(2*math.Pi*dayOfYear/365.25)
+		diurnal := 5 * math.Sin(2*math.Pi*(hour-6)/24)
+		jitter := pseudoNoise(u, int64(cfg.Node))
+		records[i] = SensorRecord{
+			Timestamp: u,
+			TempC:     21 + seasonal + diurnal + phase + 1.5*jitter,
+			Humidity:  clampPct(55 - 0.8*seasonal - 2*diurnal + 10*pseudoNoise(u, int64(cfg.Node)+7777)),
+		}
+	}
+	return &Store{records: records, interval: cfg.Interval}, nil
+}
+
+// pseudoNoise returns a deterministic value in [-1, 1) from a timestamp
+// and seed via integer hashing (splitmix64 finalizer).
+func pseudoNoise(ts, seed int64) float64 {
+	x := uint64(ts) ^ (uint64(seed) * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x)/float64(math.MaxUint64)*2 - 1
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int { return len(s.records) }
+
+// Interval returns the spacing between records.
+func (s *Store) Interval() time.Duration { return s.interval }
+
+// Span returns the first and last record timestamps (Unix seconds).
+func (s *Store) Span() (first, last int64) {
+	return s.records[0].Timestamp, s.records[len(s.records)-1].Timestamp
+}
+
+// Range returns the records with from <= Timestamp < to. The returned
+// slice aliases the store's immutable backing array.
+func (s *Store) Range(from, to int64) ([]SensorRecord, error) {
+	if to < from {
+		return nil, fmt.Errorf("saas: range inverted: [%d, %d)", from, to)
+	}
+	lo := sort.Search(len(s.records), func(i int) bool { return s.records[i].Timestamp >= from })
+	hi := sort.Search(len(s.records), func(i int) bool { return s.records[i].Timestamp >= to })
+	return s.records[lo:hi], nil
+}

@@ -1,0 +1,101 @@
+package saas
+
+import (
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T, node int) *Store {
+	t.Helper()
+	start, end := DefaultStoreSpan()
+	s, err := NewStore(StoreConfig{Start: start, End: end, Interval: 6 * time.Hour, Node: node})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+func TestStoreSpanAndLen(t *testing.T) {
+	s := testStore(t, 0)
+	// 18 months at 6h intervals: roughly 4*30*18 = 2160 records.
+	if s.Len() < 2000 || s.Len() > 2400 {
+		t.Errorf("Len() = %d, want ~2190", s.Len())
+	}
+	first, last := s.Span()
+	if last <= first {
+		t.Errorf("span inverted: %d..%d", first, last)
+	}
+	gotSpan := time.Duration(last-first) * time.Second
+	wantSpan := 18 * 30 * 24 * time.Hour
+	if gotSpan < wantSpan-31*24*time.Hour || gotSpan > wantSpan+31*24*time.Hour {
+		t.Errorf("span = %v, want ~18 months", gotSpan)
+	}
+}
+
+func TestStoreRange(t *testing.T) {
+	s := testStore(t, 1)
+	first, _ := s.Span()
+	day := int64(24 * 3600)
+	recs, err := s.Range(first, first+7*day)
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	// 7 days at 6h interval = 28 records.
+	if len(recs) != 28 {
+		t.Errorf("7-day range has %d records, want 28", len(recs))
+	}
+	for i, r := range recs {
+		if r.Timestamp < first || r.Timestamp >= first+7*day {
+			t.Fatalf("record %d timestamp %d outside range", i, r.Timestamp)
+		}
+		if r.Humidity < 0 || r.Humidity > 100 {
+			t.Fatalf("record %d humidity %v outside [0, 100]", i, r.Humidity)
+		}
+		if r.TempC < -40 || r.TempC > 60 {
+			t.Fatalf("record %d temperature %v implausible", i, r.TempC)
+		}
+	}
+	// Empty and inverted ranges.
+	empty, err := s.Range(first-1000, first-500)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("pre-span range = %d records, err %v", len(empty), err)
+	}
+	if _, err := s.Range(10, 5); err == nil {
+		t.Error("inverted range succeeded, want error")
+	}
+}
+
+func TestStoreDeterministicPerNode(t *testing.T) {
+	a1 := testStore(t, 3)
+	a2 := testStore(t, 3)
+	b := testStore(t, 4)
+	first, _ := a1.Span()
+	ra1, _ := a1.Range(first, first+24*3600)
+	ra2, _ := a2.Range(first, first+24*3600)
+	rb, _ := b.Range(first, first+24*3600)
+	for i := range ra1 {
+		if ra1[i] != ra2[i] {
+			t.Fatal("same node produced different records")
+		}
+	}
+	same := true
+	for i := range ra1 {
+		if ra1[i].TempC != rb[i].TempC {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different nodes produced identical temperature series")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	now := time.Now()
+	if _, err := NewStore(StoreConfig{Start: now, End: now.Add(-time.Hour)}); err == nil {
+		t.Error("inverted span succeeded, want error")
+	}
+	if _, err := NewStore(StoreConfig{Start: now, End: now.Add(time.Minute), Interval: time.Hour}); err == nil {
+		t.Error("span shorter than interval succeeded, want error")
+	}
+}

@@ -1,0 +1,294 @@
+package saas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+)
+
+// TestbedConfig configures one live testbed run.
+type TestbedConfig struct {
+	// Spec selects the queuing policy.
+	Spec core.Spec
+	// Load is the target Server-room cluster utilization (the x-axis of
+	// Fig. 9 b-d).
+	Load float64
+	// Queries to issue; Warmup of them are excluded from statistics.
+	Queries int
+	Warmup  int
+	// Compression divides every delay and SLO (>= 1). 1 reproduces the
+	// paper's real-time scale; 20 runs ~20x faster. Default 20.
+	Compression float64
+	// RecordInterval spaces the synthetic sensing records (default 1h;
+	// tests may coarsen to cut memory).
+	RecordInterval time.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// EstimatorSeedSamples seeds each node's online CDF from its
+	// cluster's calibrated model (offline estimation; default 4000).
+	EstimatorSeedSamples int
+	// SharedStores, when set, reuses the given per-node stores instead of
+	// generating them (they are expensive); len must be TotalNodes.
+	SharedStores []*Store
+	// Transport selects the handler-to-edge wire protocol (default the
+	// paper's HTTP/1.1; TCPTransport trades fidelity to the paper's setup
+	// for lower overhead on small machines).
+	Transport TransportKind
+	// AdmissionWindowMs/AdmissionThreshold enable query admission control
+	// when the window is positive (compressed ms; see core.AdmissionController).
+	AdmissionWindowMs  float64
+	AdmissionThreshold float64
+}
+
+func (c *TestbedConfig) setDefaults() {
+	if c.Compression == 0 {
+		c.Compression = 20
+	}
+	if c.RecordInterval == 0 {
+		c.RecordInterval = time.Hour
+	}
+	if c.EstimatorSeedSamples == 0 {
+		c.EstimatorSeedSamples = 4000
+	}
+}
+
+func (c *TestbedConfig) validate() error {
+	if c.Load <= 0 || c.Load > 1.5 {
+		return fmt.Errorf("saas: load %v outside (0, 1.5]", c.Load)
+	}
+	if c.Queries < 1 {
+		return fmt.Errorf("saas: need >= 1 query, got %d", c.Queries)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Queries {
+		return fmt.Errorf("saas: warmup %d outside [0, %d)", c.Warmup, c.Queries)
+	}
+	if c.Compression < 1 {
+		return fmt.Errorf("saas: compression must be >= 1, got %v", c.Compression)
+	}
+	if c.SharedStores != nil && len(c.SharedStores) != TotalNodes {
+		return fmt.Errorf("saas: shared stores must have %d entries, got %d", TotalNodes, len(c.SharedStores))
+	}
+	return nil
+}
+
+// ClassResult is one class's measured outcome, reported at paper scale
+// (uncompressed ms).
+type ClassResult struct {
+	Count    int
+	P99Ms    float64
+	MeanMs   float64
+	SLOMs    float64
+	MeetsSLO bool
+}
+
+// QuantilePoint is one point of a measured CDF.
+type QuantilePoint struct {
+	P  float64 // cumulative probability
+	Ms float64 // latency at paper scale
+}
+
+// ClusterResult is one cluster's measured task post-queuing statistics at
+// paper scale (uncompressed ms).
+type ClusterResult struct {
+	Samples int
+	MeanMs  float64
+	P95Ms   float64
+	P99Ms   float64
+	// CDF is a quantile grid of the measured post-queuing times,
+	// reproducing Fig. 9(a)'s curves.
+	CDF []QuantilePoint
+}
+
+// TestbedResult aggregates one run.
+type TestbedResult struct {
+	Spec           string
+	Load           float64 // configured target Server-room load
+	MeasuredSRLoad float64 // measured Server-room occupancy
+	ByClass        map[int]ClassResult
+	PerCluster     map[ClusterName]ClusterResult
+	TaskMissRatio  float64
+	ElapsedWallMs  float64 // compressed wall-clock run time
+	Queries        int
+	Rejected       int // queries refused by admission control
+	Errors         []error
+}
+
+// MeetsAllSLOs reports whether every class with samples met its SLO.
+func (r *TestbedResult) MeetsAllSLOs() bool {
+	for _, c := range r.ByClass {
+		if c.Count > 0 && !c.MeetsSLO {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildStores generates the per-node sensing stores once; pass the result
+// as SharedStores to amortize across runs.
+func BuildStores(interval time.Duration) ([]*Store, error) {
+	start, end := DefaultStoreSpan()
+	stores := make([]*Store, TotalNodes)
+	for i := range stores {
+		s, err := NewStore(StoreConfig{Start: start, End: end, Interval: interval, Node: i})
+		if err != nil {
+			return nil, fmt.Errorf("saas: building store %d: %w", i, err)
+		}
+		stores[i] = s
+	}
+	return stores, nil
+}
+
+// RunTestbed executes one full testbed run: boots 32 edge-node HTTP
+// servers, drives the three-class workload at the target Server-room load
+// in (compressed) real time, and reports per-class tails and per-cluster
+// post-queuing statistics at paper scale.
+func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Calibrate the delay-injection sleeper while the process is idle;
+	// measuring under load would make injected delays undershoot.
+	defaultSleeper.Recalibrate()
+
+	stores := cfg.SharedStores
+	if stores == nil {
+		var err error
+		stores, err = BuildStores(cfg.RecordInterval)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-cluster calibrated delay models at compressed scale.
+	delayByCluster := make(map[ClusterName]dist.Distribution, 4)
+	for _, name := range ClusterNames() {
+		d, err := ClusterDelayModel(name, cfg.Compression)
+		if err != nil {
+			return nil, err
+		}
+		delayByCluster[name] = d
+	}
+
+	// Edge nodes.
+	nodes := make([]*EdgeNode, TotalNodes)
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				_ = n.Close()
+			}
+		}
+	}()
+	for i := range nodes {
+		cluster, err := NodeCluster(i)
+		if err != nil {
+			return nil, err
+		}
+		n, err := NewEdgeNode(EdgeConfig{
+			ID:    i,
+			Store: stores[i],
+			Delay: delayByCluster[cluster],
+			Seed:  cfg.Seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+
+	// Offline estimation: each node's online CDF seeded from its
+	// cluster's model; online updating refines it during the run. Nodes
+	// in a cluster share the seed distribution, as in the paper.
+	classes, err := SaSClasses(cfg.Compression)
+	if err != nil {
+		return nil, err
+	}
+	var estimator *core.TailEstimator
+	if cfg.Spec.Deadline != core.DeadlineNone {
+		// Seed with the server-room model and let per-node online updates
+		// (and XPuServers' per-node CDFs) capture the heterogeneity; the
+		// estimator constructor takes a single offline distribution, as
+		// the paper's offline process measures one representative server.
+		estimator, err = core.NewTailEstimator(TotalNodes, delayByCluster[ServerRoom], cfg.EstimatorSeedSamples, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Refine each node's seed with its own cluster model (the paper's
+		// per-cluster shared CDFs).
+		for i := 0; i < TotalNodes; i++ {
+			cluster, _ := NodeCluster(i)
+			if cluster == ServerRoom {
+				continue
+			}
+			model := delayByCluster[cluster]
+			for s := 0; s < cfg.EstimatorSeedSamples*3; s++ {
+				p := (float64(s) + 0.5) / float64(cfg.EstimatorSeedSamples*3)
+				if err := estimator.Observe(i, model.Quantile(p)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	refs := make([]NodeRef, len(nodes))
+	for i, n := range nodes {
+		refs[i] = n.Ref()
+	}
+	hc := HandlerConfig{
+		Nodes:     refs,
+		Spec:      cfg.Spec,
+		Classes:   classes,
+		Estimator: estimator,
+		Warmup:    int64(cfg.Warmup),
+		Transport: cfg.Transport,
+	}
+	if cfg.AdmissionWindowMs > 0 {
+		adm, err := core.NewAdmissionController(cfg.AdmissionWindowMs, cfg.AdmissionThreshold)
+		if err != nil {
+			return nil, err
+		}
+		hc.Admission = adm
+	}
+	handler, err := NewHandler(hc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Workload at the target Server-room load.
+	srMean := delayByCluster[ServerRoom].Mean()
+	rate, err := RateForServerRoomLoad(cfg.Load, srMean)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := ArrivalSchedule(cfg.Queries, rate, cfg.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	first, last := stores[0].Span()
+	gen, err := NewQueryGen(classes, first, last, cfg.Seed+202)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	for i := 0; i < cfg.Queries; i++ {
+		q, err := gen.Next()
+		if err != nil {
+			return nil, err
+		}
+		if sleep := time.Until(start.Add(arrivals[i])); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if err := handler.Submit(q); err != nil && !errors.Is(err, ErrRejected) {
+			return nil, err
+		}
+	}
+	handler.Drain()
+	if err := handler.Close(); err != nil {
+		return nil, fmt.Errorf("saas: closing transport: %w", err)
+	}
+	return collectResults(handler, cfg.Spec.Name, cfg.Load, cfg.Queries, cfg.Compression)
+}

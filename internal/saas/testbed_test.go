@@ -1,0 +1,174 @@
+package saas
+
+import (
+	"testing"
+	"time"
+
+	"tailguard/internal/core"
+)
+
+// testbedStores caches the generated stores across testbed tests (they
+// dominate setup time).
+func testbedStores(t *testing.T) []*Store {
+	t.Helper()
+	stores, err := BuildStores(24 * time.Hour)
+	if err != nil {
+		t.Fatalf("BuildStores: %v", err)
+	}
+	return stores
+}
+
+func TestTestbedConfigValidation(t *testing.T) {
+	good := TestbedConfig{Spec: core.FIFO, Load: 0.3, Queries: 10, Warmup: 1, Compression: 50}
+	cases := []struct {
+		name   string
+		mutate func(*TestbedConfig)
+	}{
+		{"bad load", func(c *TestbedConfig) { c.Load = 0 }},
+		{"no queries", func(c *TestbedConfig) { c.Queries = 0 }},
+		{"warmup too big", func(c *TestbedConfig) { c.Warmup = 10 }},
+		{"bad compression", func(c *TestbedConfig) { c.Compression = 0.5 }},
+		{"bad stores", func(c *TestbedConfig) { c.SharedStores = make([]*Store, 3) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mutate(&cfg)
+			cfg.setDefaults()
+			if err := cfg.validate(); err == nil {
+				t.Error("validate succeeded, want error")
+			}
+		})
+	}
+}
+
+// TestRunTestbedTailGuard drives the full live path end to end: 32 real
+// HTTP edge nodes, central TF-EDFQ queuing, online CDF updating, and
+// aggregation — at 50x compression and modest query counts.
+func TestRunTestbedTailGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live testbed run in -short mode")
+	}
+	stores := testbedStores(t)
+	// Compression is capped at 10x here: higher factors push the HTTP
+	// round-trip rate beyond what small CI machines (2 cores) can serve
+	// without the testbed itself becoming the bottleneck.
+	res, err := RunTestbed(TestbedConfig{
+		Spec:                 core.TFEDFQ,
+		Load:                 0.30,
+		Queries:              450,
+		Warmup:               80,
+		Compression:          10,
+		Seed:                 1,
+		EstimatorSeedSamples: 500,
+		SharedStores:         stores,
+	})
+	if err != nil {
+		t.Fatalf("RunTestbed: %v", err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("run had task errors: %v", res.Errors)
+	}
+	// All three classes observed.
+	for _, class := range []int{ClassA, ClassB, ClassC} {
+		cr, ok := res.ByClass[class]
+		if !ok || cr.Count == 0 {
+			t.Fatalf("class %d has no samples", class)
+		}
+		if cr.P99Ms <= 0 || cr.MeanMs <= 0 {
+			t.Errorf("class %d stats implausible: %+v", class, cr)
+		}
+		if cr.P99Ms < cr.MeanMs {
+			t.Errorf("class %d p99 %v below mean %v", class, cr.P99Ms, cr.MeanMs)
+		}
+	}
+	// Higher classes (larger fanout) see higher tails.
+	if res.ByClass[ClassC].P99Ms < res.ByClass[ClassA].MeanMs {
+		t.Errorf("class C p99 %v implausibly below class A mean %v",
+			res.ByClass[ClassC].P99Ms, res.ByClass[ClassA].MeanMs)
+	}
+	// Per-cluster post-queuing stats: wet-lab fastest (Fig. 9a ordering).
+	wet, ok := res.PerCluster[WetLab]
+	if !ok {
+		t.Fatal("no wet-lab samples")
+	}
+	sr, ok := res.PerCluster[ServerRoom]
+	if !ok {
+		t.Fatal("no server-room samples")
+	}
+	if wet.MeanMs >= sr.MeanMs {
+		t.Errorf("wet-lab mean %v not below server-room mean %v", wet.MeanMs, sr.MeanMs)
+	}
+	// Measured server-room load within a factor of the target (short,
+	// compressed runs carry real scheduling noise and HTTP overhead).
+	if res.MeasuredSRLoad < 0.1 || res.MeasuredSRLoad > 0.7 {
+		t.Errorf("measured server-room load = %v, want roughly 0.30", res.MeasuredSRLoad)
+	}
+	// At 30% load with TailGuard the SLOs should hold.
+	if !res.MeetsAllSLOs() {
+		t.Errorf("SLOs violated at 30%% load: %+v", res.ByClass)
+	}
+}
+
+// TestRunTestbedWithAdmission drives an overload through the live path
+// with admission control: some queries must be rejected, and rejected
+// queries must not break completion accounting.
+func TestRunTestbedWithAdmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live testbed run in -short mode")
+	}
+	stores := testbedStores(t)
+	res, err := RunTestbed(TestbedConfig{
+		Spec:               core.TFEDFQ,
+		Load:               0.85,
+		Queries:            500,
+		Warmup:             80,
+		Compression:        10,
+		Seed:               5,
+		SharedStores:       stores,
+		Transport:          TCPTransport,
+		AdmissionWindowMs:  150,
+		AdmissionThreshold: 0.01,
+	})
+	if err != nil {
+		t.Fatalf("RunTestbed: %v", err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.Rejected == 0 {
+		t.Error("no rejections at 85% offered load")
+	}
+	if res.Rejected >= res.Queries {
+		t.Errorf("everything rejected (%d/%d)", res.Rejected, res.Queries)
+	}
+}
+
+// TestRunTestbedFIFO exercises the DeadlineNone path (no estimator).
+func TestRunTestbedFIFO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live testbed run in -short mode")
+	}
+	stores := testbedStores(t)
+	res, err := RunTestbed(TestbedConfig{
+		Spec:         core.FIFO,
+		Load:         0.25,
+		Queries:      250,
+		Warmup:       40,
+		Compression:  10,
+		Seed:         2,
+		SharedStores: stores,
+	})
+	if err != nil {
+		t.Fatalf("RunTestbed: %v", err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("run had task errors: %v", res.Errors)
+	}
+	if res.TaskMissRatio != 0 {
+		t.Errorf("FIFO miss ratio = %v, want 0", res.TaskMissRatio)
+	}
+	if res.ByClass[ClassA].Count == 0 {
+		t.Error("no class A samples")
+	}
+}

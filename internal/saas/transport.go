@@ -1,0 +1,171 @@
+package saas
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport sends one task to an edge node and returns its response. The
+// handler dispatches at most one task per node at a time, so transports
+// may keep one persistent connection per node.
+type Transport interface {
+	Send(node int, req TaskRequest) (*TaskResponse, error)
+	// Close releases connections.
+	Close() error
+}
+
+// TransportKind names a wire protocol.
+type TransportKind string
+
+// Supported transports.
+const (
+	// HTTPTransport is the paper's keep-alive HTTP/1.1.
+	HTTPTransport TransportKind = "http"
+	// TCPTransport is a persistent length-delimited gob stream — the same
+	// request/response schema with far less per-call overhead, useful on
+	// small machines and at high compression factors.
+	TCPTransport TransportKind = "tcp"
+)
+
+// tcpClient is the gob-over-TCP transport.
+type tcpClient struct {
+	addrs   []string
+	timeout time.Duration
+
+	mu    sync.Mutex
+	conns []*tcpConn
+}
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	w    *bufio.Writer
+}
+
+// newTCPClient builds a client for the given per-node TCP addresses.
+func newTCPClient(addrs []string, timeout time.Duration) *tcpClient {
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	return &tcpClient{
+		addrs:   addrs,
+		timeout: timeout,
+		conns:   make([]*tcpConn, len(addrs)),
+	}
+}
+
+// get returns (dialing if needed) the persistent connection for a node.
+func (c *tcpClient) get(node int) (*tcpConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if node < 0 || node >= len(c.conns) {
+		return nil, fmt.Errorf("saas: tcp transport node %d out of range", node)
+	}
+	if c.conns[node] != nil {
+		return c.conns[node], nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addrs[node], c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("saas: dialing node %d: %w", node, err)
+	}
+	w := bufio.NewWriter(conn)
+	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(w), dec: gob.NewDecoder(bufio.NewReader(conn)), w: w}
+	c.conns[node] = tc
+	return tc, nil
+}
+
+// drop discards a broken connection so the next Send redials.
+func (c *tcpClient) drop(node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conns[node] != nil {
+		_ = c.conns[node].conn.Close()
+		c.conns[node] = nil
+	}
+}
+
+// Send implements Transport. The handler serializes calls per node, so no
+// per-connection locking is needed beyond the map access.
+func (c *tcpClient) Send(node int, req TaskRequest) (*TaskResponse, error) {
+	tc, err := c.get(node)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.timeout)
+	if err := tc.conn.SetDeadline(deadline); err != nil {
+		c.drop(node)
+		return nil, err
+	}
+	if err := tc.enc.Encode(&req); err != nil {
+		c.drop(node)
+		return nil, fmt.Errorf("saas: sending to node %d: %w", node, err)
+	}
+	if err := tc.w.Flush(); err != nil {
+		c.drop(node)
+		return nil, fmt.Errorf("saas: flushing to node %d: %w", node, err)
+	}
+	var resp TaskResponse
+	if err := tc.dec.Decode(&resp); err != nil {
+		c.drop(node)
+		return nil, fmt.Errorf("saas: receiving from node %d: %w", node, err)
+	}
+	return &resp, nil
+}
+
+// Close implements Transport.
+func (c *tcpClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for i, tc := range c.conns {
+		if tc != nil {
+			if err := tc.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			c.conns[i] = nil
+		}
+	}
+	return first
+}
+
+// serveTCP accepts gob task connections for an edge node.
+func (n *EdgeNode) serveTCP(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go n.serveTCPConn(conn)
+	}
+}
+
+// serveTCPConn processes one connection's request stream serially.
+func (n *EdgeNode) serveTCPConn(conn net.Conn) {
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(w)
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	for {
+		var req TaskRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp, err := n.processTask(req)
+		if err != nil {
+			// Schema-level failures poison the stream; drop the
+			// connection and let the client surface the transport error.
+			return
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package saas
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tailguard/internal/core"
+)
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	n := testEdge(t, 2)
+	c := newTCPClient([]string{"", "", n.TCPAddr()}, 5*time.Second)
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	first, _ := testStore(t, 2).Span()
+	for i := 0; i < 5; i++ {
+		resp, err := c.Send(2, TaskRequest{QueryID: int64(i), TaskID: 1, FromTs: first, ToTs: first + 24*3600})
+		if err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		if resp.QueryID != int64(i) || resp.Node != 2 {
+			t.Fatalf("response identity = %+v", resp)
+		}
+		// 1 day at 6h interval = 4 records.
+		if len(resp.Records) != 4 {
+			t.Fatalf("got %d records, want 4", len(resp.Records))
+		}
+	}
+	if _, err := c.Send(9, TaskRequest{}); err == nil {
+		t.Error("out-of-range node succeeded, want error")
+	}
+}
+
+func TestTCPTransportReconnectsAfterNodeRestart(t *testing.T) {
+	n := testEdge(t, 3)
+	c := newTCPClient([]string{"", "", "", n.TCPAddr()}, 2*time.Second)
+	defer c.Close()
+	first, _ := testStore(t, 3).Span()
+	req := TaskRequest{QueryID: 1, FromTs: first, ToTs: first + 24*3600}
+	if _, err := c.Send(3, req); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// A schema-invalid request (inverted range) makes the server drop the
+	// stream; the client must surface an error and discard the dead
+	// connection.
+	if _, err := c.Send(3, TaskRequest{QueryID: 2, FromTs: 10, ToTs: 5}); err == nil {
+		t.Fatal("poisoned request succeeded, want error")
+	}
+	// The next send re-dials transparently and succeeds.
+	if _, err := c.Send(3, req); err != nil {
+		t.Fatalf("Send after reconnect: %v", err)
+	}
+	// After the node is gone entirely, sends fail with a dial error.
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := c.Send(3, TaskRequest{QueryID: 3, FromTs: 10, ToTs: 5}); err == nil {
+		t.Fatal("poison to kill the live connection succeeded, want error")
+	}
+	if _, err := c.Send(3, req); err == nil {
+		t.Fatal("Send to dead node succeeded, want error")
+	} else if !strings.Contains(err.Error(), "dialing") {
+		t.Errorf("failure = %v, want a dial error (connection dropped)", err)
+	}
+}
+
+func TestHandlerOverTCPTransport(t *testing.T) {
+	edges := make([]*EdgeNode, 4)
+	for i := range edges {
+		edges[i] = testEdge(t, i)
+	}
+	classes, err := SaSClasses(100)
+	if err != nil {
+		t.Fatalf("SaSClasses: %v", err)
+	}
+	refs := make([]NodeRef, len(edges))
+	for i, e := range edges {
+		refs[i] = e.Ref()
+	}
+	h, err := NewHandler(HandlerConfig{
+		Nodes:     refs,
+		Spec:      core.FIFO,
+		Classes:   classes,
+		Transport: TCPTransport,
+	})
+	if err != nil {
+		t.Fatalf("NewHandler: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := h.Submit(validQuery(t, int64(i), []int{i % 4, (i + 2) % 4})); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	h.Drain()
+	if err := h.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	stats := h.Snapshot()
+	if len(stats.Errors) != 0 {
+		t.Fatalf("errors: %v", stats.Errors)
+	}
+	if rec := stats.ByClass[0]; rec == nil || rec.Count() != 40 {
+		t.Errorf("completed = %v, want 40", rec)
+	}
+}
+
+func TestHandlerUnknownTransport(t *testing.T) {
+	classes, _ := SaSClasses(100)
+	if _, err := NewHandler(HandlerConfig{
+		Nodes:     []NodeRef{testEdge(t, 0).Ref()},
+		Spec:      core.FIFO,
+		Classes:   classes,
+		Transport: TransportKind("carrier-pigeon"),
+	}); err == nil {
+		t.Error("unknown transport succeeded, want error")
+	}
+}
+
+// TestTestbedOverTCP runs a short live testbed pass on the gob transport.
+func TestTestbedOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live testbed run in -short mode")
+	}
+	stores := testbedStores(t)
+	res, err := RunTestbed(TestbedConfig{
+		Spec:         core.TFEDFQ,
+		Load:         0.30,
+		Queries:      250,
+		Warmup:       40,
+		Compression:  10,
+		Seed:         3,
+		SharedStores: stores,
+		Transport:    TCPTransport,
+	})
+	if err != nil {
+		t.Fatalf("RunTestbed: %v", err)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.ByClass[ClassA].Count == 0 {
+		t.Error("no class A samples over TCP")
+	}
+}

@@ -1,0 +1,331 @@
+// Package sched is the production-facing embedding of TailGuard: a
+// concurrency-safe task scheduler for real Go services. The application
+// brings its task servers — any bounded serial resources: database shards,
+// per-core worker loops, edge devices — and supplies each task as a
+// function; sched supplies what the paper contributes: fanout-aware
+// deadline computation (Eqn. 6), per-class tail-latency SLOs, a TF-EDFQ
+// (or baseline) queue per server, online task-latency CDF learning, and
+// optional admission control.
+//
+// One scheduler "server" executes one task at a time, matching the
+// paper's task-server model; parallelism comes from fanning a query's
+// tasks across servers.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/metrics"
+	"tailguard/internal/policy"
+	"tailguard/internal/workload"
+)
+
+// ErrRejected is returned by Do when admission control rejects the query.
+var ErrRejected = errors.New("sched: query rejected by admission control")
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// TaskFunc is one unit of application work, executed serially on its
+// target server. The context is the one passed to Do.
+type TaskFunc func(ctx context.Context) error
+
+// Task binds a TaskFunc to the server that must execute it.
+type Task struct {
+	Server int
+	Run    TaskFunc
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Servers is the number of serial task servers.
+	Servers int
+	// Spec selects the queuing policy (default TFEDFQ).
+	Spec core.Spec
+	// Classes defines the service classes and their SLOs in milliseconds.
+	Classes *workload.ClassSet
+	// Offline seeds each server's latency CDF (the paper's offline
+	// estimation process); required for deadline-based policies.
+	Offline dist.Distribution
+	// SeedSamples sizes the offline seed (default 2000).
+	SeedSamples int
+	// HalfLife, in observations, decays online latency history so the
+	// estimator tracks drift (default 50000; 0 disables decay).
+	HalfLife int
+	// AdmissionWindowMs/AdmissionThreshold enable admission control when
+	// the window is positive. Calibrate the threshold as the task
+	// deadline-miss ratio at the highest load that still meets the SLOs.
+	AdmissionWindowMs  float64
+	AdmissionThreshold float64
+	// now overrides the clock in tests (ms since scheduler start).
+	now func() float64
+}
+
+// Scheduler dispatches fanned-out queries over per-server TF-EDFQ queues.
+// Safe for concurrent use.
+type Scheduler struct {
+	spec      core.Spec
+	classes   *workload.ClassSet
+	estimator *core.TailEstimator
+	deadliner *core.Deadliner
+	admission *core.AdmissionController
+	now       func() float64
+
+	mu      sync.Mutex
+	queues  []policy.Queue
+	busy    []bool
+	closed  bool
+	byClass *metrics.Breakdown[int]
+	missed  int
+	tasks   int
+	wg      sync.WaitGroup
+}
+
+// queued carries one task's completion plumbing through the queue.
+type queued struct {
+	ctx  context.Context
+	run  TaskFunc
+	done chan error
+}
+
+// New builds a scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("sched: need >= 1 server, got %d", cfg.Servers)
+	}
+	if cfg.Classes == nil {
+		return nil, fmt.Errorf("sched: class set is required")
+	}
+	if cfg.Spec.Name == "" {
+		cfg.Spec = core.TFEDFQ
+	}
+	var est *core.TailEstimator
+	if cfg.Spec.Deadline != core.DeadlineNone {
+		if cfg.Offline == nil {
+			return nil, fmt.Errorf("sched: policy %s needs an Offline seed distribution", cfg.Spec.Name)
+		}
+		seed := cfg.SeedSamples
+		if seed == 0 {
+			seed = 2000
+		}
+		halfLife := cfg.HalfLife
+		if halfLife == 0 {
+			halfLife = 50000
+		}
+		var err error
+		est, err = core.NewTailEstimator(cfg.Servers, cfg.Offline, seed, halfLife)
+		if err != nil {
+			return nil, err
+		}
+	}
+	dl, err := core.NewDeadliner(cfg.Spec, est, cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		spec:      cfg.Spec,
+		classes:   cfg.Classes,
+		estimator: est,
+		deadliner: dl,
+		now:       cfg.now,
+		queues:    make([]policy.Queue, cfg.Servers),
+		busy:      make([]bool, cfg.Servers),
+		byClass:   metrics.NewBreakdown[int](1024),
+	}
+	if s.now == nil {
+		start := time.Now()
+		s.now = func() float64 { return float64(time.Since(start)) / float64(time.Millisecond) }
+	}
+	if cfg.AdmissionWindowMs > 0 {
+		adm, err := core.NewAdmissionController(cfg.AdmissionWindowMs, cfg.AdmissionThreshold)
+		if err != nil {
+			return nil, err
+		}
+		s.admission = adm
+	}
+	for i := range s.queues {
+		q, err := policy.New(cfg.Spec.Queue)
+		if err != nil {
+			return nil, err
+		}
+		s.queues[i] = q
+	}
+	return s, nil
+}
+
+// Do executes one query: its tasks run in parallel across their servers
+// (serially within each server, ordered by the scheduler's policy) and Do
+// returns when all have finished. It returns the query latency in
+// milliseconds and the first task error, ErrRejected under admission
+// control, or ctx.Err() if the context ends first (abandoned tasks are
+// skipped when they reach their server).
+func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, error) {
+	if len(tasks) == 0 {
+		return 0, fmt.Errorf("sched: query needs >= 1 task")
+	}
+	if _, err := s.classes.Class(class); err != nil {
+		return 0, err
+	}
+	servers := make([]int, len(tasks))
+	seen := make(map[int]bool, len(tasks))
+	for i, t := range tasks {
+		if t.Server < 0 || t.Server >= len(s.queues) {
+			return 0, fmt.Errorf("sched: task %d targets server %d outside [0, %d)", i, t.Server, len(s.queues))
+		}
+		if seen[t.Server] {
+			return 0, fmt.Errorf("sched: two tasks target server %d (servers are serial; fan out across servers)", t.Server)
+		}
+		seen[t.Server] = true
+		if t.Run == nil {
+			return 0, fmt.Errorf("sched: task %d has nil Run", i)
+		}
+		servers[i] = t.Server
+	}
+
+	t0 := s.now()
+	if s.admission != nil && !s.admission.Admit(t0) {
+		return 0, ErrRejected
+	}
+	deadline, err := s.deadliner.DeadlineServers(t0, class, servers)
+	if err != nil {
+		return 0, err
+	}
+
+	dones := make([]chan error, len(tasks))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	s.wg.Add(len(tasks))
+	for i, task := range tasks {
+		done := make(chan error, 1)
+		dones[i] = done
+		pt := &policy.Task{
+			Class:    class,
+			Arrival:  t0,
+			Deadline: deadline,
+			Enqueued: t0,
+			Server:   task.Server,
+			Payload:  &queued{ctx: ctx, run: task.Run, done: done},
+		}
+		if s.busy[task.Server] {
+			s.queues[task.Server].Push(pt)
+		} else {
+			s.busy[task.Server] = true
+			go s.serveLoop(task.Server, pt)
+		}
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, done := range dones {
+		select {
+		case err := <-done:
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-ctx.Done():
+			// Remaining tasks will observe the dead context and be
+			// skipped by their servers; don't wait for them.
+			return s.now() - t0, ctx.Err()
+		}
+	}
+	latency := s.now() - t0
+	s.mu.Lock()
+	if err := s.byClass.Observe(class, latency); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.mu.Unlock()
+	return latency, firstErr
+}
+
+// serveLoop executes tasks on one server until its queue drains.
+func (s *Scheduler) serveLoop(server int, pt *policy.Task) {
+	for pt != nil {
+		s.serveOne(server, pt)
+		s.mu.Lock()
+		next := s.queues[server].Pop()
+		if next == nil {
+			s.busy[server] = false
+		}
+		s.mu.Unlock()
+		pt = next
+	}
+}
+
+// serveOne runs a single task and feeds the measurement loops.
+func (s *Scheduler) serveOne(server int, pt *policy.Task) {
+	defer s.wg.Done()
+	q, ok := pt.Payload.(*queued)
+	if !ok {
+		return
+	}
+	dequeue := s.now()
+	missed := dequeue > pt.Deadline
+	s.mu.Lock()
+	s.tasks++
+	if missed {
+		s.missed++
+	}
+	s.mu.Unlock()
+	if s.admission != nil {
+		s.admission.ObserveTask(missed, dequeue)
+	}
+
+	if err := q.ctx.Err(); err != nil {
+		q.done <- err
+		return
+	}
+	err := q.run(q.ctx)
+	finished := s.now()
+	if s.estimator != nil {
+		// Online updating: the observed post-queuing (execution) time.
+		if obsErr := s.estimator.Observe(server, finished-dequeue); obsErr != nil && err == nil {
+			err = obsErr
+		}
+	}
+	q.done <- err
+}
+
+// Stats is a point-in-time snapshot of scheduler measurements.
+type Stats struct {
+	// PerClass maps class ID to its query latency recorder (ms).
+	PerClass map[int]*metrics.LatencyRecorder
+	// TaskMissRatio is the fraction of tasks dequeued past deadline.
+	TaskMissRatio float64
+	// Tasks is the number of tasks executed or skipped.
+	Tasks int
+}
+
+// Snapshot returns current measurements.
+func (s *Scheduler) Snapshot() *Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &Stats{PerClass: make(map[int]*metrics.LatencyRecorder), Tasks: s.tasks}
+	if s.tasks > 0 {
+		st.TaskMissRatio = float64(s.missed) / float64(s.tasks)
+	}
+	s.byClass.Each(func(k int, r *metrics.LatencyRecorder) { st.PerClass[k] = r })
+	return st
+}
+
+// Budget exposes the current pre-dequeuing budget for a (class, servers)
+// pair — useful for capacity planning dashboards.
+func (s *Scheduler) Budget(class int, servers []int) (float64, error) {
+	return s.deadliner.BudgetServers(class, servers)
+}
+
+// Close stops accepting queries and waits for in-flight tasks.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,384 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/workload"
+)
+
+func testScheduler(t *testing.T, servers int, spec core.Spec) *Scheduler {
+	t.Helper()
+	classes, err := workload.TwoClasses(50, 1.5)
+	if err != nil {
+		t.Fatalf("TwoClasses: %v", err)
+	}
+	offline, err := dist.NewExponential(1)
+	if err != nil {
+		t.Fatalf("NewExponential: %v", err)
+	}
+	s, err := New(Config{
+		Servers: servers,
+		Spec:    spec,
+		Classes: classes,
+		Offline: offline,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func sleepTask(server int, d time.Duration) Task {
+	return Task{Server: server, Run: func(context.Context) error {
+		time.Sleep(d)
+		return nil
+	}}
+}
+
+func TestConfigValidation(t *testing.T) {
+	classes, _ := workload.SingleClass(10)
+	offline, _ := dist.NewExponential(1)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no servers", Config{Servers: 0, Classes: classes, Offline: offline}},
+		{"nil classes", Config{Servers: 1, Offline: offline}},
+		{"deadline policy without offline", Config{Servers: 1, Classes: classes}},
+		{"bad admission", Config{Servers: 1, Classes: classes, Offline: offline, AdmissionWindowMs: 5, AdmissionThreshold: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Error("New succeeded, want error")
+			}
+		})
+	}
+	// FIFO needs no offline distribution.
+	if _, err := New(Config{Servers: 1, Classes: classes, Spec: core.FIFO}); err != nil {
+		t.Errorf("FIFO without offline failed: %v", err)
+	}
+}
+
+func TestDoValidation(t *testing.T) {
+	s := testScheduler(t, 2, core.TFEDFQ)
+	ctx := context.Background()
+	if _, err := s.Do(ctx, 0, nil); err == nil {
+		t.Error("empty task list succeeded")
+	}
+	if _, err := s.Do(ctx, 9, []Task{sleepTask(0, 0)}); err == nil {
+		t.Error("unknown class succeeded")
+	}
+	if _, err := s.Do(ctx, 0, []Task{sleepTask(5, 0)}); err == nil {
+		t.Error("server out of range succeeded")
+	}
+	if _, err := s.Do(ctx, 0, []Task{sleepTask(0, 0), sleepTask(0, 0)}); err == nil {
+		t.Error("duplicate server succeeded")
+	}
+	if _, err := s.Do(ctx, 0, []Task{{Server: 0}}); err == nil {
+		t.Error("nil Run succeeded")
+	}
+}
+
+func TestDoExecutesFanout(t *testing.T) {
+	s := testScheduler(t, 4, core.TFEDFQ)
+	var ran int32
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Server: i, Run: func(context.Context) error {
+			atomic.AddInt32(&ran, 1)
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		}}
+	}
+	lat, err := s.Do(context.Background(), 0, tasks)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 4 {
+		t.Errorf("ran %d tasks, want 4", got)
+	}
+	// Parallel across servers: total latency well below 4 x 2 ms.
+	if lat <= 0 || lat > 7 {
+		t.Errorf("query latency = %v ms, want ~2-4 (parallel execution)", lat)
+	}
+	stats := s.Snapshot()
+	if rec := stats.PerClass[0]; rec == nil || rec.Count() != 1 {
+		t.Errorf("class-0 recorder = %+v, want 1 query", rec)
+	}
+	if stats.Tasks != 4 {
+		t.Errorf("Tasks = %d, want 4", stats.Tasks)
+	}
+}
+
+func TestDoPropagatesTaskError(t *testing.T) {
+	s := testScheduler(t, 2, core.TFEDFQ)
+	boom := errors.New("boom")
+	_, err := s.Do(context.Background(), 0, []Task{
+		sleepTask(0, 0),
+		{Server: 1, Run: func(context.Context) error { return boom }},
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("Do error = %v, want boom", err)
+	}
+}
+
+func TestSerialPerServer(t *testing.T) {
+	// Two concurrent queries targeting the same server must execute their
+	// tasks one at a time.
+	s := testScheduler(t, 1, core.TFEDFQ)
+	var concurrent, maxConcurrent int32
+	task := func() Task {
+		return Task{Server: 0, Run: func(context.Context) error {
+			c := atomic.AddInt32(&concurrent, 1)
+			for {
+				m := atomic.LoadInt32(&maxConcurrent)
+				if c <= m || atomic.CompareAndSwapInt32(&maxConcurrent, m, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt32(&concurrent, -1)
+			return nil
+		}}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Do(context.Background(), 0, []Task{task()}); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&maxConcurrent); got != 1 {
+		t.Errorf("max concurrency on one server = %d, want 1", got)
+	}
+}
+
+func TestContextCancellationSkipsQueuedTasks(t *testing.T) {
+	s := testScheduler(t, 1, core.TFEDFQ)
+	// Occupy the server with a task that blocks until released, so the
+	// sequencing is explicit rather than timing-based.
+	blockerStarted := make(chan struct{})
+	release := make(chan struct{})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		_, _ = s.Do(context.Background(), 0, []Task{{Server: 0, Run: func(context.Context) error {
+			close(blockerStarted)
+			<-release
+			return nil
+		}}})
+	}()
+	<-blockerStarted // the server is now busy
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Do(ctx, 0, []Task{{Server: 0, Run: func(context.Context) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		}}})
+		errCh <- err
+	}()
+	// Cancel while the second query is queued behind the blocker, then
+	// release the server.
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Errorf("Do error = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-blockerDone
+	s.Close() // waits for the skipped task's bookkeeping
+	if got := atomic.LoadInt32(&ran); got != 0 {
+		t.Errorf("cancelled task still ran %d times", got)
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	classes, _ := workload.SingleClass(10)
+	s, err := New(Config{Servers: 1, Classes: classes, Spec: core.FIFO})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Close()
+	if _, err := s.Do(context.Background(), 0, []Task{sleepTask(0, 0)}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Do after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDeadlineOrderingUnderContention(t *testing.T) {
+	// One slow server; submit a low-class wide query first and a
+	// high-class narrow query second while the server is busy. Under
+	// TF-EDFQ the tighter-budget task (wide fanout, tight SLO) must run
+	// before the looser one when both are queued.
+	classes, err := workload.NewClassSet([]workload.Class{
+		{ID: 0, Name: "tight", SLOMs: 20, Percentile: 0.99, Weight: 1},
+		{ID: 1, Name: "loose", SLOMs: 200, Percentile: 0.99, Weight: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewClassSet: %v", err)
+	}
+	offline, _ := dist.NewExponential(5)
+	s, err := New(Config{Servers: 1, Classes: classes, Offline: offline})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	var order []string
+	var mu sync.Mutex
+	record := func(name string) Task {
+		return Task{Server: 0, Run: func(context.Context) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	// Occupy the server with an explicitly released blocker so both
+	// later submissions are guaranteed to be queued when it frees.
+	blockerStarted := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Do(context.Background(), 1, []Task{{Server: 0, Run: func(context.Context) error {
+			close(blockerStarted)
+			<-release
+			return nil
+		}}})
+	}()
+	<-blockerStarted
+	go func() {
+		defer wg.Done()
+		_, _ = s.Do(context.Background(), 1, []Task{record("loose")})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Do(context.Background(), 0, []Task{record("tight")})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "tight" {
+		t.Errorf("execution order = %v, want tight first (EDF)", order)
+	}
+}
+
+func TestAdmissionControlIntegration(t *testing.T) {
+	classes, _ := workload.SingleClass(1) // 1 ms SLO: impossible for 5 ms tasks
+	offline, _ := dist.NewExponential(1)
+	s, err := New(Config{
+		Servers:            1,
+		Classes:            classes,
+		Offline:            offline,
+		AdmissionWindowMs:  50,
+		AdmissionThreshold: 0.05,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	var rejected int
+	for i := 0; i < 200; i++ {
+		_, err := s.Do(context.Background(), 0, []Task{sleepTask(0, time.Millisecond)})
+		if errors.Is(err, ErrRejected) {
+			rejected++
+		} else if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	if rejected == 0 {
+		t.Error("no rejections despite guaranteed deadline misses")
+	}
+	if stats := s.Snapshot(); stats.TaskMissRatio == 0 {
+		t.Error("miss ratio = 0 despite 1 ms SLO and >= 1 ms tasks")
+	}
+}
+
+func TestBudgetExposure(t *testing.T) {
+	s := testScheduler(t, 4, core.TFEDFQ)
+	b1, err := s.Budget(0, []int{0})
+	if err != nil {
+		t.Fatalf("Budget: %v", err)
+	}
+	b4, err := s.Budget(0, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("Budget: %v", err)
+	}
+	if b4 >= b1 {
+		t.Errorf("wider fanout budget %v not below narrow %v", b4, b1)
+	}
+}
+
+func TestOnlineLearningShiftsBudgets(t *testing.T) {
+	// Tasks take ~8 ms but the offline seed says ~0.1 ms; after enough
+	// queries the learned CDF must shrink the budget.
+	classes, _ := workload.SingleClass(100)
+	offline, _ := dist.NewExponential(0.1)
+	s, err := New(Config{Servers: 1, Classes: classes, Offline: offline, SeedSamples: 200, HalfLife: 300})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	before, err := s.Budget(0, []int{0})
+	if err != nil {
+		t.Fatalf("Budget: %v", err)
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := s.Do(context.Background(), 0, []Task{sleepTask(0, 8*time.Millisecond)}); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	after, err := s.Budget(0, []int{0})
+	if err != nil {
+		t.Fatalf("Budget: %v", err)
+	}
+	if after >= before {
+		t.Errorf("budget did not shrink after learning slow tasks: before %v, after %v", before, after)
+	}
+}
+
+func TestManyConcurrentQueries(t *testing.T) {
+	s := testScheduler(t, 8, core.TFEDFQ)
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for i := 0; i < 200; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tasks := []Task{sleepTask(i%8, 100*time.Microsecond), sleepTask((i+3)%8, 100*time.Microsecond)}
+			if _, err := s.Do(context.Background(), i%2, tasks); err != nil {
+				errs <- fmt.Errorf("query %d: %w", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	stats := s.Snapshot()
+	if got := stats.PerClass[0].Count() + stats.PerClass[1].Count(); got != 200 {
+		t.Errorf("recorded %d queries, want 200", got)
+	}
+}

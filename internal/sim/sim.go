@@ -1,0 +1,127 @@
+// Package sim is a minimal deterministic discrete-event simulation engine.
+// It provides a virtual millisecond clock and an event heap with strict
+// FIFO tie-breaking, which the cluster simulator builds the TailGuard
+// query-processing model on.
+//
+// The engine is single-threaded by design: determinism (bit-for-bit
+// reproducible experiments given a seed) matters more here than parallel
+// speedup, and individual simulation runs are already fast enough to
+// binary-search maximum loads in seconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in milliseconds.
+type Time = float64
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // schedule order, breaks ties deterministically
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before
+// Now) is a bookkeeping bug and returns an error.
+func (e *Engine) Schedule(at Time, fn func()) error {
+	if at < e.now {
+		return fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("sim: schedule with nil callback")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// ScheduleAfter runs fn after delay d (>= 0) from now.
+func (e *Engine) ScheduleAfter(d Time, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("sim: negative delay %v", d)
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step executes the earliest pending event, advancing the clock to it.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called. The
+// clock ends at the last executed event's time.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then sets the clock to
+// deadline if it is ahead of the last event.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 || e.events[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop makes the current Run/RunUntil return after the executing event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad throws arbitrary bytes at the JSONL trace parser: it must
+// either reject the input or produce a trace that round-trips.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(`{"id":0,"arrival_ms":1,"class":0,"servers":[1],"services_ms":[0.5]}` + "\n"))
+	f.Add([]byte(`{"id":0,"arrival_ms":5,"class":0,"servers":[1,2],"services_ms":[0.5,0.2]}` + "\n" +
+		`{"id":1,"arrival_ms":6,"class":1,"servers":[3],"services_ms":[0.1]}` + "\n"))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"id":0,"arrival_ms":1,"class":-1,"servers":[1],"services_ms":[0.5]}`))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected, fine
+		}
+		// Accepted traces must satisfy the invariants and round-trip.
+		prev := 0.0
+		for i := range recs {
+			if validateErr := recs[i].validate(prev); validateErr != nil {
+				t.Fatalf("Load accepted an invalid record: %v", validateErr)
+			}
+			prev = recs[i].Arrival
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, recs); err != nil {
+			t.Fatalf("Save of loaded trace failed: %v", err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(recs), len(back))
+		}
+	})
+}
+
+// FuzzLoadGob does the same for the gob decoder.
+func FuzzLoadGob(f *testing.F) {
+	recs := []Record{{ID: 0, Arrival: 1, Servers: []int{1}, Services: []float64{0.5}}}
+	var seed bytes.Buffer
+	if err := SaveGob(&seed, recs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadGob(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		prev := 0.0
+		for i := range loaded {
+			if validateErr := loaded[i].validate(prev); validateErr != nil {
+				t.Fatalf("LoadGob accepted an invalid record: %v", validateErr)
+			}
+			prev = loaded[i].Arrival
+		}
+	})
+}
+
+// FuzzRecordJSON checks that any single well-formed JSON line either
+// fails validation loudly or is preserved field-for-field.
+func FuzzRecordJSON(f *testing.F) {
+	f.Add(int64(3), 2.5, 1, "0,5", "0.1,0.9")
+	f.Fuzz(func(t *testing.T, id int64, arrival float64, class int, serversCSV, servicesCSV string) {
+		if math.IsNaN(arrival) || math.IsInf(arrival, 0) {
+			return // not representable in JSON
+		}
+		// Construct a line from the fuzzed fields (CSV ints/floats).
+		line := `{"id":` + strconv.FormatInt(id, 10) +
+			`,"arrival_ms":` + strconv.FormatFloat(arrival, 'g', -1, 64) +
+			`,"class":` + strconv.Itoa(class) + `,"servers":[` + serversCSV +
+			`],"services_ms":[` + servicesCSV + `]}` + "\n"
+		recs, err := Load(strings.NewReader(line))
+		if err != nil {
+			return
+		}
+		if len(recs) != 1 {
+			t.Fatalf("got %d records from one line", len(recs))
+		}
+		if recs[0].ID != id {
+			t.Fatalf("ID changed: %d -> %d", id, recs[0].ID)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func meanGap(t *testing.T, a ArrivalProcess, n int, seed int64) float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < n; i++ {
+		g := a.NextGap(r)
+		if g <= 0 {
+			t.Fatalf("NextGap returned non-positive gap %v", g)
+		}
+		sum += g
+	}
+	return sum / float64(n)
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p, err := NewPoisson(0.5) // 0.5 queries/ms -> mean gap 2 ms
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	if got := p.Rate(); got != 0.5 {
+		t.Errorf("Rate() = %v, want 0.5", got)
+	}
+	if m := meanGap(t, p, 100000, 1); math.Abs(m-2) > 0.05 {
+		t.Errorf("mean gap = %v, want ~2", m)
+	}
+}
+
+func TestPoissonInvalid(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewPoisson(rate); err == nil {
+			t.Errorf("NewPoisson(%v) succeeded, want error", rate)
+		}
+	}
+}
+
+func TestParetoMeanGapMatchesRate(t *testing.T) {
+	p, err := NewPareto(0.25, DefaultParetoAlpha) // mean gap 4 ms
+	if err != nil {
+		t.Fatalf("NewPareto: %v", err)
+	}
+	// alpha=1.5 has infinite variance, so the sample mean converges
+	// slowly; use many samples and a loose tolerance.
+	if m := meanGap(t, p, 2000000, 2); math.Abs(m-4)/4 > 0.15 {
+		t.Errorf("mean gap = %v, want ~4", m)
+	}
+}
+
+func TestParetoBurstierThanPoisson(t *testing.T) {
+	// Same rate; Pareto gaps must have a heavier tail (larger p99.9 gap).
+	rate := 1.0
+	po, _ := NewPoisson(rate)
+	pa, _ := NewPareto(rate, DefaultParetoAlpha)
+	quantileGap := func(a ArrivalProcess, seed int64) float64 {
+		r := rand.New(rand.NewSource(seed))
+		gaps := make([]float64, 100000)
+		for i := range gaps {
+			gaps[i] = a.NextGap(r)
+		}
+		// crude order statistic
+		max := 0.0
+		for _, g := range gaps {
+			if g > max {
+				max = g
+			}
+		}
+		return max
+	}
+	if mp, mq := quantileGap(po, 3), quantileGap(pa, 3); mq <= mp {
+		t.Errorf("pareto max gap %v not heavier than poisson %v", mq, mp)
+	}
+}
+
+func TestSinusoidalMeanRate(t *testing.T) {
+	s, err := NewSinusoidal(1.0, 0.5, 100)
+	if err != nil {
+		t.Fatalf("NewSinusoidal: %v", err)
+	}
+	if got := s.Rate(); got != 1.0 {
+		t.Errorf("Rate() = %v", got)
+	}
+	// Over many whole periods the mean gap approaches 1/mean.
+	if m := meanGap(t, s, 500000, 4); math.Abs(m-1)/1 > 0.03 {
+		t.Errorf("mean gap = %v, want ~1", m)
+	}
+}
+
+func TestSinusoidalSwings(t *testing.T) {
+	// Count arrivals in the peak half-period vs the trough half-period.
+	s, err := NewSinusoidal(1.0, 0.8, 1000)
+	if err != nil {
+		t.Fatalf("NewSinusoidal: %v", err)
+	}
+	r := rand.New(rand.NewSource(5))
+	var tpos float64
+	peak, trough := 0, 0
+	for i := 0; i < 200000; i++ {
+		tpos += s.NextGap(r)
+		phase := math.Mod(tpos, 1000)
+		if phase < 500 {
+			peak++ // sin > 0 half
+		} else {
+			trough++
+		}
+	}
+	ratio := float64(peak) / float64(trough)
+	// With amplitude 0.8 the half-period intensities are 1+2*0.8/pi vs
+	// 1-2*0.8/pi -> ratio ~ 3.1.
+	if ratio < 2.3 || ratio > 4.2 {
+		t.Errorf("peak/trough arrival ratio = %v, want ~3.1", ratio)
+	}
+}
+
+func TestSinusoidalInvalid(t *testing.T) {
+	if _, err := NewSinusoidal(0, 0.5, 100); err == nil {
+		t.Error("zero rate succeeded")
+	}
+	if _, err := NewSinusoidal(1, 1.0, 100); err == nil {
+		t.Error("amplitude 1 succeeded")
+	}
+	if _, err := NewSinusoidal(1, -0.1, 100); err == nil {
+		t.Error("negative amplitude succeeded")
+	}
+	if _, err := NewSinusoidal(1, 0.5, 0); err == nil {
+		t.Error("zero period succeeded")
+	}
+}
+
+func TestParetoInvalid(t *testing.T) {
+	if _, err := NewPareto(0, 1.5); err == nil {
+		t.Error("NewPareto(0, 1.5) succeeded, want error")
+	}
+	if _, err := NewPareto(1, 1); err == nil {
+		t.Error("NewPareto(1, 1) succeeded, want error (infinite mean)")
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Class is one service class: a tail-latency SLO expressed as the
+// Percentile-th percentile query latency of SLOMs milliseconds, plus the
+// class's share of the query mix. Lower ID means higher priority under
+// PRIQ (class 0 is the most stringent).
+type Class struct {
+	ID         int
+	Name       string
+	SLOMs      float64 // x_p^SLO: the tail-latency SLO in milliseconds
+	Percentile float64 // p, e.g. 0.99 for a 99th-percentile SLO
+	Weight     float64 // relative share of queries in the mix
+}
+
+func (c Class) validate() error {
+	if c.SLOMs <= 0 {
+		return fmt.Errorf("workload: class %d (%s) has non-positive SLO %v ms", c.ID, c.Name, c.SLOMs)
+	}
+	if c.Percentile <= 0 || c.Percentile >= 1 {
+		return fmt.Errorf("workload: class %d (%s) percentile %v outside (0, 1)", c.ID, c.Name, c.Percentile)
+	}
+	if c.Weight < 0 {
+		return fmt.Errorf("workload: class %d (%s) has negative weight %v", c.ID, c.Name, c.Weight)
+	}
+	return nil
+}
+
+// ClassSet is a validated collection of service classes with weighted
+// sampling. Classes are stored in ID order with IDs 0..n-1.
+type ClassSet struct {
+	classes []Class
+	cum     []float64
+}
+
+// NewClassSet validates and indexes the given classes. IDs must be the
+// dense range 0..n-1 (any order in the input); weights must have a
+// positive sum.
+func NewClassSet(classes []Class) (*ClassSet, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("workload: class set needs at least one class")
+	}
+	cs := append([]Class(nil), classes...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+	var sum float64
+	for i, c := range cs {
+		if c.ID != i {
+			return nil, fmt.Errorf("workload: class IDs must be dense 0..%d, got %d at position %d", len(cs)-1, c.ID, i)
+		}
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		sum += c.Weight
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("workload: class weights sum to %v", sum)
+	}
+	set := &ClassSet{classes: cs, cum: make([]float64, len(cs))}
+	var c float64
+	for i := range cs {
+		c += cs[i].Weight / sum
+		set.cum[i] = c
+	}
+	set.cum[len(set.cum)-1] = 1
+	return set, nil
+}
+
+// SingleClass returns a one-class set with the given 99th-percentile SLO,
+// the configuration of the paper's single-class case studies.
+func SingleClass(sloMs float64) (*ClassSet, error) {
+	return NewClassSet([]Class{{ID: 0, Name: "default", SLOMs: sloMs, Percentile: 0.99, Weight: 1}})
+}
+
+// TwoClasses returns the paper's two-class configuration: a high class
+// with the given 99th-percentile SLO and a low class with ratio times that
+// SLO (the paper uses ratio 1.5), each receiving half the queries.
+func TwoClasses(highSLOMs, ratio float64) (*ClassSet, error) {
+	if ratio < 1 {
+		return nil, fmt.Errorf("workload: low-class SLO ratio must be >= 1, got %v", ratio)
+	}
+	return NewClassSet([]Class{
+		{ID: 0, Name: "high", SLOMs: highSLOMs, Percentile: 0.99, Weight: 1},
+		{ID: 1, Name: "low", SLOMs: highSLOMs * ratio, Percentile: 0.99, Weight: 1},
+	})
+}
+
+// Len returns the number of classes.
+func (s *ClassSet) Len() int { return len(s.classes) }
+
+// Class returns the class with the given ID.
+func (s *ClassSet) Class(id int) (Class, error) {
+	if id < 0 || id >= len(s.classes) {
+		return Class{}, fmt.Errorf("workload: class ID %d out of range [0, %d)", id, len(s.classes))
+	}
+	return s.classes[id], nil
+}
+
+// Classes returns a copy of all classes in ID order.
+func (s *ClassSet) Classes() []Class { return append([]Class(nil), s.classes...) }
+
+// Sample draws a class ID according to the weights.
+func (s *ClassSet) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(s.cum, u)
+	if i >= len(s.classes) {
+		i = len(s.classes) - 1
+	}
+	return s.classes[i].ID
+}

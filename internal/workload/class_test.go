@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSingleClass(t *testing.T) {
+	cs, err := SingleClass(0.8)
+	if err != nil {
+		t.Fatalf("SingleClass: %v", err)
+	}
+	if got := cs.Len(); got != 1 {
+		t.Errorf("Len() = %d, want 1", got)
+	}
+	c, err := cs.Class(0)
+	if err != nil {
+		t.Fatalf("Class(0): %v", err)
+	}
+	if c.SLOMs != 0.8 || c.Percentile != 0.99 {
+		t.Errorf("Class(0) = %+v, want SLO 0.8 p99", c)
+	}
+	if got := cs.Sample(rand.New(rand.NewSource(1))); got != 0 {
+		t.Errorf("Sample() = %d, want 0", got)
+	}
+}
+
+func TestTwoClassesPaperRatio(t *testing.T) {
+	cs, err := TwoClasses(1.0, 1.5)
+	if err != nil {
+		t.Fatalf("TwoClasses: %v", err)
+	}
+	hi, _ := cs.Class(0)
+	lo, _ := cs.Class(1)
+	if hi.SLOMs != 1.0 || lo.SLOMs != 1.5 {
+		t.Errorf("SLOs = %v/%v, want 1.0/1.5", hi.SLOMs, lo.SLOMs)
+	}
+	// Equal probability split.
+	r := rand.New(rand.NewSource(2))
+	var c0 int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if cs.Sample(r) == 0 {
+			c0++
+		}
+	}
+	if frac := float64(c0) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("class 0 fraction = %v, want ~0.5", frac)
+	}
+	if _, err := TwoClasses(1, 0.5); err == nil {
+		t.Error("TwoClasses with ratio < 1 succeeded, want error")
+	}
+}
+
+func TestNewClassSetValidation(t *testing.T) {
+	valid := Class{ID: 0, SLOMs: 1, Percentile: 0.99, Weight: 1}
+	cases := []struct {
+		name    string
+		classes []Class
+	}{
+		{"empty", nil},
+		{"sparse ids", []Class{valid, {ID: 2, SLOMs: 1, Percentile: 0.99, Weight: 1}}},
+		{"duplicate ids", []Class{valid, {ID: 0, SLOMs: 2, Percentile: 0.99, Weight: 1}}},
+		{"bad slo", []Class{{ID: 0, SLOMs: 0, Percentile: 0.99, Weight: 1}}},
+		{"bad percentile", []Class{{ID: 0, SLOMs: 1, Percentile: 1, Weight: 1}}},
+		{"negative weight", []Class{{ID: 0, SLOMs: 1, Percentile: 0.99, Weight: -1}}},
+		{"zero weights", []Class{{ID: 0, SLOMs: 1, Percentile: 0.99, Weight: 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewClassSet(tc.classes); err == nil {
+				t.Errorf("NewClassSet(%v) succeeded, want error", tc.classes)
+			}
+		})
+	}
+}
+
+func TestClassSetOutOfOrderInput(t *testing.T) {
+	cs, err := NewClassSet([]Class{
+		{ID: 1, Name: "low", SLOMs: 3, Percentile: 0.99, Weight: 1},
+		{ID: 0, Name: "high", SLOMs: 1, Percentile: 0.99, Weight: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewClassSet: %v", err)
+	}
+	c0, _ := cs.Class(0)
+	if c0.Name != "high" {
+		t.Errorf("Class(0).Name = %q, want high", c0.Name)
+	}
+	if _, err := cs.Class(5); err == nil {
+		t.Error("Class(5) succeeded, want error")
+	}
+	if _, err := cs.Class(-1); err == nil {
+		t.Error("Class(-1) succeeded, want error")
+	}
+}
+
+func TestClassesReturnsCopy(t *testing.T) {
+	cs, _ := SingleClass(1)
+	got := cs.Classes()
+	got[0].SLOMs = 99
+	c, _ := cs.Class(0)
+	if c.SLOMs != 1 {
+		t.Error("mutating Classes() result changed the set")
+	}
+}
+
+func TestClassSetWeightedSampling(t *testing.T) {
+	cs, err := NewClassSet([]Class{
+		{ID: 0, SLOMs: 1, Percentile: 0.99, Weight: 4},
+		{ID: 1, SLOMs: 2, Percentile: 0.99, Weight: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewClassSet: %v", err)
+	}
+	r := rand.New(rand.NewSource(3))
+	var c0 int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if cs.Sample(r) == 0 {
+			c0++
+		}
+	}
+	if frac := float64(c0) / n; math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("class 0 fraction = %v, want ~0.8", frac)
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Query is one generated query: its arrival time, service class, fanout,
+// and the task servers its tasks are dispatched to.
+type Query struct {
+	ID      int64
+	Arrival float64 // absolute arrival time t0 (ms)
+	Class   int     // class ID within the generator's ClassSet
+	Fanout  int     // kf = len(Servers)
+	Servers []int   // distinct task-server indices in [0, N)
+
+	// Services optionally pins each task's service time (parallel to
+	// Servers), used by trace replay; when nil the simulator samples from
+	// the per-server distributions.
+	Services []float64
+	// Budget, when HasBudget is set, overrides the policy deadline rule
+	// with tD = Arrival + Budget. The request-level decomposition
+	// extension uses it to assign per-query pre-dequeuing budgets.
+	Budget    float64
+	HasBudget bool
+	// Request tags the request this query belongs to (request-level
+	// extension); -1 or 0 for standalone queries.
+	Request int64
+}
+
+// QuerySource produces a stream of queries with non-decreasing arrival
+// times. Generator is the standard implementation; trace replayers and
+// request workloads provide others.
+type QuerySource interface {
+	// Next returns the next query. The second result is false when the
+	// stream is exhausted (Generator streams are infinite).
+	Next() (Query, bool)
+}
+
+// GeneratorConfig configures a query generator.
+type GeneratorConfig struct {
+	Servers int            // cluster size N
+	Arrival ArrivalProcess // query arrival process
+	Fanout  FanoutDist     // query fanout distribution
+	Classes *ClassSet      // service classes and mix
+	// Placement optionally overrides uniform-random distinct server
+	// selection; it must return kf distinct indices in [0, Servers).
+	Placement func(r *rand.Rand, fanout int) []int
+}
+
+// Generator produces a deterministic (given the seed) stream of queries.
+// It is not safe for concurrent use; each simulation owns one generator.
+type Generator struct {
+	cfg    GeneratorConfig
+	rng    *rand.Rand
+	nextID int64
+	now    float64
+	// scratch for sampling distinct servers without replacement
+	perm []int
+}
+
+// NewGenerator validates the configuration and returns a generator seeded
+// with the given seed.
+func NewGenerator(cfg GeneratorConfig, seed int64) (*Generator, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("workload: cluster size must be >= 1, got %d", cfg.Servers)
+	}
+	if cfg.Arrival == nil {
+		return nil, fmt.Errorf("workload: arrival process is required")
+	}
+	if cfg.Fanout == nil {
+		return nil, fmt.Errorf("workload: fanout distribution is required")
+	}
+	if cfg.Classes == nil {
+		return nil, fmt.Errorf("workload: class set is required")
+	}
+	if max := cfg.Fanout.Max(); max > cfg.Servers {
+		return nil, fmt.Errorf("workload: max fanout %d exceeds cluster size %d", max, cfg.Servers)
+	}
+	g := &Generator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		perm: make([]int, cfg.Servers),
+	}
+	for i := range g.perm {
+		g.perm[i] = i
+	}
+	return g, nil
+}
+
+// Next returns the next query in the stream. Generator streams never end,
+// so the second result is always true.
+func (g *Generator) Next() (Query, bool) {
+	g.now += g.cfg.Arrival.NextGap(g.rng)
+	fanout := g.cfg.Fanout.Sample(g.rng)
+	q := Query{
+		ID:      g.nextID,
+		Arrival: g.now,
+		Class:   g.cfg.Classes.Sample(g.rng),
+		Fanout:  fanout,
+		Servers: g.place(fanout),
+	}
+	g.nextID++
+	return q, true
+}
+
+// place selects fanout distinct servers.
+func (g *Generator) place(fanout int) []int {
+	if g.cfg.Placement != nil {
+		return g.cfg.Placement(g.rng, fanout)
+	}
+	// Partial Fisher-Yates over the persistent permutation buffer: O(kf)
+	// per query regardless of N.
+	n := len(g.perm)
+	out := make([]int, fanout)
+	for i := 0; i < fanout; i++ {
+		j := i + g.rng.Intn(n-i)
+		g.perm[i], g.perm[j] = g.perm[j], g.perm[i]
+		out[i] = g.perm[i]
+	}
+	return out
+}
+
+// Now returns the arrival time of the last generated query.
+func (g *Generator) Now() float64 { return g.now }
+
+// RateForLoad converts a target offered load (utilization in [0, 1]) into
+// the query arrival rate (queries/ms) that produces it:
+//
+//	rho = lambda * E[kf] * Tm / N  =>  lambda = rho * N / (E[kf] * Tm)
+//
+// where Tm is the mean task service time in ms and N the cluster size.
+// This is how the paper's x-axes ("Load (%)") map onto arrival rates.
+func RateForLoad(load float64, servers int, meanTasks, meanServiceMs float64) (float64, error) {
+	if load <= 0 {
+		return 0, fmt.Errorf("workload: load must be positive, got %v", load)
+	}
+	if servers < 1 {
+		return 0, fmt.Errorf("workload: cluster size must be >= 1, got %d", servers)
+	}
+	if meanTasks <= 0 || meanServiceMs <= 0 {
+		return 0, fmt.Errorf("workload: mean tasks (%v) and mean service time (%v) must be positive", meanTasks, meanServiceMs)
+	}
+	return load * float64(servers) / (meanTasks * meanServiceMs), nil
+}
+
+// LoadForRate is the inverse of RateForLoad.
+func LoadForRate(rate float64, servers int, meanTasks, meanServiceMs float64) (float64, error) {
+	if rate <= 0 {
+		return 0, fmt.Errorf("workload: rate must be positive, got %v", rate)
+	}
+	if servers < 1 {
+		return 0, fmt.Errorf("workload: cluster size must be >= 1, got %d", servers)
+	}
+	return rate * meanTasks * meanServiceMs / float64(servers), nil
+}
