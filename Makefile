@@ -1,0 +1,40 @@
+# TailGuard build and verification targets. `make ci` is exactly what the
+# GitHub workflow runs; keep the two in sync.
+
+GO ?= go
+TGLINT := bin/tglint
+
+.PHONY: all build lint vet fmt test race ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+$(TGLINT): $(shell find tools/tglint -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o $(TGLINT) ./tools/tglint
+
+# lint runs the five tglint analyzers twice: standalone over the module
+# (fast, one process) and as a `go vet -vettool` (exercises the unitchecker
+# wire protocol the way CI consumers drive it).
+lint: $(TGLINT)
+	./$(TGLINT) ./...
+	$(GO) vet -vettool=$(TGLINT) ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build fmt vet lint race
+
+clean:
+	rm -rf bin

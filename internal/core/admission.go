@@ -38,14 +38,14 @@ type AdmissionController struct {
 	mu        sync.Mutex
 	windowMs  float64
 	threshold float64
-	rng       *rand.Rand
-	events    []admissionEvent // chronological queue of observations
-	head      int              // index of oldest live event
-	misses    int              // misses among live events
-	dropProb  float64
-	lastCtl   float64 // time of the last drop-probability update
-	accepted  int
-	rejected  int
+	rng       *rand.Rand       // guarded by mu
+	events    []admissionEvent // guarded by mu; chronological queue of observations
+	head      int              // guarded by mu; index of oldest live event
+	misses    int              // guarded by mu; misses among live events
+	dropProb  float64          // guarded by mu
+	lastCtl   float64          // guarded by mu; time of the last drop-probability update
+	accepted  int              // guarded by mu
+	rejected  int              // guarded by mu
 }
 
 type admissionEvent struct {
@@ -106,9 +106,9 @@ func (a *AdmissionController) updateDropLocked(now float64) {
 	}
 }
 
-// evict drops observations older than now - windowMs and compacts the
-// backing slice when the dead prefix dominates.
-func (a *AdmissionController) evict(now float64) {
+// evictLocked drops observations older than now - windowMs and compacts
+// the backing slice when the dead prefix dominates; callers hold mu.
+func (a *AdmissionController) evictLocked(now float64) {
 	cutoff := now - a.windowMs
 	for a.head < len(a.events) && a.events[a.head].at < cutoff {
 		if a.events[a.head].missed {
@@ -138,7 +138,7 @@ func (a *AdmissionController) ratioLocked() float64 {
 func (a *AdmissionController) Admit(now float64) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.evict(now)
+	a.evictLocked(now)
 	a.updateDropLocked(now)
 	if a.dropProb > 0 && a.rng.Float64() < a.dropProb {
 		a.rejected++
@@ -152,7 +152,7 @@ func (a *AdmissionController) Admit(now float64) bool {
 func (a *AdmissionController) DropProbability(now float64) float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.evict(now)
+	a.evictLocked(now)
 	a.updateDropLocked(now)
 	return a.dropProb
 }
@@ -164,7 +164,7 @@ func (a *AdmissionController) DropProbability(now float64) float64 {
 func (a *AdmissionController) ObserveTask(missedDeadline bool, now float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.evict(now)
+	a.evictLocked(now)
 	a.events = append(a.events, admissionEvent{at: now, missed: missedDeadline})
 	if missedDeadline {
 		a.misses++
@@ -175,7 +175,7 @@ func (a *AdmissionController) ObserveTask(missedDeadline bool, now float64) {
 func (a *AdmissionController) MissRatio(now float64) float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.evict(now)
+	a.evictLocked(now)
 	return a.ratioLocked()
 }
 

@@ -30,8 +30,8 @@ type TailEstimator struct {
 	mu       sync.Mutex
 	servers  []*dist.OnlineCDF
 	static   []dist.Distribution // non-updating alternative to servers
-	cache    map[tailKey]float64
-	cacheVer uint64
+	cache    map[tailKey]float64 // guarded by mu
+	cacheVer uint64              // guarded by mu
 }
 
 type tailKey struct {

@@ -42,8 +42,9 @@ func (e *ECDF) N() int { return len(e.sorted) }
 func (e *ECDF) CDF(t float64) float64 {
 	i := sort.SearchFloat64s(e.sorted, t)
 	// SearchFloat64s returns the first index with sorted[i] >= t; advance
-	// over equal values to count them as <= t.
-	for i < len(e.sorted) && e.sorted[i] == t {
+	// over equal values to count them as <= t. (Ordered comparison: for
+	// i in this range, sorted[i] <= t iff sorted[i] == t.)
+	for i < len(e.sorted) && e.sorted[i] <= t {
 		i++
 	}
 	return float64(i) / float64(len(e.sorted))

@@ -1,0 +1,33 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNearlyEqual(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1 + 1e-6, 1e-9, false},
+		{0, 1e-12, 1e-9, true},                 // absolute floor near zero
+		{0, math.Copysign(0, -1), 1e-15, true}, // +0 vs -0
+		{1e12, 1e12 * (1 + 1e-12), 1e-9, true}, // relative at scale
+		{1e12, 1.001e12, 1e-9, false},
+		{inf, inf, 1e-9, true},
+		{inf, -inf, 1e-9, false},
+		{inf, 1e300, 1e-9, false},
+		{nan, nan, 1e-9, false},
+		{nan, 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := NearlyEqual(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("NearlyEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}

@@ -53,12 +53,12 @@ type OnlineCDF struct {
 	cfg     OnlineCDFConfig
 	logMin  float64
 	perDec  float64
-	counts  []float64
-	total   float64
-	sum     float64
-	adds    int
-	version uint64
-	decayF  float64 // multiplicative decay applied every DecayInterval adds
+	counts  []float64 // guarded by mu (bucket weights; the slice itself is fixed)
+	total   float64   // guarded by mu
+	sum     float64   // guarded by mu
+	adds    int       // guarded by mu
+	version uint64    // guarded by mu
+	decayF  float64   // multiplicative decay applied every DecayInterval adds
 }
 
 // NewOnlineCDF returns an empty online CDF with the given configuration.
@@ -78,8 +78,9 @@ func NewOnlineCDF(cfg OnlineCDFConfig) *OnlineCDF {
 	return o
 }
 
-// bucket returns the bucket index for latency t (clamped).
-func (o *OnlineCDF) bucket(t float64) int {
+// bucketLocked returns the bucket index for latency t (clamped);
+// callers hold mu.
+func (o *OnlineCDF) bucketLocked(t float64) int {
 	if t <= o.cfg.Min {
 		return 0
 	}
@@ -102,7 +103,7 @@ func (o *OnlineCDF) Add(t float64) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.counts[o.bucket(t)]++
+	o.counts[o.bucketLocked(t)]++
 	o.total++
 	o.sum += t
 	o.adds++
@@ -147,7 +148,7 @@ func (o *OnlineCDF) CDF(t float64) float64 {
 	if t < o.cfg.Min {
 		return 0
 	}
-	b := o.bucket(t)
+	b := o.bucketLocked(t)
 	var c float64
 	for i := 0; i < b; i++ {
 		c += o.counts[i]

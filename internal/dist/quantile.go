@@ -109,7 +109,9 @@ func (q *QuantileTable) CDF(t float64) float64 {
 	i := sort.Search(len(q.bps), func(i int) bool { return q.bps[i].T > t })
 	// i >= 1 because t >= bps[0].T, and i < len because t < last.T.
 	a, b := q.bps[i-1], q.bps[i]
-	if b.T == a.T {
+	// Breakpoints are T-sorted, so <= here means a degenerate (zero-width)
+	// segment; bail before dividing by it.
+	if b.T <= a.T {
 		return b.P
 	}
 	frac := (t - a.T) / (b.T - a.T)

@@ -49,6 +49,13 @@ type reqState struct {
 // requestWorkload wires a request plan into the cluster simulator: it is
 // the query source for each request's first query, and the completion hook
 // chains the remaining queries and records request latencies.
+//
+// The single rng is shared between arrival-gap sampling (Next) and server
+// placement (place) deliberately: the cluster simulator's event loop
+// is single-goroutine, so the accesses never race, and both consumers
+// drawing from one seeded stream is what makes a run a deterministic
+// function of RunConfig.Seed. Splitting it into per-purpose RNGs would
+// change every seeded result for no concurrency benefit.
 type requestWorkload struct {
 	cfg      RunConfig
 	budgets  []float64

@@ -44,7 +44,7 @@ type EdgeNode struct {
 	delay   dist.Distribution
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu
 
 	server      *http.Server
 	listener    net.Listener

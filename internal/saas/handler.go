@@ -119,17 +119,17 @@ type Handler struct {
 	start     time.Time
 
 	mu       sync.Mutex
-	queues   []policy.Queue
-	busy     []bool
-	busyMs   []float64 // accumulated node occupancy (compressed ms)
-	states   map[int64]*saasQueryState
-	byClass  *metrics.Breakdown[int]
-	tpo      *metrics.Breakdown[ClusterName] // post-queuing times per cluster
-	tpr      *metrics.LatencyRecorder        // task pre-dequeuing waits
-	missed   int
-	tasks    int
-	rejected int
-	errs     []error
+	queues   []policy.Queue                  // guarded by mu (the slice is fixed; elements need mu)
+	busy     []bool                          // guarded by mu
+	busyMs   []float64                       // guarded by mu; accumulated node occupancy (compressed ms)
+	states   map[int64]*saasQueryState       // guarded by mu
+	byClass  *metrics.Breakdown[int]         // guarded by mu
+	tpo      *metrics.Breakdown[ClusterName] // guarded by mu; post-queuing times per cluster
+	tpr      *metrics.LatencyRecorder        // guarded by mu; task pre-dequeuing waits
+	missed   int                             // guarded by mu
+	tasks    int                             // guarded by mu
+	rejected int                             // guarded by mu
+	errs     []error                         // guarded by mu
 	pending  sync.WaitGroup
 }
 

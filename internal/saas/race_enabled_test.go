@@ -1,0 +1,10 @@
+//go:build race
+
+package saas
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Race instrumentation slows execution 2-20x, which breaks the
+// testbed's calibrated real-time delay injection: load and latency
+// measurements are still collected, but wall-clock accuracy assertions
+// would fail for reasons unrelated to correctness.
+const raceEnabled = true

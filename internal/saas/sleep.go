@@ -16,9 +16,9 @@ import (
 // the quantity load calculations depend on.
 type sleeper struct {
 	mu   sync.Mutex
-	done bool
-	add  float64 // additive overshoot (ms)
-	prop float64 // proportional overshoot
+	done bool    // guarded by mu
+	add  float64 // guarded by mu; additive overshoot (ms)
+	prop float64 // guarded by mu; proportional overshoot
 }
 
 // defaultSleeper is shared by all edge nodes. Calibration MUST run while
@@ -31,12 +31,12 @@ var defaultSleeper sleeper
 func (s *sleeper) Recalibrate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.calibrate()
+	s.calibrateLocked()
 	s.done = true
 }
 
-// calibrate measures the sleep overshoot model; callers hold mu.
-func (s *sleeper) calibrate() {
+// calibrateLocked measures the sleep overshoot model; callers hold mu.
+func (s *sleeper) calibrateLocked() {
 	measure := func(d time.Duration, n int) float64 {
 		var total time.Duration
 		for i := 0; i < n; i++ {
@@ -61,9 +61,6 @@ func (s *sleeper) calibrate() {
 	}
 }
 
-// floorMs returns the smallest achievable positive sleep.
-func (s *sleeper) floorMs() float64 { return s.add + (1 + s.prop) }
-
 // Sleep blocks for approximately ms milliseconds. u must be a uniform
 // random variate in [0, 1) supplied by the caller (it drives the
 // probabilistic branch for sub-floor requests).
@@ -73,7 +70,7 @@ func (s *sleeper) Sleep(ms float64, u float64) {
 	}
 	s.mu.Lock()
 	if !s.done {
-		s.calibrate()
+		s.calibrateLocked()
 		s.done = true
 	}
 	add, prop := s.add, s.prop

@@ -96,6 +96,13 @@ func TestRunTestbedTailGuard(t *testing.T) {
 	if !ok {
 		t.Fatal("no server-room samples")
 	}
+	// The remaining assertions depend on wall-clock delay injection being
+	// accurate; race instrumentation slows the process enough to break
+	// them without indicating any bug (see race_enabled_test.go).
+	if raceEnabled {
+		t.Log("race detector enabled: skipping wall-clock accuracy assertions")
+		return
+	}
 	if wet.MeanMs >= sr.MeanMs {
 		t.Errorf("wet-lab mean %v not below server-room mean %v", wet.MeanMs, sr.MeanMs)
 	}

@@ -37,7 +37,7 @@ type tcpClient struct {
 	timeout time.Duration
 
 	mu    sync.Mutex
-	conns []*tcpConn
+	conns []*tcpConn // guarded by mu
 }
 
 type tcpConn struct {

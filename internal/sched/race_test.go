@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tailguard/internal/core"
+)
+
+// TestConcurrentDoStress hammers one scheduler from many goroutines so the
+// race detector can observe the per-server queue Push/Pop paths, the busy
+// bookkeeping, and the stats breakdown under genuine contention. It makes
+// no latency assertions — its job is to give `go test -race` surface area.
+func TestConcurrentDoStress(t *testing.T) {
+	const (
+		servers    = 4
+		submitters = 8
+		perWorker  = 60
+	)
+	s := testScheduler(t, servers, core.TFEDFQ)
+
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Rotate fanout 1..servers and the starting server so
+				// every queue sees pushes from every submitter.
+				fanout := 1 + (w+i)%servers
+				tasks := make([]Task, fanout)
+				for k := range tasks {
+					tasks[k] = Task{
+						Server: (w + i + k) % servers,
+						Run: func(context.Context) error {
+							ran.Add(1)
+							return nil
+						},
+					}
+				}
+				if _, err := s.Do(context.Background(), 0, tasks); err != nil {
+					t.Errorf("worker %d query %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Snapshot()
+	if st.Tasks == 0 {
+		t.Fatal("no tasks recorded")
+	}
+	if got := ran.Load(); got != int64(st.Tasks) {
+		t.Errorf("ran %d task funcs but scheduler counted %d", got, st.Tasks)
+	}
+	// Interleaved Stats reads while more queries flow, exercising the
+	// snapshot path against concurrent writers.
+	var wg2 sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for i := 0; i < 40; i++ {
+				_ = s.Snapshot()
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		task := Task{Server: i % servers, Run: func(context.Context) error { return nil }}
+		if _, err := s.Do(context.Background(), 1, []Task{task}); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	wg2.Wait()
+}

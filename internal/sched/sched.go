@@ -78,12 +78,12 @@ type Scheduler struct {
 	now       func() float64
 
 	mu      sync.Mutex
-	queues  []policy.Queue
-	busy    []bool
-	closed  bool
-	byClass *metrics.Breakdown[int]
-	missed  int
-	tasks   int
+	queues  []policy.Queue          // guarded by mu (the slice is fixed; elements need mu)
+	busy    []bool                  // guarded by mu
+	closed  bool                    // guarded by mu
+	byClass *metrics.Breakdown[int] // guarded by mu
+	missed  int                     // guarded by mu
+	tasks   int                     // guarded by mu
 	wg      sync.WaitGroup
 }
 

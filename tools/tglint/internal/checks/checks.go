@@ -1,0 +1,22 @@
+// Package checks registers the tglint analyzer suite.
+package checks
+
+import (
+	"tailguard/tools/tglint/internal/checks/errreturn"
+	"tailguard/tools/tglint/internal/checks/floateq"
+	"tailguard/tools/tglint/internal/checks/guardedby"
+	"tailguard/tools/tglint/internal/checks/seededrand"
+	"tailguard/tools/tglint/internal/checks/simclock"
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		errreturn.Analyzer,
+		floateq.Analyzer,
+		guardedby.Analyzer,
+		seededrand.Analyzer,
+		simclock.Analyzer,
+	}
+}

@@ -1,0 +1,126 @@
+// Package errreturn flags silently discarded error returns in
+// tailguard/internal/...: a call used as a bare expression statement
+// whose callee returns an error. The measurement substrate must not eat
+// errors — a swallowed recorder or estimator error corrupts an
+// experiment without a trace. Discarding explicitly (`_ = f()`) remains
+// legal and greppable, as do `defer`/`go` statements (cleanup paths),
+// _test.go files, and writes into infallible in-memory sinks
+// (strings.Builder, bytes.Buffer — including fmt.Fprint* into them).
+package errreturn
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "errreturn",
+	Doc:  "forbid silently discarded error returns in internal packages",
+	Run:  run,
+}
+
+// infallibleSinks are writer types whose Write* methods are documented
+// never to return a non-nil error; discarding those "errors" is how the
+// standard library itself uses them. fmt.Fprint* into one of these is
+// exempt for the same reason: Fprint's error is the writer's.
+var infallibleSinks = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+	"strings.Builder":  true,
+	"bytes.Buffer":     true,
+}
+
+// isFprint reports whether fn is one of fmt's writer-directed printers.
+func isFprint(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// exempt reports whether the discarded error is from an infallible sink:
+// a method on strings.Builder/bytes.Buffer, or fmt.Fprint* writing to
+// one.
+func exempt(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if isFprint(fn) && len(call.Args) > 0 {
+		if t := info.TypeOf(call.Args[0]); t != nil && infallibleSinks[t.String()] {
+			return true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return infallibleSinks[sig.Recv().Type().String()]
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call's result tuple contains an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false // builtin or invalid
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// callee renders a human-readable callee name.
+func callee(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+func run(pass *lint.Pass) error {
+	if !strings.HasPrefix(pass.PkgPath(), "tailguard/internal/") {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok || pass.InTestFile(call.Pos()) {
+			return
+		}
+		if returnsError(pass.TypesInfo, call) && !exempt(pass.TypesInfo, call) {
+			pass.Reportf(call.Pos(),
+				"error returned by %s is silently discarded; handle it or assign to _ explicitly", callee(call))
+		}
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package errreturn_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/errreturn"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestErrreturn(t *testing.T) {
+	linttest.Run(t, ".", errreturn.Analyzer, "tailguard/internal/sink")
+}

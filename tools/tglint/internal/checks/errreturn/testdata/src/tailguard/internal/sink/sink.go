@@ -1,0 +1,32 @@
+package sink
+
+import (
+	"fmt"
+	"strings"
+)
+
+func mayFail() error            { return nil }
+func pair() (int, error)        { return 0, nil }
+func value() int                { return 0 }
+func report(w *strings.Builder) {}
+
+// Bad discards errors silently.
+func Bad() {
+	mayFail() // want "error returned by mayFail is silently discarded"
+	pair()    // want "error returned by pair is silently discarded"
+}
+
+// OK covers every sanctioned way to not handle an error.
+func OK() {
+	_ = mayFail()   // explicit discard is greppable
+	defer mayFail() // cleanup paths are exempt
+	go mayFail()    // so are goroutine launches
+	value()         // no error in the result tuple
+	var sb strings.Builder
+	sb.WriteString("x")       // strings.Builder never fails
+	fmt.Fprintf(&sb, "%d", 1) // Fprint into an infallible sink
+	report(&sb)
+	if err := mayFail(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package floateq forbids exact float equality in the quantile/CDF math
+// packages (internal/dist, internal/analytic). Bisection solvers,
+// bucketed histograms, and closed-form quantile inversions all accumulate
+// rounding error; `a == b` between two computed float64 values is almost
+// always a latent bug there. Use the epsilon helpers (dist.NearlyEqual)
+// or restructure around ordered comparisons.
+//
+// Two comparisons stay legal:
+//   - against a compile-time constant (e.g. `total == 0`, `p != 1`):
+//     sentinel checks against exactly-representable values are
+//     well-defined and pervasive;
+//   - inside _test.go files, where golden values are compared exactly on
+//     purpose.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// Packages lists where the rule applies (after test-variant
+// normalization).
+var Packages = []string{
+	"tailguard/internal/dist",
+	"tailguard/internal/analytic",
+}
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid exact ==/!= between computed floats in quantile/CDF math; use epsilon helpers",
+	Run:  run,
+}
+
+func applies(pkgPath string) bool {
+	for _, p := range Packages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func run(pass *lint.Pass) error {
+	if !applies(pass.PkgPath()) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return
+		}
+		if pass.InTestFile(be.Pos()) {
+			return
+		}
+		tx := pass.TypesInfo.Types[be.X]
+		ty := pass.TypesInfo.Types[be.Y]
+		if tx.Type == nil || ty.Type == nil {
+			return
+		}
+		if !isFloat(tx.Type) && !isFloat(ty.Type) {
+			return
+		}
+		if tx.Value != nil || ty.Value != nil {
+			return // sentinel comparison against a compile-time constant
+		}
+		pass.Reportf(be.OpPos,
+			"exact float comparison (%s) between computed values in %s; use dist.NearlyEqual or an ordered comparison",
+			be.Op, pass.PkgPath())
+	})
+	return nil
+}

@@ -1,0 +1,16 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/floateq"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestFloateqFiresInDist(t *testing.T) {
+	linttest.Run(t, ".", floateq.Analyzer, "tailguard/internal/dist")
+}
+
+func TestFloateqSilentOutsideScope(t *testing.T) {
+	linttest.Run(t, ".", floateq.Analyzer, "tailguard/internal/metrics")
+}

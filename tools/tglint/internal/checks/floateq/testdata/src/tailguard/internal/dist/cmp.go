@@ -1,0 +1,18 @@
+package dist
+
+// Bad compares computed floats exactly.
+func Bad(a, b float64) bool {
+	if a == b*2 { // want "exact float comparison"
+		return true
+	}
+	return a+1 != b // want "exact float comparison"
+}
+
+// OK: sentinel comparisons against compile-time constants and ordered
+// comparisons stay legal.
+func OK(a, b float64) bool {
+	if a == 0 || b != 1 {
+		return false
+	}
+	return a <= b
+}

@@ -1,0 +1,5 @@
+package metrics
+
+// Exact reports float equality; internal/metrics is outside floateq's
+// scope, so this must not be flagged.
+func Exact(a, b float64) bool { return a == b }

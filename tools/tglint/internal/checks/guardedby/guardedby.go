@@ -1,0 +1,196 @@
+// Package guardedby enforces the repository's `// guarded by mu` field
+// annotation: a struct field carrying that comment may only be accessed
+// (read or written) by code that demonstrably holds the named mutex.
+//
+// The check is deliberately flow-insensitive — it is a ratchet against
+// the "forgot to lock in the new method" class of race, not a proof
+// system. An access `x.f`, where f is annotated `guarded by mu`, is
+// accepted when any of these hold:
+//
+//   - the enclosing function also contains a call `x.mu.Lock()` or
+//     `x.mu.RLock()` (defer-released or not);
+//   - the enclosing function's name ends in "Locked", the repository's
+//     convention for helpers whose callers hold the lock;
+//   - x is a local variable declared inside the enclosing function body:
+//     a freshly constructed object is not yet shared, so constructors
+//     need no locking (receivers and parameters do NOT qualify);
+//   - the access appears in a _test.go file (tests exercise unexported
+//     state single-threaded) or in a composite literal (construction).
+//
+// Accesses whose base is not a plain identifier (e.g. h.inner.f) are not
+// checked; keep guarded state one selector deep.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `// guarded by mu` must only be accessed while holding that mutex",
+	Run:  run,
+}
+
+var annotationRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// annotation records one annotated field.
+type annotation struct {
+	mutex      string // name of the guarding mutex field
+	structName string
+}
+
+// fieldComment joins a field's doc and line comments.
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// collect gathers annotations from every struct type in the pass and
+// validates that each named mutex is a sibling field.
+func collect(pass *lint.Pass) map[types.Object]*annotation {
+	anns := make(map[types.Object]*annotation)
+	pass.Preorder(func(n ast.Node) {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		siblings := make(map[string]bool)
+		for _, f := range st.Fields.List {
+			for _, name := range f.Names {
+				siblings[name.Name] = true
+			}
+		}
+		for _, f := range st.Fields.List {
+			m := annotationRe.FindStringSubmatch(fieldComment(f))
+			if m == nil {
+				continue
+			}
+			mutex := m[1]
+			if !siblings[mutex] {
+				pass.Reportf(f.Pos(),
+					"field annotated `guarded by %s` but %s.%s does not exist", mutex, ts.Name.Name, mutex)
+				continue
+			}
+			for _, name := range f.Names {
+				if name.Name == mutex {
+					pass.Reportf(name.Pos(), "mutex %s cannot guard itself", mutex)
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					anns[obj] = &annotation{mutex: mutex, structName: ts.Name.Name}
+				}
+			}
+		}
+	})
+	return anns
+}
+
+// baseIdent unwraps (*x), (x) chains to the base identifier of a
+// selector, or nil when the base is more complex.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lockedMutexes scans fn's body for `<ident>.<mutex>.Lock()` and
+// `.RLock()` calls and returns base-identifier-name -> mutex-name sets.
+func lockedMutexes(body *ast.BlockStmt) map[string]map[string]bool {
+	locked := make(map[string]map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base := baseIdent(muSel.X)
+		if base == nil {
+			return true
+		}
+		if locked[base.Name] == nil {
+			locked[base.Name] = make(map[string]bool)
+		}
+		locked[base.Name][muSel.Sel.Name] = true
+		return true
+	})
+	return locked
+}
+
+func run(pass *lint.Pass) error {
+	anns := collect(pass)
+	if len(anns) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || pass.InTestFile(fn.Pos()) {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			locked := lockedMutexes(fn.Body)
+			bodyStart, bodyEnd := fn.Body.Pos(), fn.Body.End()
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fieldObj := pass.TypesInfo.Uses[sel.Sel]
+				ann, annotated := anns[fieldObj]
+				if !annotated {
+					return true
+				}
+				base := baseIdent(sel.X)
+				if base == nil {
+					return true // deeper chains are out of scope
+				}
+				baseObj := pass.TypesInfo.Uses[base]
+				if baseObj != nil && baseObj.Pos() >= bodyStart && baseObj.Pos() < bodyEnd {
+					return true // declared in this function: locally owned
+				}
+				if locked[base.Name][ann.mutex] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"%s.%s is guarded by %s, but %s does not lock %s.%s (lock it, or use the Locked-suffix convention)",
+					ann.structName, sel.Sel.Name, ann.mutex, fn.Name.Name, base.Name, ann.mutex)
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/guardedby"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestGuardedby(t *testing.T) {
+	linttest.Run(t, ".", guardedby.Analyzer, "tailguard/internal/guarded")
+}

@@ -1,0 +1,61 @@
+package guarded
+
+import "sync"
+
+// Counter is the happy-path fixture: one annotated field, one mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Inc holds the lock: accepted.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads the field without locking: rejected.
+func (c *Counter) Peek() int {
+	return c.n // want "Counter.n is guarded by mu, but Peek does not lock c.mu"
+}
+
+// bumpLocked relies on the Locked-suffix convention: accepted.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// NewCounter initializes a locally owned value: accepted (not yet shared).
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// Gauge exercises the RWMutex read path.
+type Gauge struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+// Load holds the read lock: accepted.
+func (g *Gauge) Load() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// Store forgets the lock entirely: rejected.
+func (g *Gauge) Store(x float64) {
+	g.v = x // want "Gauge.v is guarded by mu, but Store does not lock g.mu"
+}
+
+// MissingMu names a mutex that is not a sibling field.
+type MissingMu struct {
+	// guarded by lock
+	x int // want "field annotated .guarded by lock. but MissingMu.lock does not exist"
+}
+
+// SelfGuard annotates the mutex with itself.
+type SelfGuard struct {
+	// guarded by mu
+	mu sync.Mutex // want "mutex mu cannot guard itself"
+}

@@ -1,0 +1,59 @@
+// Package seededrand forbids math/rand's package-level convenience
+// functions, which draw from the process-global, lock-shared source.
+// TailGuard experiments are seeded end to end: every random draw must
+// flow through an injected *rand.Rand so a (seed, config) pair fully
+// determines the output. The rule applies to every package in the
+// module, tests included — a test that consults the global source is a
+// test whose failures cannot be replayed.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// allowed are the package-level math/rand functions that do NOT touch the
+// global source: constructors for explicitly seeded generators.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid the global math/rand source; randomness must flow through an injected *rand.Rand",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // methods on *rand.Rand / Source are fine
+		}
+		if allowed[fn.Name()] {
+			return // seeded constructors
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s draws from the process-global random source; thread a seeded *rand.Rand through instead (rand.New(rand.NewSource(seed)))",
+			path, fn.Name())
+	})
+	return nil
+}

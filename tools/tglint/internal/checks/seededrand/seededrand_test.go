@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/seededrand"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestSeededrand(t *testing.T) {
+	linttest.Run(t, ".", seededrand.Analyzer, "tailguard/internal/workload")
+}

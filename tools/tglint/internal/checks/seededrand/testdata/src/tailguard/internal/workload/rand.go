@@ -1,0 +1,18 @@
+package workload
+
+import "math/rand"
+
+// Bad draws from the process-global source.
+func Bad(xs []int) float64 {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle draws from the process-global random source"
+	if rand.Intn(2) == 0 {                                                // want "math/rand.Intn draws from the process-global random source"
+		return 0
+	}
+	return rand.Float64() // want "math/rand.Float64 draws from the process-global random source"
+}
+
+// OK threads an explicit seeded generator.
+func OK(r *rand.Rand) float64 {
+	own := rand.New(rand.NewSource(42))
+	return own.Float64() + r.NormFloat64()
+}

@@ -1,0 +1,85 @@
+// Package simclock forbids wall-clock time in TailGuard's virtual-time
+// packages. The simulator's headline results (Figs. 4-7) depend on every
+// event timestamp flowing from the discrete-event clock; one stray
+// time.Now() silently couples experiment output to the host machine and
+// destroys reproducibility. Real time is allowed only in the SaS testbed
+// (internal/saas), the production embedding (internal/sched), and the
+// binaries/examples.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// VirtualTimePackages are the package paths (after test-variant
+// normalization) in which wall-clock calls are forbidden. Test files are
+// included: a deterministic package deserves deterministic tests.
+var VirtualTimePackages = []string{
+	"tailguard/internal/sim",
+	"tailguard/internal/cluster",
+	"tailguard/internal/core",
+	"tailguard/internal/dist",
+	"tailguard/internal/workload",
+	"tailguard/internal/analytic",
+	"tailguard/internal/policy",
+	"tailguard/internal/request",
+	"tailguard/internal/experiment",
+	"tailguard/internal/trace",
+	"tailguard/internal/metrics",
+}
+
+// forbidden are the package-level time functions that read or act on the
+// wall clock. Pure value constructors and arithmetic (time.Duration,
+// time.Unix, d.Seconds(), ...) stay legal.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock time (time.Now, time.Sleep, ...) in virtual-time simulation packages",
+	Run:  run,
+}
+
+// applies reports whether pkgPath is governed by the virtual-time rule.
+func applies(pkgPath string) bool {
+	for _, p := range VirtualTimePackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	if !applies(pass.PkgPath()) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !forbidden[sel.Sel.Name] {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"wall-clock call time.%s in virtual-time package %s: simulation code must take time from the event clock (DESIGN.md, Static analysis)",
+			sel.Sel.Name, pass.PkgPath())
+	})
+	return nil
+}

@@ -1,0 +1,16 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/simclock"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestSimclockFiresInVirtualTimePackage(t *testing.T) {
+	linttest.Run(t, ".", simclock.Analyzer, "tailguard/internal/sim")
+}
+
+func TestSimclockSilentInRealTimePackage(t *testing.T) {
+	linttest.Run(t, ".", simclock.Analyzer, "tailguard/internal/saas")
+}

@@ -1,0 +1,10 @@
+package saas
+
+import "time"
+
+// Elapsed may read the wall clock: internal/saas is the live testbed, not
+// a virtual-time package, so simclock must stay silent here.
+func Elapsed(t0 time.Time) time.Duration {
+	time.Sleep(time.Microsecond)
+	return time.Since(t0)
+}

@@ -1,0 +1,19 @@
+package sim
+
+import "time"
+
+// Bad reads the wall clock from a virtual-time package.
+func Bad() time.Duration {
+	t0 := time.Now()             // want "wall-clock call time.Now in virtual-time package tailguard/internal/sim"
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep"
+	<-time.After(time.Second)    // want "wall-clock call time.After"
+	return time.Since(t0)        // want "wall-clock call time.Since"
+}
+
+// OK uses time only for value arithmetic, which stays legal.
+func OK() time.Duration {
+	d := 5 * time.Millisecond
+	epoch := time.Unix(0, 0)
+	_ = epoch
+	return d
+}

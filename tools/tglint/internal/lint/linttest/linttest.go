@@ -1,0 +1,114 @@
+// Package linttest is the golden-test harness for tglint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: testdata trees
+// laid out GOPATH-style (testdata/src/<import/path>/*.go) carry
+// expectations as trailing comments of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// Run type-checks the package (standard-library imports are checked from
+// $GOROOT/src), executes the analyzer, and requires an exact match
+// between reported diagnostics and expectations, line by line.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// expectation is one `// want` clause.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts expectations from every comment in the unit.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' {
+						t.Fatalf("%s: malformed want clause: %s", pos, c.Text)
+					}
+					end := strings.Index(rest[1:], `"`)
+					if end < 0 {
+						t.Fatalf("%s: unterminated want pattern: %s", pos, c.Text)
+					}
+					pat := rest[1 : 1+end]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+					})
+					rest = strings.TrimSpace(rest[1+end+1:])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Run loads the package at importPath from dir/testdata/src and checks
+// the analyzer's diagnostics against the `// want` expectations.
+func Run(t *testing.T, dir string, a *lint.Analyzer, importPath string) {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "testdata", "src")
+	loader := lint.NewLoader(lint.GopathResolver(srcRoot), "")
+	units, err := loader.LoadForAnalysis(importPath, true)
+	if err != nil {
+		t.Fatalf("loading %s: %v", importPath, err)
+	}
+	for _, unit := range units {
+		diags, err := lint.Run([]*lint.Analyzer{a}, loader.Fset, unit.Files, unit.Pkg, unit.Info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, unit.Path, err)
+		}
+		wants := parseWants(t, loader.Fset, unit.Files)
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			if !claim(wants, pos, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches the message.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

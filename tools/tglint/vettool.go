@@ -1,0 +1,158 @@
+package main
+
+// The `go vet -vettool` driver: cmd/go writes a JSON config per package
+// (see vetConfig in cmd/go/internal/work/exec.go) and invokes the tool
+// with its path. The tool type-checks the unit against the export data
+// cmd/go already built for its imports, runs the analyzers, prints
+// findings to stderr as file:line:col: messages, and writes the
+// (for tglint: empty — no cross-package facts) .vetx output file that
+// cmd/go caches. This mirrors x/tools' unitchecker, which cannot be
+// vendored here (offline build).
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"tailguard/tools/tglint/internal/checks"
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// vetConfig mirrors cmd/go's serialized vet configuration (fields we do
+// not consume are omitted; unknown JSON fields are ignored).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // import path in source -> canonical package path
+	PackageFile map[string]string // canonical package path -> export data file
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// selfHash content-addresses the running executable for -V=full.
+func selfHash() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16]), nil
+}
+
+// writeVetx writes the facts output cmd/go expects. tglint's analyzers
+// are package-local, so the facts file is always empty; writing it keeps
+// cmd/go's vet result caching working.
+func writeVetx(cfg *vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}
+
+// runVetUnit processes one vet.cfg and returns the process exit code.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tglint: reading %s: %v\n", cfgPath, err)
+		return 2
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tglint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if err := writeVetx(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
+		return 2
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: cmd/go only wants facts, and we have none.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go compiled for this
+	// unit: source import path -> ImportMap -> PackageFile.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := lint.NewTypesInfo()
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "tglint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags, err := lint.Run(checks.All(), fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
