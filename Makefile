@@ -4,7 +4,11 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint vet fmt test race ci clean
+.PHONY: all build lint vet fmt test race bench bench-smoke ci clean
+
+# Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair
+# plus the fast-path micro-benchmarks the harness PR optimizes.
+BENCH_PATTERN := SweepFig4|SimulatorThroughput|SchedulerDo|OnlineCDFAdd|DeadlineEstimation
 
 all: build
 
@@ -34,7 +38,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build fmt vet lint race
+# bench runs the harness benchmarks at full benchtime and writes
+# BENCH_harness.json (ns/op, allocs/op, custom metrics, and the derived
+# fig4_sweep_speedup ratio).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench.txt
+	$(GO) run ./tools/benchjson -o BENCH_harness.json bench.txt
+
+# bench-smoke is the CI-sized variant: one iteration per benchmark, just
+# enough to prove the harness runs and to publish a BENCH_harness.json
+# artifact from every commit.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . | tee bench.txt
+	$(GO) run ./tools/benchjson -o BENCH_harness.json bench.txt
+
+ci: build fmt vet lint race bench-smoke
 
 clean:
 	rm -rf bin

@@ -287,6 +287,38 @@ func BenchmarkAblationAdmissionWindow(b *testing.B) {
 	b.ReportMetric(accepted*100, "accepted_pct_w400")
 }
 
+// --- Parallel sweep harness ----------------------------------------------
+
+// sweepFid sizes the harness benchmarks: a replicated Fig. 4 sweep large
+// enough that the per-cell simulation dominates pool overhead.
+var sweepFid = experiment.Fidelity{Queries: 8000, Warmup: 800, MinSamples: 30, LoadTol: 0.04, Seed: 1}
+
+func benchSweepFig4(b *testing.B, workers int) {
+	fid := sweepFid
+	fid.Workers = workers
+	slos := map[string][]float64{"masstree": {0.75, 1.0, 1.5, 2.0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiment.Fig4Replicated(fid, []string{"masstree"}, slos, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) != 8 {
+			b.Fatalf("sweep rows = %d, want 8", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkSweepFig4Sequential and BenchmarkSweepFig4Parallel run the same
+// replicated Fig. 4 sweep (4 SLOs x 2 policies x 4 replicates) at
+// Workers=1 and Workers=GOMAXPROCS; tools/benchjson derives the
+// fig4_sweep_speedup ratio from the pair. Their outputs are bit-identical
+// (TestGeneratorsParallelGolden), so the ratio is pure wall-clock.
+func BenchmarkSweepFig4Sequential(b *testing.B) { benchSweepFig4(b, 1) }
+
+func BenchmarkSweepFig4Parallel(b *testing.B) { benchSweepFig4(b, 0) }
+
 // --- Fast-path micro-benchmarks ------------------------------------------
 
 func BenchmarkDeadlineEstimationCached(b *testing.B) {

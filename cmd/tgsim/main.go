@@ -9,6 +9,9 @@
 // Experiments: fig3, table2, fig4, table3, fig5, fig6, fig7, nscale,
 // request, ablation, all. Output is an aligned plain-text table per
 // experiment (the same rows/series the paper plots).
+//
+// Sweeps run on a worker pool sized by -parallel (default: all cores);
+// results are bit-identical at every setting, including -parallel 1.
 package main
 
 import (
@@ -39,8 +42,12 @@ func run(args []string) error {
 	svgDir := fs.String("svg", "", "also render figures as SVG files into this directory")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	replicates := fs.Int("replicates", 1, "for -exp fig4: independent max-load searches per point (mean±sd)")
+	par := fs.Int("parallel", 0, "worker pool size for experiment sweeps (0 = all cores, 1 = sequential); results are identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *par < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", *par)
 	}
 	for _, dir := range []string{*svgDir, *csvDir} {
 		if dir != "" {
@@ -60,6 +67,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown fidelity %q (want quick or full)", *fidelity)
 	}
 	fid.Seed = *seed
+	fid.Workers = *par
 	if *queries > 0 {
 		fid.Queries = *queries
 		if fid.Warmup >= fid.Queries {

@@ -59,7 +59,21 @@ type OnlineCDF struct {
 	adds    int       // guarded by mu
 	version uint64    // guarded by mu
 	decayF  float64   // multiplicative decay applied every DecayInterval adds
+
+	// Quantile memoization: a full Quantile call scans the histogram
+	// (hundreds of buckets), while read-heavy phases (deadline budget
+	// recomputes, testbed CDF reporting, repeated probes of the same p)
+	// ask for the same probabilities over and over between writes. The
+	// memo is a pure cache — it is dropped by every Add, so Quantile
+	// always returns exactly what the unmemoized scan would.
+	qmemo     map[float64]float64 // guarded by mu (valid while qmemoAdds == adds)
+	qmemoAdds int                 // guarded by mu
 }
+
+// quantileMemoMax caps the memo so callers probing many distinct
+// probabilities (e.g. inverse-transform sampling) cannot grow it without
+// bound; on overflow the memo simply resets.
+const quantileMemoMax = 256
 
 // NewOnlineCDF returns an empty online CDF with the given configuration.
 func NewOnlineCDF(cfg OnlineCDFConfig) *OnlineCDF {
@@ -163,11 +177,39 @@ func (o *OnlineCDF) CDF(t float64) float64 {
 	return math.Min(1, c/o.total)
 }
 
-// Quantile implements Distribution.
+// Quantile implements Distribution. Results are memoized until the next
+// Add, so repeated queries at the same probability between writes cost
+// one map lookup instead of a histogram scan.
 func (o *OnlineCDF) Quantile(p float64) float64 {
 	p = clampProb(p)
 	o.mu.RLock()
-	defer o.mu.RUnlock()
+	if o.qmemo != nil && o.qmemoAdds == o.adds {
+		if v, ok := o.qmemo[p]; ok {
+			o.mu.RUnlock()
+			return v
+		}
+	}
+	if o.total == 0 {
+		o.mu.RUnlock()
+		return 0
+	}
+	o.mu.RUnlock()
+	// Miss: recompute and record under the write lock, so the stored
+	// value is consistent with the qmemoAdds it is filed under even if
+	// Adds landed between the two lock acquisitions.
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	v := o.quantileLocked(p)
+	if o.qmemo == nil || o.qmemoAdds != o.adds || len(o.qmemo) >= quantileMemoMax {
+		o.qmemo = make(map[float64]float64, 8)
+		o.qmemoAdds = o.adds
+	}
+	o.qmemo[p] = v
+	return v
+}
+
+// quantileLocked scans the histogram for the p-quantile; callers hold mu.
+func (o *OnlineCDF) quantileLocked(p float64) float64 {
 	if o.total == 0 {
 		return 0
 	}
@@ -195,7 +237,14 @@ func (o *OnlineCDF) Mean() float64 {
 }
 
 // Sample implements Distribution (inverse transform on the histogram).
-func (o *OnlineCDF) Sample(r *rand.Rand) float64 { return o.Quantile(r.Float64()) }
+// It bypasses the quantile memo: random probabilities never repeat, so
+// caching them would only churn the memo.
+func (o *OnlineCDF) Sample(r *rand.Rand) float64 {
+	p := clampProb(r.Float64())
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.quantileLocked(p)
+}
 
 // Seed bulk-loads the histogram from a distribution, emulating the paper's
 // offline estimation process: n synthetic samples drawn at evenly spaced

@@ -175,6 +175,43 @@ func TestOnlineCDFConcurrent(t *testing.T) {
 	}
 }
 
+func TestOnlineCDFQuantileMemo(t *testing.T) {
+	o := NewOnlineCDF(OnlineCDFConfig{DecayInterval: 64})
+	for i := 0; i < 63; i++ {
+		_ = o.Add(float64(i + 1)) // stays within version 0
+	}
+	q1 := o.Quantile(0.5)
+	if q2 := o.Quantile(0.5); q2 != q1 {
+		t.Errorf("memoized Quantile(0.5) = %v, want %v", q2, q1)
+	}
+	// A single Add invalidates the memo: the memo is a pure cache and
+	// must never serve a value the unmemoized scan would not return.
+	_ = o.Add(1000)
+	if q3 := o.Quantile(0.99); q3 < 500 {
+		t.Errorf("post-Add Quantile(0.99) = %v, want ~1000 (stale memo served)", q3)
+	}
+	v0 := o.Version()
+	for i := 0; i < 64; i++ {
+		_ = o.Add(1000)
+	}
+	if o.Version() == v0 {
+		t.Fatal("Version() did not advance")
+	}
+	if q4 := o.Quantile(0.99); q4 < 500 {
+		t.Errorf("post-bump Quantile(0.99) = %v, want ~1000 (stale memo served)", q4)
+	}
+	// The memo stays bounded under many distinct probabilities.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 4*quantileMemoMax; i++ {
+		_ = o.Quantile(r.Float64())
+	}
+	o.mu.Lock()
+	if len(o.qmemo) > quantileMemoMax {
+		t.Errorf("memo grew to %d entries, cap is %d", len(o.qmemo), quantileMemoMax)
+	}
+	o.mu.Unlock()
+}
+
 func TestOnlineCDFClampedRange(t *testing.T) {
 	o := NewOnlineCDF(OnlineCDFConfig{Min: 1, Max: 100})
 	_ = o.Add(0.001) // below min: clamped into first bucket

@@ -8,6 +8,8 @@ package experiment
 import (
 	"fmt"
 	"strings"
+
+	"tailguard/internal/parallel"
 )
 
 // Fidelity scales experiment cost: number of simulated queries per probe,
@@ -19,6 +21,11 @@ type Fidelity struct {
 	MinSamples int     // min samples per query type for compliance checks
 	LoadTol    float64 // max-load binary-search resolution
 	Seed       int64   // base RNG seed
+	// Workers bounds how many independent simulation runs the harness
+	// executes concurrently (sweep cells, replicates, speculative
+	// max-load probes). 0 means GOMAXPROCS; 1 is the sequential path.
+	// Results are bit-identical at every value (DESIGN.md §8).
+	Workers int
 }
 
 // Quick is sized for CI tests and benchmarks (seconds per experiment).
@@ -40,7 +47,28 @@ func (f Fidelity) validate() error {
 	if f.LoadTol <= 0 || f.LoadTol >= 0.5 {
 		return fmt.Errorf("experiment: load tolerance %v outside (0, 0.5)", f.LoadTol)
 	}
+	if f.Workers < 0 {
+		return fmt.Errorf("experiment: workers must be >= 0, got %d", f.Workers)
+	}
 	return nil
+}
+
+// pool returns the worker pool the fidelity prescribes.
+func (f Fidelity) pool() *parallel.Pool { return parallel.NewPool(f.Workers) }
+
+// innerWorkers splits the fidelity's worker budget across n concurrent
+// outer jobs (sweep cells, replicates), so nested parallelism — e.g.
+// speculative max-load probes inside a parallel sweep — stays bounded
+// near the overall worker count instead of multiplying.
+func (f Fidelity) innerWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	iw := f.pool().Workers() / n
+	if iw < 1 {
+		iw = 1
+	}
+	return iw
 }
 
 // scaled returns a copy with Queries and Warmup multiplied by factor

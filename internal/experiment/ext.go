@@ -6,6 +6,7 @@ import (
 	"tailguard/internal/cluster"
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
+	"tailguard/internal/parallel"
 	"tailguard/internal/policy"
 	"tailguard/internal/request"
 	"tailguard/internal/workload"
@@ -43,22 +44,31 @@ func NScale(fid Fidelity, baseSLOMs float64) (*Table, error) {
 	if f.MinSamples < 20 {
 		f.MinSamples = 20
 	}
-	for _, spec := range core.Specs() {
+	specs := core.Specs()
+	inner := fid.innerWorkers(len(specs))
+	loads, err := parallel.Map(fid.pool(), len(specs), func(i int) (float64, error) {
 		s := Scenario{
 			Workload: w,
 			Servers:  1000,
-			Spec:     spec,
+			Spec:     specs[i],
 			Fanout:   fan,
 			Classes:  classes,
 			Load:     0.3,
 			Fidelity: f,
 		}
+		s.Fidelity.Workers = inner
 		ml, err := ScenarioMaxLoad(s, DefaultMaxLoadBounds)
 		if err != nil {
-			return nil, fmt.Errorf("nscale %s: %w", spec.Name, err)
+			return 0, fmt.Errorf("nscale %s: %w", specs[i].Name, err)
 		}
-		t.Rows = append(t.Rows, []string{spec.Name, pct(ml)})
-		t.Raw = append(t.Raw, map[string]float64{"max_load": ml})
+		return ml, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		t.Rows = append(t.Rows, []string{spec.Name, pct(loads[i])})
+		t.Raw = append(t.Raw, map[string]float64{"max_load": loads[i]})
 	}
 	return t, nil
 }
@@ -90,33 +100,49 @@ func RequestExperiment(fid Fidelity, sloMs float64) (*Table, error) {
 	if warmup >= requests {
 		warmup = requests / 10
 	}
+	type cell struct {
+		spec  core.Spec
+		strat request.Strategy
+	}
+	var cells []cell
 	for _, spec := range []core.Spec{core.TFEDFQ, core.FIFO} {
 		for _, strat := range request.Strategies() {
-			strat := strat
-			ml, err := MaxLoad(DefaultMaxLoadBounds, fid.LoadTol, func(load float64) (bool, error) {
-				res, err := request.Run(request.RunConfig{
-					Plan:          plan,
-					Servers:       100,
-					Spec:          spec,
-					Service:       w.ServiceTime,
-					Strategy:      strat,
-					Load:          load,
-					Requests:      requests,
-					Warmup:        warmup,
-					Seed:          fid.Seed,
-					BudgetSamples: 100000,
-				})
-				if err != nil {
-					return false, err
-				}
-				return res.MeetsSLO, nil
+			cells = append(cells, cell{spec: spec, strat: strat})
+		}
+	}
+	pool := fid.pool()
+	innerPool := parallel.NewPool(fid.innerWorkers(len(cells)))
+	loads, err := parallel.Map(pool, len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		ml, err := SpeculativeMaxLoad(innerPool, DefaultMaxLoadBounds, fid.LoadTol, func(load float64) (bool, error) {
+			res, err := request.Run(request.RunConfig{
+				Plan:          plan,
+				Servers:       100,
+				Spec:          c.spec,
+				Service:       w.ServiceTime,
+				Strategy:      c.strat,
+				Load:          load,
+				Requests:      requests,
+				Warmup:        warmup,
+				Seed:          fid.Seed,
+				BudgetSamples: 100000,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("request %s/%s: %w", spec.Name, strat.Name(), err)
+				return false, err
 			}
-			t.Rows = append(t.Rows, []string{spec.Name, strat.Name(), pct(ml)})
-			t.Raw = append(t.Raw, map[string]float64{"max_load": ml})
+			return res.MeetsSLO, nil
+		})
+		if err != nil {
+			return 0, fmt.Errorf("request %s/%s: %w", c.spec.Name, c.strat.Name(), err)
 		}
+		return ml, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t.Rows = append(t.Rows, []string{c.spec.Name, c.strat.Name(), pct(loads[i])})
+		t.Raw = append(t.Raw, map[string]float64{"max_load": loads[i]})
 	}
 	return t, nil
 }
@@ -140,31 +166,48 @@ func AblationQueues(fid Fidelity, load float64) (*Table, error) {
 		Title:   fmt.Sprintf("Queue-discipline ablation at %.0f%% load (Masstree, single class 0.8 ms)", load*100),
 		Columns: []string{"queue", "p99_k1", "p99_k10", "p99_k100", "miss_ratio"},
 	}
-	for _, spec := range specs {
+	type specResult struct {
+		p99  [3]float64
+		miss float64
+	}
+	results, err := parallel.Map(fid.pool(), len(specs), func(i int) (specResult, error) {
+		spec := specs[i]
+		var out specResult
 		s, err := singleClassScenario("masstree", spec, 0.8, fid)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		s.Load = load
 		res, err := s.Run()
 		if err != nil {
-			return nil, fmt.Errorf("ablation-queues %s: %w", spec.Name, err)
+			return out, fmt.Errorf("ablation-queues %s: %w", spec.Name, err)
 		}
-		row := []string{spec.Name}
-		raw := map[string]float64{"miss_ratio": res.TaskMissRatio}
-		for _, k := range PaperFanouts {
+		out.miss = res.TaskMissRatio
+		for ki, k := range PaperFanouts {
 			rec := res.ByFanout.Recorder(k)
 			if rec == nil {
-				return nil, fmt.Errorf("ablation-queues: no fanout-%d samples", k)
+				return out, fmt.Errorf("ablation-queues: no fanout-%d samples", k)
 			}
 			p99, err := rec.P99()
 			if err != nil {
-				return nil, err
+				return out, err
 			}
-			row = append(row, f3(p99))
-			raw[fmt.Sprintf("p99_k%d", k)] = p99
+			out.p99[ki] = p99
 		}
-		row = append(row, pct(res.TaskMissRatio))
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		r := results[i]
+		row := []string{spec.Name}
+		raw := map[string]float64{"miss_ratio": r.miss}
+		for ki, k := range PaperFanouts {
+			row = append(row, f3(r.p99[ki]))
+			raw[fmt.Sprintf("p99_k%d", k)] = r.p99[ki]
+		}
+		row = append(row, pct(r.miss))
 		t.Rows = append(t.Rows, row)
 		t.Raw = append(t.Raw, raw)
 	}
@@ -245,20 +288,28 @@ func AblationHeterogeneity(fid Fidelity, load float64) (*Table, error) {
 		Title:   fmt.Sprintf("Estimator ablation on a half-slow cluster at %.0f%% load (Masstree, SLO 1.6 ms)", load*100),
 		Columns: []string{"estimator", "p99_overall", "p99_k100", "slo_met"},
 	}
-	for _, m := range modes {
+	type modeResult struct {
+		overall, k100 float64
+		met           bool
+	}
+	// Each mode owns its estimator (the online one is mutated by its
+	// run), so the three runs are independent and fan out cleanly.
+	results, err := parallel.Map(fid.pool(), len(modes), func(i int) (modeResult, error) {
+		m := modes[i]
+		var out modeResult
 		arr, err := workload.NewPoisson(rate)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		gen, err := workload.NewGenerator(workload.GeneratorConfig{
 			Servers: n, Arrival: arr, Fanout: fan, Classes: classes,
 		}, fid.Seed)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		dl, err := core.NewDeadliner(core.TFEDFQ, m.estimator, classes)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		cfg := cluster.Config{
 			Servers:                n,
@@ -277,31 +328,38 @@ func AblationHeterogeneity(fid Fidelity, load float64) (*Table, error) {
 		}
 		res, err := cluster.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("ablation-hetero %s: %w", m.name, err)
+			return out, fmt.Errorf("ablation-hetero %s: %w", m.name, err)
 		}
-		overall, err := res.Overall.P99()
+		out.overall, err = res.Overall.P99()
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		rec := res.ByFanout.Recorder(100)
 		if rec == nil {
-			return nil, fmt.Errorf("ablation-hetero: no fanout-100 samples")
+			return out, fmt.Errorf("ablation-hetero: no fanout-100 samples")
 		}
-		k100, err := rec.P99()
+		out.k100, err = rec.P99()
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		ok, _, err := res.MeetsSLOs(classes, fid.MinSamples)
+		out.met, _, err = res.MeetsSLOs(classes, fid.MinSamples)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range modes {
+		r := results[i]
 		met := "no"
 		metRaw := 0.0
-		if ok {
+		if r.met {
 			met, metRaw = "yes", 1
 		}
-		t.Rows = append(t.Rows, []string{m.name, f3(overall), f3(k100), met})
-		t.Raw = append(t.Raw, map[string]float64{"p99_overall": overall, "p99_k100": k100, "slo_met": metRaw})
+		t.Rows = append(t.Rows, []string{m.name, f3(r.overall), f3(r.k100), met})
+		t.Raw = append(t.Raw, map[string]float64{"p99_overall": r.overall, "p99_k100": r.k100, "slo_met": metRaw})
 	}
 	return t, nil
 }
@@ -582,31 +640,36 @@ func AblationDispatch(fid Fidelity, load, dispatchMeanMs float64) (*Table, error
 		{"central", cluster.CentralQueuing, centralModel},
 		{"per-server", cluster.PerServerQueuing, w.ServiceTime},
 	}
-	for _, m := range modes {
+	type modeResult struct {
+		overall, k100, wait float64
+	}
+	results, err := parallel.Map(fid.pool(), len(modes), func(i int) (modeResult, error) {
+		m := modes[i]
+		var out modeResult
 		est, err := core.NewHomogeneousStaticTailEstimator(m.estBase, n)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		dl, err := core.NewDeadliner(core.TFEDFQ, est, classes)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		// The dispatch leg adds to effective demand under central
 		// queuing; use the same arrival rate for both so the comparison
 		// is apples-to-apples on offered queries.
 		rate, err := workload.RateForLoad(load, n, fan.MeanTasks(), w.ServiceTime.Mean())
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		arr, err := workload.NewPoisson(rate)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		gen, err := workload.NewGenerator(workload.GeneratorConfig{
 			Servers: n, Arrival: arr, Fanout: fan, Classes: classes,
 		}, fid.Seed)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		res, err := cluster.Run(cluster.Config{
 			Servers:       n,
@@ -622,23 +685,31 @@ func AblationDispatch(fid Fidelity, load, dispatchMeanMs float64) (*Table, error
 			DispatchDelay: dispatch,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("ablation-dispatch %s: %w", m.name, err)
+			return out, fmt.Errorf("ablation-dispatch %s: %w", m.name, err)
 		}
-		overall, err := res.Overall.P99()
+		out.overall, err = res.Overall.P99()
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		rec := res.ByFanout.Recorder(100)
 		if rec == nil {
-			return nil, fmt.Errorf("ablation-dispatch: no fanout-100 samples")
+			return out, fmt.Errorf("ablation-dispatch: no fanout-100 samples")
 		}
-		k100, err := rec.P99()
+		out.k100, err = rec.P99()
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		t.Rows = append(t.Rows, []string{m.name, f3(overall), f3(k100), f3(res.TaskWait.Mean())})
+		out.wait = res.TaskWait.Mean()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range modes {
+		r := results[i]
+		t.Rows = append(t.Rows, []string{m.name, f3(r.overall), f3(r.k100), f3(r.wait)})
 		t.Raw = append(t.Raw, map[string]float64{
-			"p99_overall": overall, "p99_k100": k100, "mean_wait": res.TaskWait.Mean(),
+			"p99_overall": r.overall, "p99_k100": r.k100, "mean_wait": r.wait,
 		})
 	}
 	return t, nil
@@ -659,30 +730,43 @@ func AblationAdmissionWindow(fid Fidelity, offered float64, windowsMs []float64)
 		Title:   fmt.Sprintf("Admission window sweep at %.0f%% offered load (Masstree OLDI)", offered*100),
 		Columns: []string{"window_ms", "accepted", "p99_classI", "p99_classII"},
 	}
-	for _, win := range windowsMs {
+	type winResult struct {
+		accepted, p99I, p99II float64
+	}
+	results, err := parallel.Map(fid.pool(), len(windowsMs), func(i int) (winResult, error) {
+		win := windowsMs[i]
+		var out winResult
 		s, err := oldiScenario("masstree", core.TFEDFQ, fid)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		s.Load = offered
 		s.AdmissionWindowMs = win
 		s.AdmissionThreshold = 0.017
 		res, err := s.Run()
 		if err != nil {
-			return nil, fmt.Errorf("ablation-admission window=%v: %w", win, err)
+			return out, fmt.Errorf("ablation-admission window=%v: %w", win, err)
 		}
-		p99I, err := resultP99(res, 0)
+		out.accepted = res.Utilization
+		out.p99I, err = resultP99(res, 0)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		p99II, err := resultP99(res, 1)
+		out.p99II, err = resultP99(res, 1)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%g", win), pct(res.Utilization), f3(p99I), f3(p99II)})
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, win := range windowsMs {
+		r := results[i]
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%g", win), pct(r.accepted), f3(r.p99I), f3(r.p99II)})
 		t.Raw = append(t.Raw, map[string]float64{
-			"window_ms": win, "accepted": res.Utilization,
-			"p99_classI": p99I, "p99_classII": p99II,
+			"window_ms": win, "accepted": r.accepted,
+			"p99_classI": r.p99I, "p99_classII": r.p99II,
 		})
 	}
 	return t, nil

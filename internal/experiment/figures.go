@@ -6,6 +6,7 @@ import (
 	"tailguard/internal/cluster"
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
+	"tailguard/internal/parallel"
 	"tailguard/internal/workload"
 )
 
@@ -134,28 +135,56 @@ func Fig4(fid Fidelity, workloads []string, slos map[string][]float64) (*Table, 
 		Title:   "Max load meeting the single-class x99 SLO (TailGuard vs FIFO)",
 		Columns: []string{"workload", "slo_ms", "policy", "max_load", "gain_vs_fifo"},
 	}
+	// Every (workload, SLO, policy) cell is an independent max-load
+	// search; flatten the grid and fan it out on the worker pool,
+	// splitting the remaining worker budget across each cell's
+	// speculative bisection.
+	type cell struct {
+		name string
+		slo  float64
+		spec core.Spec
+	}
+	var cells []cell
 	for _, name := range workloads {
 		for _, slo := range slos[name] {
-			loads := map[string]float64{}
 			for _, spec := range []core.Spec{core.TFEDFQ, core.FIFO} {
-				s, err := singleClassScenario(name, spec, slo, fid)
-				if err != nil {
-					return nil, err
-				}
-				ml, err := ScenarioMaxLoad(s, DefaultMaxLoadBounds)
-				if err != nil {
-					return nil, fmt.Errorf("fig4 %s slo=%v %s: %w", name, slo, spec.Name, err)
-				}
-				loads[spec.Name] = ml
+				cells = append(cells, cell{name: name, slo: slo, spec: spec})
 			}
-			for _, specName := range []string{"TailGuard", "FIFO"} {
+		}
+	}
+	inner := fid.innerWorkers(len(cells))
+	loads, err := parallel.Map(fid.pool(), len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		s, err := singleClassScenario(c.name, c.spec, c.slo, fid)
+		if err != nil {
+			return 0, err
+		}
+		s.Fidelity.Workers = inner
+		ml, err := ScenarioMaxLoad(s, DefaultMaxLoadBounds)
+		if err != nil {
+			return 0, fmt.Errorf("fig4 %s slo=%v %s: %w", c.name, c.slo, c.spec.Name, err)
+		}
+		return ml, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ci := 0
+	for _, name := range workloads {
+		for _, slo := range slos[name] {
+			tg, fifo := loads[ci], loads[ci+1]
+			ci += 2
+			for _, p := range []struct {
+				name string
+				load float64
+			}{{"TailGuard", tg}, {"FIFO", fifo}} {
 				gain := 0.0
-				if loads["FIFO"] > 0 {
-					gain = loads[specName]/loads["FIFO"] - 1
+				if fifo > 0 {
+					gain = p.load/fifo - 1
 				}
-				t.Rows = append(t.Rows, []string{name, f2(slo), specName, pct(loads[specName]), pct(gain)})
+				t.Rows = append(t.Rows, []string{name, f2(slo), p.name, pct(p.load), pct(gain)})
 				t.Raw = append(t.Raw, map[string]float64{
-					"slo_ms": slo, "max_load": loads[specName], "gain_vs_fifo": gain,
+					"slo_ms": slo, "max_load": p.load, "gain_vs_fifo": gain,
 				})
 			}
 		}
@@ -173,28 +202,58 @@ func Fig4Replicated(fid Fidelity, workloads []string, slos map[string][]float64,
 	if slos == nil {
 		slos = Fig4SLOs
 	}
+	if replicates < 2 {
+		return nil, fmt.Errorf("experiment: need >= 2 replicates, got %d", replicates)
+	}
 	t := &Table{
 		ID:      "fig4",
 		Title:   fmt.Sprintf("Max load meeting the single-class x99 SLO, mean±sd over %d replicates", replicates),
 		Columns: []string{"workload", "slo_ms", "policy", "max_load_mean", "max_load_sd"},
 	}
+	// Flatten the full (workload, SLO, policy) x replicate grid into one
+	// job list so the pool sees the widest possible fan-out; each job is
+	// one independently seeded max-load search, exactly the searches
+	// ReplicatedScenarioMaxLoad runs per cell.
+	type cell struct {
+		name string
+		slo  float64
+		spec core.Spec
+	}
+	var cells []cell
 	for _, name := range workloads {
 		for _, slo := range slos[name] {
 			for _, spec := range []core.Spec{core.TFEDFQ, core.FIFO} {
-				s, err := singleClassScenario(name, spec, slo, fid)
-				if err != nil {
-					return nil, err
-				}
-				rep, err := ReplicatedScenarioMaxLoad(s, DefaultMaxLoadBounds, replicates)
-				if err != nil {
-					return nil, fmt.Errorf("fig4r %s slo=%v %s: %w", name, slo, spec.Name, err)
-				}
-				t.Rows = append(t.Rows, []string{name, f2(slo), spec.Name, pct(rep.Mean), pct(rep.StdDev)})
-				t.Raw = append(t.Raw, map[string]float64{
-					"slo_ms": slo, "max_load": rep.Mean, "max_load_sd": rep.StdDev,
-				})
+				cells = append(cells, cell{name: name, slo: slo, spec: spec})
 			}
 		}
+	}
+	n := len(cells) * replicates
+	inner := fid.innerWorkers(n)
+	values, err := parallel.Map(fid.pool(), n, func(i int) (float64, error) {
+		c := cells[i/replicates]
+		rep := i % replicates
+		s, err := singleClassScenario(c.name, c.spec, c.slo, fid)
+		if err != nil {
+			return 0, err
+		}
+		s.Fidelity.Seed = replicateSeed(fid.Seed, rep)
+		s.Fidelity.Workers = inner
+		ml, err := ScenarioMaxLoad(s, DefaultMaxLoadBounds)
+		if err != nil {
+			return 0, fmt.Errorf("fig4r %s slo=%v %s: %w", c.name, c.slo, c.spec.Name,
+				fmt.Errorf("experiment: replicate %d: %w", rep, err))
+		}
+		return ml, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		rep := summarize(values[i*replicates : (i+1)*replicates])
+		t.Rows = append(t.Rows, []string{c.name, f2(c.slo), c.spec.Name, pct(rep.Mean), pct(rep.StdDev)})
+		t.Raw = append(t.Raw, map[string]float64{
+			"slo_ms": c.slo, "max_load": rep.Mean, "max_load_sd": rep.StdDev,
+		})
 	}
 	return t, nil
 }
@@ -210,41 +269,68 @@ func Table3(fid Fidelity, slos []float64) (*Table, error) {
 		Title:   "p99 (ms) per query fanout at max load (Masstree, single class)",
 		Columns: []string{"slo_ms", "policy", "max_load", "p99_k1", "p99_k10", "p99_k100"},
 	}
+	type cell struct {
+		slo  float64
+		spec core.Spec
+	}
+	var cells []cell
 	for _, slo := range slos {
 		for _, spec := range []core.Spec{core.FIFO, core.TFEDFQ} {
-			s, err := singleClassScenario("masstree", spec, slo, fid)
-			if err != nil {
-				return nil, err
-			}
-			ml, err := ScenarioMaxLoad(s, DefaultMaxLoadBounds)
-			if err != nil {
-				return nil, err
-			}
-			if ml <= 0 {
-				ml = DefaultMaxLoadBounds.Lo
-			}
-			s.Load = ml
-			res, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			row := []string{f2(slo), spec.Name, pct(ml)}
-			raw := map[string]float64{"slo_ms": slo, "max_load": ml}
-			for _, k := range PaperFanouts {
-				rec := res.ByFanout.Recorder(k)
-				if rec == nil {
-					return nil, fmt.Errorf("table3: no samples for fanout %d", k)
-				}
-				p99, err := rec.P99()
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f3(p99))
-				raw[fmt.Sprintf("p99_k%d", k)] = p99
-			}
-			t.Rows = append(t.Rows, row)
-			t.Raw = append(t.Raw, raw)
+			cells = append(cells, cell{slo: slo, spec: spec})
 		}
+	}
+	type cellResult struct {
+		ml  float64
+		p99 [3]float64
+	}
+	inner := fid.innerWorkers(len(cells))
+	results, err := parallel.Map(fid.pool(), len(cells), func(i int) (cellResult, error) {
+		c := cells[i]
+		var out cellResult
+		s, err := singleClassScenario("masstree", c.spec, c.slo, fid)
+		if err != nil {
+			return out, err
+		}
+		s.Fidelity.Workers = inner
+		ml, err := ScenarioMaxLoad(s, DefaultMaxLoadBounds)
+		if err != nil {
+			return out, err
+		}
+		if ml <= 0 {
+			ml = DefaultMaxLoadBounds.Lo
+		}
+		out.ml = ml
+		s.Load = ml
+		res, err := s.Run()
+		if err != nil {
+			return out, err
+		}
+		for ki, k := range PaperFanouts {
+			rec := res.ByFanout.Recorder(k)
+			if rec == nil {
+				return out, fmt.Errorf("table3: no samples for fanout %d", k)
+			}
+			p99, err := rec.P99()
+			if err != nil {
+				return out, err
+			}
+			out.p99[ki] = p99
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		r := results[i]
+		row := []string{f2(c.slo), c.spec.Name, pct(r.ml)}
+		raw := map[string]float64{"slo_ms": c.slo, "max_load": r.ml}
+		for ki, k := range PaperFanouts {
+			row = append(row, f3(r.p99[ki]))
+			raw[fmt.Sprintf("p99_k%d", k)] = r.p99[ki]
+		}
+		t.Rows = append(t.Rows, row)
+		t.Raw = append(t.Raw, raw)
 	}
 	return t, nil
 }
@@ -271,31 +357,49 @@ func Fig5(fid Fidelity, highSLOs []float64, arrivals []ArrivalKind) (*Table, err
 		Title:   "Max load, two classes (low SLO = 1.5x high), Masstree",
 		Columns: []string{"arrival", "high_slo_ms", "policy", "max_load"},
 	}
+	type cell struct {
+		arrival ArrivalKind
+		slo     float64
+		spec    core.Spec
+	}
+	var cells []cell
 	for _, arrival := range arrivals {
 		for _, slo := range highSLOs {
-			classes, err := workload.TwoClasses(slo, 1.5)
-			if err != nil {
-				return nil, err
-			}
 			for _, spec := range core.Specs() {
-				s := Scenario{
-					Workload: w,
-					Servers:  100,
-					Spec:     spec,
-					Fanout:   fan,
-					Classes:  classes,
-					Arrival:  arrival,
-					Load:     0.3,
-					Fidelity: fid,
-				}
-				ml, err := ScenarioMaxLoad(s, DefaultMaxLoadBounds)
-				if err != nil {
-					return nil, fmt.Errorf("fig5 %s slo=%v %s: %w", arrival, slo, spec.Name, err)
-				}
-				t.Rows = append(t.Rows, []string{string(arrival), f2(slo), spec.Name, pct(ml)})
-				t.Raw = append(t.Raw, map[string]float64{"high_slo_ms": slo, "max_load": ml})
+				cells = append(cells, cell{arrival: arrival, slo: slo, spec: spec})
 			}
 		}
+	}
+	inner := fid.innerWorkers(len(cells))
+	loads, err := parallel.Map(fid.pool(), len(cells), func(i int) (float64, error) {
+		c := cells[i]
+		classes, err := workload.TwoClasses(c.slo, 1.5)
+		if err != nil {
+			return 0, err
+		}
+		s := Scenario{
+			Workload: w,
+			Servers:  100,
+			Spec:     c.spec,
+			Fanout:   fan,
+			Classes:  classes,
+			Arrival:  c.arrival,
+			Load:     0.3,
+			Fidelity: fid,
+		}
+		s.Fidelity.Workers = inner
+		ml, err := ScenarioMaxLoad(s, DefaultMaxLoadBounds)
+		if err != nil {
+			return 0, fmt.Errorf("fig5 %s slo=%v %s: %w", c.arrival, c.slo, c.spec.Name, err)
+		}
+		return ml, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t.Rows = append(t.Rows, []string{string(c.arrival), f2(c.slo), c.spec.Name, pct(loads[i])})
+		t.Raw = append(t.Raw, map[string]float64{"high_slo_ms": c.slo, "max_load": loads[i]})
 	}
 	return t, nil
 }
@@ -347,40 +451,57 @@ func Fig6(fid Fidelity, workloads []string, loads []float64) (*Table, error) {
 		Title:   "p99 (ms) vs load, fanout-100 OLDI, two classes",
 		Columns: []string{"workload", "policy", "load", "p99_classI", "p99_classII", "sloI", "sloII"},
 	}
+	type cell struct {
+		name string
+		spec core.Spec
+		load float64
+	}
+	var cells []cell
 	for _, name := range workloads {
-		slos := Fig6SLOs[name]
 		for _, spec := range []core.Spec{core.TFEDFQ, core.FIFO, core.PRIQ} {
 			for _, load := range loads {
-				s, err := oldiScenario(name, spec, fid)
-				if err != nil {
-					return nil, err
-				}
-				s.Load = load
-				res, err := s.Run()
-				if err != nil {
-					return nil, fmt.Errorf("fig6 %s %s load=%v: %w", name, spec.Name, load, err)
-				}
-				p99 := make([]float64, 2)
-				for c := 0; c < 2; c++ {
-					rec := res.ByClass.Recorder(c)
-					if rec == nil {
-						return nil, fmt.Errorf("fig6: no class-%d samples", c)
-					}
-					v, err := rec.P99()
-					if err != nil {
-						return nil, err
-					}
-					p99[c] = v
-				}
-				t.Rows = append(t.Rows, []string{
-					name, spec.Name, pct(load), f3(p99[0]), f3(p99[1]), f2(slos[0]), f2(slos[1]),
-				})
-				t.Raw = append(t.Raw, map[string]float64{
-					"load": load, "p99_classI": p99[0], "p99_classII": p99[1],
-					"sloI": slos[0], "sloII": slos[1],
-				})
+				cells = append(cells, cell{name: name, spec: spec, load: load})
 			}
 		}
+	}
+	results, err := parallel.Map(fid.pool(), len(cells), func(i int) ([2]float64, error) {
+		c := cells[i]
+		var p99 [2]float64
+		s, err := oldiScenario(c.name, c.spec, fid)
+		if err != nil {
+			return p99, err
+		}
+		s.Load = c.load
+		res, err := s.Run()
+		if err != nil {
+			return p99, fmt.Errorf("fig6 %s %s load=%v: %w", c.name, c.spec.Name, c.load, err)
+		}
+		for cl := 0; cl < 2; cl++ {
+			rec := res.ByClass.Recorder(cl)
+			if rec == nil {
+				return p99, fmt.Errorf("fig6: no class-%d samples", cl)
+			}
+			v, err := rec.P99()
+			if err != nil {
+				return p99, err
+			}
+			p99[cl] = v
+		}
+		return p99, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		slos := Fig6SLOs[c.name]
+		p99 := results[i]
+		t.Rows = append(t.Rows, []string{
+			c.name, c.spec.Name, pct(c.load), f3(p99[0]), f3(p99[1]), f2(slos[0]), f2(slos[1]),
+		})
+		t.Raw = append(t.Raw, map[string]float64{
+			"load": c.load, "p99_classI": p99[0], "p99_classII": p99[1],
+			"sloI": slos[0], "sloII": slos[1],
+		})
 	}
 	return t, nil
 }
@@ -422,10 +543,16 @@ func Fig7(fid Fidelity, offeredLoads []float64) (*Table, error) {
 			maxLoad*100, rth*100),
 		Columns: []string{"offered", "accepted", "rejected", "p99_classI", "p99_classII", "miss_ratio"},
 	}
-	for _, load := range offeredLoads {
+	type loadResult struct {
+		accepted, rejected, miss float64
+		p99                      [2]float64
+	}
+	results, err := parallel.Map(fid.pool(), len(offeredLoads), func(i int) (loadResult, error) {
+		load := offeredLoads[i]
+		var out loadResult
 		s, err := oldiScenario("masstree", core.TFEDFQ, fid)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		s.Load = load
 		// The paper's window spans ~1000 queries; convert to time at the
@@ -433,7 +560,7 @@ func Fig7(fid Fidelity, offeredLoads []float64) (*Table, error) {
 		// the window at a tenth of the run so the control loop can act.
 		rate, err := workload.RateForLoad(load, s.Servers, s.Fanout.MeanTasks(), s.Workload.ServiceTime.Mean())
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		windowQueries := 1000
 		if cap := s.Fidelity.Queries / 10; cap < windowQueries {
@@ -446,27 +573,34 @@ func Fig7(fid Fidelity, offeredLoads []float64) (*Table, error) {
 		s.AdmissionThreshold = rth
 		res, err := s.Run()
 		if err != nil {
-			return nil, fmt.Errorf("fig7 load=%v: %w", load, err)
+			return out, fmt.Errorf("fig7 load=%v: %w", load, err)
 		}
-		p99 := make([]float64, 2)
 		for c := 0; c < 2; c++ {
 			v, err := resultP99(res, c)
 			if err != nil {
-				return nil, fmt.Errorf("fig7 load=%v: %w", load, err)
+				return out, fmt.Errorf("fig7 load=%v: %w", load, err)
 			}
-			p99[c] = v
+			out.p99[c] = v
 		}
-		accepted := res.Utilization
-		rejected := res.OfferedLoad - accepted
-		if rejected < 0 {
-			rejected = 0
+		out.accepted = res.Utilization
+		out.rejected = res.OfferedLoad - out.accepted
+		if out.rejected < 0 {
+			out.rejected = 0
 		}
+		out.miss = res.TaskMissRatio
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, load := range offeredLoads {
+		r := results[i]
 		t.Rows = append(t.Rows, []string{
-			pct(load), pct(accepted), pct(rejected), f3(p99[0]), f3(p99[1]), pct(res.TaskMissRatio),
+			pct(load), pct(r.accepted), pct(r.rejected), f3(r.p99[0]), f3(r.p99[1]), pct(r.miss),
 		})
 		t.Raw = append(t.Raw, map[string]float64{
-			"offered": load, "accepted": accepted, "rejected": rejected,
-			"p99_classI": p99[0], "p99_classII": p99[1], "miss_ratio": res.TaskMissRatio,
+			"offered": load, "accepted": r.accepted, "rejected": r.rejected,
+			"p99_classI": r.p99[0], "p99_classII": r.p99[1], "miss_ratio": r.miss,
 		})
 	}
 	return t, nil

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"tailguard/internal/parallel"
 	"tailguard/internal/workload"
 )
 
@@ -59,10 +60,134 @@ func MaxLoad(bounds MaxLoadBounds, tol float64, probe func(load float64) (bool, 
 	return lo, nil
 }
 
-// ScenarioMaxLoad runs MaxLoad over copies of the scenario with varying
-// load, using the scenario's class SLOs for compliance.
+// probeResult carries one speculative probe's outcome. Probe errors are
+// attached to the result (not returned as job errors) so the resolver
+// can surface exactly the error the sequential search would have hit
+// and discard errors on branches sequential execution never probes.
+type probeResult struct {
+	ok  bool
+	err error
+}
+
+// specNode is one node of a speculative bisection tree: the midpoint
+// probe at index idx, with subtrees for the bracket that follows if the
+// probe passes (pass: lo=mid) or fails (fail: hi=mid).
+type specNode struct {
+	idx        int
+	pass, fail *specNode
+}
+
+// buildSpecTree expands the next `depth` levels of the bisection from
+// the bracket [lo, hi], appending each midpoint to probes. Midpoints
+// are computed with the same (lo+hi)/2 float arithmetic, and expansion
+// stops on the same hi-lo <= tol predicate, as MaxLoad's loop — so the
+// resolved path through the tree reproduces the sequential probe
+// sequence bit for bit.
+func buildSpecTree(lo, hi, tol float64, depth int, probes *[]float64) *specNode {
+	if depth == 0 || hi-lo <= tol {
+		return nil
+	}
+	mid := (lo + hi) / 2
+	n := &specNode{idx: len(*probes)}
+	*probes = append(*probes, mid)
+	n.pass = buildSpecTree(mid, hi, tol, depth-1, probes)
+	n.fail = buildSpecTree(lo, mid, tol, depth-1, probes)
+	return n
+}
+
+// specDepth picks the speculation depth for a worker count: the largest
+// d with 2^d - 1 <= workers, so one round's probe tree roughly fills
+// the pool.
+func specDepth(workers int) int {
+	d := 1
+	for d < 16 && (1<<uint(d+1))-1 <= workers {
+		d++
+	}
+	return d
+}
+
+// SpeculativeMaxLoad is MaxLoad with speculative parallel probing: each
+// round expands the next levels of the bisection tree (both outcomes of
+// every pending midpoint), probes all of them concurrently on the pool,
+// then resolves the bracket by walking the tree exactly as the
+// sequential search would. Wall-clock shrinks from one probe per
+// bisection step to one round per `depth` steps; the returned load (and
+// any returned error) is identical to MaxLoad's because probes are pure
+// functions of the load and the resolved path replays the sequential
+// probe sequence. With a nil pool or a single worker it falls back to
+// MaxLoad directly.
+func SpeculativeMaxLoad(pool *parallel.Pool, bounds MaxLoadBounds, tol float64, probe func(load float64) (bool, error)) (float64, error) {
+	if pool.Workers() <= 1 {
+		return MaxLoad(bounds, tol, probe)
+	}
+	if tol <= 0 {
+		return 0, fmt.Errorf("experiment: tolerance must be positive, got %v", tol)
+	}
+	if bounds.Lo <= 0 || bounds.Hi <= bounds.Lo {
+		return 0, fmt.Errorf("experiment: invalid bounds [%v, %v]", bounds.Lo, bounds.Hi)
+	}
+	// Bracket the endpoints with one concurrent round, resolved in
+	// sequential order: an error or failure at Lo wins over anything Hi
+	// reports, matching MaxLoad's probe order.
+	ends, err := parallel.Map(pool, 2, func(i int) (probeResult, error) {
+		load := bounds.Lo
+		if i == 1 {
+			load = bounds.Hi
+		}
+		ok, err := probe(load)
+		return probeResult{ok: ok, err: err}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if ends[0].err != nil {
+		return 0, ends[0].err
+	}
+	if !ends[0].ok {
+		// Even the lightest probed load violates the SLO.
+		return 0, nil
+	}
+	if ends[1].err != nil {
+		return 0, ends[1].err
+	}
+	if ends[1].ok {
+		return bounds.Hi, nil
+	}
+	lo, hi := bounds.Lo, bounds.Hi
+	depth := specDepth(pool.Workers())
+	for hi-lo > tol {
+		var mids []float64
+		root := buildSpecTree(lo, hi, tol, depth, &mids)
+		results, err := parallel.Map(pool, len(mids), func(i int) (probeResult, error) {
+			ok, err := probe(mids[i])
+			return probeResult{ok: ok, err: err}, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		for n := root; n != nil; {
+			r := results[n.idx]
+			if r.err != nil {
+				return 0, r.err
+			}
+			if r.ok {
+				lo = mids[n.idx]
+				n = n.pass
+			} else {
+				hi = mids[n.idx]
+				n = n.fail
+			}
+		}
+	}
+	return lo, nil
+}
+
+// ScenarioMaxLoad runs the max-load search over copies of the scenario
+// with varying load, using the scenario's class SLOs for compliance.
+// With Fidelity.Workers > 1 the bisection probes speculatively (see
+// SpeculativeMaxLoad); the result is identical either way.
 func ScenarioMaxLoad(s Scenario, bounds MaxLoadBounds) (float64, error) {
-	return MaxLoad(bounds, s.Fidelity.LoadTol, func(load float64) (bool, error) {
+	return SpeculativeMaxLoad(s.Fidelity.pool(), bounds, s.Fidelity.LoadTol, func(load float64) (bool, error) {
 		sc := s
 		sc.Load = load
 		res, err := sc.Run()

@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"math"
+
+	"tailguard/internal/parallel"
 )
 
 // Replicated is a replicated measurement: mean, sample standard
@@ -13,8 +15,12 @@ type Replicated struct {
 	Values []float64
 }
 
-// summarize computes the mean and sample standard deviation.
+// summarize computes the mean and sample standard deviation. An empty
+// input yields the zero Replicated (not a NaN mean).
 func summarize(values []float64) Replicated {
+	if len(values) == 0 {
+		return Replicated{}
+	}
 	r := Replicated{Values: values}
 	for _, v := range values {
 		r.Mean += v
@@ -31,22 +37,36 @@ func summarize(values []float64) Replicated {
 	return r
 }
 
+// replicateSeed derives replicate i's base seed from the scenario's.
+// It is shared by ReplicatedScenarioMaxLoad and the replicated figure
+// generators so both report the same numbers for the same inputs.
+func replicateSeed(base int64, i int) int64 {
+	return parallel.DeriveSeed(base, i)
+}
+
 // ReplicatedScenarioMaxLoad repeats the max-load search with independent
 // seeds and reports the spread — the honest way to quote a max-load
 // number, since a single search inherits the tail noise of each probe.
+// Replicates run concurrently on the fidelity's worker pool; seeds are
+// a pure function of (base seed, replicate index), so the values are
+// identical to the sequential loop's at any worker count.
 func ReplicatedScenarioMaxLoad(s Scenario, bounds MaxLoadBounds, replicates int) (Replicated, error) {
 	if replicates < 2 {
 		return Replicated{}, fmt.Errorf("experiment: need >= 2 replicates, got %d", replicates)
 	}
-	values := make([]float64, replicates)
-	for i := range values {
+	inner := s.Fidelity.innerWorkers(replicates)
+	values, err := parallel.Map(s.Fidelity.pool(), replicates, func(i int) (float64, error) {
 		sc := s
-		sc.Fidelity.Seed = s.Fidelity.Seed + int64(i)*1000003
+		sc.Fidelity.Seed = replicateSeed(s.Fidelity.Seed, i)
+		sc.Fidelity.Workers = inner
 		ml, err := ScenarioMaxLoad(sc, bounds)
 		if err != nil {
-			return Replicated{}, fmt.Errorf("experiment: replicate %d: %w", i, err)
+			return 0, fmt.Errorf("experiment: replicate %d: %w", i, err)
 		}
-		values[i] = ml
+		return ml, nil
+	})
+	if err != nil {
+		return Replicated{}, err
 	}
 	return summarize(values), nil
 }

@@ -94,6 +94,21 @@ type queued struct {
 	done chan error
 }
 
+// donePool recycles the per-task completion channels. serveOne sends on
+// a channel exactly once, as its last use; Do returns a channel to the
+// pool only after receiving that send, and abandons un-received
+// channels to the GC when the query's context dies first — so a pooled
+// channel is always empty.
+var donePool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
+// smallFanout is the duplicate-check crossover: at or below it a linear
+// scan of the accepted servers beats any set structure; above it Do
+// switches to a pooled bitset over the server space.
+const smallFanout = 32
+
+// bitsetPool recycles the duplicate-server bitsets for large fanouts.
+var bitsetPool = sync.Pool{New: func() any { b := make([]uint64, 0, 4); return &b }}
+
 // New builds a scheduler.
 func New(cfg Config) (*Scheduler, error) {
 	if cfg.Servers < 1 {
@@ -172,20 +187,51 @@ func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, e
 	if _, err := s.classes.Class(class); err != nil {
 		return 0, err
 	}
-	servers := make([]int, len(tasks))
-	seen := make(map[int]bool, len(tasks))
+	// Typical fanouts are small: keep the server list on the stack and
+	// detect duplicate targets with a linear scan; large fanouts use a
+	// pooled bitset over the server space instead of a throwaway map.
+	var serversBuf [smallFanout]int
+	servers := serversBuf[:0]
+	if len(tasks) > len(serversBuf) {
+		servers = make([]int, 0, len(tasks))
+	}
+	var bits []uint64
+	if len(tasks) > smallFanout {
+		bp := bitsetPool.Get().(*[]uint64)
+		defer bitsetPool.Put(bp)
+		words := (len(s.queues) + 63) / 64
+		if cap(*bp) < words {
+			*bp = make([]uint64, words)
+		} else {
+			*bp = (*bp)[:words]
+			clear(*bp)
+		}
+		bits = *bp
+	}
 	for i, t := range tasks {
 		if t.Server < 0 || t.Server >= len(s.queues) {
 			return 0, fmt.Errorf("sched: task %d targets server %d outside [0, %d)", i, t.Server, len(s.queues))
 		}
-		if seen[t.Server] {
+		dup := false
+		if bits != nil {
+			w, b := t.Server>>6, uint64(1)<<(t.Server&63)
+			dup = bits[w]&b != 0
+			bits[w] |= b
+		} else {
+			for _, prev := range servers {
+				if prev == t.Server {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
 			return 0, fmt.Errorf("sched: two tasks target server %d (servers are serial; fan out across servers)", t.Server)
 		}
-		seen[t.Server] = true
 		if t.Run == nil {
 			return 0, fmt.Errorf("sched: task %d has nil Run", i)
 		}
-		servers[i] = t.Server
+		servers = append(servers, t.Server)
 	}
 
 	t0 := s.now()
@@ -197,16 +243,20 @@ func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, e
 		return 0, err
 	}
 
-	dones := make([]chan error, len(tasks))
+	var donesBuf [smallFanout]chan error
+	dones := donesBuf[:0]
+	if len(tasks) > len(donesBuf) {
+		dones = make([]chan error, 0, len(tasks))
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return 0, ErrClosed
 	}
 	s.wg.Add(len(tasks))
-	for i, task := range tasks {
-		done := make(chan error, 1)
-		dones[i] = done
+	for _, task := range tasks {
+		done := donePool.Get().(chan error)
+		dones = append(dones, done)
 		pt := &policy.Task{
 			Class:    class,
 			Arrival:  t0,
@@ -228,12 +278,15 @@ func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, e
 	for _, done := range dones {
 		select {
 		case err := <-done:
+			donePool.Put(done)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 		case <-ctx.Done():
 			// Remaining tasks will observe the dead context and be
-			// skipped by their servers; don't wait for them.
+			// skipped by their servers; don't wait for them. Their
+			// channels may still receive a send, so they are abandoned
+			// to the GC rather than pooled.
 			return s.now() - t0, ctx.Err()
 		}
 	}

@@ -5,12 +5,11 @@
 //
 // The engine is single-threaded by design: determinism (bit-for-bit
 // reproducible experiments given a seed) matters more here than parallel
-// speedup, and individual simulation runs are already fast enough to
-// binary-search maximum loads in seconds.
+// speedup inside one run; whole runs are parallelized across cores by
+// internal/parallel instead.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -24,25 +23,64 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+// eventHeap is a binary min-heap of events ordered by (time, sequence),
+// stored by value with hand-specialized sift-up/sift-down. Scheduling
+// an event is then a plain slice append — no per-event heap allocation
+// and no container/heap interface boxing on the simulator's hottest
+// path. Pop order is identical to the previous container/heap version:
+// (at, seq) is a total order, so any heap yields the same sequence.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// before reports whether event i must pop before event j.
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// push appends ev and restores the heap by sifting it up.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.before(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, sifting the displaced
+// last element down.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	min := s[0]
+	s[0] = s[n]
+	s[n] = event{} // release the callback for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s.before(right, left) {
+			least = right
+		}
+		if !s.before(least, i) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return min
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
@@ -75,7 +113,7 @@ func (e *Engine) Schedule(at Time, fn func()) error {
 		return fmt.Errorf("sim: schedule with nil callback")
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
 	return nil
 }
 
@@ -93,7 +131,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	e.now = ev.at
 	ev.fn()
 	return true

@@ -136,6 +136,31 @@ func TestStepOnEmpty(t *testing.T) {
 	}
 }
 
+// Property: the specialized value heap pops in exactly (at, seq) order —
+// the same total order container/heap produced — including heavy ties.
+func TestEventHeapPopOrderProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		var h eventHeap
+		for seq, r := range raw {
+			// Only 8 distinct times, forcing frequent ties.
+			h.push(event{at: Time(r % 8), seq: uint64(seq), fn: func() {}})
+		}
+		var prevAt Time = -1
+		var prevSeq uint64
+		for len(h) > 0 {
+			ev := h.pop()
+			if ev.at < prevAt || (ev.at == prevAt && ev.seq <= prevSeq) {
+				return false
+			}
+			prevAt, prevSeq = ev.at, ev.seq
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("heap pop order property violated: %v", err)
+	}
+}
+
 // Property: events always execute in non-decreasing time order regardless
 // of scheduling order.
 func TestEventOrderProperty(t *testing.T) {

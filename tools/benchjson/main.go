@@ -1,0 +1,200 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report. CI pipes the benchmark run through it to
+// produce BENCH_harness.json, so ns/op, B/op, allocs/op and the custom
+// b.ReportMetric series can be tracked across commits without scraping
+// logs.
+//
+// Usage:
+//
+//	go test -bench . | go run ./tools/benchjson -o BENCH_harness.json
+//	go run ./tools/benchjson bench.txt
+//
+// When both BenchmarkSweepFig4Sequential and BenchmarkSweepFig4Parallel
+// appear in the input, the report's derived section includes
+// fig4_sweep_speedup (sequential ns/op over parallel ns/op) and each
+// sweep's wall-clock in seconds.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including any -N GOMAXPROCS suffix.
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric series (unit -> value).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	var outPath string
+	var inputs []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o", "--o", "-output":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("%s needs a path", args[i-1])
+			}
+			outPath = args[i]
+		default:
+			inputs = append(inputs, args[i])
+		}
+	}
+
+	in := stdin
+	if len(inputs) > 0 {
+		f, err := os.Open(inputs[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		return os.WriteFile(outPath, data, 0o644)
+	}
+	_, err = stdout.Write(data)
+	return err
+}
+
+// Parse reads `go test -bench` output and builds the report.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines in input")
+	}
+	rep.Derived = derive(rep.Benchmarks)
+	return rep, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   100   12345 ns/op   456 B/op   7 allocs/op   8.9 tasks/s
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// derive computes cross-benchmark quantities, currently the Fig. 4 sweep
+// speedup and per-sweep wall-clock.
+func derive(bs []Benchmark) map[string]float64 {
+	find := func(base string) *Benchmark {
+		for i := range bs {
+			name := bs[i].Name
+			// Strip the -N GOMAXPROCS suffix, if any.
+			if j := strings.LastIndex(name, "-"); j > 0 {
+				if _, err := strconv.Atoi(name[j+1:]); err == nil {
+					name = name[:j]
+				}
+			}
+			if name == base {
+				return &bs[i]
+			}
+		}
+		return nil
+	}
+	d := map[string]float64{}
+	seq := find("BenchmarkSweepFig4Sequential")
+	par := find("BenchmarkSweepFig4Parallel")
+	if seq != nil {
+		d["fig4_sweep_sequential_s"] = seq.NsPerOp / 1e9
+	}
+	if par != nil {
+		d["fig4_sweep_parallel_s"] = par.NsPerOp / 1e9
+	}
+	if seq != nil && par != nil && par.NsPerOp > 0 {
+		d["fig4_sweep_speedup"] = seq.NsPerOp / par.NsPerOp
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}

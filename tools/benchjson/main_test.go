@@ -1,0 +1,65 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: tailguard
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepFig4Sequential-8 	       2	2881486444 ns/op	1567148720 B/op	15510086 allocs/op
+BenchmarkSweepFig4Parallel-8   	       4	 720371611 ns/op	1567184880 B/op	15510079 allocs/op
+BenchmarkSimulatorThroughput   	       1	  30738748 ns/op	   1758567 tasks/s
+PASS
+ok  	tailguard	5.826s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "tailguard" {
+		t.Errorf("header = %q/%q/%q", rep.GOOS, rep.GOARCH, rep.Pkg)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	seq := rep.Benchmarks[0]
+	if seq.Name != "BenchmarkSweepFig4Sequential-8" || seq.Iterations != 2 {
+		t.Errorf("seq = %+v", seq)
+	}
+	if seq.NsPerOp != 2881486444 || seq.BytesPerOp != 1567148720 || seq.AllocsPerOp != 15510086 {
+		t.Errorf("seq values = %+v", seq)
+	}
+	sim := rep.Benchmarks[2]
+	if got := sim.Metrics["tasks/s"]; got != 1758567 {
+		t.Errorf("tasks/s = %v, want 1758567", got)
+	}
+	if got, want := rep.Derived["fig4_sweep_speedup"], 2881486444.0/720371611.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("speedup = %v, want %v", got, want)
+	}
+	if got := rep.Derived["fig4_sweep_sequential_s"]; math.Abs(got-2.881486444) > 1e-9 {
+		t.Errorf("sequential wall-clock = %v", got)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("Parse of benchmark-free input succeeded, want error")
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	in := sample + "BenchmarkBroken notanumber 12 ns/op\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3 (malformed line kept?)", len(rep.Benchmarks))
+	}
+}
