@@ -4,7 +4,7 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint vet fmt test race bench bench-smoke ci clean
+.PHONY: all build lint vet fmt test race bench bench-smoke bench-compare ci clean
 
 # Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair
 # plus the fast-path micro-benchmarks the harness PR optimizes.
@@ -51,6 +51,15 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . | tee bench.txt
 	$(GO) run ./tools/benchjson -o BENCH_harness.json bench.txt
+
+# bench-compare diffs a fresh smoke run against the committed
+# BENCH_harness.json (per-benchmark ns/op and allocs/op deltas). It is a
+# report, never a gate: the diff always exits 0 when both files parse.
+bench-compare:
+	git show HEAD:BENCH_harness.json > bench_baseline.json
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . | tee bench.txt
+	$(GO) run ./tools/benchjson -o bench_fresh.json bench.txt
+	$(GO) run ./tools/benchcompare bench_baseline.json bench_fresh.json
 
 ci: build fmt vet lint race bench-smoke
 

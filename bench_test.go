@@ -9,6 +9,7 @@ package tailguard
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -317,7 +318,17 @@ func benchSweepFig4(b *testing.B, workers int) {
 // (TestGeneratorsParallelGolden), so the ratio is pure wall-clock.
 func BenchmarkSweepFig4Sequential(b *testing.B) { benchSweepFig4(b, 1) }
 
-func BenchmarkSweepFig4Parallel(b *testing.B) { benchSweepFig4(b, 0) }
+// BenchmarkSweepFig4Parallel pins the worker count to the actual
+// GOMAXPROCS and reports it as a metric, so a sweep "speedup" measured on
+// a single-core runner is visibly meaningless rather than silently ~1.0:
+// tools/benchjson flags the derived ratio whenever it is <= 1.0 and
+// records the core count it was measured at.
+func BenchmarkSweepFig4Parallel(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	benchSweepFig4(b, procs)
+	// After benchSweepFig4: its ResetTimer would clear reported metrics.
+	b.ReportMetric(float64(procs), "gomaxprocs")
+}
 
 // --- Fast-path micro-benchmarks ------------------------------------------
 

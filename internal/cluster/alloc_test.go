@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/workload"
+)
+
+// steadyRun executes one arena-backed simulation of the given size and
+// returns the result to the arena, the way experiment replicates do.
+func steadyRun(t *testing.T, arena *Arena, dl *core.Deadliner,
+	classes *workload.ClassSet, svc dist.Distribution, queries int) {
+	t.Helper()
+	fan, err := workload.NewFixed(2)
+	if err != nil {
+		t.Fatalf("NewFixed: %v", err)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 4,
+		Arrival: fixedGap{gap: 2},
+		Fanout:  fan,
+		Classes: classes,
+	}, 7)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	res, err := Run(Config{
+		Servers:      4,
+		Spec:         core.TFEDFQ,
+		ServiceTimes: []dist.Distribution{svc},
+		Generator:    gen,
+		Classes:      classes,
+		Deadliner:    dl,
+		Queries:      queries,
+		Warmup:       100,
+		Seed:         8,
+		Arena:        arena,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	arena.Release(res)
+}
+
+// TestSteadyStateRunAllocations pins the tentpole claim: with a warmed
+// Arena, a simulation run's allocation count is per-run setup only
+// (generator, RNG, config plumbing) and does not scale with the number
+// of queries dispatched. Tasks, query state, query boxes, events, and
+// recorders all come from the arena's freelists.
+func TestSteadyStateRunAllocations(t *testing.T) {
+	classes, err := workload.SingleClass(10)
+	if err != nil {
+		t.Fatalf("SingleClass: %v", err)
+	}
+	svc := dist.Deterministic{V: 1}
+	est, err := core.NewHomogeneousStaticTailEstimator(svc, 4)
+	if err != nil {
+		t.Fatalf("NewHomogeneousStaticTailEstimator: %v", err)
+	}
+	dl, err := core.NewDeadliner(core.TFEDFQ, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner: %v", err)
+	}
+	arena := NewArena()
+	// Warm at the largest size so freelists, the event heap, and the
+	// recorders reach their high-water capacity before measuring.
+	steadyRun(t, arena, dl, classes, svc, 4000)
+
+	small := testing.AllocsPerRun(5, func() { steadyRun(t, arena, dl, classes, svc, 1000) })
+	large := testing.AllocsPerRun(5, func() { steadyRun(t, arena, dl, classes, svc, 4000) })
+	// 3000 extra queries × 2 tasks each: without pooling this delta would
+	// be tens of thousands of allocations (tasks, states, events, boxes).
+	if large-small > 64 {
+		t.Errorf("allocations scale with query count: %0.f/run at 1000 queries, %0.f/run at 4000 (delta %0.f, want <= 64)",
+			small, large, large-small)
+	}
+	if large > 256 {
+		t.Errorf("steady-state run allocates %0.f/run, want <= 256 (per-run setup only)", large)
+	}
+}

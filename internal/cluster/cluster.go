@@ -4,6 +4,12 @@
 // queuing policy, and merges task results; the slowest task determines the
 // query response time. It is the engine behind every simulation experiment
 // in Section IV.
+//
+// The simulator is allocation-free in steady state: tasks and query
+// states come from per-run freelists owned by an Arena, events carry
+// their payloads through pre-bound sim.Handlers instead of closures, and
+// an Arena reused across runs also recycles the event heap, queues, and
+// result recorders. See DESIGN.md §9 for the pooling invariants.
 package cluster
 
 import (
@@ -38,7 +44,9 @@ type Config struct {
 	ServiceTimes []dist.Distribution
 	// Generator produces the query stream (arrivals, classes, fanouts,
 	// placements). Finite sources (trace replays) may end before Queries
-	// queries; the run then simply drains.
+	// queries; the run then simply drains. Sources implementing
+	// ServerRecycler get their placement slices back once a query's
+	// statistics are recorded.
 	Generator workload.QuerySource
 	// Classes defines the service classes and their SLOs.
 	Classes *workload.ClassSet
@@ -64,7 +72,8 @@ type Config struct {
 	// or not) and may return follow-up queries to inject with arrival set
 	// to the completion time. The request-level extension chains a
 	// request's sequential queries through it. Injected queries bypass
-	// admission control (the request was already admitted).
+	// admission control (the request was already admitted). The hook must
+	// not retain q.Servers past its return: the slice may be recycled.
 	OnQueryDone func(q workload.Query, latencyMs, now float64) []workload.Query
 	// Queuing selects where task queuing takes place (the paper's
 	// footnote 3): centrally at the query handler (default) or at the
@@ -85,6 +94,10 @@ type Config struct {
 	// latencies and admission decisions by arrival time, enabling
 	// transient analysis (e.g. behavior across a failure window).
 	TimelineBucketMs float64
+	// Arena, if non-nil, supplies the run's reusable resources (event
+	// heap, freelists, queues, recorders) so repeated runs stop
+	// allocating. An Arena serves one run at a time.
+	Arena *Arena
 }
 
 // Failure is one server outage window.
@@ -104,6 +117,13 @@ const (
 	// PerServerQueuing dispatches tasks to per-server queues first.
 	PerServerQueuing
 )
+
+// ServerRecycler is implemented by query sources that want their
+// placement slices back after the simulator is done with a query.
+// workload.Generator implements it to reuse its Servers allocations.
+type ServerRecycler interface {
+	Recycle(servers []int)
+}
 
 func (c *Config) validate() error {
 	if c.Servers < 1 {
@@ -186,28 +206,225 @@ type Result struct {
 	TimelineRejected map[int]int
 }
 
+// reset clears counters and recorders for reuse, keeping their capacity.
+func (res *Result) reset() {
+	res.Spec = ""
+	res.Queries, res.Injected = 0, 0
+	res.Admitted, res.Rejected, res.Completed = 0, 0, 0
+	res.Duration, res.Utilization = 0, 0
+	res.OfferedLoad, res.TaskMissRatio = 0, 0
+	res.Overall.Reset()
+	res.TaskWait.Reset()
+	res.ByClass.Reset()
+	res.ByFanout.Reset()
+	res.ByType.Reset()
+	if res.Timeline != nil {
+		res.Timeline.Reset()
+	}
+	for k := range res.TimelineAdmitted {
+		delete(res.TimelineAdmitted, k)
+	}
+	for k := range res.TimelineRejected {
+		delete(res.TimelineRejected, k)
+	}
+}
+
 // queryState tracks one in-flight query.
 type queryState struct {
 	query     workload.Query
 	maxFinish float64 // latest task completion time so far
 	remaining int32
 	counted   bool // include in statistics (past warmup)
+	injected  bool // created by the OnQueryDone hook
+	active    bool // slot occupancy marker (dense store)
+}
+
+// maxDenseGap bounds how far past the current dense range a query ID may
+// land and still grow the dense store; larger jumps (arbitrary trace IDs)
+// go to the overflow map so a sparse ID space cannot exhaust memory.
+const maxDenseGap = 4096
+
+// stateStore holds the in-flight query states. IDs are near-contiguous
+// for every built-in source (the generator counts from zero; request
+// workloads use req*m+idx), so states live in a dense slice indexed by
+// ID — claiming and releasing a state is then index arithmetic with no
+// map hashing and no per-query allocation. A released slot is zeroed so
+// no stale query data survives into its next claimant.
+type stateStore struct {
+	dense    []queryState
+	overflow map[int64]*queryState
+	free     []*queryState
+}
+
+// claim reserves the state slot for id; ok is false if id is in flight.
+// Claiming may grow the dense slice: callers must not hold a *queryState
+// from an earlier claim across a claim call.
+func (s *stateStore) claim(id int64) (st *queryState, ok bool) {
+	if id >= 0 && id < int64(len(s.dense))+maxDenseGap {
+		for int64(len(s.dense)) <= id {
+			s.dense = append(s.dense, queryState{})
+		}
+		st = &s.dense[id]
+		if st.active {
+			return nil, false
+		}
+		if s.overflow != nil {
+			if _, dup := s.overflow[id]; dup {
+				return nil, false
+			}
+		}
+		st.active = true
+		return st, true
+	}
+	if s.overflow == nil {
+		s.overflow = make(map[int64]*queryState)
+	}
+	if _, dup := s.overflow[id]; dup {
+		return nil, false
+	}
+	if n := len(s.free); n > 0 {
+		st = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		st = new(queryState)
+	}
+	st.active = true
+	s.overflow[id] = st
+	return st, true
+}
+
+// get returns the in-flight state for id, or nil.
+func (s *stateStore) get(id int64) *queryState {
+	if id >= 0 && id < int64(len(s.dense)) {
+		if st := &s.dense[id]; st.active {
+			return st
+		}
+	}
+	return s.overflow[id]
+}
+
+// release zeroes id's state and returns its slot for reuse.
+func (s *stateStore) release(id int64) {
+	if id >= 0 && id < int64(len(s.dense)) && s.dense[id].active {
+		s.dense[id] = queryState{}
+		return
+	}
+	if st, ok := s.overflow[id]; ok {
+		delete(s.overflow, id)
+		*st = queryState{}
+		s.free = append(s.free, st)
+	}
+}
+
+// reset clears any states left over from an aborted run, keeping capacity.
+func (s *stateStore) reset() {
+	for i := range s.dense {
+		if s.dense[i].active {
+			s.dense[i] = queryState{}
+		}
+	}
+	for id, st := range s.overflow {
+		delete(s.overflow, id)
+		*st = queryState{}
+		s.free = append(s.free, st)
+	}
+}
+
+// Arena owns the reusable resources of a simulation run: the event
+// engine, the task and query-box freelists, the query-state store, the
+// per-server queue set and occupancy slices, and a spare Result. Reusing
+// one arena across runs (Config.Arena) makes steady-state simulation
+// effectively allocation-free; a nil Config.Arena gets a private arena,
+// reproducing the old allocate-per-run behavior. An arena serves one run
+// at a time and is not safe for concurrent use.
+type Arena struct {
+	engine    *sim.Engine
+	tasks     policy.TaskPool
+	states    stateStore
+	queues    []policy.Queue
+	queueKind policy.Kind
+	qboxes    []*workload.Query
+	busy      []bool
+	paused    []bool
+	busyAcc   []float64
+	spare     *Result
+}
+
+// NewArena returns an empty arena. The zero value is also usable.
+func NewArena() *Arena { return &Arena{} }
+
+// Release hands a Result obtained from Run back for reuse by the arena's
+// next run. The caller must not touch res afterwards.
+func (a *Arena) Release(res *Result) {
+	if res != nil {
+		a.spare = res
+	}
+}
+
+// getQueryBox returns a pooled query box for an arrival event payload.
+func (a *Arena) getQueryBox() *workload.Query {
+	if n := len(a.qboxes); n > 0 {
+		b := a.qboxes[n-1]
+		a.qboxes[n-1] = nil
+		a.qboxes = a.qboxes[:n-1]
+		return b
+	}
+	return new(workload.Query)
+}
+
+// putQueryBox zeroes b and returns it to the pool.
+func (a *Arena) putQueryBox(b *workload.Query) {
+	*b = workload.Query{}
+	a.qboxes = append(a.qboxes, b)
+}
+
+// resetBools returns s resized to n with all elements false, reusing its
+// backing array when possible.
+func resetBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// resetFloats returns s resized to n with all elements zero, reusing its
+// backing array when possible.
+func resetFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // runner executes one simulation.
 type runner struct {
-	cfg     Config
-	engine  *sim.Engine
-	rng     *rand.Rand
-	queues  []policy.Queue
-	busy    []bool
-	paused  []bool
-	busyAcc []float64
-	states  map[int64]*queryState
-	res     *Result
-	missed  int
-	tasks   int
-	err     error // first internal error; aborts the run
+	cfg      Config
+	arena    *Arena
+	engine   *sim.Engine
+	rng      *rand.Rand
+	queues   []policy.Queue
+	busy     []bool
+	paused   []bool
+	busyAcc  []float64
+	res      *Result
+	recycler ServerRecycler
+	// Event handlers bound once per run: binding a method value
+	// allocates, so the hot path must reuse these fields.
+	arrivalH  sim.Handler
+	enqueueH  sim.Handler
+	completeH sim.Handler
+	missed    int
+	tasks     int
+	err       error // first internal error; aborts the run
 }
 
 // Run executes the configured simulation to completion and returns its
@@ -216,36 +433,79 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	r := &runner{
-		cfg:     cfg,
-		engine:  sim.NewEngine(),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		queues:  make([]policy.Queue, cfg.Servers),
-		busy:    make([]bool, cfg.Servers),
-		busyAcc: make([]float64, cfg.Servers),
-		states:  make(map[int64]*queryState),
-		res: &Result{
-			Spec:     cfg.Spec.Name,
+	a := cfg.Arena
+	if a == nil {
+		a = NewArena()
+	}
+	if a.engine == nil {
+		a.engine = sim.NewEngine()
+	}
+	a.engine.Reset()
+	a.states.reset()
+
+	if a.queueKind != cfg.Spec.Queue {
+		a.queues = a.queues[:0]
+		a.queueKind = cfg.Spec.Queue
+	}
+	for len(a.queues) < cfg.Servers {
+		q, err := policy.New(cfg.Spec.Queue)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building queue: %w", err)
+		}
+		a.queues = append(a.queues, q)
+	}
+	queues := a.queues[:cfg.Servers]
+	for _, q := range queues {
+		q.Reset()
+	}
+	a.busy = resetBools(a.busy, cfg.Servers)
+	a.paused = resetBools(a.paused, cfg.Servers)
+	a.busyAcc = resetFloats(a.busyAcc, cfg.Servers)
+
+	res := a.spare
+	a.spare = nil
+	if res == nil {
+		res = &Result{
 			Overall:  metrics.NewLatencyRecorder(cfg.Queries - cfg.Warmup),
 			ByClass:  metrics.NewBreakdown[int](1024),
 			ByFanout: metrics.NewBreakdown[int](1024),
 			ByType:   metrics.NewBreakdown[ClassFanout](1024),
 			TaskWait: metrics.NewLatencyRecorder(4096),
-		},
-	}
-	r.paused = make([]bool, cfg.Servers)
-	for i := range r.queues {
-		q, err := policy.New(cfg.Spec.Queue)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: building queue: %w", err)
 		}
-		r.queues[i] = q
+	} else {
+		res.reset()
 	}
+	res.Spec = cfg.Spec.Name
 	if cfg.TimelineBucketMs > 0 {
-		r.res.Timeline = metrics.NewBreakdown[int](256)
-		r.res.TimelineAdmitted = make(map[int]int)
-		r.res.TimelineRejected = make(map[int]int)
+		if res.Timeline == nil {
+			res.Timeline = metrics.NewBreakdown[int](256)
+		}
+		if res.TimelineAdmitted == nil {
+			res.TimelineAdmitted = make(map[int]int)
+		}
+		if res.TimelineRejected == nil {
+			res.TimelineRejected = make(map[int]int)
+		}
+	} else {
+		res.Timeline = nil
+		res.TimelineAdmitted, res.TimelineRejected = nil, nil
 	}
+
+	r := &runner{
+		cfg:     cfg,
+		arena:   a,
+		engine:  a.engine,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		queues:  queues,
+		busy:    a.busy,
+		paused:  a.paused,
+		busyAcc: a.busyAcc,
+		res:     res,
+	}
+	r.recycler, _ = cfg.Generator.(ServerRecycler)
+	r.arrivalH = r.onArrivalEvent
+	r.enqueueH = r.onEnqueueEvent
+	r.completeH = r.onCompleteEvent
 	for _, f := range cfg.Failures {
 		f := f
 		if err := r.engine.Schedule(f.Start, func() { r.paused[f.Server] = true }); err != nil {
@@ -294,7 +554,39 @@ func (r *runner) scheduleNextArrival() error {
 		return nil
 	}
 	r.res.Queries++
-	return r.engine.Schedule(q.Arrival, func() { r.onArrival(q, false) })
+	box := r.arena.getQueryBox()
+	*box = q
+	return r.engine.ScheduleCall(q.Arrival, r.arrivalH, box, 0)
+}
+
+// onArrivalEvent unboxes an arrival event's query (val != 0 marks hook
+// injection) and recycles the box before processing.
+func (r *runner) onArrivalEvent(arg any, val float64) {
+	box := arg.(*workload.Query)
+	q := *box
+	r.arena.putQueryBox(box)
+	r.onArrival(q, val != 0)
+}
+
+// onEnqueueEvent delivers a dispatched task to its server's queue.
+func (r *runner) onEnqueueEvent(arg any, _ float64) {
+	t := arg.(*policy.Task)
+	r.enqueue(t.Server, t)
+}
+
+// onCompleteEvent finishes a task's service; val carries its occupancy.
+func (r *runner) onCompleteEvent(arg any, val float64) {
+	t := arg.(*policy.Task)
+	r.onComplete(t.Server, t, val)
+}
+
+// recycle returns a query's placement slice to its source. Injected
+// queries are skipped: their Servers belong to the completion hook.
+func (r *runner) recycle(q workload.Query, injected bool) {
+	if r.recycler == nil || injected || q.Servers == nil {
+		return
+	}
+	r.recycler.Recycle(q.Servers)
 }
 
 // onArrival processes one query arrival: admission, deadline computation,
@@ -317,6 +609,7 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 		if r.res.TimelineRejected != nil {
 			r.res.TimelineRejected[r.timelineBucket(q.Arrival)]++
 		}
+		r.recycle(q, injected)
 		return
 	}
 	r.res.Admitted++
@@ -329,15 +622,15 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 		r.fail(fmt.Errorf("cluster: deadline for query %d: %w", q.ID, err))
 		return
 	}
-	if _, exists := r.states[q.ID]; exists {
+	st, ok := r.arena.states.claim(q.ID)
+	if !ok {
 		r.fail(fmt.Errorf("cluster: duplicate query ID %d", q.ID))
 		return
 	}
-	r.states[q.ID] = &queryState{
-		query:     q,
-		remaining: int32(q.Fanout),
-		counted:   q.ID >= int64(r.cfg.Warmup),
-	}
+	st.query = q
+	st.remaining = int32(q.Fanout)
+	st.counted = q.ID >= int64(r.cfg.Warmup)
+	st.injected = injected
 
 	for i, s := range q.Servers {
 		svc := 0.0
@@ -346,22 +639,20 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 		} else {
 			svc = r.serviceDist(s).Sample(r.rng)
 		}
-		t := &policy.Task{
-			QueryID:  q.ID,
-			Index:    i,
-			Server:   s,
-			Class:    q.Class,
-			Arrival:  q.Arrival,
-			Deadline: deadline,
-			Enqueued: q.Arrival,
-			Service:  svc,
-		}
+		t := r.arena.tasks.Get()
+		t.QueryID = q.ID
+		t.Index = i
+		t.Server = s
+		t.Class = q.Class
+		t.Arrival = q.Arrival
+		t.Deadline = deadline
+		t.Enqueued = q.Arrival
+		t.Service = svc
 		if r.cfg.Queuing == PerServerQueuing && r.cfg.DispatchDelay != nil {
 			// The task travels to the server before queuing; its wait
 			// (t_pr) includes the dispatch leg.
-			s := s
 			at := q.Arrival + r.cfg.DispatchDelay.Sample(r.rng)
-			if err := r.engine.Schedule(at, func() { r.enqueue(s, t) }); err != nil {
+			if err := r.engine.ScheduleCall(at, r.enqueueH, t, 0); err != nil {
 				r.fail(err)
 				return
 			}
@@ -421,7 +712,7 @@ func (r *runner) startService(s int, t *policy.Task) {
 		r.cfg.Admission.ObserveTask(missed, now)
 	}
 
-	st := r.states[t.QueryID]
+	st := r.arena.states.get(t.QueryID)
 	if st != nil && st.counted {
 		if err := r.res.TaskWait.Observe(now - t.Enqueued); err != nil {
 			r.fail(err)
@@ -437,7 +728,7 @@ func (r *runner) startService(s int, t *policy.Task) {
 	if r.cfg.Queuing == CentralQueuing && r.cfg.DispatchDelay != nil {
 		occupancy += r.cfg.DispatchDelay.Sample(r.rng)
 	}
-	if err := r.engine.ScheduleAfter(occupancy, func() { r.onComplete(s, t, occupancy) }); err != nil {
+	if err := r.engine.ScheduleCallAfter(occupancy, r.completeH, t, occupancy); err != nil {
 		r.fail(err)
 	}
 }
@@ -457,7 +748,7 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 		}
 	}
 
-	st := r.states[t.QueryID]
+	st := r.arena.states.get(t.QueryID)
 	if st == nil {
 		r.fail(fmt.Errorf("cluster: completion for unknown query %d", t.QueryID))
 		return
@@ -468,6 +759,10 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 	st.remaining--
 	if st.remaining == 0 {
 		r.onQueryDone(t.QueryID, st)
+	}
+	r.arena.tasks.Put(t)
+	if r.err != nil {
+		return
 	}
 
 	// Work conservation: immediately serve the next queued task, unless
@@ -482,14 +777,18 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 }
 
 // onQueryDone records a finished query and lets the completion hook inject
-// follow-up queries (request chaining).
+// follow-up queries (request chaining). st is released (and invalid) once
+// this returns.
 func (r *runner) onQueryDone(id int64, st *queryState) {
 	r.res.Completed++
-	delete(r.states, id)
 	now := r.engine.Now()
-	latency := st.maxFinish - st.query.Arrival
-	if st.counted {
-		cls, fanout := st.query.Class, st.query.Fanout
+	q := st.query
+	injected := st.injected
+	counted := st.counted
+	latency := st.maxFinish - q.Arrival
+	r.arena.states.release(id)
+	if counted {
+		cls, fanout := q.Class, q.Fanout
 		if err := r.res.Overall.Observe(latency); err != nil {
 			r.fail(err)
 			return
@@ -507,26 +806,27 @@ func (r *runner) onQueryDone(id int64, st *queryState) {
 			return
 		}
 		if r.res.Timeline != nil {
-			if err := r.res.Timeline.Observe(r.timelineBucket(st.query.Arrival), latency); err != nil {
+			if err := r.res.Timeline.Observe(r.timelineBucket(q.Arrival), latency); err != nil {
 				r.fail(err)
 				return
 			}
 		}
 	}
-	if r.cfg.OnQueryDone == nil {
-		return
-	}
-	for _, next := range r.cfg.OnQueryDone(st.query, latency, now) {
-		next := next
-		if next.Arrival < now {
-			next.Arrival = now
+	if r.cfg.OnQueryDone != nil {
+		for _, next := range r.cfg.OnQueryDone(q, latency, now) {
+			if next.Arrival < now {
+				next.Arrival = now
+			}
+			r.res.Injected++
+			box := r.arena.getQueryBox()
+			*box = next
+			if err := r.engine.ScheduleCall(next.Arrival, r.arrivalH, box, 1); err != nil {
+				r.fail(err)
+				return
+			}
 		}
-		r.res.Injected++
-		if err := r.engine.Schedule(next.Arrival, func() { r.onArrival(next, true) }); err != nil {
-			r.fail(err)
-			return
-		}
 	}
+	r.recycle(q, injected)
 }
 
 // finalize computes the run-level aggregates.

@@ -15,6 +15,7 @@ import (
 type ECDF struct {
 	sorted []float64
 	mean   float64
+	idx    bucketIndex // value axis, backs CDF
 }
 
 // NewECDF builds an empirical CDF from samples. The input slice is copied.
@@ -32,22 +33,29 @@ func NewECDF(samples []float64) (*ECDF, error) {
 	for _, v := range s {
 		sum += v
 	}
-	return &ECDF{sorted: s, mean: sum / float64(len(s))}, nil
+	e := &ECDF{sorted: s, mean: sum / float64(len(s))}
+	e.idx = newBucketIndex(func(i int) float64 { return e.sorted[i] }, len(e.sorted))
+	return e, nil
 }
 
 // N returns the number of samples.
 func (e *ECDF) N() int { return len(e.sorted) }
 
-// CDF implements Distribution: the fraction of samples <= t.
+// CDF implements Distribution: the fraction of samples <= t. The former
+// sort.SearchFloat64s found the first index >= t and then advanced over
+// equal values; both steps collapse into one upper-bound walk (smallest
+// i with sorted[i] > t) seeded by the value-axis bucket index, so the
+// count — and hence the returned fraction — is unchanged.
 func (e *ECDF) CDF(t float64) float64 {
-	i := sort.SearchFloat64s(e.sorted, t)
-	// SearchFloat64s returns the first index with sorted[i] >= t; advance
-	// over equal values to count them as <= t. (Ordered comparison: for
-	// i in this range, sorted[i] <= t iff sorted[i] == t.)
-	for i < len(e.sorted) && e.sorted[i] <= t {
+	n := len(e.sorted)
+	i := e.idx.seed(t)
+	for i > 0 && e.sorted[i-1] > t {
+		i--
+	}
+	for i < n && e.sorted[i] <= t {
 		i++
 	}
-	return float64(i) / float64(len(e.sorted))
+	return float64(i) / float64(n)
 }
 
 // Quantile implements Distribution using linear interpolation between

@@ -3,7 +3,6 @@ package dist
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 )
 
 // Breakpoint is one (probability, value) pair of a piecewise-linear
@@ -18,10 +17,68 @@ type Breakpoint struct {
 // repository: the Tailbench workload models are hand-calibrated tables, and
 // ECDF/OnlineCDF snapshots are materialized as tables.
 //
+// Quantile and CDF run in O(1) expected time: fixed-stride bucket
+// indexes over the breakpoints' P and T axes (built once at
+// construction) narrow each lookup to the same bracket binary search
+// would find, and the interpolation is unchanged — so every output is
+// bit-identical to the former sort.Search implementation while the
+// inverse-transform sampling hot path loses its log factor and its
+// closure-calling overhead.
+//
 // The table is immutable after construction and safe for concurrent use.
 type QuantileTable struct {
 	bps  []Breakpoint
 	mean float64
+	pidx bucketIndex // probability axis, backs Quantile
+	tidx bucketIndex // value axis, backs CDF
+}
+
+// bucketIndex accelerates lower-bound searches over a sorted float axis.
+// For bucket k covering [lo + k*stride, lo + (k+1)*stride), start[k] is
+// the smallest element index whose axis value is >= the bucket's lower
+// edge. A lookup seeds from start[bucket(x)] and walks the few elements
+// sharing the bucket; the walk (not the seed) decides the final index,
+// so floating-point rounding in the bucket computation can never change
+// the result — only the walk length.
+type bucketIndex struct {
+	lo, stride float64
+	start      []int32
+}
+
+// newBucketIndex indexes axis (sorted ascending) with about 2 buckets
+// per element, capping the expected per-lookup walk at O(1).
+func newBucketIndex(axis func(i int) float64, n int) bucketIndex {
+	lo, hi := axis(0), axis(n-1)
+	if n < 2 || hi <= lo {
+		return bucketIndex{} // degenerate axis; lookups fall back to a walk
+	}
+	buckets := 2 * n
+	idx := bucketIndex{lo: lo, stride: (hi - lo) / float64(buckets), start: make([]int32, buckets+1)}
+	e := 0
+	for k := 0; k <= buckets; k++ {
+		edge := lo + float64(k)*idx.stride
+		for e < n && axis(e) < edge {
+			e++
+		}
+		idx.start[k] = int32(e)
+	}
+	return idx
+}
+
+// seed returns a starting element index for the lower-bound search of x.
+// It is only a hint: callers must walk to the exact bracket.
+func (b *bucketIndex) seed(x float64) int {
+	if len(b.start) == 0 {
+		return 0
+	}
+	k := int((x - b.lo) / b.stride)
+	if k < 0 {
+		return 0
+	}
+	if k >= len(b.start) {
+		k = len(b.start) - 1
+	}
+	return int(b.start[k])
 }
 
 // NewQuantileTable builds a table from breakpoints. Requirements:
@@ -50,6 +107,8 @@ func NewQuantileTable(bps []Breakpoint) (*QuantileTable, error) {
 	}
 	q := &QuantileTable{bps: append([]Breakpoint(nil), bps...)}
 	q.mean = q.integrate()
+	q.pidx = newBucketIndex(func(i int) float64 { return q.bps[i].P }, len(q.bps))
+	q.tidx = newBucketIndex(func(i int) float64 { return q.bps[i].T }, len(q.bps))
 	return q, nil
 }
 
@@ -79,15 +138,27 @@ func (q *QuantileTable) Breakpoints() []Breakpoint {
 	return append([]Breakpoint(nil), q.bps...)
 }
 
-// Quantile implements Distribution.
+// Quantile implements Distribution. The bucket index narrows to the
+// exact bracket sort.Search would find; the interpolation is identical,
+// so outputs are bit-for-bit those of the binary-search implementation.
 func (q *QuantileTable) Quantile(p float64) float64 {
 	p = clampProb(p)
-	i := sort.Search(len(q.bps), func(i int) bool { return q.bps[i].P >= p })
+	// Inline lower bound over the P axis (smallest i with P[i] >= p),
+	// seeded by the bucket index; the explicit walk avoids the closure
+	// call of bucketIndex.lowerBound on the sampling hot path.
+	n := len(q.bps)
+	i := q.pidx.seed(p)
+	for i > 0 && q.bps[i-1].P >= p {
+		i--
+	}
+	for i < n && q.bps[i].P < p {
+		i++
+	}
 	if i == 0 {
 		return q.bps[0].T
 	}
-	if i >= len(q.bps) {
-		return q.bps[len(q.bps)-1].T
+	if i >= n {
+		return q.bps[n-1].T
 	}
 	a, b := q.bps[i-1], q.bps[i]
 	frac := (p - a.P) / (b.P - a.P)
@@ -105,8 +176,17 @@ func (q *QuantileTable) CDF(t float64) float64 {
 		return 1
 	}
 	// Find the last breakpoint with T <= t, then interpolate within the
-	// following segment.
-	i := sort.Search(len(q.bps), func(i int) bool { return q.bps[i].T > t })
+	// following segment: an upper-bound walk (smallest i with T[i] > t)
+	// seeded by the T-axis bucket index, matching the former sort.Search
+	// bracket exactly.
+	n := len(q.bps)
+	i := q.tidx.seed(t)
+	for i > 0 && q.bps[i-1].T > t {
+		i--
+	}
+	for i < n && q.bps[i].T <= t {
+		i++
+	}
 	// i >= 1 because t >= bps[0].T, and i < len because t < last.T.
 	a, b := q.bps[i-1], q.bps[i]
 	// Breakpoints are T-sorted, so <= here means a degenerate (zero-width)

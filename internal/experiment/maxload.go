@@ -2,10 +2,20 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
+	"tailguard/internal/cluster"
 	"tailguard/internal/parallel"
 	"tailguard/internal/workload"
 )
+
+// arenaPool shares simulation arenas (event heaps, task/state freelists,
+// queues, result recorders) across max-load probes. Probes run
+// concurrently on the worker pool, so distribution is sync.Pool's job;
+// each arena is used by exactly one probe at a time. The probes' Results
+// are released back into their arenas once compliance is read, which is
+// what makes repeated probing allocation-free in steady state.
+var arenaPool = sync.Pool{New: func() any { return cluster.NewArena() }}
 
 // MaxLoadBounds brackets the maximum-load binary search. The paper's case
 // studies choose SLOs so the answer lands in 20-60% load; the default
@@ -190,11 +200,19 @@ func ScenarioMaxLoad(s Scenario, bounds MaxLoadBounds) (float64, error) {
 	return SpeculativeMaxLoad(s.Fidelity.pool(), bounds, s.Fidelity.LoadTol, func(load float64) (bool, error) {
 		sc := s
 		sc.Load = load
-		res, err := sc.Run()
+		cfg, err := sc.Build()
+		if err != nil {
+			return false, err
+		}
+		a := arenaPool.Get().(*cluster.Arena)
+		defer arenaPool.Put(a)
+		cfg.Arena = a
+		res, err := cluster.Run(cfg)
 		if err != nil {
 			return false, err
 		}
 		ok, _, err := res.MeetsSLOs(s.Classes, s.Fidelity.MinSamples)
+		a.Release(res)
 		return ok, err
 	})
 }

@@ -5,7 +5,18 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
+
+// bootstrapScratch holds the resample buffers reused across
+// BootstrapQuantileCI calls; every element is overwritten before it is
+// read, so the buffers need no zeroing between uses.
+type bootstrapScratch struct {
+	stats []float64
+	buf   []float64
+}
+
+var bootstrapPool = sync.Pool{New: func() any { return new(bootstrapScratch) }}
 
 // QuantileCI is a bootstrap confidence interval for a quantile estimate.
 type QuantileCI struct {
@@ -37,7 +48,10 @@ func BootstrapQuantileCI(r *LatencyRecorder, p float64, resamples int, conf floa
 	if err != nil {
 		return QuantileCI{}, err
 	}
-	samples := r.Samples()
+	// Read the recorder's samples in place: resampling only indexes into
+	// them, and their order (sorted, after the Quantile call above) is the
+	// same the former copy had, so the draws are unchanged.
+	samples := r.samples
 	n := len(samples)
 	m := n
 	const mCap = 20000
@@ -45,8 +59,16 @@ func BootstrapQuantileCI(r *LatencyRecorder, p float64, resamples int, conf floa
 		m = mCap
 	}
 	rng := rand.New(rand.NewSource(seed))
-	stats := make([]float64, resamples)
-	buf := make([]float64, m)
+	sc := bootstrapPool.Get().(*bootstrapScratch)
+	defer bootstrapPool.Put(sc)
+	if cap(sc.stats) < resamples {
+		sc.stats = make([]float64, resamples)
+	}
+	if cap(sc.buf) < m {
+		sc.buf = make([]float64, m)
+	}
+	stats := sc.stats[:resamples]
+	buf := sc.buf[:m]
 	for b := 0; b < resamples; b++ {
 		for i := range buf {
 			buf[i] = samples[rng.Intn(n)]

@@ -10,6 +10,9 @@ import "sort"
 type Breakdown[K comparable] struct {
 	recorders map[K]*LatencyRecorder
 	hint      int
+	// free holds recorders released by Reset so Observe can reuse them
+	// (with their sample capacity) instead of allocating per key.
+	free []*LatencyRecorder
 }
 
 // NewBreakdown returns an empty breakdown; capacityHint sizes each per-key
@@ -22,7 +25,13 @@ func NewBreakdown[K comparable](capacityHint int) *Breakdown[K] {
 func (b *Breakdown[K]) Observe(key K, v float64) error {
 	r, ok := b.recorders[key]
 	if !ok {
-		r = NewLatencyRecorder(b.hint)
+		if n := len(b.free); n > 0 {
+			r = b.free[n-1]
+			b.free[n-1] = nil
+			b.free = b.free[:n-1]
+		} else {
+			r = NewLatencyRecorder(b.hint)
+		}
 		b.recorders[key] = r
 	}
 	return r.Observe(v)
@@ -51,9 +60,14 @@ func (b *Breakdown[K]) Each(fn func(key K, r *LatencyRecorder)) {
 	}
 }
 
-// Reset discards all keys and samples.
+// Reset discards all keys and samples, keeping the key map's buckets and
+// the recorders (emptied onto a freelist) for reuse.
 func (b *Breakdown[K]) Reset() {
-	b.recorders = make(map[K]*LatencyRecorder)
+	for k, r := range b.recorders {
+		r.Reset()
+		b.free = append(b.free, r)
+		delete(b.recorders, k)
+	}
 }
 
 // IntKeys returns the observed keys of an integer-keyed breakdown in

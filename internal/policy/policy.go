@@ -5,11 +5,13 @@
 // deadline estimators). LIFO and SJF are included as ablation baselines.
 //
 // All queues order deterministically: ties break by enqueue sequence, so
-// simulations are reproducible.
+// simulations are reproducible. All queues are allocation-free in steady
+// state: FIFO/PRIQ use ring buffers, LIFO a stack, and EDF/SJF a
+// value-receiver slice heap with hand-specialized sift-up/sift-down —
+// once warm, Push and Pop perform zero heap allocations.
 package policy
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -27,7 +29,38 @@ type Task struct {
 	// Payload carries transport-specific data (e.g. the live testbed's
 	// HTTP request body) opaque to the queue disciplines.
 	Payload any
-	seq     uint64 // assigned by the queue at Push for tie-breaking
+	key     float64 // ordering key snapshotted at Push (EDF/SJF)
+	seq     uint64  // assigned by the queue at Push for tie-breaking
+}
+
+// TaskPool is a freelist of Tasks for a single-goroutine owner (one
+// simulation run). Get returns a zeroed task; Put zeroes the task before
+// listing it so no stale query data or payload survives into the next
+// borrower, and so released payloads become collectable immediately.
+// The zero value is ready to use.
+type TaskPool struct {
+	free []*Task
+}
+
+// Get returns a task from the pool, allocating only when empty.
+func (p *TaskPool) Get() *Task {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return t
+	}
+	return new(Task)
+}
+
+// Put zeroes t and returns it to the pool. Putting a task still held by
+// a queue is a caller bug; nil is ignored.
+func (p *TaskPool) Put(t *Task) {
+	if t == nil {
+		return
+	}
+	*t = Task{}
+	p.free = append(p.free, t)
 }
 
 // Queue is a task queue discipline. Implementations are not safe for
@@ -42,6 +75,10 @@ type Queue interface {
 	Peek() *Task
 	// Len returns the number of queued tasks.
 	Len() int
+	// Reset empties the queue and restarts its tie-breaking sequence,
+	// keeping allocated capacity. A reset queue behaves exactly like a
+	// freshly constructed one.
+	Reset()
 }
 
 // Kind names a queue discipline.
@@ -67,62 +104,84 @@ func New(k Kind) (Queue, error) {
 	case PRIQ:
 		return &priQueue{}, nil
 	case EDF:
-		return newKeyQueue(func(a, b *Task) bool {
-			if a.Deadline != b.Deadline {
-				return a.Deadline < b.Deadline
-			}
-			return a.seq < b.seq
-		}), nil
+		return &keyQueue{kind: keyDeadline}, nil
 	case LIFO:
 		return &lifoQueue{}, nil
 	case SJF:
-		return newKeyQueue(func(a, b *Task) bool {
-			if a.Service != b.Service {
-				return a.Service < b.Service
-			}
-			return a.seq < b.seq
-		}), nil
+		return &keyQueue{kind: keyService}, nil
 	default:
 		return nil, fmt.Errorf("policy: unknown queue kind %q", k)
 	}
 }
 
-// fifoQueue is a slice-backed ring buffer FIFO.
+// fifoQueue is a ring buffer with power-of-two capacity: Push and Pop
+// are O(1) with no element movement, and steady-state operation never
+// allocates (growth only linearizes once per capacity doubling).
 type fifoQueue struct {
-	buf  []*Task
-	head int
+	buf  []*Task // len(buf) is the capacity, a power of two (or zero)
+	head int     // index of the oldest task
+	n    int     // queued count
 	seq  uint64
 }
 
 func (q *fifoQueue) Push(t *Task) {
 	q.seq++
 	t.seq = q.seq
-	q.buf = append(q.buf, t)
+	q.push(t)
+}
+
+// push inserts without assigning a sequence (used by priQueue, which
+// owns the cross-class sequence counter).
+func (q *fifoQueue) push(t *Task) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
+	q.n++
+}
+
+// grow doubles the ring, linearizing the live window to the front.
+func (q *fifoQueue) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 16
+	}
+	buf := make([]*Task, newCap)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 func (q *fifoQueue) Pop() *Task {
-	if q.Len() == 0 {
+	if q.n == 0 {
 		return nil
 	}
 	t := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head++
-	// Reclaim space once the dead prefix dominates.
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		q.buf = append(q.buf[:0], q.buf[q.head:]...)
-		q.head = 0
-	}
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	return t
 }
 
 func (q *fifoQueue) Peek() *Task {
-	if q.Len() == 0 {
+	if q.n == 0 {
 		return nil
 	}
 	return q.buf[q.head]
 }
 
-func (q *fifoQueue) Len() int { return len(q.buf) - q.head }
+func (q *fifoQueue) Len() int { return q.n }
+
+func (q *fifoQueue) Reset() {
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)&(len(q.buf)-1)] = nil
+	}
+	q.head = 0
+	q.n = 0
+	q.seq = 0
+}
 
 // lifoQueue is a stack.
 type lifoQueue struct {
@@ -156,8 +215,16 @@ func (q *lifoQueue) Peek() *Task {
 
 func (q *lifoQueue) Len() int { return len(q.buf) }
 
-// priQueue keeps one FIFO per class with strict priority: class 0 drains
-// before class 1, and so on (the paper's PRIQ).
+func (q *lifoQueue) Reset() {
+	for i := range q.buf {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	q.seq = 0
+}
+
+// priQueue keeps one ring-buffer FIFO per class with strict priority:
+// class 0 drains before class 1, and so on (the paper's PRIQ).
 type priQueue struct {
 	perClass []*fifoQueue // index = class ID; grown on demand
 	n        int
@@ -174,13 +241,13 @@ func (q *priQueue) Push(t *Task) {
 	}
 	q.seq++
 	t.seq = q.seq
-	q.perClass[c].Push(t)
+	q.perClass[c].push(t)
 	q.n++
 }
 
 func (q *priQueue) Pop() *Task {
 	for _, f := range q.perClass {
-		if f.Len() > 0 {
+		if f.n > 0 {
 			q.n--
 			return f.Pop()
 		}
@@ -190,7 +257,7 @@ func (q *priQueue) Pop() *Task {
 
 func (q *priQueue) Peek() *Task {
 	for _, f := range q.perClass {
-		if f.Len() > 0 {
+		if f.n > 0 {
 			return f.Peek()
 		}
 	}
@@ -199,53 +266,108 @@ func (q *priQueue) Peek() *Task {
 
 func (q *priQueue) Len() int { return q.n }
 
-// keyQueue is a binary heap over an arbitrary strict-weak-order less
-// function (EDF, SJF).
-type keyQueue struct {
-	h   taskHeap
-	seq uint64
+func (q *priQueue) Reset() {
+	for _, f := range q.perClass {
+		f.Reset()
+	}
+	q.n = 0
+	q.seq = 0
 }
 
-func newKeyQueue(less func(a, b *Task) bool) *keyQueue {
-	return &keyQueue{h: taskHeap{less: less}}
+// keyKind selects which Task field a keyQueue orders by.
+type keyKind uint8
+
+const (
+	keyDeadline keyKind = iota // EDF
+	keyService                 // SJF
+)
+
+// keyQueue is a binary min-heap over (key, seq), where key is the
+// ordering field snapshotted into the task at Push. The heap is a plain
+// slice with hand-specialized sift-up/sift-down — no container/heap
+// interface boxing, no per-operation allocation. Pop order is identical
+// to the previous container/heap version: (key, seq) is a total order
+// (seq is unique), so every valid heap yields the same pop sequence.
+type keyQueue struct {
+	items []*Task
+	kind  keyKind
+	seq   uint64
+}
+
+// before reports whether a must pop before b.
+func before(a, b *Task) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
 }
 
 func (q *keyQueue) Push(t *Task) {
 	q.seq++
 	t.seq = q.seq
-	heap.Push(&q.h, t)
+	if q.kind == keyDeadline {
+		t.key = t.Deadline
+	} else {
+		t.key = t.Service
+	}
+	q.items = append(q.items, t)
+	// Sift up.
+	s := q.items
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
 
 func (q *keyQueue) Pop() *Task {
-	if len(q.h.items) == 0 {
+	s := q.items
+	if len(s) == 0 {
 		return nil
 	}
-	return heap.Pop(&q.h).(*Task)
+	min := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	q.items = s[:n]
+	s = q.items
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && before(s[right], s[left]) {
+			least = right
+		}
+		if !before(s[least], s[i]) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return min
 }
 
 func (q *keyQueue) Peek() *Task {
-	if len(q.h.items) == 0 {
+	if len(q.items) == 0 {
 		return nil
 	}
-	return q.h.items[0]
+	return q.items[0]
 }
 
-func (q *keyQueue) Len() int { return len(q.h.items) }
+func (q *keyQueue) Len() int { return len(q.items) }
 
-type taskHeap struct {
-	items []*Task
-	less  func(a, b *Task) bool
-}
-
-func (h taskHeap) Len() int           { return len(h.items) }
-func (h taskHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
-func (h taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *taskHeap) Push(x any)        { h.items = append(h.items, x.(*Task)) }
-func (h *taskHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	h.items = old[:n-1]
-	return t
+func (q *keyQueue) Reset() {
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.seq = 0
 }

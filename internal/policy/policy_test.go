@@ -270,3 +270,50 @@ func TestConservationProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestQueueOpsAllocationFree pins the allocation-free hot path: once a
+// queue has grown to its high-water capacity, Push/Pop cycles — and the
+// TaskPool round trips feeding them — must not allocate. The simulator's
+// inner loop depends on this for every task of every query.
+func TestQueueOpsAllocationFree(t *testing.T) {
+	const n = 64
+	for _, k := range Kinds() {
+		q := mustQueue(t, k)
+		var pool TaskPool
+		tasks := make([]*Task, n)
+		for i := range tasks {
+			tasks[i] = pool.Get()
+		}
+		cycle := func() {
+			for i, tk := range tasks {
+				tk.QueryID = int64(i)
+				tk.Class = i % 3
+				tk.Deadline = float64((i * 37) % n)
+				tk.Service = float64((i * 11) % n)
+				q.Push(tk)
+			}
+			for range tasks {
+				if q.Pop() == nil {
+					t.Fatalf("%s: Pop returned nil mid-drain", k)
+				}
+			}
+		}
+		cycle() // reach high-water capacity (ring, heap, per-class fifos)
+		if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+			t.Errorf("%s: Push/Pop cycle allocates %.1f/op at steady state, want 0", k, allocs)
+		}
+		roundTrip := func() {
+			for i := range tasks {
+				pool.Put(tasks[i])
+				tasks[i] = nil
+			}
+			for i := range tasks {
+				tasks[i] = pool.Get()
+			}
+		}
+		roundTrip()
+		if allocs := testing.AllocsPerRun(100, roundTrip); allocs != 0 {
+			t.Errorf("%s: TaskPool round trip allocates %.1f/op, want 0", k, allocs)
+		}
+	}
+}

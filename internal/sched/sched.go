@@ -101,6 +101,25 @@ type queued struct {
 // channel is always empty.
 var donePool = sync.Pool{New: func() any { return make(chan error, 1) }}
 
+// taskPool and queuedPool recycle the per-task queue entries. Do fills a
+// task and its queued payload; the serving goroutine returns both via
+// putTask once serveOne has sent the completion (the structs' last use —
+// Do only keeps the done channel, which is pooled separately).
+var taskPool = sync.Pool{New: func() any { return new(policy.Task) }}
+
+var queuedPool = sync.Pool{New: func() any { return new(queued) }}
+
+// putTask zeroes a finished task and its payload — dropping the context,
+// closure, and channel references — and returns both to their pools.
+func putTask(pt *policy.Task) {
+	if q, ok := pt.Payload.(*queued); ok {
+		*q = queued{}
+		queuedPool.Put(q)
+	}
+	*pt = policy.Task{}
+	taskPool.Put(pt)
+}
+
 // smallFanout is the duplicate-check crossover: at or below it a linear
 // scan of the accepted servers beats any set structure; above it Do
 // switches to a pooled bitset over the server space.
@@ -257,14 +276,15 @@ func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, e
 	for _, task := range tasks {
 		done := donePool.Get().(chan error)
 		dones = append(dones, done)
-		pt := &policy.Task{
-			Class:    class,
-			Arrival:  t0,
-			Deadline: deadline,
-			Enqueued: t0,
-			Server:   task.Server,
-			Payload:  &queued{ctx: ctx, run: task.Run, done: done},
-		}
+		q := queuedPool.Get().(*queued)
+		q.ctx, q.run, q.done = ctx, task.Run, done
+		pt := taskPool.Get().(*policy.Task)
+		pt.Class = class
+		pt.Arrival = t0
+		pt.Deadline = deadline
+		pt.Enqueued = t0
+		pt.Server = task.Server
+		pt.Payload = q
 		if s.busy[task.Server] {
 			s.queues[task.Server].Push(pt)
 		} else {
@@ -303,6 +323,7 @@ func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, e
 func (s *Scheduler) serveLoop(server int, pt *policy.Task) {
 	for pt != nil {
 		s.serveOne(server, pt)
+		putTask(pt)
 		s.mu.Lock()
 		next := s.queues[server].Pop()
 		if next == nil {

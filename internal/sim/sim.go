@@ -16,11 +16,24 @@ import (
 // Time is a point in simulated time, in milliseconds.
 type Time = float64
 
-// event is one scheduled callback.
+// Handler is a pre-bound event callback that receives its payload as
+// arguments instead of captured closure state. Scheduling through a
+// Handler (ScheduleCall) is allocation-free when arg is a pointer: the
+// event carries the handler value and payload inline, so the per-event
+// closure allocation of Schedule disappears from the simulator's hot
+// path. Bind method values once (h := r.onEvent) and reuse them; the
+// method-value expression itself allocates.
+type Handler func(arg any, val float64)
+
+// event is one scheduled callback: either a closure (fn) or a pre-bound
+// handler with its payload (h, arg, val).
 type event struct {
 	at  Time
 	seq uint64 // schedule order, breaks ties deterministically
 	fn  func()
+	h   Handler
+	arg any
+	val float64
 }
 
 // eventHeap is a binary min-heap of events ordered by (time, sequence),
@@ -117,6 +130,30 @@ func (e *Engine) Schedule(at Time, fn func()) error {
 	return nil
 }
 
+// ScheduleCall runs h(arg, val) at absolute time at. It is the
+// allocation-free form of Schedule: the payload travels in the event
+// itself rather than in a closure. Execution order relative to
+// Schedule'd events follows the same (time, schedule order) rule.
+func (e *Engine) ScheduleCall(at Time, h Handler, arg any, val float64) error {
+	if at < e.now {
+		return fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
+	}
+	if h == nil {
+		return fmt.Errorf("sim: schedule with nil handler")
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, h: h, arg: arg, val: val})
+	return nil
+}
+
+// ScheduleCallAfter runs h(arg, val) after delay d (>= 0) from now.
+func (e *Engine) ScheduleCallAfter(d Time, h Handler, arg any, val float64) error {
+	if d < 0 {
+		return fmt.Errorf("sim: negative delay %v", d)
+	}
+	return e.ScheduleCall(e.now+d, h, arg, val)
+}
+
 // ScheduleAfter runs fn after delay d (>= 0) from now.
 func (e *Engine) ScheduleAfter(d Time, fn func()) error {
 	if d < 0 {
@@ -133,7 +170,11 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.events.pop()
 	e.now = ev.at
-	ev.fn()
+	if ev.h != nil {
+		ev.h(ev.arg, ev.val)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -163,3 +204,16 @@ func (e *Engine) RunUntil(deadline Time) {
 // Stop makes the current Run/RunUntil return after the executing event
 // completes. Pending events remain queued.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Reset returns the engine to its initial state (clock at zero, no
+// pending events) while keeping the event heap's capacity, so a pooled
+// engine can run successive simulations without reallocating its heap.
+func (e *Engine) Reset() {
+	for i := range e.events {
+		e.events[i] = event{} // release callbacks and payloads for GC
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+}

@@ -51,12 +51,16 @@ type GeneratorConfig struct {
 // Generator produces a deterministic (given the seed) stream of queries.
 // It is not safe for concurrent use; each simulation owns one generator.
 type Generator struct {
-	cfg    GeneratorConfig
-	rng    *rand.Rand
-	nextID int64
-	now    float64
+	cfg       GeneratorConfig
+	rng       *rand.Rand
+	nextID    int64
+	now       float64
+	maxFanout int
 	// scratch for sampling distinct servers without replacement
 	perm []int
+	// free holds recycled placement slices (see Recycle), each with
+	// capacity maxFanout so any fanout can reuse them.
+	free [][]int
 }
 
 // NewGenerator validates the configuration and returns a generator seeded
@@ -78,9 +82,10 @@ func NewGenerator(cfg GeneratorConfig, seed int64) (*Generator, error) {
 		return nil, fmt.Errorf("workload: max fanout %d exceeds cluster size %d", max, cfg.Servers)
 	}
 	g := &Generator{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(seed)),
-		perm: make([]int, cfg.Servers),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		maxFanout: cfg.Fanout.Max(),
+		perm:      make([]int, cfg.Servers),
 	}
 	for i := range g.perm {
 		g.perm[i] = i
@@ -112,13 +117,33 @@ func (g *Generator) place(fanout int) []int {
 	// Partial Fisher-Yates over the persistent permutation buffer: O(kf)
 	// per query regardless of N.
 	n := len(g.perm)
-	out := make([]int, fanout)
+	var out []int
+	if k := len(g.free); k > 0 {
+		out = g.free[k-1][:fanout]
+		g.free[k-1] = nil
+		g.free = g.free[:k-1]
+	} else {
+		// Allocate at maxFanout capacity so the slice can serve any
+		// later fanout once recycled.
+		out = make([]int, fanout, g.maxFanout)
+	}
 	for i := 0; i < fanout; i++ {
 		j := i + g.rng.Intn(n-i)
 		g.perm[i], g.perm[j] = g.perm[j], g.perm[i]
 		out[i] = g.perm[i]
 	}
 	return out
+}
+
+// Recycle accepts a placement slice previously returned by Next for reuse
+// by later queries (cluster.ServerRecycler). The caller must not use the
+// slice afterwards. Slices from a custom Placement function are dropped:
+// their ownership belongs to that function.
+func (g *Generator) Recycle(servers []int) {
+	if g.cfg.Placement != nil || cap(servers) < g.maxFanout {
+		return
+	}
+	g.free = append(g.free, servers[:0])
 }
 
 // Now returns the arrival time of the last generated query.

@@ -1,0 +1,166 @@
+// Command benchcompare diffs two BENCH_harness.json reports (as produced
+// by tools/benchjson) and prints per-benchmark ns/op, B/op, and allocs/op
+// deltas plus the derived-metric changes. CI runs it as a non-blocking
+// report step comparing a fresh bench run against the committed baseline,
+// so performance regressions show up in the log before anyone has to
+// bisect them.
+//
+// Usage:
+//
+//	go run ./tools/benchcompare OLD.json NEW.json
+//
+// Exit status is 0 whenever both inputs parse; the comparison itself
+// never fails the build — it is a report, not a gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchmark mirrors tools/benchjson's Benchmark (decoded, not imported:
+// the tools stay self-contained single-package commands).
+type benchmark struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// report mirrors tools/benchjson's Report.
+type report struct {
+	Benchmarks []benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+	Notes      []string           `json:"notes"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: benchcompare OLD.json NEW.json")
+	}
+	oldRep, err := load(args[0])
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	newRep, err := load(args[1])
+	if err != nil {
+		return fmt.Errorf("%s: %w", args[1], err)
+	}
+	Compare(out, oldRep, newRep)
+	return nil
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmarks in report")
+	}
+	return &rep, nil
+}
+
+// baseName strips a benchmark's -N GOMAXPROCS suffix so reports from
+// runners with different core counts still pair up.
+func baseName(name string) string {
+	if j := strings.LastIndex(name, "-"); j > 0 {
+		if _, err := strconv.Atoi(name[j+1:]); err == nil {
+			return name[:j]
+		}
+	}
+	return name
+}
+
+// delta formats an old -> new change with its relative move. A zero old
+// value (metric absent) renders as "new" only.
+func delta(oldV, newV float64, unit string) string {
+	if oldV == 0 {
+		return fmt.Sprintf("%s: %s (new)", unit, humanize(newV))
+	}
+	pct := (newV - oldV) / oldV * 100
+	return fmt.Sprintf("%s: %s -> %s (%+.1f%%)", unit, humanize(oldV), humanize(newV), pct)
+}
+
+// humanize renders a value compactly without losing small magnitudes.
+func humanize(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case math.Abs(v) >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+// Compare writes the per-benchmark and derived-metric diff.
+func Compare(out io.Writer, oldRep, newRep *report) {
+	oldBy := map[string]benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[baseName(b.Name)] = b
+	}
+	for _, nb := range newRep.Benchmarks {
+		name := baseName(nb.Name)
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(out, "%s: new benchmark (%s ns/op)\n", name, humanize(nb.NsPerOp))
+			continue
+		}
+		delete(oldBy, name)
+		parts := []string{delta(ob.NsPerOp, nb.NsPerOp, "ns/op")}
+		if ob.AllocsPerOp != 0 || nb.AllocsPerOp != 0 {
+			parts = append(parts, delta(ob.AllocsPerOp, nb.AllocsPerOp, "allocs/op"))
+		}
+		if ob.BytesPerOp != 0 || nb.BytesPerOp != 0 {
+			parts = append(parts, delta(ob.BytesPerOp, nb.BytesPerOp, "B/op"))
+		}
+		fmt.Fprintf(out, "%s: %s\n", name, strings.Join(parts, ", "))
+	}
+	var gone []string
+	for name := range oldBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(out, "%s: removed\n", name)
+	}
+
+	var keys []string
+	for k := range newRep.Derived {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		oldV, had := oldRep.Derived[k]
+		newV := newRep.Derived[k]
+		if !had {
+			fmt.Fprintf(out, "derived %s: %s (new)\n", k, humanize(newV))
+		} else if oldV != newV {
+			fmt.Fprintf(out, "derived %s: %s -> %s\n", k, humanize(oldV), humanize(newV))
+		}
+	}
+	for _, n := range newRep.Notes {
+		fmt.Fprintf(out, "note: %s\n", n)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompare(t *testing.T) {
+	oldRep := &report{
+		Benchmarks: []benchmark{
+			{Name: "BenchmarkSweepFig4Sequential-8", NsPerOp: 2.8e9, BytesPerOp: 1.567e9, AllocsPerOp: 15510087},
+			{Name: "BenchmarkGone", NsPerOp: 100},
+		},
+		Derived: map[string]float64{"fig4_sweep_speedup": 0.99},
+	}
+	newRep := &report{
+		Benchmarks: []benchmark{
+			{Name: "BenchmarkSweepFig4Sequential", NsPerOp: 1.7e9, BytesPerOp: 38e6, AllocsPerOp: 40465},
+			{Name: "BenchmarkFresh", NsPerOp: 50},
+		},
+		Derived: map[string]float64{"fig4_sweep_speedup": 1.8, "fig4_sweep_gomaxprocs": 8},
+		Notes:   []string{"example note"},
+	}
+	var sb strings.Builder
+	Compare(&sb, oldRep, newRep)
+	out := sb.String()
+	for _, want := range []string{
+		// -8 suffix stripped, so the renamed pair still matches.
+		"BenchmarkSweepFig4Sequential: ns/op: 2.8G -> 1.7G (-39.3%)",
+		"allocs/op: 15.5M -> 40.5k (-99.7%)",
+		"B/op: 1.57G -> 38M (-97.6%)",
+		"BenchmarkGone: removed",
+		"BenchmarkFresh: new benchmark",
+		"derived fig4_sweep_speedup: 0.99 -> 1.8",
+		"derived fig4_sweep_gomaxprocs: 8 (new)",
+		"note: example note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Error("run with no args succeeded, want usage error")
+	}
+	if err := run([]string{"a.json", "missing.json"}, &strings.Builder{}); err == nil {
+		t.Error("run with missing files succeeded, want error")
+	}
+}

@@ -45,6 +45,9 @@ type Report struct {
 	Pkg        string             `json:"pkg,omitempty"`
 	Benchmarks []Benchmark        `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
+	// Notes carries human-readable caveats about the derived metrics,
+	// e.g. a parallel "speedup" measured on a single-core runner.
+	Notes []string `json:"notes,omitempty"`
 }
 
 func main() {
@@ -124,7 +127,7 @@ func Parse(r io.Reader) (*Report, error) {
 	if len(rep.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark result lines in input")
 	}
-	rep.Derived = derive(rep.Benchmarks)
+	rep.Derived, rep.Notes = derive(rep.Benchmarks)
 	return rep, nil
 }
 
@@ -164,8 +167,13 @@ func parseBenchLine(line string) (Benchmark, bool) {
 }
 
 // derive computes cross-benchmark quantities, currently the Fig. 4 sweep
-// speedup and per-sweep wall-clock.
-func derive(bs []Benchmark) map[string]float64 {
+// speedup and per-sweep wall-clock, plus honesty annotations: the core
+// count the parallel sweep ran at (its gomaxprocs metric), and an
+// explicit flag + note when the measured "speedup" is <= 1.0 or was
+// taken at GOMAXPROCS=1 — ratios that must never be quoted as speedups:
+// on a single-core runner parallel scaling is impossible by
+// construction, so the report says so instead of publishing ~1.0x.
+func derive(bs []Benchmark) (map[string]float64, []string) {
 	find := func(base string) *Benchmark {
 		for i := range bs {
 			name := bs[i].Name
@@ -182,6 +190,7 @@ func derive(bs []Benchmark) map[string]float64 {
 		return nil
 	}
 	d := map[string]float64{}
+	var notes []string
 	seq := find("BenchmarkSweepFig4Sequential")
 	par := find("BenchmarkSweepFig4Parallel")
 	if seq != nil {
@@ -190,11 +199,37 @@ func derive(bs []Benchmark) map[string]float64 {
 	if par != nil {
 		d["fig4_sweep_parallel_s"] = par.NsPerOp / 1e9
 	}
+	procs := 0.0
+	if par != nil {
+		procs = par.Metrics["gomaxprocs"]
+		if procs > 0 {
+			d["fig4_sweep_gomaxprocs"] = procs
+		}
+	}
 	if seq != nil && par != nil && par.NsPerOp > 0 {
-		d["fig4_sweep_speedup"] = seq.NsPerOp / par.NsPerOp
+		speedup := seq.NsPerOp / par.NsPerOp
+		d["fig4_sweep_speedup"] = speedup
+		switch {
+		case procs == 1:
+			// Single-core runner: any ratio near 1.0 is dispatch noise,
+			// not scaling. Flag it even when it lands a hair above 1.0.
+			d["fig4_sweep_speedup_flagged"] = 1
+			notes = append(notes, fmt.Sprintf(
+				"fig4_sweep_speedup %.2fx was measured at GOMAXPROCS=1, where parallel scaling is impossible; rerun on a multi-core runner",
+				speedup))
+		case speedup <= 1.0:
+			d["fig4_sweep_speedup_flagged"] = 1
+			note := fmt.Sprintf("fig4_sweep_speedup %.2fx is not a speedup", speedup)
+			if procs > 1 {
+				note += fmt.Sprintf(" despite GOMAXPROCS=%d; the parallel harness is not scaling", int(procs))
+			} else {
+				note += "; the parallel sweep did not report its gomaxprocs metric"
+			}
+			notes = append(notes, note)
+		}
 	}
 	if len(d) == 0 {
-		return nil
+		return nil, notes
 	}
-	return d
+	return d, notes
 }

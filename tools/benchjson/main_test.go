@@ -45,6 +45,37 @@ func TestParseSample(t *testing.T) {
 	if got := rep.Derived["fig4_sweep_sequential_s"]; math.Abs(got-2.881486444) > 1e-9 {
 		t.Errorf("sequential wall-clock = %v", got)
 	}
+	if _, flagged := rep.Derived["fig4_sweep_speedup_flagged"]; flagged {
+		t.Errorf("4x speedup flagged: %v", rep.Notes)
+	}
+	if len(rep.Notes) != 0 {
+		t.Errorf("notes = %v, want none", rep.Notes)
+	}
+}
+
+// TestDeriveFlagsBogusSpeedup checks that a parallel sweep no faster than
+// sequential is flagged instead of silently recorded, and that the
+// parallel benchmark's gomaxprocs metric is surfaced in both the derived
+// metrics and the note.
+func TestDeriveFlagsBogusSpeedup(t *testing.T) {
+	const slow = `goos: linux
+BenchmarkSweepFig4Sequential 	       1	2794683432 ns/op	1567178032 B/op	15510087 allocs/op
+BenchmarkSweepFig4Parallel   	       1	2818023464 ns/op	1567181200 B/op	15510075 allocs/op	         1.000 gomaxprocs
+PASS
+`
+	rep, err := Parse(strings.NewReader(slow))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := rep.Derived["fig4_sweep_speedup_flagged"]; got != 1 {
+		t.Errorf("fig4_sweep_speedup_flagged = %v, want 1", got)
+	}
+	if got := rep.Derived["fig4_sweep_gomaxprocs"]; got != 1 {
+		t.Errorf("fig4_sweep_gomaxprocs = %v, want 1", got)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "GOMAXPROCS=1") {
+		t.Errorf("notes = %v, want single-core explanation", rep.Notes)
+	}
 }
 
 func TestParseRejectsEmpty(t *testing.T) {

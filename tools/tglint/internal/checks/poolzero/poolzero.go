@@ -1,0 +1,150 @@
+// Package poolzero enforces the freelist hygiene rule from DESIGN.md:
+// an object handed back to a pool must be zeroed (or Reset) in the put
+// path, before it is stored. A pooled policy.Task or query box that keeps
+// stale pointers alive leaks memory across replicates; one that keeps
+// stale values alive turns into a nondeterminism bug the moment a new
+// field is added and a reused object resurfaces with last run's contents.
+//
+// The check looks at functions whose name marks them as a put path
+// (prefix "put" or "release", any case) and that take a pointer-to-struct
+// parameter. If that parameter is appended to a slice or passed to a
+// Put(...) method (sync.Pool and pool-alikes), the function must first
+// either assign through the pointer (`*t = Task{}`) or call a sanitizing
+// method on it (Reset/Zero/Clear prefix).
+//
+// Pools that sanitize on Get instead of Put (reset-on-get, e.g.
+// cluster.Arena's spare Result) stay legal: storing the object in a plain
+// field is not a freelist append, so the check does not fire on them.
+package poolzero
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "poolzero",
+	Doc:  "pooled objects must be zeroed or Reset in the freelist put path before being stored",
+	Run:  run,
+}
+
+// putName reports whether a function name marks a freelist put path.
+func putName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "put") || strings.HasPrefix(lower, "release")
+}
+
+// sanitizerName reports whether a method call on the pooled object counts
+// as cleaning it.
+func sanitizerName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "reset") ||
+		strings.HasPrefix(lower, "zero") ||
+		strings.HasPrefix(lower, "clear")
+}
+
+// structElem returns the named struct a pointer type points at, or "" if
+// t is not a pointer to struct.
+func structElem(t types.Type) string {
+	pt, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	if _, ok := pt.Elem().Underlying().(*types.Struct); !ok {
+		return ""
+	}
+	if named, ok := pt.Elem().(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return pt.Elem().String()
+}
+
+func run(pass *lint.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !putName(fd.Name.Name) {
+			return
+		}
+		if pass.InTestFile(fd.Pos()) {
+			return
+		}
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if elem := structElem(obj.Type()); elem != "" {
+					checkParam(pass, fd.Body, obj, name.Name, elem)
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// checkParam reports every freelist store of obj inside body that is not
+// preceded by a zeroing assignment or sanitizing method call.
+func checkParam(pass *lint.Pass, body *ast.BlockStmt, obj types.Object, param, elem string) {
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+
+	var stores []token.Pos    // append(free, p) / pool.Put(p) positions
+	var sanitizes []token.Pos // *p = ... / p.Reset() positions
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if star, ok := lhs.(*ast.StarExpr); ok && isObj(star.X) {
+					sanitizes = append(sanitizes, n.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					for _, arg := range n.Args[1:] {
+						if isObj(arg) {
+							stores = append(stores, arg.Pos())
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if isObj(fun.X) && sanitizerName(fun.Sel.Name) {
+					sanitizes = append(sanitizes, n.Pos())
+					return true
+				}
+				if strings.EqualFold(fun.Sel.Name, "put") {
+					for _, arg := range n.Args {
+						if isObj(arg) {
+							stores = append(stores, arg.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, store := range stores {
+		clean := false
+		for _, s := range sanitizes {
+			if s < store {
+				clean = true
+				break
+			}
+		}
+		if !clean {
+			pass.Reportf(store,
+				"pooled *%s is put back without zeroing; assign *%s = %s{} or call %s.Reset() before the freelist put",
+				elem, param, elem, param)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package poolzero_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/poolzero"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestPoolzeroFiresOnDirtyPuts(t *testing.T) {
+	linttest.Run(t, ".", poolzero.Analyzer, "tailguard/internal/pool")
+}
+
+func TestPoolzeroSilentOnResetOnGet(t *testing.T) {
+	linttest.Run(t, ".", poolzero.Analyzer, "tailguard/internal/arena")
+}

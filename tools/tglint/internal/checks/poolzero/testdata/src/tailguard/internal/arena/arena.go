@@ -1,0 +1,18 @@
+package arena
+
+// Result models a reset-on-get pool member: it is sanitized by the
+// consumer when it is taken back out, not in the put path.
+type Result struct {
+	Count int
+	Err   error
+}
+
+// Arena keeps a single spare Result in a plain field. Storing into a
+// field is not a freelist append, so poolzero stays silent: the Get path
+// (not shown) calls reset() before reuse.
+type Arena struct{ spare *Result }
+
+// Release parks the result for the next run without zeroing it.
+func (a *Arena) Release(r *Result) {
+	a.spare = r
+}

@@ -1,0 +1,66 @@
+package pool
+
+import "sync"
+
+// Task stands in for the simulator's pooled task object: pointer-bearing
+// fields that must not survive a round trip through the freelist.
+type Task struct {
+	ID      int64
+	Payload any
+}
+
+// TaskPool is the slice-backed freelist shape used across the simulator.
+type TaskPool struct{ free []*Task }
+
+// Put zeroes before the append: the correct pattern.
+func (p *TaskPool) Put(t *Task) {
+	if t == nil {
+		return
+	}
+	*t = Task{}
+	p.free = append(p.free, t)
+}
+
+// PutDirty stores the object with its stale fields still set.
+func (p *TaskPool) PutDirty(t *Task) {
+	p.free = append(p.free, t) // want "pooled \*Task is put back without zeroing"
+}
+
+var taskPool = sync.Pool{New: func() any { return new(Task) }}
+
+// putTask hands a dirty object to a sync.Pool.
+func putTask(t *Task) {
+	taskPool.Put(t) // want "pooled \*Task is put back without zeroing"
+}
+
+// releaseLate zeroes only after the store; the freelist already holds the
+// dirty object by then (another goroutine may Get it between the two
+// statements when the freelist is a sync.Pool).
+func releaseLate(p *TaskPool, t *Task) {
+	p.free = append(p.free, t) // want "pooled \*Task is put back without zeroing"
+	*t = Task{}
+}
+
+// Box sanitizes via a Reset method instead of a zeroing assignment.
+type Box struct{ vals []float64 }
+
+// Reset truncates, keeping capacity.
+func (b *Box) Reset() { b.vals = b.vals[:0] }
+
+var boxPool = sync.Pool{New: func() any { return new(Box) }}
+
+// putBox resets via method before the pool put: legal.
+func putBox(b *Box) {
+	b.Reset()
+	boxPool.Put(b)
+}
+
+// Stash is not a put-path name; plain slice stores elsewhere are out of
+// scope for this check.
+func Stash(dst *[]*Task, t *Task) {
+	*dst = append(*dst, t)
+}
+
+var _ = putTask
+var _ = putBox
+var _ = releaseLate
