@@ -4,7 +4,7 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint vet fmt test race bench bench-smoke bench-compare ci clean
+.PHONY: all build lint vet fmt test race bench bench-smoke bench-compare obs-smoke ci clean
 
 # Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair
 # plus the fast-path micro-benchmarks the harness PR optimizes.
@@ -18,7 +18,7 @@ build:
 $(TGLINT): $(shell find tools/tglint -name '*.go' -not -path '*/testdata/*')
 	$(GO) build -o $(TGLINT) ./tools/tglint
 
-# lint runs the five tglint analyzers twice: standalone over the module
+# lint runs the tglint analyzer suite twice: standalone over the module
 # (fast, one process) and as a `go vet -vettool` (exercises the unitchecker
 # wire protocol the way CI consumers drive it).
 lint: $(TGLINT)
@@ -61,7 +61,21 @@ bench-compare:
 	$(GO) run ./tools/benchjson -o bench_fresh.json bench.txt
 	$(GO) run ./tools/benchcompare bench_baseline.json bench_fresh.json
 
-ci: build fmt vet lint race bench-smoke
+# obs-smoke proves the observability plane end to end: a short
+# instrumented tgsim sweep whose Chrome-trace and Prometheus dumps must
+# validate, plus a live in-process handler fetched over real HTTP.
+obs-smoke:
+	rm -rf obs-smoke-out
+	$(GO) run ./cmd/tgsim -obs obs-smoke-out -queries 1500 > /dev/null
+	for p in TailGuard FIFO PRIQ T-EDFQ; do \
+		$(GO) run ./tools/obscheck \
+			-trace obs-smoke-out/trace_$$p.json \
+			-prom obs-smoke-out/metrics_$$p.prom || exit 1; \
+	done
+	$(GO) run ./tools/obscheck -live
+	rm -rf obs-smoke-out
+
+ci: build fmt vet lint race bench-smoke obs-smoke
 
 clean:
 	rm -rf bin

@@ -42,6 +42,8 @@ func run(args []string) error {
 	svgDir := fs.String("svg", "", "also render figures as SVG files into this directory")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	replicates := fs.Int("replicates", 1, "for -exp fig4: independent max-load searches per point (mean±sd)")
+	obsDir := fs.String("obs", "", "run the instrumented diagnostic sweep instead of -exp: write trace_<policy>.json (Chrome trace) and metrics_<policy>.prom into this directory and print the miss-cause breakdown")
+	obsLoad := fs.Float64("obs-load", 0.6, "with -obs: offered load for the instrumented sweep")
 	par := fs.Int("parallel", 0, "worker pool size for experiment sweeps (0 = all cores, 1 = sequential); results are identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +79,10 @@ func run(args []string) error {
 	var wl []string
 	if *workloads != "" {
 		wl = strings.Split(*workloads, ",")
+	}
+
+	if *obsDir != "" {
+		return runObs(*obsDir, *obsLoad, wl, fid)
 	}
 
 	runners := map[string]func() ([]*experiment.Table, error){

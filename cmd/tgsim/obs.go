@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tailguard/internal/experiment"
+	"tailguard/internal/obs"
+)
+
+// runObs executes the instrumented diagnostic sweep (every policy at one
+// load with the obs plane attached) and dumps each run's artifacts:
+// trace_<policy>.json is a Chrome trace_event file (open in
+// chrome://tracing or Perfetto), metrics_<policy>.prom is the Prometheus
+// text exposition of the tg_sim_* families.
+func runObs(dir string, load float64, workloads []string, fid experiment.Fidelity) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating obs dir: %w", err)
+	}
+	cfg := experiment.ObsConfig{Load: load, Fidelity: fid}
+	if len(workloads) > 0 {
+		cfg.Workload = workloads[0]
+	}
+	runs, err := experiment.ObsSweep(cfg)
+	if err != nil {
+		return err
+	}
+	for _, run := range runs {
+		tracePath := filepath.Join(dir, "trace_"+run.Spec.Name+".json")
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		err = obs.WriteChromeTrace(tf, run.Events)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", tracePath, err)
+		}
+		if run.Dropped > 0 {
+			fmt.Printf("wrote %s (newest %d events; %d older events dropped by the ring)\n",
+				tracePath, len(run.Events), run.Dropped)
+		} else {
+			fmt.Printf("wrote %s (%d events)\n", tracePath, len(run.Events))
+		}
+
+		promPath := filepath.Join(dir, "metrics_"+run.Spec.Name+".prom")
+		pf, err := os.Create(promPath)
+		if err != nil {
+			return err
+		}
+		err = run.Registry.WritePrometheus(pf)
+		if cerr := pf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", promPath, err)
+		}
+		fmt.Printf("wrote %s\n", promPath)
+	}
+	fmt.Println()
+	fmt.Println(experiment.ObsTable(runs).String())
+	return nil
+}

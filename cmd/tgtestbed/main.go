@@ -46,6 +46,7 @@ func run(args []string) error {
 	transport := fs.String("transport", "http", "wire protocol: http (paper) | tcp (gob, lower overhead)")
 	svgPath := fs.String("svg", "", "with -exp fig9a: also render the CDF figure to this SVG file")
 	manifestPath := fs.String("manifest", "", "drive remote edge nodes from this tgedge manifest instead of booting in-process nodes")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/queues on this address during the run, e.g. 127.0.0.1:9090")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +101,7 @@ func run(args []string) error {
 		Seed:         *seed,
 		SharedStores: stores,
 		Transport:    kind,
+		MetricsAddr:  *metricsAddr,
 	}
 
 	switch *exp {

@@ -20,6 +20,7 @@ import (
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
 	"tailguard/internal/metrics"
+	"tailguard/internal/obs"
 	"tailguard/internal/policy"
 	"tailguard/internal/sim"
 	"tailguard/internal/workload"
@@ -98,6 +99,14 @@ type Config struct {
 	// heap, freelists, queues, recorders) so repeated runs stop
 	// allocating. An Arena serves one run at a time.
 	Arena *Arena
+	// Obs, if non-nil, receives query/task lifecycle events in virtual
+	// milliseconds. A nil tracer costs one pointer compare per event site
+	// and keeps the run allocation-free (the nil-sink contract).
+	Obs *obs.Tracer
+	// Attribution, if non-nil, accumulates per-query deadline-miss
+	// attribution (latency vs. SLO, straggler identity and decomposition)
+	// for post-warmup queries.
+	Attribution *obs.Attributor
 }
 
 // Failure is one server outage window.
@@ -233,6 +242,12 @@ func (res *Result) reset() {
 type queryState struct {
 	query     workload.Query
 	maxFinish float64 // latest task completion time so far
+	// Straggler tracking for miss attribution: identity and time
+	// decomposition of the task whose completion set maxFinish.
+	stragWait float64 // straggler pre-dequeuing wait t_pr
+	stragSvc  float64 // straggler post-queuing time t_po
+	stragTask int32
+	stragSrv  int32
 	remaining int32
 	counted   bool // include in statistics (past warmup)
 	injected  bool // created by the OnQueryDone hook
@@ -417,6 +432,8 @@ type runner struct {
 	busyAcc  []float64
 	res      *Result
 	recycler ServerRecycler
+	obs      *obs.Tracer     // nil when tracing is off
+	attrib   *obs.Attributor // nil when attribution is off
 	// Event handlers bound once per run: binding a method value
 	// allocates, so the hot path must reuse these fields.
 	arrivalH  sim.Handler
@@ -501,6 +518,8 @@ func Run(cfg Config) (*Result, error) {
 		paused:  a.paused,
 		busyAcc: a.busyAcc,
 		res:     res,
+		obs:     cfg.Obs,
+		attrib:  cfg.Attribution,
 	}
 	r.recycler, _ = cfg.Generator.(ServerRecycler)
 	r.arrivalH = r.onArrivalEvent
@@ -603,12 +622,14 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 	for _, s := range q.Servers {
 		r.res.OfferedLoad += r.serviceDist(s).Mean()
 	}
+	r.obs.Query(obs.KindArrival, q.Arrival, q.ID, int32(q.Class), float64(q.Fanout))
 
 	if !injected && r.cfg.Admission != nil && !r.cfg.Admission.Admit(q.Arrival) {
 		r.res.Rejected++
 		if r.res.TimelineRejected != nil {
 			r.res.TimelineRejected[r.timelineBucket(q.Arrival)]++
 		}
+		r.obs.Query(obs.KindReject, q.Arrival, q.ID, int32(q.Class), 0)
 		r.recycle(q, injected)
 		return
 	}
@@ -622,12 +643,14 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 		r.fail(fmt.Errorf("cluster: deadline for query %d: %w", q.ID, err))
 		return
 	}
+	r.obs.Query(obs.KindDeadline, q.Arrival, q.ID, int32(q.Class), deadline)
 	st, ok := r.arena.states.claim(q.ID)
 	if !ok {
 		r.fail(fmt.Errorf("cluster: duplicate query ID %d", q.ID))
 		return
 	}
 	st.query = q
+	st.stragTask, st.stragSrv = -1, -1
 	st.remaining = int32(q.Fanout)
 	st.counted = q.ID >= int64(r.cfg.Warmup)
 	st.injected = injected
@@ -664,18 +687,33 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 
 // enqueue places a task at its server, starting service if idle and up.
 func (r *runner) enqueue(s int, t *policy.Task) {
+	if r.obs != nil {
+		r.obs.TaskEvent(obs.KindEnqueue, r.engine.Now(), t.QueryID, int32(t.Index), int32(s), int32(t.Class), 0)
+	}
 	if r.busy[s] || r.paused[s] {
 		r.queues[s].Push(t)
+		if r.obs != nil {
+			r.obs.QueueDepth(r.engine.Now(), int32(s), r.queues[s].Len())
+		}
 	} else {
 		r.startService(s, t)
 	}
+}
+
+// popNext dequeues the next task for server s, emitting the depth sample.
+func (r *runner) popNext(s int) *policy.Task {
+	next := r.queues[s].Pop()
+	if next != nil && r.obs != nil {
+		r.obs.QueueDepth(r.engine.Now(), int32(s), r.queues[s].Len())
+	}
+	return next
 }
 
 // resume ends a server's outage and restarts its queue.
 func (r *runner) resume(s int) {
 	r.paused[s] = false
 	if !r.busy[s] {
-		if next := r.queues[s].Pop(); next != nil {
+		if next := r.popNext(s); next != nil {
 			r.startService(s, next)
 		}
 	}
@@ -703,6 +741,8 @@ func (r *runner) startService(s int, t *policy.Task) {
 	now := r.engine.Now()
 	r.busy[s] = true
 	r.tasks++
+	t.Dequeued = now
+	r.obs.TaskEvent(obs.KindDispatch, now, t.QueryID, int32(t.Index), int32(s), int32(t.Class), now-t.Enqueued)
 
 	missed := now > t.Deadline // +Inf deadlines never miss
 	if missed {
@@ -753,8 +793,16 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 		r.fail(fmt.Errorf("cluster: completion for unknown query %d", t.QueryID))
 		return
 	}
-	if now > st.maxFinish {
+	r.obs.TaskEvent(obs.KindServiceEnd, now, t.QueryID, int32(t.Index), int32(s), int32(t.Class), now-t.Dequeued)
+	if now >= st.maxFinish {
+		// This task is the straggler so far: its completion sets the
+		// query latency, so record its identity and time split for miss
+		// attribution (>= so simultaneous finishes keep the later task).
 		st.maxFinish = now
+		st.stragTask = int32(t.Index)
+		st.stragSrv = int32(s)
+		st.stragWait = t.Dequeued - t.Enqueued
+		st.stragSvc = now - t.Dequeued
 	}
 	st.remaining--
 	if st.remaining == 0 {
@@ -771,7 +819,7 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 	if r.paused[s] {
 		return
 	}
-	if next := r.queues[s].Pop(); next != nil {
+	if next := r.popNext(s); next != nil {
 		r.startService(s, next)
 	}
 }
@@ -786,7 +834,26 @@ func (r *runner) onQueryDone(id int64, st *queryState) {
 	injected := st.injected
 	counted := st.counted
 	latency := st.maxFinish - q.Arrival
+	if r.attrib != nil && counted {
+		class, err := r.cfg.Classes.Class(q.Class)
+		if err != nil {
+			r.fail(fmt.Errorf("cluster: attributing query %d: %w", id, err))
+			return
+		}
+		r.attrib.Observe(obs.QueryOutcome{
+			QueryID:            id,
+			Class:              q.Class,
+			Fanout:             q.Fanout,
+			LatencyMs:          latency,
+			SLOMs:              class.SLOMs,
+			StragglerTask:      st.stragTask,
+			StragglerServer:    st.stragSrv,
+			StragglerWaitMs:    st.stragWait,
+			StragglerServiceMs: st.stragSvc,
+		})
+	}
 	r.arena.states.release(id)
+	r.obs.Query(obs.KindQueryDone, now, id, int32(q.Class), latency)
 	if counted {
 		cls, fanout := q.Class, q.Fanout
 		if err := r.res.Overall.Observe(latency); err != nil {

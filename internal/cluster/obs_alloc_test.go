@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/obs"
+	"tailguard/internal/workload"
+)
+
+// obsRun is steadyRun with the observability plane attached.
+func obsRun(t *testing.T, arena *Arena, dl *core.Deadliner,
+	classes *workload.ClassSet, svc dist.Distribution, queries int,
+	tr *obs.Tracer, attrib *obs.Attributor) {
+	t.Helper()
+	fan, err := workload.NewFixed(2)
+	if err != nil {
+		t.Fatalf("NewFixed: %v", err)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 4,
+		Arrival: fixedGap{gap: 2},
+		Fanout:  fan,
+		Classes: classes,
+	}, 7)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	res, err := Run(Config{
+		Servers:      4,
+		Spec:         core.TFEDFQ,
+		ServiceTimes: []dist.Distribution{svc},
+		Generator:    gen,
+		Classes:      classes,
+		Deadliner:    dl,
+		Queries:      queries,
+		Warmup:       100,
+		Seed:         8,
+		Arena:        arena,
+		Obs:          tr,
+		Attribution:  attrib,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	arena.Release(res)
+}
+
+func obsAllocFixture(t *testing.T) (*core.Deadliner, *workload.ClassSet, dist.Distribution) {
+	t.Helper()
+	classes, err := workload.SingleClass(10)
+	if err != nil {
+		t.Fatalf("SingleClass: %v", err)
+	}
+	svc := dist.Deterministic{V: 1}
+	est, err := core.NewHomogeneousStaticTailEstimator(svc, 4)
+	if err != nil {
+		t.Fatalf("NewHomogeneousStaticTailEstimator: %v", err)
+	}
+	dl, err := core.NewDeadliner(core.TFEDFQ, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner: %v", err)
+	}
+	return dl, classes, svc
+}
+
+// TestNilObsRunAddsZeroAllocations pins the nil-sink contract at the run
+// level: the instrumented simulator with tracing and attribution disabled
+// allocates exactly as much as before the obs hooks existed — the delta
+// against a run with no obs fields set at all is zero.
+func TestNilObsRunAddsZeroAllocations(t *testing.T) {
+	dl, classes, svc := obsAllocFixture(t)
+
+	base := NewArena()
+	steadyRun(t, base, dl, classes, svc, 2000) // warm
+	baseline := testing.AllocsPerRun(5, func() { steadyRun(t, base, dl, classes, svc, 2000) })
+
+	nilObs := NewArena()
+	obsRun(t, nilObs, dl, classes, svc, 2000, nil, nil) // warm
+	withNil := testing.AllocsPerRun(5, func() { obsRun(t, nilObs, dl, classes, svc, 2000, nil, nil) })
+
+	if withNil > baseline {
+		t.Errorf("nil obs sink adds allocations: %0.f/run with nil tracer vs %0.f/run baseline", withNil, baseline)
+	}
+}
+
+// TestEnabledObsRunStaysAllocationFree goes further than the contract
+// requires: even with tracing ON (preallocated ring sink, no sampling) and
+// attribution ON, a warmed arena run's allocations do not scale with the
+// query count — events are value types into a fixed ring and the
+// attributor's accumulators reach capacity during warmup.
+func TestEnabledObsRunStaysAllocationFree(t *testing.T) {
+	dl, classes, svc := obsAllocFixture(t)
+	ring, err := obs.NewRing(4096)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	tr := obs.NewTracer(obs.TracerConfig{Sink: ring})
+	attrib := obs.NewAttributor()
+
+	arena := NewArena()
+	obsRun(t, arena, dl, classes, svc, 4000, tr, attrib) // warm
+
+	small := testing.AllocsPerRun(5, func() {
+		ring.Reset()
+		attrib.Reset()
+		obsRun(t, arena, dl, classes, svc, 1000, tr, attrib)
+	})
+	large := testing.AllocsPerRun(5, func() {
+		ring.Reset()
+		attrib.Reset()
+		obsRun(t, arena, dl, classes, svc, 4000, tr, attrib)
+	})
+	// 3000 extra queries × (1 arrival + 1 deadline + 2 enqueues +
+	// 2 dispatches + 2 service ends + 1 done) ≈ 27k extra events: any
+	// per-event allocation would dwarf the per-run setup budget.
+	if large-small > 64 {
+		t.Errorf("allocations scale with traced query count: %0.f/run at 1000 queries, %0.f/run at 4000 (delta %0.f, want <= 64)",
+			small, large, large-small)
+	}
+	if ring.Recorded() == 0 {
+		t.Error("tracer recorded nothing; the measurement exercised a disabled path")
+	}
+	if attrib.Report().Total == 0 {
+		t.Error("attributor observed nothing; the measurement exercised a disabled path")
+	}
+}

@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tailguard/internal/cluster"
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/metrics"
+	"tailguard/internal/obs"
+	"tailguard/internal/workload"
+)
+
+// ObsConfig parameterizes one instrumented diagnostic sweep: every policy
+// runs the same two-class mixed-fanout scenario at a fixed load with the
+// full obs plane attached (lifecycle tracer, miss attribution, metrics
+// registry).
+type ObsConfig struct {
+	// Workload names the Tailbench service-time model (default "masstree").
+	Workload string
+	// Load is the offered load for every policy (default 0.6 — high
+	// enough that the weaker policies miss deadlines, so the attribution
+	// has something to explain).
+	Load float64
+	// RingCap bounds the lifecycle event ring; the trace keeps the newest
+	// RingCap events (default 65536).
+	RingCap int
+	// Specs lists the policies to run (default core.Specs()).
+	Specs    []core.Spec
+	Fidelity Fidelity
+}
+
+func (c *ObsConfig) setDefaults() {
+	if c.Workload == "" {
+		c.Workload = "masstree"
+	}
+	if c.Load == 0 {
+		c.Load = 0.6
+	}
+	if c.RingCap == 0 {
+		c.RingCap = 1 << 16
+	}
+	if c.Specs == nil {
+		c.Specs = core.Specs()
+	}
+}
+
+// ObsRun is one policy's fully instrumented simulation: the standard
+// result plus the deadline-miss attribution report, the tail of the
+// lifecycle event stream, and a filled metrics registry.
+type ObsRun struct {
+	Spec   core.Spec
+	Result *cluster.Result
+	// Report decomposes deadline misses into queueing- vs
+	// service-dominated causes per class, with straggler identity.
+	Report *obs.Attribution
+	// Events is the lifecycle ring's snapshot (oldest first); when the run
+	// emits more than RingCap events only the newest survive, and Dropped
+	// counts the overflow.
+	Events  []obs.Event
+	Dropped uint64
+	// Registry holds the tg_sim_* metric families for this run.
+	Registry *obs.Registry
+}
+
+// obsScenario is the diagnostic setup: N=100, mixed fanouts 1/10/100, two
+// classes with a 1.5x SLO spread (the Fig. 4 mid-grid SLO as the tight
+// class), chosen so all four policies differentiate.
+func obsScenario(cfg ObsConfig, spec core.Spec) (Scenario, error) {
+	w, err := dist.TailbenchWorkload(cfg.Workload)
+	if err != nil {
+		return Scenario{}, err
+	}
+	fan, err := workload.NewInverseProportional(PaperFanouts)
+	if err != nil {
+		return Scenario{}, err
+	}
+	slos, ok := Fig4SLOs[cfg.Workload]
+	if !ok {
+		return Scenario{}, fmt.Errorf("experiment: no SLO grid for %q", cfg.Workload)
+	}
+	classes, err := workload.TwoClasses(slos[1], 1.5)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		Workload: w,
+		Servers:  100,
+		Spec:     spec,
+		Fanout:   fan,
+		Classes:  classes,
+		Load:     cfg.Load,
+		Fidelity: cfg.Fidelity,
+	}, nil
+}
+
+// ObsSweep runs every policy with the obs plane attached and returns one
+// ObsRun per policy, in cfg.Specs order. Runs are sequential — each reuses
+// nothing from the previous one, and a fixed seed makes the whole sweep
+// (events, report, registry) bit-identical across invocations.
+func ObsSweep(cfg ObsConfig) ([]*ObsRun, error) {
+	cfg.setDefaults()
+	if err := cfg.Fidelity.validate(); err != nil {
+		return nil, err
+	}
+	runs := make([]*ObsRun, 0, len(cfg.Specs))
+	for _, spec := range cfg.Specs {
+		sc, err := obsScenario(cfg, spec)
+		if err != nil {
+			return nil, err
+		}
+		ccfg, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		ring, err := obs.NewRing(cfg.RingCap)
+		if err != nil {
+			return nil, err
+		}
+		attrib := obs.NewAttributor()
+		ccfg.Obs = obs.NewTracer(obs.TracerConfig{Sink: ring})
+		ccfg.Attribution = attrib
+		res, err := cluster.Run(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: obs run %s: %w", spec.Name, err)
+		}
+		reg := obs.NewRegistry()
+		rep := attrib.Report()
+		if err := fillObsRegistry(reg, res, rep); err != nil {
+			return nil, fmt.Errorf("experiment: obs run %s: %w", spec.Name, err)
+		}
+		runs = append(runs, &ObsRun{
+			Spec:     spec,
+			Result:   res,
+			Report:   rep,
+			Events:   ring.Snapshot(nil),
+			Dropped:  ring.Dropped(),
+			Registry: reg,
+		})
+	}
+	return runs, nil
+}
+
+// fillObsRegistry translates one finished run into tg_sim_* families.
+func fillObsRegistry(reg *obs.Registry, res *cluster.Result, rep *obs.Attribution) error {
+	rejected, err := reg.Counter("tg_sim_rejected_total", "Queries refused by admission control.", "")
+	if err != nil {
+		return err
+	}
+	rejected.Add(uint64(res.Rejected))
+	util, err := reg.Gauge("tg_sim_utilization", "Achieved cluster load (busy time / capacity).", "")
+	if err != nil {
+		return err
+	}
+	util.Set(res.Utilization)
+	taskMiss, err := reg.Gauge("tg_sim_task_miss_ratio", "Fraction of tasks dequeued after their queuing deadline.", "")
+	if err != nil {
+		return err
+	}
+	taskMiss.Set(res.TaskMissRatio)
+
+	for _, c := range rep.ByClass {
+		labels, err := obs.Labels("class", fmt.Sprint(c.Class))
+		if err != nil {
+			return err
+		}
+		for _, fam := range []struct {
+			name, help string
+			v          int
+		}{
+			{"tg_sim_queries_total", "Completed queries per class (post-warmup).", c.Queries},
+			{"tg_sim_query_slo_miss_total", "Queries finishing past their class SLO.", c.Misses},
+			{"tg_sim_miss_queue_dominated_total", "SLO misses where the straggler's queueing wait dominated.", c.QueueDominated},
+			{"tg_sim_miss_service_dominated_total", "SLO misses where the straggler's service time dominated.", c.ServiceDominated},
+		} {
+			ctr, err := reg.Counter(fam.name, fam.help, labels)
+			if err != nil {
+				return err
+			}
+			ctr.Add(uint64(fam.v))
+		}
+		slack, err := reg.Gauge("tg_sim_slack_p1_ms", "1st-percentile SLO slack (negative = miss depth).", labels)
+		if err != nil {
+			return err
+		}
+		slack.Set(c.SlackP1Ms)
+	}
+
+	type sampled struct {
+		name, help string
+		rec        interface{ Samples() []float64 }
+		labels     string
+	}
+	fams := []sampled{
+		{"tg_sim_task_wait_ms", "Task pre-dequeuing wait t_pr (post-warmup).", res.TaskWait, ""},
+	}
+	for _, class := range metrics.IntKeys(res.ByClass) {
+		labels, err := obs.Labels("class", fmt.Sprint(class))
+		if err != nil {
+			return err
+		}
+		fams = append(fams, sampled{
+			"tg_sim_query_latency_ms", "Query latency per class (post-warmup).",
+			res.ByClass.Recorder(class), labels,
+		})
+	}
+	for _, f := range fams {
+		sum, err := reg.Summary(f.name, f.help, f.labels)
+		if err != nil {
+			return err
+		}
+		for _, v := range f.rec.Samples() {
+			if err := sum.Observe(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ObsTable renders the sweep's miss-cause breakdown: one row per
+// (policy, class) with the queueing/service decomposition and slack tail.
+func ObsTable(runs []*ObsRun) *Table {
+	t := &Table{
+		ID:    "obs",
+		Title: "Deadline-miss attribution per policy and class (queue- vs service-dominated)",
+		Columns: []string{
+			"policy", "class", "queries", "misses", "miss_pct",
+			"queue_dom", "service_dom", "mean_q_ms", "mean_s_ms",
+			"slack_p1_ms", "slack_p50_ms",
+		},
+	}
+	for _, run := range runs {
+		for _, c := range run.Report.ByClass {
+			missPct := 0.0
+			if c.Queries > 0 {
+				missPct = float64(c.Misses) / float64(c.Queries)
+			}
+			t.Rows = append(t.Rows, []string{
+				run.Spec.Name,
+				fmt.Sprint(c.Class),
+				fmt.Sprint(c.Queries),
+				fmt.Sprint(c.Misses),
+				pct(missPct),
+				fmt.Sprint(c.QueueDominated),
+				fmt.Sprint(c.ServiceDominated),
+				f2(c.MeanMissQueueMs),
+				f2(c.MeanMissServeMs),
+				f2(c.SlackP1Ms),
+				f2(c.SlackP50Ms),
+			})
+			t.Raw = append(t.Raw, map[string]float64{
+				"class":        float64(c.Class),
+				"queries":      float64(c.Queries),
+				"misses":       float64(c.Misses),
+				"miss_pct":     missPct,
+				"queue_dom":    float64(c.QueueDominated),
+				"service_dom":  float64(c.ServiceDominated),
+				"slack_p1_ms":  c.SlackP1Ms,
+				"slack_p50_ms": c.SlackP50Ms,
+			})
+		}
+	}
+	return t
+}

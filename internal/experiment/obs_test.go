@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/obs"
+)
+
+// obsTestFidelity keeps the sweep test in the sub-second range.
+var obsTestFidelity = Fidelity{Queries: 1500, Warmup: 100, MinSamples: 10, LoadTol: 0.02, Seed: 1}
+
+func TestObsSweep(t *testing.T) {
+	runs, err := ObsSweep(ObsConfig{Fidelity: obsTestFidelity})
+	if err != nil {
+		t.Fatalf("ObsSweep: %v", err)
+	}
+	if len(runs) != len(core.Specs()) {
+		t.Fatalf("runs = %d, want %d", len(runs), len(core.Specs()))
+	}
+	for _, run := range runs {
+		if run.Report.Total == 0 {
+			t.Errorf("%s: attribution saw no queries", run.Spec.Name)
+		}
+		if len(run.Report.ByClass) != 2 {
+			t.Errorf("%s: classes = %d, want 2", run.Spec.Name, len(run.Report.ByClass))
+		}
+		if len(run.Events) == 0 {
+			t.Errorf("%s: no lifecycle events", run.Spec.Name)
+		}
+		var trace bytes.Buffer
+		if err := obs.WriteChromeTrace(&trace, run.Events); err != nil {
+			t.Errorf("%s: WriteChromeTrace: %v", run.Spec.Name, err)
+		}
+		var prom bytes.Buffer
+		if err := run.Registry.WritePrometheus(&prom); err != nil {
+			t.Errorf("%s: WritePrometheus: %v", run.Spec.Name, err)
+		}
+		for _, want := range []string{
+			"tg_sim_queries_total",
+			"tg_sim_query_slo_miss_total",
+			"tg_sim_query_latency_ms_count",
+			"tg_sim_task_wait_ms_count",
+			"tg_sim_utilization",
+		} {
+			if !strings.Contains(prom.String(), want) {
+				t.Errorf("%s: exposition missing %q", run.Spec.Name, want)
+			}
+		}
+	}
+	table := ObsTable(runs)
+	if got := len(table.Rows); got != 2*len(runs) {
+		t.Errorf("table rows = %d, want %d", got, 2*len(runs))
+	}
+	if !strings.Contains(table.String(), "TailGuard") {
+		t.Errorf("table missing policy name:\n%s", table.String())
+	}
+}
+
+func TestObsSweepDeterministic(t *testing.T) {
+	cfg := ObsConfig{Specs: []core.Spec{core.TFEDFQ}, Fidelity: obsTestFidelity}
+	a, err := ObsSweep(cfg)
+	if err != nil {
+		t.Fatalf("ObsSweep: %v", err)
+	}
+	b, err := ObsSweep(cfg)
+	if err != nil {
+		t.Fatalf("ObsSweep: %v", err)
+	}
+	var ta, tb, pa, pb bytes.Buffer
+	if err := obs.WriteChromeTrace(&ta, a[0].Events); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := obs.WriteChromeTrace(&tb, b[0].Events); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if ta.String() != tb.String() {
+		t.Errorf("trace output differs across identical runs")
+	}
+	if err := a[0].Registry.WritePrometheus(&pa); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := b[0].Registry.WritePrometheus(&pb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if pa.String() != pb.String() {
+		t.Errorf("metrics exposition differs across identical runs:\n--- a\n%s\n--- b\n%s", pa.String(), pb.String())
+	}
+}

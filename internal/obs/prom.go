@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry.
+// Output is deterministic: families sort by name, series by label
+// signature, and summary quantiles are a fixed grid — so goldens stay
+// stable and scrape diffs mean real metric movement.
+
+// summaryQuantiles is the fixed quantile grid every summary exposes.
+var summaryQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// WritePrometheus writes the registry's current state in Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// bufio latches the first write error; the final Flush reports it.
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			_, _ = fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		_, _ = fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch m := s.metric.(type) {
+			case *Counter:
+				_, _ = fmt.Fprintf(bw, "%s %s\n", seriesName(f.name, s.labels), strconv.FormatUint(m.Value(), 10))
+			case *Gauge:
+				_, _ = fmt.Fprintf(bw, "%s %s\n", seriesName(f.name, s.labels), promFloat(m.Value()))
+			case *Summary:
+				for _, q := range summaryQuantiles {
+					ql := fmt.Sprintf("quantile=%q", strconv.FormatFloat(q, 'g', -1, 64))
+					labels := s.labels
+					if labels == "" {
+						labels = ql
+					} else {
+						labels += "," + ql
+					}
+					_, _ = fmt.Fprintf(bw, "%s %s\n", seriesName(f.name, labels), promFloat(m.Quantile(q)))
+				}
+				_, _ = fmt.Fprintf(bw, "%s %s\n", seriesName(f.name+"_sum", s.labels), promFloat(m.Sum()))
+				_, _ = fmt.Fprintf(bw, "%s %s\n", seriesName(f.name+"_count", s.labels), strconv.FormatUint(m.Count(), 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// seriesName joins a family name and a label signature.
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// promFloat formats a sample value; Prometheus text accepts +Inf/-Inf/NaN
+// spellings for non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fillRegistry builds a deterministic registry resembling what the
+// testbed exports: per-class counters, a queue-depth gauge, and a
+// latency summary.
+func fillRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, class := range []string{"0", "1"} {
+		labels, err := Labels("class", class)
+		if err != nil {
+			t.Fatalf("Labels: %v", err)
+		}
+		c, err := r.Counter("tg_queries_total", "Queries admitted per class.", labels)
+		if err != nil {
+			t.Fatalf("Counter: %v", err)
+		}
+		c.Add(uint64(10 + len(class)*7))
+	}
+	rej, err := r.Counter("tg_rejected_total", "Queries rejected by admission control.", "")
+	if err != nil {
+		t.Fatalf("Counter: %v", err)
+	}
+	rej.Add(3)
+	g, err := r.Gauge("tg_queue_depth", "Tasks waiting per server.", `server="2"`)
+	if err != nil {
+		t.Fatalf("Gauge: %v", err)
+	}
+	g.Set(4)
+	s, err := r.Summary("tg_query_latency_ms", "End-to-end query latency.", "")
+	if err != nil {
+		t.Fatalf("Summary: %v", err)
+	}
+	for i := 1; i <= 100; i++ {
+		if err := s.Observe(float64(i)); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fillRegistry(t).WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	checkGolden(t, "prom.golden", buf.Bytes())
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := fillRegistry(t).WritePrometheus(&a); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := fillRegistry(t).WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two expositions of identical registries differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestWritePrometheusShape pins structural invariants of the exposition
+// format without depending on exact values.
+func TestWritePrometheusShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fillRegistry(t).WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	var lastFamily string
+	seenType := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition:\n%s", out)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if parts[2] < lastFamily {
+				t.Errorf("family %q out of order after %q", parts[2], lastFamily)
+			}
+			lastFamily = parts[2]
+			seenType[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		// Sample line: name{labels} value
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !seenType[base] && !seenType[name] {
+			t.Errorf("sample %q has no preceding TYPE line", line)
+		}
+	}
+	for _, want := range []string{
+		`tg_queries_total{class="0"}`,
+		`tg_queries_total{class="1"}`,
+		`tg_query_latency_ms{quantile="0.99"}`,
+		"tg_query_latency_ms_sum",
+		"tg_query_latency_ms_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelsSortedAndValidated(t *testing.T) {
+	sig, err := Labels("server", "3", "class", "1")
+	if err != nil {
+		t.Fatalf("Labels: %v", err)
+	}
+	if want := `class="1",server="3"`; sig != want {
+		t.Errorf("Labels = %q, want %q", sig, want)
+	}
+	if _, err := Labels("only-key"); err == nil {
+		t.Error("odd pair count accepted")
+	}
+	if _, err := Labels("bad-name", "v"); err == nil {
+		t.Error("invalid label name accepted")
+	}
+	if sig, err := Labels(); err != nil || sig != "" {
+		t.Errorf("empty Labels = %q, %v", sig, err)
+	}
+}
+
+func TestRegistryKindConflict(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("tg_x", "", ""); err != nil {
+		t.Fatalf("Counter: %v", err)
+	}
+	if _, err := r.Gauge("tg_x", "", ""); err == nil {
+		t.Error("re-registering counter family as gauge succeeded")
+	}
+	if _, err := r.Counter("9bad", "", ""); err == nil {
+		t.Error("invalid metric name accepted")
+	}
+	// Same (name, labels) resolves to the same instance.
+	a, _ := r.Counter("tg_x", "", "")
+	b, _ := r.Counter("tg_x", "", "")
+	if a != b {
+		t.Error("duplicate registration returned distinct counters")
+	}
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tailguard/internal/dist"
+)
+
+// The streaming metrics plane: a concurrent Registry of counters, gauges,
+// and log-bucket summaries (the latter reusing dist.OnlineCDF, the same
+// machinery behind the paper's online CDF updating), exposed as
+// Prometheus text (prom.go) by the testbed handler and dumpable from
+// tgsim -obs. All metric types are safe for concurrent use: counters and
+// gauges are single atomics, summaries take OnlineCDF's internal lock.
+//
+// Series are registered once at component construction time (classes,
+// servers, and clusters are known up front), so the hot path only touches
+// pre-resolved *Counter/*Gauge/*Summary pointers — no map lookups, no
+// allocation, no registry lock.
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float metric that can move both ways.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Summary is a streaming distribution metric: a log-bucket histogram
+// (dist.OnlineCDF) answering quantile queries, plus an exact running sum
+// and count for Prometheus summary exposition.
+type Summary struct {
+	cdf   *dist.OnlineCDF
+	count atomic.Uint64
+	sum   Gauge
+}
+
+// Observe records one value (>= 0; negative and NaN are rejected, as in
+// the latency recorders).
+func (s *Summary) Observe(v float64) error {
+	if err := s.cdf.Add(v); err != nil {
+		return err
+	}
+	s.count.Add(1)
+	s.sum.Add(v)
+	return nil
+}
+
+// Quantile returns the current p-quantile estimate.
+func (s *Summary) Quantile(p float64) float64 { return s.cdf.Quantile(p) }
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 { return s.count.Load() }
+
+// Sum returns the sum of observations.
+func (s *Summary) Sum() float64 { return s.sum.Value() }
+
+// metricKind tags a family's exposition type.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindSummary
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// family is one metric family: a help string, a kind, and its series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]any // label signature → *Counter/*Gauge/*Summary
+}
+
+// Registry holds metric families and serves exposition snapshots.
+// Registration takes the registry lock; registered metrics are updated
+// lock-free (counters, gauges) or under their own lock (summaries).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName matches the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Labels renders key/value pairs as a deterministic label signature:
+// pairs sorted by key, values escaped. An empty list yields "".
+func Labels(pairs ...string) (string, error) {
+	if len(pairs) == 0 {
+		return "", nil
+	}
+	if len(pairs)%2 != 0 {
+		return "", fmt.Errorf("obs: odd label pair count %d", len(pairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		if !validName(pairs[i]) {
+			return "", fmt.Errorf("obs: invalid label name %q", pairs[i])
+		}
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	return b.String(), nil
+}
+
+// register resolves (or creates) the series under family name with the
+// given label signature, enforcing kind consistency.
+func (r *Registry) register(name, help, labels string, kind metricKind, build func() any) (any, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]any)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		return nil, fmt.Errorf("obs: metric %q registered as %s, requested %s", name, f.kind, kind)
+	}
+	if m, ok := f.series[labels]; ok {
+		return m, nil
+	}
+	m := build()
+	f.series[labels] = m
+	return m, nil
+}
+
+// Counter returns the counter series name{labels}, creating it on first
+// use. labels is a signature from Labels ("" for none).
+func (r *Registry) Counter(name, help, labels string) (*Counter, error) {
+	m, err := r.register(name, help, labels, kindCounter, func() any { return new(Counter) })
+	if err != nil {
+		return nil, err
+	}
+	return m.(*Counter), nil
+}
+
+// Gauge returns the gauge series name{labels}, creating it on first use.
+func (r *Registry) Gauge(name, help, labels string) (*Gauge, error) {
+	m, err := r.register(name, help, labels, kindGauge, func() any { return new(Gauge) })
+	if err != nil {
+		return nil, err
+	}
+	return m.(*Gauge), nil
+}
+
+// Summary returns the summary series name{labels}, creating it on first
+// use. The underlying histogram spans [1e-3, 1e6] ms at 100 buckets per
+// decade, the OnlineCDF defaults.
+func (r *Registry) Summary(name, help, labels string) (*Summary, error) {
+	m, err := r.register(name, help, labels, kindSummary, func() any {
+		return &Summary{cdf: dist.NewOnlineCDF(dist.OnlineCDFConfig{})}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.(*Summary), nil
+}
+
+// seriesSnap is one series captured for exposition.
+type seriesSnap struct {
+	labels string
+	metric any
+}
+
+// famSnap is one family captured for exposition.
+type famSnap struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []seriesSnap
+}
+
+// snapshot copies the family and series structure under the lock (metric
+// values are read later via their own atomics/locks), sorted by family
+// name and label signature for deterministic exposition.
+func (r *Registry) snapshot() []famSnap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]famSnap, 0, len(r.families))
+	for _, f := range r.families {
+		fs := famSnap{name: f.name, help: f.help, kind: f.kind,
+			series: make([]seriesSnap, 0, len(f.series))}
+		for labels, m := range f.series {
+			fs.series = append(fs.series, seriesSnap{labels: labels, metric: m})
+		}
+		sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].labels < fs.series[j].labels })
+		fams = append(fams, fs)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

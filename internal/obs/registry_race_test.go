@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentUse hammers the registry from many goroutines —
+// registration, counter/gauge/summary updates, and exposition all at
+// once. Run under -race (make race / CI) this pins the concurrency
+// contract of the metrics plane.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			labels, err := Labels("worker", fmt.Sprintf("%d", w%4))
+			if err != nil {
+				t.Errorf("Labels: %v", err)
+				return
+			}
+			c, err := r.Counter("tg_ops_total", "ops", labels)
+			if err != nil {
+				t.Errorf("Counter: %v", err)
+				return
+			}
+			g, err := r.Gauge("tg_inflight", "inflight", labels)
+			if err != nil {
+				t.Errorf("Gauge: %v", err)
+				return
+			}
+			s, err := r.Summary("tg_latency_ms", "latency", labels)
+			if err != nil {
+				t.Errorf("Summary: %v", err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				if err := s.Observe(float64(i%50) + 0.5); err != nil {
+					t.Errorf("Observe: %v", err)
+					return
+				}
+				if i%25 == 0 {
+					// Exposition concurrent with updates and late
+					// registration must be race-free.
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+					if _, err := r.Counter(fmt.Sprintf("tg_late_%d_total", w), "", ""); err != nil {
+						t.Errorf("late Counter: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total uint64
+	for w := 0; w < 4; w++ {
+		labels, _ := Labels("worker", fmt.Sprintf("%d", w))
+		c, err := r.Counter("tg_ops_total", "ops", labels)
+		if err != nil {
+			t.Fatalf("Counter: %v", err)
+		}
+		total += c.Value()
+	}
+	if want := uint64(workers * iters); total != want {
+		t.Errorf("total ops = %d, want %d", total, want)
+	}
+}
+
+// TestLockedRingConcurrentRecord pins that the concurrent ring variant
+// is race-free under parallel producers and snapshotters.
+func TestLockedRingConcurrentRecord(t *testing.T) {
+	r, err := NewLockedRing(256)
+	if err != nil {
+		t.Fatalf("NewLockedRing: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Kind: KindDispatch, QueryID: int64(w*1000 + i)})
+				if i%100 == 0 {
+					_ = r.Snapshot(nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Recorded(); got != 2000 {
+		t.Errorf("recorded = %d, want 2000", got)
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ring is a fixed-capacity event buffer: when full, new events overwrite
+// the oldest, so a long run keeps a bounded tail of its most recent
+// lifecycle activity (the part a timeline inspection wants). Recording is
+// an index increment and a struct store — no allocation after
+// construction. Ring is not safe for concurrent use; it serves the
+// single-threaded simulator. Concurrent recorders wrap it in LockedRing.
+type Ring struct {
+	buf     []Event
+	next    uint64 // total events recorded; next % cap is the write slot
+	dropped uint64 // events overwritten
+}
+
+// NewRing returns a ring holding the last capacity events.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("obs: ring capacity must be >= 1, got %d", capacity)
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}, nil
+}
+
+// Record implements Sink.
+func (r *Ring) Record(e Event) {
+	e.Seq = r.next
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next%uint64(cap(r.buf))] = e
+		r.dropped++
+	}
+	r.next++
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Recorded returns the total number of events ever recorded.
+func (r *Ring) Recorded() uint64 { return r.next }
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Snapshot appends the buffered events to dst in record order (oldest
+// first) and returns the extended slice. The returned events are copies.
+func (r *Ring) Snapshot(dst []Event) []Event {
+	n := len(r.buf)
+	if n == 0 {
+		return dst
+	}
+	if uint64(n) < r.next {
+		// Wrapped: oldest entry sits at the write cursor.
+		start := int(r.next % uint64(cap(r.buf)))
+		dst = append(dst, r.buf[start:]...)
+		dst = append(dst, r.buf[:start]...)
+		return dst
+	}
+	return append(dst, r.buf...)
+}
+
+// Reset empties the ring, keeping its capacity.
+func (r *Ring) Reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.dropped = 0
+}
+
+// LockedRing is a Ring safe for concurrent recorders (the testbed handler
+// and the production scheduler record from many goroutines).
+type LockedRing struct {
+	mu   sync.Mutex
+	ring Ring // guarded by mu
+}
+
+// NewLockedRing returns a concurrent ring holding the last capacity events.
+func NewLockedRing(capacity int) (*LockedRing, error) {
+	r, err := NewRing(capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &LockedRing{ring: *r}, nil
+}
+
+// Record implements Sink.
+func (l *LockedRing) Record(e Event) {
+	l.mu.Lock()
+	l.ring.Record(e)
+	l.mu.Unlock()
+}
+
+// Snapshot returns a copy of the buffered events in record order.
+func (l *LockedRing) Snapshot(dst []Event) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ring.Snapshot(dst)
+}
+
+// Recorded returns the total number of events ever recorded.
+func (l *LockedRing) Recorded() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ring.Recorded()
+}
+
+// Reset empties the ring, keeping its capacity.
+func (l *LockedRing) Reset() {
+	l.mu.Lock()
+	l.ring.Reset()
+	l.mu.Unlock()
+}

@@ -1,0 +1,115 @@
+package obs
+
+import "testing"
+
+func TestRingRejectsBadCapacity(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("NewRing(0) succeeded")
+	}
+	if _, err := NewLockedRing(-1); err == nil {
+		t.Fatal("NewLockedRing(-1) succeeded")
+	}
+}
+
+func TestRingWrapKeepsNewestInOrder(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(Event{QueryID: int64(i), TimeMs: float64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Recorded() != 10 || r.Dropped() != 6 {
+		t.Fatalf("recorded/dropped = %d/%d, want 10/6", r.Recorded(), r.Dropped())
+	}
+	got := r.Snapshot(nil)
+	for i, e := range got {
+		if want := int64(6 + i); e.QueryID != want {
+			t.Errorf("snapshot[%d].QueryID = %d, want %d", i, e.QueryID, want)
+		}
+		if e.Seq != uint64(6+i) {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, e.Seq, 6+i)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Recorded() != 0 || len(r.Snapshot(nil)) != 0 {
+		t.Fatal("reset ring not empty")
+	}
+}
+
+func TestRingSnapshotBeforeWrap(t *testing.T) {
+	r, err := NewRing(8)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(Event{QueryID: int64(i)})
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 3 || got[0].QueryID != 0 || got[2].QueryID != 2 {
+		t.Fatalf("snapshot = %+v, want queries 0..2", got)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRingRecordSteadyStateDoesNotAllocate(t *testing.T) {
+	r, err := NewRing(1024)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	e := Event{Kind: KindDispatch, QueryID: 7, Server: 3, Value: 1.5}
+	if allocs := testing.AllocsPerRun(200, func() { r.Record(e) }); allocs != 0 {
+		t.Errorf("Ring.Record allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestNilTracerEmitDoesNotAllocate(t *testing.T) {
+	var tr *Tracer
+	e := Event{Kind: KindDispatch, QueryID: 7, Server: 3, Value: 1.5}
+	if allocs := testing.AllocsPerRun(200, func() {
+		tr.Emit(e)
+		tr.TaskEvent(KindEnqueue, 1, 7, 0, 3, 0, 0)
+		tr.QueueDepth(1, 3, 2)
+	}); allocs != 0 {
+		t.Errorf("nil tracer recording allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestEnabledTracerRingPathDoesNotAllocate(t *testing.T) {
+	ring, err := NewRing(512)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	tr := NewTracer(TracerConfig{Sink: ring})
+	if allocs := testing.AllocsPerRun(200, func() {
+		tr.TaskEvent(KindDispatch, 1, 7, 0, 3, 0, 1.5)
+	}); allocs != 0 {
+		t.Errorf("enabled tracer → ring recording allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestLockedRingSnapshot(t *testing.T) {
+	r, err := NewLockedRing(4)
+	if err != nil {
+		t.Fatalf("NewLockedRing: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		r.Record(Event{QueryID: int64(i)})
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 4 || got[0].QueryID != 2 || got[3].QueryID != 5 {
+		t.Fatalf("locked snapshot = %+v, want queries 2..5", got)
+	}
+	if r.Recorded() != 6 {
+		t.Fatalf("recorded = %d, want 6", r.Recorded())
+	}
+	r.Reset()
+	if len(r.Snapshot(nil)) != 0 {
+		t.Fatal("reset locked ring not empty")
+	}
+}

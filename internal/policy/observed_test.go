@@ -1,0 +1,68 @@
+package policy
+
+import "testing"
+
+func TestObservedReportsDepth(t *testing.T) {
+	inner, err := New(EDF)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var depths []int
+	q := Observed{Queue: inner, OnDepth: func(d int) { depths = append(depths, d) }}
+
+	tasks := [3]Task{}
+	for i := range tasks {
+		tasks[i].Deadline = float64(10 - i)
+		q.Push(&tasks[i])
+	}
+	if q.Pop() == nil {
+		t.Fatal("Pop returned nil with queued tasks")
+	}
+	if q.Pop() == nil {
+		t.Fatal("Pop returned nil with queued tasks")
+	}
+	// Empty-pop must not report.
+	q.Pop()
+	q.Pop()
+	q.Reset()
+
+	want := []int{1, 2, 3, 2, 1, 0, 0}
+	if len(depths) != len(want) {
+		t.Fatalf("depth reports = %v, want %v", depths, want)
+	}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Fatalf("depth reports = %v, want %v", depths, want)
+		}
+	}
+}
+
+// TestObservedSteadyStateDoesNotAllocate pins that wrapping a queue for
+// depth observation keeps the discipline's zero-allocation guarantee.
+func TestObservedSteadyStateDoesNotAllocate(t *testing.T) {
+	inner, err := New(EDF)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var depth int
+	q := Observed{Queue: inner, OnDepth: func(d int) { depth = d }}
+	var tasks [16]Task
+	// Warm the heap's backing array.
+	for i := range tasks {
+		q.Push(&tasks[i])
+	}
+	for q.Pop() != nil {
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range tasks {
+			tasks[i].Deadline = float64(i % 7)
+			q.Push(&tasks[i])
+		}
+		for q.Pop() != nil {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("observed queue allocates %v/op cycle, want 0", allocs)
+	}
+	_ = depth
+}

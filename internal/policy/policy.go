@@ -25,6 +25,7 @@ type Task struct {
 	Arrival  float64 // query arrival time t0 (ms)
 	Deadline float64 // task queuing deadline tD (ms); consumed by EDF
 	Enqueued float64 // time the task entered the queue (ms)
+	Dequeued float64 // time the task left the queue for service (ms); set by the dispatcher
 	Service  float64 // sampled service time (ms); consumed by SJF only
 	// Payload carries transport-specific data (e.g. the live testbed's
 	// HTTP request body) opaque to the queue disciplines.
@@ -112,6 +113,39 @@ func New(k Kind) (Queue, error) {
 	default:
 		return nil, fmt.Errorf("policy: unknown queue kind %q", k)
 	}
+}
+
+// Observed decorates a Queue with a depth callback, invoked after every
+// depth-changing operation with the new length. It feeds the obs plane's
+// queue-depth gauges and counters without teaching the disciplines about
+// metrics; dispatchers wrap queues only when observability is enabled, so
+// the unwrapped hot path keeps its zero-allocation guarantee. The wrapper
+// inherits the wrapped queue's (lack of) concurrency safety.
+type Observed struct {
+	Queue
+	OnDepth func(depth int)
+}
+
+// Push inserts a task and reports the new depth.
+func (o Observed) Push(t *Task) {
+	o.Queue.Push(t)
+	o.OnDepth(o.Queue.Len())
+}
+
+// Pop removes the highest-priority task, reporting the new depth when one
+// was removed.
+func (o Observed) Pop() *Task {
+	t := o.Queue.Pop()
+	if t != nil {
+		o.OnDepth(o.Queue.Len())
+	}
+	return t
+}
+
+// Reset empties the queue and reports depth zero.
+func (o Observed) Reset() {
+	o.Queue.Reset()
+	o.OnDepth(0)
 }
 
 // fifoQueue is a ring buffer with power-of-two capacity: Push and Pop

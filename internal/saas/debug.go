@@ -1,0 +1,74 @@
+package saas
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// QueueDebug is one node's live queue state, as served by /debug/queues.
+type QueueDebug struct {
+	Node    int         `json:"node"`
+	Cluster ClusterName `json:"cluster"`
+	Depth   int         `json:"depth"`
+	Busy    bool        `json:"busy"`
+	BusyMs  float64     `json:"busy_ms"`
+}
+
+// QueuesDebug is the /debug/queues response body.
+type QueuesDebug struct {
+	ElapsedMs float64      `json:"elapsed_ms"`
+	InFlight  int          `json:"in_flight_queries"`
+	Tasks     int          `json:"tasks"`
+	Missed    int          `json:"missed"`
+	Rejected  int          `json:"rejected"`
+	Queues    []QueueDebug `json:"queues"`
+}
+
+// queuesSnapshot captures the live queue state under the handler lock.
+func (h *Handler) queuesSnapshot() QueuesDebug {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := QueuesDebug{
+		ElapsedMs: h.nowMs(),
+		InFlight:  len(h.states),
+		Tasks:     h.tasks,
+		Missed:    h.missed,
+		Rejected:  h.rejected,
+		Queues:    make([]QueueDebug, len(h.queues)),
+	}
+	for i, q := range h.queues {
+		d.Queues[i] = QueueDebug{
+			Node:    i,
+			Cluster: h.cfg.Nodes[i].Cluster,
+			Depth:   q.Len(),
+			Busy:    h.busy[i],
+			BusyMs:  h.busyMs[i],
+		}
+	}
+	return d
+}
+
+// DebugMux returns the handler's observability endpoints:
+//
+//	/metrics       Prometheus text exposition of the tg_* families
+//	/debug/queues  JSON snapshot of per-node queue depth and occupancy
+//
+// Mount it on an operator listener (cmd/tgtestbed -metrics-addr).
+func (h *Handler) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := h.reg.WritePrometheus(w); err != nil {
+			// Headers are already out; the truncated body is the best
+			// signal available to the scraper.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/queues", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.queuesSnapshot())
+	})
+	return mux
+}

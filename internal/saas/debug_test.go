@@ -1,0 +1,130 @@
+package saas
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/obs"
+)
+
+// buildObsHandler is buildHandler with a lifecycle tracer attached.
+func buildObsHandler(t *testing.T, nodes int) (*Handler, *obs.LockedRing) {
+	t.Helper()
+	edges := make([]*EdgeNode, nodes)
+	for i := range edges {
+		edges[i] = testEdge(t, i)
+	}
+	classes, err := SaSClasses(100)
+	if err != nil {
+		t.Fatalf("SaSClasses: %v", err)
+	}
+	est, err := core.NewTailEstimator(nodes, dist.Deterministic{V: 1}, 100, 0)
+	if err != nil {
+		t.Fatalf("NewTailEstimator: %v", err)
+	}
+	refs := make([]NodeRef, len(edges))
+	for i, e := range edges {
+		refs[i] = e.Ref()
+	}
+	ring, err := obs.NewLockedRing(4096)
+	if err != nil {
+		t.Fatalf("NewLockedRing: %v", err)
+	}
+	h, err := NewHandler(HandlerConfig{
+		Nodes:     refs,
+		Spec:      core.TFEDFQ,
+		Classes:   classes,
+		Estimator: est,
+		Obs:       obs.NewTracer(obs.TracerConfig{Sink: ring}),
+	})
+	if err != nil {
+		t.Fatalf("NewHandler: %v", err)
+	}
+	return h, ring
+}
+
+func TestHandlerMetricsAndDebugEndpoints(t *testing.T) {
+	h, ring := buildObsHandler(t, 2)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := h.Submit(validQuery(t, int64(i), []int{i % 2, (i + 1) % 2})); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	h.Drain()
+	mux := h.DebugMux()
+
+	// /metrics: well-formed Prometheus exposition reflecting the run.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE tg_queries_total counter",
+		`tg_queries_total{class="0"} 20`,
+		"# TYPE tg_query_latency_ms summary",
+		"tg_tasks_total 40",
+		`tg_queue_depth{node="0"}`,
+		`tg_task_service_ms_count{cluster="server-room"} 40`,
+		"tg_task_wait_ms_count 40",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /debug/queues: drained handler shows empty queues.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queues", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/queues status = %d", rec.Code)
+	}
+	var dbg QueuesDebug
+	if err := json.Unmarshal(rec.Body.Bytes(), &dbg); err != nil {
+		t.Fatalf("/debug/queues not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(dbg.Queues) != 2 {
+		t.Fatalf("queues = %d, want 2", len(dbg.Queues))
+	}
+	if dbg.InFlight != 0 || dbg.Tasks != 40 {
+		t.Errorf("in_flight/tasks = %d/%d, want 0/40", dbg.InFlight, dbg.Tasks)
+	}
+	for _, q := range dbg.Queues {
+		if q.Depth != 0 || q.Busy {
+			t.Errorf("drained node %d still busy/queued: %+v", q.Node, q)
+		}
+		if q.BusyMs <= 0 {
+			t.Errorf("node %d has no recorded occupancy", q.Node)
+		}
+	}
+
+	// The tracer saw the full lifecycle: n arrivals, n deadlines, 2n
+	// enqueues/dispatches/service ends, n completions.
+	events := ring.Snapshot(nil)
+	counts := map[obs.Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	want := map[obs.Kind]int{
+		obs.KindArrival:    n,
+		obs.KindDeadline:   n,
+		obs.KindEnqueue:    2 * n,
+		obs.KindDispatch:   2 * n,
+		obs.KindServiceEnd: 2 * n,
+		obs.KindQueryDone:  n,
+	}
+	for k, c := range want {
+		if counts[k] != c {
+			t.Errorf("%v events = %d, want %d", k, counts[k], c)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"tailguard/internal/core"
 	"tailguard/internal/metrics"
+	"tailguard/internal/obs"
 	"tailguard/internal/policy"
 	"tailguard/internal/workload"
 )
@@ -102,6 +103,10 @@ type HandlerConfig struct {
 	// returns ErrRejected while the windowed task deadline-miss ratio
 	// holds the drop probability up (Section III.C, live path).
 	Admission *core.AdmissionController
+	// Obs, if non-nil, receives query/task lifecycle events stamped with
+	// the handler's compressed wall clock. The sink must be safe for
+	// concurrent use (e.g. obs.LockedRing).
+	Obs *obs.Tracer
 }
 
 // ErrRejected is returned by Submit when admission control rejects the
@@ -117,6 +122,9 @@ type Handler struct {
 	deadliner *core.Deadliner
 	transport Transport
 	start     time.Time
+	obs       *obs.Tracer
+	reg       *obs.Registry // always non-nil; serves /metrics
+	met       *saasMetrics
 
 	mu       sync.Mutex
 	queues   []policy.Queue                  // guarded by mu (the slice is fixed; elements need mu)
@@ -166,6 +174,8 @@ func NewHandler(cfg HandlerConfig) (*Handler, error) {
 		cfg:       cfg,
 		deadliner: dl,
 		start:     time.Now(),
+		obs:       cfg.Obs,
+		reg:       obs.NewRegistry(),
 		queues:    make([]policy.Queue, len(cfg.Nodes)),
 		busy:      make([]bool, len(cfg.Nodes)),
 		busyMs:    make([]float64, len(cfg.Nodes)),
@@ -174,12 +184,20 @@ func NewHandler(cfg HandlerConfig) (*Handler, error) {
 		tpo:       metrics.NewBreakdown[ClusterName](4096),
 		tpr:       metrics.NewLatencyRecorder(4096),
 	}
+	met, err := newSaasMetrics(h.reg, cfg.Classes, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	h.met = met
 	for i := range h.queues {
 		q, err := policy.New(cfg.Spec.Queue)
 		if err != nil {
 			return nil, err
 		}
-		h.queues[i] = q
+		// Wrap each queue so every push/pop updates the node's live depth
+		// gauge (the wrapper runs under h.mu, the gauge is atomic).
+		gauge := met.depth[i]
+		h.queues[i] = policy.Observed{Queue: q, OnDepth: func(d int) { gauge.Set(float64(d)) }}
 	}
 	timeout := cfg.RequestTimeout
 	if timeout == 0 {
@@ -239,7 +257,10 @@ func (h *Handler) Submit(q Query) error {
 		return err
 	}
 	now := h.nowMs()
+	h.obs.Query(obs.KindArrival, now, q.ID, int32(q.Class), float64(len(q.Nodes)))
 	if h.cfg.Admission != nil && !h.cfg.Admission.Admit(now) {
+		h.obs.Query(obs.KindReject, now, q.ID, int32(q.Class), 0)
+		h.met.rejected.Inc()
 		h.mu.Lock()
 		h.rejected++
 		h.mu.Unlock()
@@ -249,6 +270,7 @@ func (h *Handler) Submit(q Query) error {
 	if err != nil {
 		return fmt.Errorf("saas: deadline for query %d: %w", q.ID, err)
 	}
+	h.obs.Query(obs.KindDeadline, now, q.ID, int32(q.Class), deadline)
 	h.pending.Add(1)
 
 	h.mu.Lock()
@@ -275,6 +297,7 @@ func (h *Handler) Submit(q Query) error {
 			Enqueued: now,
 		}
 		t.Payload = TaskRequest{QueryID: q.ID, TaskID: i, FromTs: q.FromTs[i], ToTs: q.ToTs[i]}
+		h.obs.TaskEvent(obs.KindEnqueue, now, q.ID, int32(i), int32(node), int32(q.Class), 0)
 		if h.busy[node] {
 			h.queues[node].Push(t)
 		} else {
@@ -303,7 +326,17 @@ func (h *Handler) serveLoop(node int, t *policy.Task) {
 // serveOne dispatches one task over HTTP and merges its result.
 func (h *Handler) serveOne(node int, t *policy.Task) {
 	dequeue := h.nowMs()
+	t.Dequeued = dequeue
 	missed := dequeue > t.Deadline
+	h.obs.TaskEvent(obs.KindDispatch, dequeue, t.QueryID, int32(t.Index), int32(node), int32(t.Class), dequeue-t.Enqueued)
+	h.met.tasks.Inc()
+	if missed {
+		h.met.missed.Inc()
+	}
+	// Metric recording must not fail the task; summaries only reject
+	// negative or NaN values, which the monotone handler clock never
+	// produces.
+	_ = h.met.wait.Observe(dequeue - t.Enqueued)
 
 	if h.cfg.Admission != nil {
 		h.cfg.Admission.ObserveTask(missed, dequeue)
@@ -389,6 +422,8 @@ func (c *httpClient) Close() error {
 func (h *Handler) completeTask(node int, t *policy.Task, receipt, dequeue float64, resp *TaskResponse, counted bool) {
 	tpo := receipt - dequeue
 	cluster := h.cfg.Nodes[node].Cluster
+	h.obs.TaskEvent(obs.KindServiceEnd, receipt, t.QueryID, int32(t.Index), int32(node), int32(t.Class), tpo)
+	_ = h.met.tpo[node].Observe(tpo)
 
 	// Online updating process: post-queuing time into the node's CDF.
 	if h.cfg.Estimator != nil {
@@ -427,16 +462,26 @@ func (h *Handler) completeTask(node int, t *policy.Task, receipt, dequeue float6
 	}
 	st.remaining--
 	done := st.remaining == 0
+	var latency, endMs float64
+	var class int
 	if done {
 		delete(h.states, t.QueryID)
+		latency = st.maxRespMs - st.arrivalMs
+		endMs = st.maxRespMs
+		class = st.class
 		if st.counted {
-			if err := h.byClass.Observe(st.class, st.maxRespMs-st.arrivalMs); err != nil {
+			if err := h.byClass.Observe(st.class, latency); err != nil {
 				h.errs = append(h.errs, err)
 			}
 		}
 	}
 	h.mu.Unlock()
 	if done {
+		h.obs.Query(obs.KindQueryDone, endMs, t.QueryID, int32(class), latency)
+		if class >= 0 && class < len(h.met.queries) {
+			h.met.queries[class].Inc()
+			_ = h.met.latency[class].Observe(latency)
+		}
 		h.pending.Done()
 	}
 }

@@ -3,10 +3,13 @@ package saas
 import (
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"time"
 
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
+	"tailguard/internal/obs"
 )
 
 // TestbedConfig configures one live testbed run.
@@ -41,6 +44,13 @@ type TestbedConfig struct {
 	// when the window is positive (compressed ms; see core.AdmissionController).
 	AdmissionWindowMs  float64
 	AdmissionThreshold float64
+	// MetricsAddr, when non-empty, serves the handler's observability
+	// endpoints (/metrics Prometheus exposition, /debug/queues JSON) on
+	// this address for the duration of the run (e.g. "127.0.0.1:9090").
+	MetricsAddr string
+	// Obs, if non-nil, receives handler lifecycle events (compressed ms);
+	// the sink must be safe for concurrent use (obs.LockedRing).
+	Obs *obs.Tracer
 }
 
 func (c *TestbedConfig) setDefaults() {
@@ -244,6 +254,7 @@ func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
 		Estimator: estimator,
 		Warmup:    int64(cfg.Warmup),
 		Transport: cfg.Transport,
+		Obs:       cfg.Obs,
 	}
 	if cfg.AdmissionWindowMs > 0 {
 		adm, err := core.NewAdmissionController(cfg.AdmissionWindowMs, cfg.AdmissionThreshold)
@@ -255,6 +266,18 @@ func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
 	handler, err := NewHandler(hc)
 	if err != nil {
 		return nil, err
+	}
+
+	// Live observability endpoints for the duration of the run.
+	if cfg.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("saas: metrics listener: %w", err)
+		}
+		_, _ = fmt.Printf("serving /metrics and /debug/queues on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: handler.DebugMux()}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() { _ = srv.Close() }()
 	}
 
 	// Workload at the target Server-room load.

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/obs"
+	"tailguard/internal/workload"
+)
+
+func TestSchedulerObsPlane(t *testing.T) {
+	classes, err := workload.TwoClasses(50, 1.5)
+	if err != nil {
+		t.Fatalf("TwoClasses: %v", err)
+	}
+	offline, err := dist.NewExponential(1)
+	if err != nil {
+		t.Fatalf("NewExponential: %v", err)
+	}
+	ring, err := obs.NewLockedRing(1024)
+	if err != nil {
+		t.Fatalf("NewLockedRing: %v", err)
+	}
+	reg := obs.NewRegistry()
+	s, err := New(Config{
+		Servers: 2,
+		Spec:    core.TFEDFQ,
+		Classes: classes,
+		Offline: offline,
+		Obs:     obs.NewTracer(obs.TracerConfig{Sink: ring}),
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := s.Do(context.Background(), i%2, []Task{sleepTask(0, 0), sleepTask(1, 0)}); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+
+	counts := map[obs.Kind]int{}
+	for _, e := range ring.Snapshot(nil) {
+		counts[e.Kind]++
+	}
+	want := map[obs.Kind]int{
+		obs.KindArrival:    n,
+		obs.KindDeadline:   n,
+		obs.KindEnqueue:    2 * n,
+		obs.KindDispatch:   2 * n,
+		obs.KindServiceEnd: 2 * n,
+		obs.KindQueryDone:  n,
+	}
+	for k, c := range want {
+		if counts[k] != c {
+			t.Errorf("%v events = %d, want %d", k, counts[k], c)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, wantLine := range []string{
+		`tg_sched_queries_total{class="0"} 5`,
+		`tg_sched_queries_total{class="1"} 5`,
+		"tg_sched_tasks_total 20",
+		"tg_sched_task_wait_ms_count 20",
+		`tg_sched_query_latency_ms_count{class="0"} 5`,
+	} {
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("exposition missing %q:\n%s", wantLine, out)
+		}
+	}
+}

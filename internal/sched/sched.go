@@ -16,12 +16,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
 	"tailguard/internal/metrics"
+	"tailguard/internal/obs"
 	"tailguard/internal/policy"
 	"tailguard/internal/workload"
 )
@@ -63,6 +66,15 @@ type Config struct {
 	// deadline-miss ratio at the highest load that still meets the SLOs.
 	AdmissionWindowMs  float64
 	AdmissionThreshold float64
+	// Obs, if non-nil, receives query/task lifecycle events stamped with
+	// the scheduler clock (ms since start). The sink must be safe for
+	// concurrent use (e.g. obs.LockedRing); a nil tracer costs one pointer
+	// compare per event site.
+	Obs *obs.Tracer
+	// Metrics, if non-nil, receives the scheduler's streaming metrics
+	// (tg_sched_* families). Series are registered once in New; the
+	// request path only touches pre-resolved atomics.
+	Metrics *obs.Registry
 	// now overrides the clock in tests (ms since scheduler start).
 	now func() float64
 }
@@ -75,6 +87,9 @@ type Scheduler struct {
 	estimator *core.TailEstimator
 	deadliner *core.Deadliner
 	admission *core.AdmissionController
+	obs       *obs.Tracer
+	met       *schedMetrics // nil when Config.Metrics is nil
+	queryID   atomic.Int64  // trace query IDs
 	now       func() float64
 
 	mu      sync.Mutex
@@ -118,6 +133,52 @@ func putTask(pt *policy.Task) {
 	}
 	*pt = policy.Task{}
 	taskPool.Put(pt)
+}
+
+// schedMetrics holds the scheduler's metric series, resolved once in New
+// so the request path only touches atomics.
+type schedMetrics struct {
+	queries  []*obs.Counter // per class: completed queries
+	latency  []*obs.Summary // per class: query latency (ms)
+	rejected *obs.Counter
+	tasks    *obs.Counter
+	missed   *obs.Counter
+	wait     *obs.Summary
+}
+
+// newSchedMetrics registers the tg_sched_* families on reg.
+func newSchedMetrics(reg *obs.Registry, classes *workload.ClassSet) (*schedMetrics, error) {
+	m := &schedMetrics{}
+	var err error
+	if m.rejected, err = reg.Counter("tg_sched_rejected_total", "Queries rejected by admission control.", ""); err != nil {
+		return nil, err
+	}
+	if m.tasks, err = reg.Counter("tg_sched_tasks_total", "Tasks dequeued for execution.", ""); err != nil {
+		return nil, err
+	}
+	if m.missed, err = reg.Counter("tg_sched_task_deadline_miss_total", "Tasks dequeued past their queuing deadline.", ""); err != nil {
+		return nil, err
+	}
+	if m.wait, err = reg.Summary("tg_sched_task_wait_ms", "Task pre-dequeuing wait t_pr.", ""); err != nil {
+		return nil, err
+	}
+	for _, c := range classes.Classes() {
+		labels, err := obs.Labels("class", strconv.Itoa(c.ID))
+		if err != nil {
+			return nil, err
+		}
+		q, err := reg.Counter("tg_sched_queries_total", "Completed queries per class.", labels)
+		if err != nil {
+			return nil, err
+		}
+		l, err := reg.Summary("tg_sched_query_latency_ms", "End-to-end query latency per class.", labels)
+		if err != nil {
+			return nil, err
+		}
+		m.queries = append(m.queries, q)
+		m.latency = append(m.latency, l)
+	}
+	return m, nil
 }
 
 // smallFanout is the duplicate-check crossover: at or below it a linear
@@ -171,6 +232,14 @@ func New(cfg Config) (*Scheduler, error) {
 		queues:    make([]policy.Queue, cfg.Servers),
 		busy:      make([]bool, cfg.Servers),
 		byClass:   metrics.NewBreakdown[int](1024),
+		obs:       cfg.Obs,
+	}
+	if cfg.Metrics != nil {
+		m, err := newSchedMetrics(cfg.Metrics, cfg.Classes)
+		if err != nil {
+			return nil, err
+		}
+		s.met = m
 	}
 	if s.now == nil {
 		start := time.Now()
@@ -253,14 +322,21 @@ func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, e
 		servers = append(servers, t.Server)
 	}
 
+	qid := s.queryID.Add(1) - 1
 	t0 := s.now()
+	s.obs.Query(obs.KindArrival, t0, qid, int32(class), float64(len(tasks)))
 	if s.admission != nil && !s.admission.Admit(t0) {
+		s.obs.Query(obs.KindReject, t0, qid, int32(class), 0)
+		if s.met != nil {
+			s.met.rejected.Inc()
+		}
 		return 0, ErrRejected
 	}
 	deadline, err := s.deadliner.DeadlineServers(t0, class, servers)
 	if err != nil {
 		return 0, err
 	}
+	s.obs.Query(obs.KindDeadline, t0, qid, int32(class), deadline)
 
 	var donesBuf [smallFanout]chan error
 	dones := donesBuf[:0]
@@ -273,18 +349,21 @@ func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, e
 		return 0, ErrClosed
 	}
 	s.wg.Add(len(tasks))
-	for _, task := range tasks {
+	for i, task := range tasks {
 		done := donePool.Get().(chan error)
 		dones = append(dones, done)
 		q := queuedPool.Get().(*queued)
 		q.ctx, q.run, q.done = ctx, task.Run, done
 		pt := taskPool.Get().(*policy.Task)
+		pt.QueryID = qid
+		pt.Index = i
 		pt.Class = class
 		pt.Arrival = t0
 		pt.Deadline = deadline
 		pt.Enqueued = t0
 		pt.Server = task.Server
 		pt.Payload = q
+		s.obs.TaskEvent(obs.KindEnqueue, t0, qid, int32(i), int32(task.Server), int32(class), 0)
 		if s.busy[task.Server] {
 			s.queues[task.Server].Push(pt)
 		} else {
@@ -311,6 +390,14 @@ func (s *Scheduler) Do(ctx context.Context, class int, tasks []Task) (float64, e
 		}
 	}
 	latency := s.now() - t0
+	s.obs.Query(obs.KindQueryDone, t0+latency, qid, int32(class), latency)
+	if s.met != nil {
+		s.met.queries[class].Inc()
+		// Metric recording must not fail the query; the summary only
+		// rejects negative or NaN values, which a monotone clock never
+		// produces.
+		_ = s.met.latency[class].Observe(latency)
+	}
 	s.mu.Lock()
 	if err := s.byClass.Observe(class, latency); err != nil && firstErr == nil {
 		firstErr = err
@@ -342,7 +429,16 @@ func (s *Scheduler) serveOne(server int, pt *policy.Task) {
 		return
 	}
 	dequeue := s.now()
+	pt.Dequeued = dequeue
 	missed := dequeue > pt.Deadline
+	s.obs.TaskEvent(obs.KindDispatch, dequeue, pt.QueryID, int32(pt.Index), int32(server), int32(pt.Class), dequeue-pt.Enqueued)
+	if s.met != nil {
+		s.met.tasks.Inc()
+		if missed {
+			s.met.missed.Inc()
+		}
+		_ = s.met.wait.Observe(dequeue - pt.Enqueued)
+	}
 	s.mu.Lock()
 	s.tasks++
 	if missed {
@@ -359,6 +455,7 @@ func (s *Scheduler) serveOne(server int, pt *policy.Task) {
 	}
 	err := q.run(q.ctx)
 	finished := s.now()
+	s.obs.TaskEvent(obs.KindServiceEnd, finished, pt.QueryID, int32(pt.Index), int32(server), int32(pt.Class), finished-dequeue)
 	if s.estimator != nil {
 		// Online updating: the observed post-queuing (execution) time.
 		if obsErr := s.estimator.Observe(server, finished-dequeue); obsErr != nil && err == nil {

@@ -1,0 +1,344 @@
+// Command obscheck validates TailGuard observability artifacts. CI uses it
+// to fail on malformed exposition or trace output; operators can point it
+// at tgsim -obs dumps.
+//
+// Usage:
+//
+//	obscheck -trace obsout/trace_TailGuard.json   # validate a Chrome trace
+//	obscheck -prom obsout/metrics_TailGuard.prom  # validate Prometheus text
+//	obscheck -live                                # boot an in-process SaS
+//	                                              # handler, fetch /metrics
+//	                                              # and /debug/queues over
+//	                                              # real HTTP, validate both
+//
+// Exit status 0 means every requested artifact is well formed.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/obs"
+	"tailguard/internal/saas"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("obscheck", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "validate this Chrome trace_event JSON file")
+	promPath := fs.String("prom", "", "validate this Prometheus text exposition file")
+	live := fs.Bool("live", false, "boot an in-process handler and validate its live /metrics and /debug/queues")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" && *promPath == "" && !*live {
+		return fmt.Errorf("nothing to do: pass -trace, -prom, and/or -live")
+	}
+	if *tracePath != "" {
+		if err := checkFile(*tracePath, validateTrace); err != nil {
+			return err
+		}
+		fmt.Printf("trace %s: ok\n", *tracePath)
+	}
+	if *promPath != "" {
+		if err := checkFile(*promPath, validateProm); err != nil {
+			return err
+		}
+		fmt.Printf("prom %s: ok\n", *promPath)
+	}
+	if *live {
+		if err := checkLive(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkFile(path string, validate func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := validate(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// traceEvent is the subset of the Chrome trace_event schema obscheck
+// verifies.
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+// validTracePhases are the phases the exporter emits.
+var validTracePhases = map[string]bool{"M": true, "i": true, "X": true, "C": true}
+
+// validateTrace checks the envelope and per-event invariants of a Chrome
+// trace_event JSON document.
+func validateTrace(r io.Reader) error {
+	var doc struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		return fmt.Errorf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("event %d: empty name", i)
+		}
+		if !validTracePhases[e.Ph] {
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			return fmt.Errorf("event %d (%s): missing pid/tid", i, e.Name)
+		}
+		if e.Ph != "M" {
+			if e.Ts == nil || *e.Ts < 0 {
+				return fmt.Errorf("event %d (%s): missing or negative ts", i, e.Name)
+			}
+		}
+		if e.Ph == "X" && (e.Dur == nil || *e.Dur < 0) {
+			return fmt.Errorf("event %d (%s): complete event without non-negative dur", i, e.Name)
+		}
+	}
+	return nil
+}
+
+var (
+	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$`)
+)
+
+// validateProm checks Prometheus text exposition (format 0.0.4): every
+// line is a HELP/TYPE comment or a sample, every sample's family was
+// TYPE-declared first, and every value parses as a float.
+func validateProm(r io.Reader) error {
+	typed := map[string]string{} // family -> kind
+	samples := 0
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if promHelpRe.MatchString(text) {
+				continue
+			}
+			if m := promTypeRe.FindStringSubmatch(text); m != nil {
+				if _, dup := typed[m[1]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", line, m[1])
+				}
+				typed[m[1]] = m[2]
+				continue
+			}
+			return fmt.Errorf("line %d: malformed comment: %s", line, text)
+		}
+		m := promSampleRe.FindStringSubmatch(text)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %s", line, text)
+		}
+		family := m[1]
+		for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+			base := strings.TrimSuffix(family, suffix)
+			if base != family {
+				if k, ok := typed[base]; ok && (k == "summary" || k == "histogram") {
+					family = base
+				}
+				break
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("line %d: sample %s precedes its TYPE declaration", line, m[1])
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", line, m[3])
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples")
+	}
+	return nil
+}
+
+// liveNodes is the in-process cluster size for -live (kept tiny: obscheck
+// verifies plumbing, not performance).
+const liveNodes = 2
+
+// checkLive boots a minimal in-process handler, pushes a small workload
+// through it, serves its DebugMux on a loopback listener, and validates
+// the live /metrics and /debug/queues responses plus a Chrome trace built
+// from the run's lifecycle events.
+func checkLive() error {
+	start, _ := saas.DefaultStoreSpan()
+	end := start.AddDate(0, 0, 30)
+	edges := make([]*saas.EdgeNode, liveNodes)
+	defer func() {
+		for _, e := range edges {
+			if e != nil {
+				_ = e.Close()
+			}
+		}
+	}()
+	for i := range edges {
+		store, err := saas.NewStore(saas.StoreConfig{Start: start, End: end, Interval: 6 * time.Hour, Node: i})
+		if err != nil {
+			return err
+		}
+		edges[i], err = saas.NewEdgeNode(saas.EdgeConfig{
+			ID:    i,
+			Store: store,
+			Delay: dist.Deterministic{V: 0},
+			Seed:  int64(i),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	classes, err := saas.SaSClasses(100)
+	if err != nil {
+		return err
+	}
+	est, err := core.NewTailEstimator(liveNodes, dist.Deterministic{V: 1}, 100, 0)
+	if err != nil {
+		return err
+	}
+	ring, err := obs.NewLockedRing(4096)
+	if err != nil {
+		return err
+	}
+	refs := make([]saas.NodeRef, len(edges))
+	for i, e := range edges {
+		refs[i] = e.Ref()
+	}
+	handler, err := saas.NewHandler(saas.HandlerConfig{
+		Nodes:     refs,
+		Spec:      core.TFEDFQ,
+		Classes:   classes,
+		Estimator: est,
+		Obs:       obs.NewTracer(obs.TracerConfig{Sink: ring}),
+	})
+	if err != nil {
+		return err
+	}
+
+	const queries = 10
+	from := start.Unix()
+	to := start.Add(24 * time.Hour).Unix()
+	for i := 0; i < queries; i++ {
+		q := saas.Query{
+			ID:     int64(i),
+			Class:  0,
+			Nodes:  []int{i % liveNodes, (i + 1) % liveNodes},
+			FromTs: []int64{from, from},
+			ToTs:   []int64{to, to},
+		}
+		if err := handler.Submit(q); err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+	}
+	handler.Drain()
+	if err := handler.Close(); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler.DebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	body, err := fetch(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if err := validateProm(bytes.NewReader(body)); err != nil {
+		return fmt.Errorf("live /metrics: %w", err)
+	}
+	if !bytes.Contains(body, []byte("tg_tasks_total")) {
+		return fmt.Errorf("live /metrics: missing tg_tasks_total")
+	}
+	fmt.Println("live /metrics: ok")
+
+	body, err = fetch(base + "/debug/queues")
+	if err != nil {
+		return err
+	}
+	var dbg saas.QueuesDebug
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		return fmt.Errorf("live /debug/queues: not JSON: %w", err)
+	}
+	if len(dbg.Queues) != liveNodes {
+		return fmt.Errorf("live /debug/queues: %d queues, want %d", len(dbg.Queues), liveNodes)
+	}
+	if dbg.Tasks != 2*queries {
+		return fmt.Errorf("live /debug/queues: tasks = %d, want %d", dbg.Tasks, 2*queries)
+	}
+	fmt.Println("live /debug/queues: ok")
+
+	var trace bytes.Buffer
+	if err := obs.WriteChromeTrace(&trace, ring.Snapshot(nil)); err != nil {
+		return err
+	}
+	if err := validateTrace(bytes.NewReader(trace.Bytes())); err != nil {
+		return fmt.Errorf("live trace: %w", err)
+	}
+	fmt.Println("live trace: ok")
+	return nil
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

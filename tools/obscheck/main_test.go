@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTrace(t *testing.T) {
+	good := `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"queries"}},
+{"name":"arrival q1","ph":"i","pid":0,"tid":0,"ts":100,"s":"t"},
+{"name":"query q1","ph":"X","pid":0,"tid":0,"ts":100,"dur":50}
+]}`
+	if err := validateTrace(strings.NewReader(good)); err != nil {
+		t.Errorf("good trace rejected: %v", err)
+	}
+	bad := []struct{ name, doc string }{
+		{"not json", `{"traceEvents":`},
+		{"wrong unit", `{"displayTimeUnit":"ns","traceEvents":[{"name":"a","ph":"i","pid":0,"tid":0,"ts":1}]}`},
+		{"empty", `{"displayTimeUnit":"ms","traceEvents":[]}`},
+		{"bad phase", `{"displayTimeUnit":"ms","traceEvents":[{"name":"a","ph":"Z","pid":0,"tid":0,"ts":1}]}`},
+		{"missing ts", `{"displayTimeUnit":"ms","traceEvents":[{"name":"a","ph":"i","pid":0,"tid":0}]}`},
+		{"slice without dur", `{"displayTimeUnit":"ms","traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0,"ts":1}]}`},
+	}
+	for _, tc := range bad {
+		if err := validateTrace(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestValidateProm(t *testing.T) {
+	good := `# HELP tg_tasks_total Tasks dispatched.
+# TYPE tg_tasks_total counter
+tg_tasks_total 40
+# TYPE tg_query_latency_ms summary
+tg_query_latency_ms{quantile="0.99"} 12.5
+tg_query_latency_ms_sum 100.25
+tg_query_latency_ms_count 8
+# TYPE tg_queue_depth gauge
+tg_queue_depth{node="0"} +Inf
+`
+	if err := validateProm(strings.NewReader(good)); err != nil {
+		t.Errorf("good exposition rejected: %v", err)
+	}
+	bad := []struct{ name, doc string }{
+		{"empty", ""},
+		{"untyped sample", "tg_tasks_total 40\n"},
+		{"bad value", "# TYPE a counter\na fortytwo\n"},
+		{"bad kind", "# TYPE a thing\na 1\n"},
+		{"duplicate type", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"malformed comment", "# NOPE a counter\na 1\n"},
+	}
+	for _, tc := range bad {
+		if err := validateProm(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"tailguard/tools/tglint/internal/checks/errreturn"
 	"tailguard/tools/tglint/internal/checks/floateq"
 	"tailguard/tools/tglint/internal/checks/guardedby"
+	"tailguard/tools/tglint/internal/checks/obsclock"
 	"tailguard/tools/tglint/internal/checks/poolzero"
 	"tailguard/tools/tglint/internal/checks/seededrand"
 	"tailguard/tools/tglint/internal/checks/simclock"
@@ -17,6 +18,7 @@ func All() []*lint.Analyzer {
 		errreturn.Analyzer,
 		floateq.Analyzer,
 		guardedby.Analyzer,
+		obsclock.Analyzer,
 		poolzero.Analyzer,
 		seededrand.Analyzer,
 		simclock.Analyzer,

@@ -1,0 +1,123 @@
+// Package obsclock keeps the observability plane's clock domains honest.
+// obs events carry caller-supplied timestamps, so internal/obs itself must
+// never read the wall clock (a sink that stamps events would silently mix
+// clock domains), and simulator packages must never timestamp obs events
+// from time.Now/time.Since — their events belong to the discrete-event
+// clock. The real-time embeddings (internal/sched, internal/saas) derive
+// elapsed milliseconds from the wall clock legitimately and are exempt
+// from the second rule.
+package obsclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tailguard/tools/tglint/internal/checks/simclock"
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// obsPkgPath is the observability package governed by the no-wall-clock
+// rule.
+const obsPkgPath = "tailguard/internal/obs"
+
+// wallClockFuncs are the time-package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "obsclock",
+	Doc:  "forbid wall-clock reads in internal/obs and wall-clock timestamps on obs events in simulator packages",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	pkg := pass.PkgPath()
+	switch {
+	case pkg == obsPkgPath || strings.HasPrefix(pkg, obsPkgPath+"/"):
+		return runInsideObs(pass)
+	case simulatorPackage(pkg):
+		return runInSimulator(pass)
+	}
+	return nil
+}
+
+// simulatorPackage reports whether pkgPath runs on the discrete-event
+// clock (the same set the simclock analyzer governs).
+func simulatorPackage(pkgPath string) bool {
+	for _, p := range simclock.VirtualTimePackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// timeFunc resolves n to a wall-clock-reading time-package function, or
+// returns "" when it is not one.
+func timeFunc(pass *lint.Pass, n ast.Node) string {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok || !wallClockFuncs[sel.Sel.Name] {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// runInsideObs forbids wall-clock reads anywhere in internal/obs: the
+// package records timestamps, it never produces them.
+func runInsideObs(pass *lint.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		if name := timeFunc(pass, n); name != "" {
+			pass.Reportf(n.Pos(),
+				"wall-clock call time.%s inside %s: obs records caller-supplied timestamps and must not read a clock (DESIGN.md, Observability)",
+				name, pass.PkgPath())
+		}
+	})
+	return nil
+}
+
+// runInSimulator flags obs-package calls whose arguments read the wall
+// clock: a simulator event stamped with time.Now couples the trace to the
+// host machine instead of the event clock.
+func runInSimulator(pass *lint.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !obsCall(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if name := timeFunc(pass, m); name != "" {
+					pass.Reportf(m.Pos(),
+						"obs event in simulator package %s timestamped from the wall clock (time.%s): use the sim clock (DESIGN.md, Observability)",
+						pass.PkgPath(), name)
+					return false
+				}
+				return true
+			})
+		}
+	})
+	return nil
+}
+
+// obsCall reports whether call invokes a function or method exported by
+// internal/obs.
+func obsCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == obsPkgPath
+}

@@ -1,0 +1,20 @@
+package obsclock_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/obsclock"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestObsclockFiresInsideObs(t *testing.T) {
+	linttest.Run(t, ".", obsclock.Analyzer, "tailguard/internal/obs")
+}
+
+func TestObsclockFiresOnWallClockTimestampsInSimulator(t *testing.T) {
+	linttest.Run(t, ".", obsclock.Analyzer, "tailguard/internal/cluster")
+}
+
+func TestObsclockSilentInRealTimePackage(t *testing.T) {
+	linttest.Run(t, ".", obsclock.Analyzer, "tailguard/internal/saas")
+}

@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"time"
+
+	"tailguard/internal/obs"
+)
+
+type runner struct {
+	obs *obs.Tracer
+	now float64 // sim clock (ms)
+}
+
+// ok timestamps events from the sim clock.
+func (r *runner) ok() {
+	r.obs.Emit(obs.Event{TimeMs: r.now})
+	r.obs.Query(0, r.now, 1)
+}
+
+// bad stamps obs events from the wall clock.
+func (r *runner) bad() {
+	r.obs.Emit(obs.Event{TimeMs: float64(time.Now().UnixNano())}) // want "obs event in simulator package tailguard/internal/cluster timestamped from the wall clock"
+	r.obs.Query(0, time.Since(time.Unix(0, 0)).Seconds(), 1)      // want "timestamped from the wall clock .time.Since."
+}
+
+// unrelated wall-clock use is simclock's business, not obsclock's.
+func (r *runner) unrelated() time.Time {
+	return time.Now()
+}

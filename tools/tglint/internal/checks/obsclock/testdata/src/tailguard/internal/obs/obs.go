@@ -1,0 +1,33 @@
+package obs
+
+import "time"
+
+// Event is one lifecycle record; TimeMs is caller-supplied.
+type Event struct {
+	TimeMs float64
+}
+
+// Tracer forwards events to a sink.
+type Tracer struct{}
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {}
+
+// Query records one query-scoped event.
+func (t *Tracer) Query(kind int, timeMs float64, id int64) {}
+
+// Bad stamps an event from the wall clock inside obs itself.
+func Bad() Event {
+	return Event{TimeMs: float64(time.Now().UnixNano())} // want "wall-clock call time.Now inside tailguard/internal/obs"
+}
+
+// Elapsed reads the wall clock twice more.
+func Elapsed(t0 time.Time) float64 {
+	d := time.Since(t0) // want "wall-clock call time.Since inside tailguard/internal/obs"
+	return d.Seconds()
+}
+
+// OK does pure duration arithmetic, which stays legal.
+func OK() time.Duration {
+	return 5 * time.Millisecond
+}
