@@ -4,7 +4,7 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint vet fmt test race bench bench-smoke bench-compare obs-smoke ci clean
+.PHONY: all build lint vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke ci clean
 
 # Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair
 # plus the fast-path micro-benchmarks the harness PR optimizes.
@@ -69,13 +69,27 @@ obs-smoke:
 	$(GO) run ./cmd/tgsim -obs obs-smoke-out -queries 1500 > /dev/null
 	for p in TailGuard FIFO PRIQ T-EDFQ; do \
 		$(GO) run ./tools/obscheck \
-			-trace obs-smoke-out/trace_$$p.json \
-			-prom obs-smoke-out/metrics_$$p.prom || exit 1; \
+			-trace obs-smoke-out/trace_$${p}_s1.json \
+			-prom obs-smoke-out/metrics_$${p}_s1.prom || exit 1; \
 	done
 	$(GO) run ./tools/obscheck -live
 	rm -rf obs-smoke-out
 
-ci: build fmt vet lint race bench-smoke obs-smoke
+# fault-smoke proves the fault-injection path end to end: a tiny seeded
+# FaultSweep whose rendered tables must match the committed golden (the
+# determinism acceptance gate), plus an instrumented faulted run whose
+# Chrome-trace artifact (with its task_lost/hedge instants) must validate.
+fault-smoke:
+	$(GO) test ./internal/experiment -run TestFaultSmokeGolden -count=1
+	rm -rf fault-smoke-out
+	$(GO) run ./cmd/tgsim -faults canonical -fault-out fault-smoke-out -queries 1500 > /dev/null
+	ls fault-smoke-out/faults_p*_s1.txt fault-smoke-out/fault_misscause_p*_s1.txt > /dev/null
+	for f in fault-smoke-out/trace_fault_*_s1.json; do \
+		$(GO) run ./tools/obscheck -trace $$f || exit 1; \
+	done
+	rm -rf fault-smoke-out
+
+ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke
 
 clean:
 	rm -rf bin

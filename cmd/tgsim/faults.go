@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"tailguard/internal/experiment"
+	"tailguard/internal/fault"
+	"tailguard/internal/obs"
+)
+
+// runFaults executes the fault-injection resilience sweep. spec is either
+// the literal "canonical" (the built-in fault classes) or a path to a
+// fault plan JSON; dir, when non-empty, receives the rendered tables as
+// artifacts named with the sweep's plan hash and seed, so differently
+// parameterized sweeps never overwrite each other.
+func runFaults(spec, dir string, load float64, workloads []string, fid experiment.Fidelity) error {
+	cfg := experiment.FaultConfig{Load: load, Fidelity: fid}
+	if dir != "" {
+		// Capture lifecycle events so faulted traces (with their
+		// task_lost/hedge instants) land next to the tables.
+		cfg.RingCap = 1 << 16
+	}
+	if len(workloads) > 0 {
+		cfg.Workload = workloads[0]
+	}
+	if spec != "canonical" {
+		plan, err := fault.LoadPlan(spec)
+		if err != nil {
+			return err
+		}
+		name := plan.Name
+		if name == "" {
+			name = "custom"
+		}
+		// A user plan still runs against the clean baseline so the table
+		// shows the fault's cost.
+		cfg.Classes = []experiment.FaultClass{
+			{Name: "baseline"},
+			{Name: name, Plan: plan},
+		}
+	}
+	runs, err := experiment.FaultSweep(cfg)
+	if err != nil {
+		return err
+	}
+	tables := []*experiment.Table{experiment.FaultTable(runs), experiment.FaultMissTable(runs)}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating fault output dir: %w", err)
+	}
+	suffix := fmt.Sprintf("_p%s_s%d", sweepHash(runs), fid.Seed)
+	for _, t := range tables {
+		path := filepath.Join(dir, t.ID+suffix+".txt")
+		if err := os.WriteFile(path, []byte(t.String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	// One Chrome trace per mitigated faulted run, tagged with that run's
+	// own plan hash and the seed.
+	for _, run := range runs {
+		if run.Events == nil || !run.Resil.Enabled() || run.Class == "baseline" {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("trace_fault_%s_p%s_s%d.json", run.Class, run.Hash, fid.Seed))
+		tf, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = obs.WriteChromeTrace(tf, run.Events)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", path, len(run.Events))
+	}
+	return nil
+}
+
+// sweepHash combines the per-class plan hashes into one artifact tag:
+// a single custom plan keeps its own hash recognizable, a multi-class
+// sweep folds them together deterministically.
+func sweepHash(runs []*experiment.FaultRun) string {
+	seen := make([]string, 0, 8)
+	for _, run := range runs {
+		if n := len(seen); n > 0 && seen[n-1] == run.Hash {
+			continue
+		}
+		seen = append(seen, run.Hash)
+	}
+	// A baseline-plus-one-plan sweep is tagged by the plan itself.
+	if len(seen) == 2 && seen[0] == "00000000" {
+		return seen[1]
+	}
+	if len(seen) == 1 {
+		return seen[0]
+	}
+	h := fnv.New64a()
+	for _, s := range seen {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{';'})
+	}
+	sum := h.Sum64()
+	return fmt.Sprintf("%08x", uint32(sum^(sum>>32)))
+}

@@ -42,8 +42,11 @@ func run(args []string) error {
 	svgDir := fs.String("svg", "", "also render figures as SVG files into this directory")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	replicates := fs.Int("replicates", 1, "for -exp fig4: independent max-load searches per point (mean±sd)")
-	obsDir := fs.String("obs", "", "run the instrumented diagnostic sweep instead of -exp: write trace_<policy>.json (Chrome trace) and metrics_<policy>.prom into this directory and print the miss-cause breakdown")
+	obsDir := fs.String("obs", "", "run the instrumented diagnostic sweep instead of -exp: write trace_<policy>_s<seed>.json (Chrome trace) and metrics_<policy>_s<seed>.prom into this directory and print the miss-cause breakdown")
 	obsLoad := fs.Float64("obs-load", 0.6, "with -obs: offered load for the instrumented sweep")
+	faults := fs.String("faults", "", "run the fault-injection resilience sweep instead of -exp: 'canonical' for the built-in fault classes, or a path to a fault plan JSON")
+	faultOut := fs.String("fault-out", "", "with -faults: write the rendered tables into this directory, named with the plan hash and seed")
+	faultLoad := fs.Float64("fault-load", 0.30, "with -faults: offered load for the fault sweep")
 	par := fs.Int("parallel", 0, "worker pool size for experiment sweeps (0 = all cores, 1 = sequential); results are identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +86,9 @@ func run(args []string) error {
 
 	if *obsDir != "" {
 		return runObs(*obsDir, *obsLoad, wl, fid)
+	}
+	if *faults != "" {
+		return runFaults(*faults, *faultOut, *faultLoad, wl, fid)
 	}
 
 	runners := map[string]func() ([]*experiment.Table, error){

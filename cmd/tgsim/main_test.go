@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tailguard/internal/fault"
+)
 
 func TestRunTable2(t *testing.T) {
 	if err := run([]string{"-exp", "table2"}); err != nil {
@@ -23,6 +29,53 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Error("unknown flag succeeded, want error")
+	}
+}
+
+func TestRunFaultsCanonical(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-faults", "canonical", "-fault-out", dir, "-queries", "600"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tables, err := filepath.Glob(filepath.Join(dir, "faults_p*_s1.txt"))
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("fault table artifact: %v (err %v)", tables, err)
+	}
+	miss, _ := filepath.Glob(filepath.Join(dir, "fault_misscause_p*_s1.txt"))
+	if len(miss) != 1 {
+		t.Fatalf("miss-cause artifact: %v", miss)
+	}
+	traces, _ := filepath.Glob(filepath.Join(dir, "trace_fault_*_s1.json"))
+	if len(traces) != 4 {
+		t.Fatalf("expected 4 fault traces, got %v", traces)
+	}
+}
+
+func TestRunFaultsPlanFile(t *testing.T) {
+	dir := t.TempDir()
+	plan := &fault.Plan{Name: "ci-slow", Seed: 3, Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Server: 0, StartMs: 0, EndMs: 1e9, Factor: 8},
+	}}
+	data, err := plan.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	path := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing plan: %v", err)
+	}
+	out := filepath.Join(dir, "out")
+	if err := run([]string{"-faults", path, "-fault-out", out, "-queries", "600"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// A single-plan sweep's artifacts carry that plan's own hash.
+	want := filepath.Join(out, "faults_p"+plan.Hash()+"_s1.txt")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("artifact %s: %v", want, err)
+	}
+
+	if err := run([]string{"-faults", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing plan file succeeded, want error")
 	}
 }
 

@@ -11,9 +11,10 @@ import (
 
 // runObs executes the instrumented diagnostic sweep (every policy at one
 // load with the obs plane attached) and dumps each run's artifacts:
-// trace_<policy>.json is a Chrome trace_event file (open in
-// chrome://tracing or Perfetto), metrics_<policy>.prom is the Prometheus
-// text exposition of the tg_sim_* families.
+// trace_<policy>_s<seed>.json is a Chrome trace_event file (open in
+// chrome://tracing or Perfetto), metrics_<policy>_s<seed>.prom is the
+// Prometheus text exposition of the tg_sim_* families. The seed suffix
+// keeps artifacts from differently seeded sweeps apart.
 func runObs(dir string, load float64, workloads []string, fid experiment.Fidelity) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("creating obs dir: %w", err)
@@ -26,8 +27,9 @@ func runObs(dir string, load float64, workloads []string, fid experiment.Fidelit
 	if err != nil {
 		return err
 	}
+	seedSuffix := fmt.Sprintf("_s%d", fid.Seed)
 	for _, run := range runs {
-		tracePath := filepath.Join(dir, "trace_"+run.Spec.Name+".json")
+		tracePath := filepath.Join(dir, "trace_"+run.Spec.Name+seedSuffix+".json")
 		tf, err := os.Create(tracePath)
 		if err != nil {
 			return err
@@ -46,7 +48,7 @@ func runObs(dir string, load float64, workloads []string, fid experiment.Fidelit
 			fmt.Printf("wrote %s (%d events)\n", tracePath, len(run.Events))
 		}
 
-		promPath := filepath.Join(dir, "metrics_"+run.Spec.Name+".prom")
+		promPath := filepath.Join(dir, "metrics_"+run.Spec.Name+seedSuffix+".prom")
 		pf, err := os.Create(promPath)
 		if err != nil {
 			return err

@@ -19,6 +19,7 @@ import (
 
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
+	"tailguard/internal/fault"
 	"tailguard/internal/metrics"
 	"tailguard/internal/obs"
 	"tailguard/internal/policy"
@@ -91,6 +92,16 @@ type Config struct {
 	// accumulating. This models the paper's "hardware/software failures"
 	// motivation for admission control.
 	Failures []Failure
+	// Faults, if non-nil, injects the compiled fault plan (service
+	// slowdowns and stalls stretch occupancy, crashes lose the queue and
+	// the in-flight task, transport faults delay or drop the dispatch
+	// leg). The engine must be compiled for exactly Servers servers. A
+	// nil engine leaves the run bit-identical to a fault-free build.
+	Faults *fault.Engine
+	// Resilience selects the mitigations applied against faults (hedging,
+	// lost-task retries, degraded admission). The zero value disables
+	// them all and preserves bit-identical unmitigated behavior.
+	Resilience fault.Resilience
 	// TimelineBucketMs, when positive, buckets post-warmup query
 	// latencies and admission decisions by arrival time, enabling
 	// transient analysis (e.g. behavior across a failure window).
@@ -174,6 +185,15 @@ func (c *Config) validate() error {
 	if c.TimelineBucketMs < 0 {
 		return fmt.Errorf("cluster: timeline bucket %v negative", c.TimelineBucketMs)
 	}
+	if c.Faults != nil && c.Faults.Servers() != c.Servers {
+		return fmt.Errorf("cluster: fault engine compiled for %d servers, cluster has %d", c.Faults.Servers(), c.Servers)
+	}
+	if err := c.Resilience.Validate(); err != nil {
+		return err
+	}
+	if c.Resilience.DegradedAdmission && c.Admission == nil {
+		return fmt.Errorf("cluster: degraded admission requires an admission controller")
+	}
 	return nil
 }
 
@@ -185,6 +205,18 @@ type Result struct {
 	Admitted  int
 	Rejected  int
 	Completed int // admitted queries that finished
+	// Failed counts admitted queries that could not finish because a
+	// task copy was lost to a fault and neither a hedge sibling nor the
+	// retry budget could absorb the loss.
+	Failed int
+	// LostTasks counts task copies destroyed by faults (crashes,
+	// transport drops); Retries counts re-dispatches of lost copies.
+	LostTasks int
+	Retries   int
+	// HedgesIssued counts duplicate tasks spawned by the hedging policy;
+	// HedgeWins counts races the duplicate won.
+	HedgesIssued int
+	HedgeWins    int
 
 	// Duration is the simulated time from t=0 to the last completion (ms).
 	Duration float64
@@ -220,6 +252,8 @@ func (res *Result) reset() {
 	res.Spec = ""
 	res.Queries, res.Injected = 0, 0
 	res.Admitted, res.Rejected, res.Completed = 0, 0, 0
+	res.Failed, res.LostTasks, res.Retries = 0, 0, 0
+	res.HedgesIssued, res.HedgeWins = 0, 0
 	res.Duration, res.Utilization = 0, 0
 	res.OfferedLoad, res.TaskMissRatio = 0, 0
 	res.Overall.Reset()
@@ -249,9 +283,12 @@ type queryState struct {
 	stragTask int32
 	stragSrv  int32
 	remaining int32
-	counted   bool // include in statistics (past warmup)
-	injected  bool // created by the OnQueryDone hook
-	active    bool // slot occupancy marker (dense store)
+	retries   int32 // lost-task retries spent (fault resilience)
+	lostSrv   int32 // server of the first unabsorbed task loss, or -1
+	counted   bool  // include in statistics (past warmup)
+	injected  bool  // created by the OnQueryDone hook
+	failed    bool  // a task copy was lost and not absorbed
+	active    bool  // slot occupancy marker (dense store)
 }
 
 // maxDenseGap bounds how far past the current dense range a query ID may
@@ -364,6 +401,12 @@ type Arena struct {
 	paused    []bool
 	busyAcc   []float64
 	spare     *Result
+	// Fault-run state, sized only when a run injects faults or hedges:
+	// crash markers, the per-server in-flight task (to detect completions
+	// of crash-aborted tasks), and the hedge-skimming queue wrappers.
+	crashed  []bool
+	inflight []*policy.Task
+	wrapped  []policy.Queue
 }
 
 // NewArena returns an empty arena. The zero value is also usable.
@@ -420,6 +463,19 @@ func resetFloats(s []float64, n int) []float64 {
 	return s
 }
 
+// resetTasks returns s resized to n with all elements nil, reusing its
+// backing array when possible.
+func resetTasks(s []*policy.Task, n int) []*policy.Task {
+	if cap(s) < n {
+		return make([]*policy.Task, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
 // runner executes one simulation.
 type runner struct {
 	cfg      Config
@@ -434,11 +490,19 @@ type runner struct {
 	recycler ServerRecycler
 	obs      *obs.Tracer     // nil when tracing is off
 	attrib   *obs.Attributor // nil when attribution is off
+	// Fault injection and resilience (nil / zero on fault-free runs).
+	faults   *fault.Engine
+	resil    fault.Resilience
+	crashed  []bool         // nil unless faults are injected
+	inflight []*policy.Task // nil unless faults are injected
+	missWin  *obs.MissWindow
+	degraded bool
 	// Event handlers bound once per run: binding a method value
 	// allocates, so the hot path must reuse these fields.
 	arrivalH  sim.Handler
 	enqueueH  sim.Handler
 	completeH sim.Handler
+	hedgeH    sim.Handler
 	missed    int
 	tasks     int
 	err       error // first internal error; aborts the run
@@ -520,11 +584,14 @@ func Run(cfg Config) (*Result, error) {
 		res:     res,
 		obs:     cfg.Obs,
 		attrib:  cfg.Attribution,
+		faults:  cfg.Faults,
+		resil:   cfg.Resilience,
 	}
 	r.recycler, _ = cfg.Generator.(ServerRecycler)
 	r.arrivalH = r.onArrivalEvent
 	r.enqueueH = r.onEnqueueEvent
 	r.completeH = r.onCompleteEvent
+	r.hedgeH = r.onHedgeEvent
 	for _, f := range cfg.Failures {
 		f := f
 		if err := r.engine.Schedule(f.Start, func() { r.paused[f.Server] = true }); err != nil {
@@ -533,6 +600,41 @@ func Run(cfg Config) (*Result, error) {
 		if err := r.engine.Schedule(f.End, func() { r.resume(f.Server) }); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Faults != nil {
+		// Rewind the engine's seeded drop streams so a reused engine
+		// replays the identical fault schedule, then schedule the
+		// crash/restart transitions.
+		cfg.Faults.Reset()
+		a.crashed = resetBools(a.crashed, cfg.Servers)
+		a.inflight = resetTasks(a.inflight, cfg.Servers)
+		r.crashed, r.inflight = a.crashed, a.inflight
+		for s := 0; s < cfg.Servers; s++ {
+			for _, w := range cfg.Faults.Crashes(s) {
+				s, w := s, w
+				if err := r.engine.Schedule(w.Start, func() { r.crash(s) }); err != nil {
+					return nil, err
+				}
+				if err := r.engine.Schedule(w.End, func() { r.restart(s) }); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if cfg.Resilience.Hedge {
+		// Hedging wraps every queue so cancelled losers are skimmed back
+		// into the task pool instead of being served. The wrapper slice
+		// and Drop closure are the hedged mode's per-run allocations.
+		a.wrapped = a.wrapped[:0]
+		drop := func(t *policy.Task) { a.tasks.Put(t) }
+		for _, q := range queues {
+			a.wrapped = append(a.wrapped, policy.Hedged{Queue: q, Drop: drop})
+		}
+		r.queues = a.wrapped
+	}
+	if cfg.Resilience.DegradedAdmission {
+		cfg.Admission.SetThresholdScale(1)
+		r.missWin = obs.NewMissWindow(cfg.Admission.WindowMs(), 0)
 	}
 	if err := r.scheduleNextArrival(); err != nil {
 		return nil, err
@@ -651,6 +753,7 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 	}
 	st.query = q
 	st.stragTask, st.stragSrv = -1, -1
+	st.lostSrv = -1
 	st.remaining = int32(q.Fanout)
 	st.counted = q.ID >= int64(r.cfg.Warmup)
 	st.injected = injected
@@ -671,22 +774,50 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 		t.Deadline = deadline
 		t.Enqueued = q.Arrival
 		t.Service = svc
-		if r.cfg.Queuing == PerServerQueuing && r.cfg.DispatchDelay != nil {
-			// The task travels to the server before queuing; its wait
-			// (t_pr) includes the dispatch leg.
-			at := q.Arrival + r.cfg.DispatchDelay.Sample(r.rng)
-			if err := r.engine.ScheduleCall(at, r.enqueueH, t, 0); err != nil {
-				r.fail(err)
-				return
-			}
-			continue
+		r.sendTask(t, q.Arrival)
+		if r.err != nil {
+			return
 		}
-		r.enqueue(s, t)
 	}
 }
 
+// sendTask carries a task over the dispatch leg to its server: transport
+// faults may drop or delay it, and per-server queuing adds the dispatch
+// network delay before enqueue. With a nil fault engine this reduces
+// exactly to the pre-fault dispatch logic (same rng draw order, same
+// direct-call-vs-event decisions), preserving bit-identical runs.
+func (r *runner) sendTask(t *policy.Task, now float64) {
+	s := t.Server
+	if r.faults.DropSend(s, now) {
+		r.taskLost(t, now, true)
+		return
+	}
+	delay := r.faults.SendDelay(s, now)
+	viaEvent := false
+	if r.cfg.Queuing == PerServerQueuing && r.cfg.DispatchDelay != nil {
+		// The task travels to the server before queuing; its wait
+		// (t_pr) includes the dispatch leg.
+		delay += r.cfg.DispatchDelay.Sample(r.rng)
+		viaEvent = true
+	}
+	if delay > 0 || viaEvent {
+		if err := r.engine.ScheduleCall(now+delay, r.enqueueH, t, 0); err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	r.enqueue(s, t)
+}
+
 // enqueue places a task at its server, starting service if idle and up.
+// A crashed server refuses the task (it is lost to the fault); a task
+// pushed behind a backlog under hedging arms a hedge timer at its
+// queuing deadline.
 func (r *runner) enqueue(s int, t *policy.Task) {
+	if r.crashed != nil && r.crashed[s] {
+		r.taskLost(t, r.engine.Now(), true)
+		return
+	}
 	if r.obs != nil {
 		r.obs.TaskEvent(obs.KindEnqueue, r.engine.Now(), t.QueryID, int32(t.Index), int32(s), int32(t.Class), 0)
 	}
@@ -694,6 +825,20 @@ func (r *runner) enqueue(s int, t *policy.Task) {
 		r.queues[s].Push(t)
 		if r.obs != nil {
 			r.obs.QueueDepth(r.engine.Now(), int32(s), r.queues[s].Len())
+		}
+		if r.resil.Hedge && t.Hedge == nil && !math.IsInf(t.Deadline, 1) {
+			// Arm the hedge: if the task is still waiting when its
+			// queuing deadline passes (slack exhausted), duplicate it.
+			hs := &policy.HedgeState{Primary: t}
+			t.Hedge = hs
+			at := t.Deadline
+			if now := r.engine.Now(); at < now {
+				at = now
+			}
+			if err := r.engine.ScheduleCall(at, r.hedgeH, hs, 0); err != nil {
+				r.fail(err)
+				return
+			}
 		}
 	} else {
 		r.startService(s, t)
@@ -759,12 +904,23 @@ func (r *runner) startService(s int, t *policy.Task) {
 			return
 		}
 	}
+	if r.inflight != nil {
+		r.inflight[s] = t
+	}
+	if t.Hedge != nil {
+		t.Hedge.Dispatched = true
+	}
 
 	// Under central queuing the dequeued task still has to travel to the
 	// server; the dispatch leg is part of its post-queuing time and of
 	// the server occupancy (the server cannot accept another task until
-	// this one completes and the idle signal returns).
+	// this one completes and the idle signal returns). Service faults
+	// stretch the service portion (slowdowns scale it, stalls insert the
+	// remainder of the stop window).
 	occupancy := t.Service
+	if r.faults != nil {
+		occupancy = r.faults.Stretch(s, now, t.Service)
+	}
 	if r.cfg.Queuing == CentralQueuing && r.cfg.DispatchDelay != nil {
 		occupancy += r.cfg.DispatchDelay.Sample(r.rng)
 	}
@@ -776,6 +932,17 @@ func (r *runner) startService(s int, t *policy.Task) {
 // onComplete handles a task finishing service.
 func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 	now := r.engine.Now()
+	if r.inflight != nil {
+		if r.inflight[s] != t {
+			// Stale completion of a crash-aborted task: the crash already
+			// accounted for the loss; this event only returns the task to
+			// the pool (it could not be pooled at crash time while its
+			// completion event still pointed at it).
+			r.arena.tasks.Put(t)
+			return
+		}
+		r.inflight[s] = nil
+	}
 	r.busyAcc[s] += svc
 
 	// Online updating: the post-queuing time observed by the handler when
@@ -788,6 +955,21 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 		}
 	}
 
+	if t.Hedge != nil {
+		hs := t.Hedge
+		if !hs.Resolve(t) {
+			// The sibling copy already finished this logical task (and may
+			// have completed the whole query); the loser's completion
+			// carries no query-level information.
+			r.obs.TaskEvent(obs.KindServiceEnd, now, t.QueryID, int32(t.Index), int32(s), int32(t.Class), now-t.Dequeued)
+			r.arena.tasks.Put(t)
+			r.serveNext(s)
+			return
+		}
+		if t == hs.Backup {
+			r.res.HedgeWins++
+		}
+	}
 	st := r.arena.states.get(t.QueryID)
 	if st == nil {
 		r.fail(fmt.Errorf("cluster: completion for unknown query %d", t.QueryID))
@@ -812,11 +994,14 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 	if r.err != nil {
 		return
 	}
+	r.serveNext(s)
+}
 
-	// Work conservation: immediately serve the next queued task, unless
-	// the server is inside a failure window.
+// serveNext marks server s idle and, if it is up, starts its next queued
+// task (work conservation).
+func (r *runner) serveNext(s int) {
 	r.busy[s] = false
-	if r.paused[s] {
+	if r.paused[s] || (r.crashed != nil && r.crashed[s]) {
 		return
 	}
 	if next := r.popNext(s); next != nil {
@@ -824,28 +1009,255 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 	}
 }
 
+// taskLost accounts for a task copy destroyed by a fault (transport drop,
+// crashed-server refusal, crash of the queue or the in-flight task). The
+// loss is absorbed when a hedge sibling still covers the logical task or
+// the retry budget re-dispatches it; otherwise the query fails. reusable
+// says the caller no longer references t, so it may be pooled (false for
+// a crash-aborted in-flight task, whose pending completion event still
+// points at it — the stale event pools it).
+func (r *runner) taskLost(t *policy.Task, now float64, reusable bool) {
+	if t.Hedge != nil && t.Hedge.Cancelled(t) {
+		// A cancelled hedge loser destroyed by a fault: the race was
+		// already decided, nothing is lost.
+		if reusable {
+			r.arena.tasks.Put(t)
+		}
+		return
+	}
+	qid, srv := t.QueryID, t.Server
+	r.res.LostTasks++
+	st := r.arena.states.get(qid)
+	if st == nil {
+		r.fail(fmt.Errorf("cluster: lost task for unknown query %d", qid))
+		return
+	}
+	absorbed := false
+	if t.Hedge != nil {
+		t.Hedge.MarkLost(t)
+		absorbed = t.Hedge.SiblingAlive(t)
+	}
+	if !absorbed && int(st.retries) < r.resil.RetryBudget {
+		cls, err := r.cfg.Classes.Class(t.Class)
+		if err != nil {
+			r.fail(fmt.Errorf("cluster: retrying task of query %d: %w", qid, err))
+			return
+		}
+		dest := r.retryDest(srv)
+		if dest >= 0 && now < st.query.Arrival+cls.SLOMs {
+			st.retries++
+			r.res.Retries++
+			nt := t
+			if !reusable {
+				nt = r.arena.tasks.Get()
+				nt.QueryID = t.QueryID
+				nt.Index = t.Index
+				nt.Class = t.Class
+				nt.Arrival = t.Arrival
+				nt.Deadline = t.Deadline
+			}
+			nt.Hedge = nil
+			nt.Server = dest
+			nt.Service = r.serviceDist(dest).Sample(r.rng)
+			nt.Enqueued = now
+			nt.Dequeued = 0
+			r.obs.TaskEvent(obs.KindTaskLost, now, qid, int32(nt.Index), int32(srv), int32(nt.Class), 1)
+			r.sendTask(nt, now)
+			return
+		}
+	}
+	if absorbed {
+		r.obs.TaskEvent(obs.KindTaskLost, now, qid, int32(t.Index), int32(srv), int32(t.Class), 1)
+		if reusable {
+			r.arena.tasks.Put(t)
+		}
+		return
+	}
+	r.obs.TaskEvent(obs.KindTaskLost, now, qid, int32(t.Index), int32(srv), int32(t.Class), 0)
+	st.failed = true
+	if st.lostSrv < 0 {
+		st.lostSrv = int32(srv)
+	}
+	st.remaining--
+	rem := st.remaining
+	if reusable {
+		r.arena.tasks.Put(t)
+	}
+	if rem == 0 {
+		r.onQueryDone(qid, st)
+	}
+}
+
+// crash takes server s down: the in-flight task and every queued task are
+// lost to the fault.
+func (r *runner) crash(s int) {
+	now := r.engine.Now()
+	r.crashed[s] = true
+	if r.busy[s] {
+		t := r.inflight[s]
+		r.inflight[s] = nil
+		r.busy[s] = false
+		if t != nil {
+			// The aborted task's completion event is still scheduled, so
+			// it cannot be pooled here; the stale event returns it.
+			r.taskLost(t, now, false)
+		}
+	}
+	for {
+		t := r.queues[s].Pop()
+		if t == nil {
+			break
+		}
+		r.taskLost(t, now, true)
+		if r.err != nil {
+			return
+		}
+	}
+	if r.obs != nil {
+		r.obs.QueueDepth(now, int32(s), 0)
+	}
+}
+
+// restart brings a crashed server back with an empty queue.
+func (r *runner) restart(s int) {
+	r.crashed[s] = false
+	if !r.busy[s] && !r.paused[s] {
+		if next := r.popNext(s); next != nil {
+			r.startService(s, next)
+		}
+	}
+}
+
+// onHedgeEvent fires when a hedge-armed task's queuing deadline passes: if
+// the primary is still waiting in its queue, duplicate it to the least
+// loaded other server and let the copies race (first finish wins).
+func (r *runner) onHedgeEvent(arg any, _ float64) {
+	hs := arg.(*policy.HedgeState)
+	if !hs.NeedsHedge() {
+		return
+	}
+	now := r.engine.Now()
+	p := hs.Primary
+	dest := r.leastLoaded(p.Server)
+	if dest < 0 {
+		return
+	}
+	b := r.arena.tasks.Get()
+	b.QueryID = p.QueryID
+	b.Index = p.Index
+	b.Class = p.Class
+	b.Arrival = p.Arrival
+	b.Deadline = p.Deadline
+	b.Server = dest
+	b.Enqueued = now
+	b.Service = r.serviceDist(dest).Sample(r.rng)
+	b.Hedge = hs
+	hs.Backup = b
+	r.res.HedgesIssued++
+	r.obs.TaskEvent(obs.KindHedge, now, b.QueryID, int32(b.Index), int32(dest), int32(b.Class), float64(p.Server))
+	r.sendTask(b, now)
+}
+
+// serverDown reports whether server s can currently accept work.
+func (r *runner) serverDown(s int) bool {
+	if r.paused[s] {
+		return true
+	}
+	return r.crashed != nil && r.crashed[s]
+}
+
+// leastLoaded returns the up server (excluding exclude) with the fewest
+// queued-plus-in-service tasks, lowest index winning ties; -1 if none.
+func (r *runner) leastLoaded(exclude int) int {
+	best, bestLoad := -1, 0
+	for s := 0; s < r.cfg.Servers; s++ {
+		if s == exclude || r.serverDown(s) {
+			continue
+		}
+		load := r.queues[s].Len()
+		if r.busy[s] {
+			load++
+		}
+		if best < 0 || load < bestLoad {
+			best, bestLoad = s, load
+		}
+	}
+	return best
+}
+
+// retryDest picks the server for a lost task's retry: the least loaded
+// other up server, the original server if it alone is up, else -1.
+func (r *runner) retryDest(lost int) int {
+	if dest := r.leastLoaded(lost); dest >= 0 {
+		return dest
+	}
+	if lost >= 0 && lost < r.cfg.Servers && !r.serverDown(lost) {
+		return lost
+	}
+	return -1
+}
+
+// updateDegraded polls the fault-dominated-window detector and scales the
+// admission threshold down (degraded admission) while it holds.
+func (r *runner) updateDegraded(now float64) {
+	if r.missWin == nil {
+		return
+	}
+	degraded := r.missWin.FaultDominated(now)
+	if degraded == r.degraded {
+		return
+	}
+	r.degraded = degraded
+	scale := 1.0
+	if degraded {
+		scale = r.resil.Scale()
+	}
+	r.cfg.Admission.SetThresholdScale(scale)
+}
+
 // onQueryDone records a finished query and lets the completion hook inject
 // follow-up queries (request chaining). st is released (and invalid) once
 // this returns.
 func (r *runner) onQueryDone(id int64, st *queryState) {
-	r.res.Completed++
 	now := r.engine.Now()
 	q := st.query
 	injected := st.injected
 	counted := st.counted
 	latency := st.maxFinish - q.Arrival
-	if r.attrib != nil && counted {
+	if st.failed {
+		// An unabsorbed task loss failed the query: it has no latency.
+		// The loss still feeds the fault-dominance detector (with the
+		// faulted server as the "straggler") so degraded admission sees
+		// crash storms, but no latency statistics or completion event.
+		r.res.Failed++
+		lostSrv := st.lostSrv
+		r.arena.states.release(id)
+		r.missWin.Observe(now, true, true, lostSrv)
+		r.updateDegraded(now)
+		r.recycle(q, injected)
+		return
+	}
+	r.res.Completed++
+	var sloMs float64
+	if (r.attrib != nil && counted) || r.missWin != nil {
 		class, err := r.cfg.Classes.Class(q.Class)
 		if err != nil {
 			r.fail(fmt.Errorf("cluster: attributing query %d: %w", id, err))
 			return
 		}
+		sloMs = class.SLOMs
+	}
+	if r.missWin != nil {
+		r.missWin.Observe(now, latency > sloMs, st.stragSvc > st.stragWait, st.stragSrv)
+		r.updateDegraded(now)
+	}
+	if r.attrib != nil && counted {
 		r.attrib.Observe(obs.QueryOutcome{
 			QueryID:            id,
 			Class:              q.Class,
 			Fanout:             q.Fanout,
 			LatencyMs:          latency,
-			SLOMs:              class.SLOMs,
+			SLOMs:              sloMs,
 			StragglerTask:      st.stragTask,
 			StragglerServer:    st.stragSrv,
 			StragglerWaitMs:    st.stragWait,
@@ -898,6 +1310,10 @@ func (r *runner) onQueryDone(id int64, st *queryState) {
 
 // finalize computes the run-level aggregates.
 func (r *runner) finalize() {
+	if r.missWin != nil {
+		// Leave the shared admission controller at its nominal threshold.
+		r.cfg.Admission.SetThresholdScale(1)
+	}
 	r.res.Duration = r.engine.Now()
 	if r.res.Duration > 0 {
 		var busy float64

@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/fault"
+	"tailguard/internal/workload"
+)
+
+// pinnedGen builds a generator that places every (fanout-1) query on the
+// given server, for deterministic fault-arithmetic tests.
+func pinnedGen(t *testing.T, servers, server int, gap float64, classes *workload.ClassSet, seed int64) workload.QuerySource {
+	t.Helper()
+	fan, err := workload.NewFixed(1)
+	if err != nil {
+		t.Fatalf("NewFixed: %v", err)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: servers,
+		Arrival: fixedGap{gap: gap},
+		Fanout:  fan,
+		Classes: classes,
+		Placement: func(_ *rand.Rand, _ int) []int {
+			return []int{server}
+		},
+	}, seed)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return gen
+}
+
+func faultConfig(t *testing.T, servers int, sloMs, gap float64, queries int, plan *fault.Plan) Config {
+	t.Helper()
+	classes, _ := workload.SingleClass(sloMs)
+	svc := dist.Deterministic{V: 1}
+	cfg := Config{
+		Servers:      servers,
+		Spec:         core.FIFO,
+		ServiceTimes: []dist.Distribution{svc},
+		Generator:    pinnedGen(t, servers, 0, gap, classes, 1),
+		Classes:      classes,
+		Queries:      queries,
+	}
+	est, err := core.NewHomogeneousStaticTailEstimator(svc, servers)
+	if err != nil {
+		t.Fatalf("NewHomogeneousStaticTailEstimator: %v", err)
+	}
+	cfg.Deadliner, err = core.NewDeadliner(core.FIFO, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner: %v", err)
+	}
+	if plan != nil {
+		cfg.Faults = fault.MustEngine(plan, servers)
+	}
+	return cfg
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	cfg := faultConfig(t, 2, 1000, 10, 3, nil)
+	cfg.Faults = fault.MustEngine(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Server: 0, StartMs: 1, EndMs: 2, Factor: 2},
+	}}, 4) // compiled for 4 servers, cluster has 2
+	if _, err := Run(cfg); err == nil {
+		t.Error("engine/server mismatch accepted")
+	}
+
+	cfg = faultConfig(t, 2, 1000, 10, 3, nil)
+	cfg.Resilience = fault.Resilience{RetryBudget: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative retry budget accepted")
+	}
+
+	cfg = faultConfig(t, 2, 1000, 10, 3, nil)
+	cfg.Resilience = fault.Resilience{DegradedAdmission: true}
+	if _, err := Run(cfg); err == nil {
+		t.Error("degraded admission without an admission controller accepted")
+	}
+}
+
+// TestDormantFaultEnginePreservesRun pins the preservation contract: an
+// engine whose only fault window lies beyond the simulated horizon leaves
+// the run identical to a fault-free one.
+func TestDormantFaultEnginePreservesRun(t *testing.T) {
+	base := faultConfig(t, 2, 1000, 2, 20, nil)
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatalf("Run(plain): %v", err)
+	}
+	faulted := faultConfig(t, 2, 1000, 2, 20, &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Server: 0, StartMs: 1e9, EndMs: 2e9, Factor: 10},
+	}})
+	withEngine, err := Run(faulted)
+	if err != nil {
+		t.Fatalf("Run(dormant faults): %v", err)
+	}
+	a, b := plain.Overall.Samples(), withEngine.Overall.Samples()
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency[%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if withEngine.LostTasks != 0 || withEngine.Failed != 0 {
+		t.Errorf("dormant engine lost %d tasks, failed %d queries", withEngine.LostTasks, withEngine.Failed)
+	}
+}
+
+// TestSlowdownStretchesService: an idle server serving 1 ms tasks under a
+// 5x slowdown takes 5 ms per task.
+func TestSlowdownStretchesService(t *testing.T) {
+	cfg := faultConfig(t, 1, 1000, 10, 3, &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Server: 0, StartMs: 15, EndMs: 40, Factor: 5},
+	}})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Arrivals at 10, 20, 30 on an idle server. Query at 10 is outside the
+	// window (service 10-11, latency 1); queries at 20 and 30 start inside
+	// it and run at 1/5 speed (latency 5).
+	want := []float64{1, 5, 5}
+	got := res.Overall.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("latencies = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("latency[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStallDelaysCompletion: a full stop over [10.5, 15) suspends the task
+// in service; the remaining work resumes at the window end.
+func TestStallDelaysCompletion(t *testing.T) {
+	cfg := faultConfig(t, 1, 1000, 10, 2, &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Stall, Server: 0, StartMs: 10.5, EndMs: 15},
+	}})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Query at 10: 0.5 ms served, stalled until 15, remaining 0.5 ms done
+	// at 15.5 -> latency 5.5. Query at 20: unaffected, latency 1.
+	want := []float64{5.5, 1}
+	got := res.Overall.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("latencies = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("latency[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCrashFailsQueriesWithoutResilience: with no retry budget and no
+// hedging, every task caught by a crash window fails its query.
+func TestCrashFailsQueriesWithoutResilience(t *testing.T) {
+	cfg := faultConfig(t, 1, 1000, 2, 3, &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Crash, Server: 0, StartMs: 2.5, EndMs: 9},
+	}})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Arrivals at 2, 4, 6. The first is in service when the crash hits at
+	// 2.5; the others arrive at a crashed server. All three are lost.
+	if res.Failed != 3 || res.LostTasks != 3 || res.Completed != 0 {
+		t.Errorf("Failed=%d LostTasks=%d Completed=%d, want 3/3/0",
+			res.Failed, res.LostTasks, res.Completed)
+	}
+	if res.Overall.Count() != 0 {
+		t.Errorf("failed queries contributed %d latency samples", res.Overall.Count())
+	}
+}
+
+// TestRetryRedispatchesLostTask: with a retry budget, tasks lost to a
+// crash are re-dispatched to the least-loaded surviving server.
+func TestRetryRedispatchesLostTask(t *testing.T) {
+	cfg := faultConfig(t, 2, 1000, 2, 3, &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Crash, Server: 0, StartMs: 2.5, EndMs: 9},
+	}})
+	cfg.Resilience = fault.Resilience{RetryBudget: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Failed != 0 || res.Completed != 3 {
+		t.Fatalf("Failed=%d Completed=%d, want 0/3", res.Failed, res.Completed)
+	}
+	if res.LostTasks != 3 || res.Retries != 3 {
+		t.Errorf("LostTasks=%d Retries=%d, want 3/3", res.LostTasks, res.Retries)
+	}
+	// Query at 2 is aborted at 2.5 and replayed on server 1 (2.5-3.5):
+	// latency 1.5. Queries at 4 and 6 are refused by the crashed server
+	// and retried immediately on the idle server 1: latency 1.
+	want := []float64{1.5, 1, 1}
+	got := res.Overall.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("latencies = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("latency[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTransportDelayAddsLatency: a 3 ms transport delay on the dispatch
+// leg shifts enqueue (and completion) by 3 ms.
+func TestTransportDelayAddsLatency(t *testing.T) {
+	cfg := faultConfig(t, 1, 1000, 10, 2, &fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.TransportDelay, Server: 0, StartMs: 0, EndMs: 15, DelayMs: 3},
+	}})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Query at 10 is delayed 3 ms in flight (latency 4); query at 20 is
+	// outside the window (latency 1).
+	want := []float64{4, 1}
+	got := res.Overall.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("latencies = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("latency[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTransportDropConsumesRetryBudget: a certain drop (p=1) destroys
+// every dispatch to server 0; the retry budget redirects the copies.
+func TestTransportDropConsumesRetryBudget(t *testing.T) {
+	plan := &fault.Plan{Seed: 7, Faults: []fault.Fault{
+		{Kind: fault.TransportDrop, Server: 0, StartMs: 0, EndMs: 1e9, DropProb: 1},
+	}}
+
+	cfg := faultConfig(t, 2, 1000, 2, 5, plan)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(no budget): %v", err)
+	}
+	if res.Failed != 5 || res.Completed != 0 {
+		t.Errorf("no budget: Failed=%d Completed=%d, want 5/0", res.Failed, res.Completed)
+	}
+
+	cfg = faultConfig(t, 2, 1000, 2, 5, plan)
+	cfg.Resilience = fault.Resilience{RetryBudget: 1}
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(budget 1): %v", err)
+	}
+	if res.Failed != 0 || res.Completed != 5 || res.Retries != 5 {
+		t.Errorf("budget 1: Failed=%d Completed=%d Retries=%d, want 0/5/5",
+			res.Failed, res.Completed, res.Retries)
+	}
+}
+
+// TestFaultRunDeterminism: the same seed and plan reproduce bit-identical
+// results, including the seeded transport-drop stream.
+func TestFaultRunDeterminism(t *testing.T) {
+	plan := &fault.Plan{Seed: 42, Faults: []fault.Fault{
+		{Kind: fault.TransportDrop, Server: 0, StartMs: 0, EndMs: 1e9, DropProb: 0.3},
+		{Kind: fault.Slowdown, Server: 1, StartMs: 10, EndMs: 50, Factor: 4},
+	}}
+	run := func() *Result {
+		cfg := faultConfig(t, 2, 1000, 1, 40, plan)
+		cfg.Resilience = fault.Resilience{RetryBudget: 2}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.LostTasks != b.LostTasks || a.Retries != b.Retries || a.Failed != b.Failed || a.Completed != b.Completed {
+		t.Fatalf("counters differ: %+v vs %+v", a, b)
+	}
+	as, bs := a.Overall.Samples(), b.Overall.Samples()
+	if len(as) != len(bs) {
+		t.Fatalf("sample counts differ: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("latency[%d]: %v vs %v", i, as[i], bs[i])
+		}
+	}
+	if a.LostTasks == 0 {
+		t.Error("drop plan lost no tasks; determinism check is vacuous")
+	}
+}
+
+// TestHedgeMitigatesStraggler is the mitigation acceptance check at the
+// cluster level: under a 10x slowdown on one server, hedging over TF-EDFQ
+// must improve overall p99 versus the un-hedged run.
+func TestHedgeMitigatesStraggler(t *testing.T) {
+	w := dist.MustTailbenchWorkload("masstree")
+	classes, _ := workload.SingleClass(0.8)
+	plan := &fault.Plan{Seed: 3, Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Server: 0, StartMs: 0, EndMs: 1e12, Factor: 10},
+	}}
+	run := func(resil fault.Resilience) *Result {
+		fan, _ := workload.NewFixed(8)
+		rate, _ := workload.RateForLoad(0.30, 16, fan.MeanTasks(), w.ServiceTime.Mean())
+		arr, _ := workload.NewPoisson(rate)
+		cfg := buildConfig(t, core.TFEDFQ, w.ServiceTime, 16, arr, fan, classes, 20000, 1000, 5)
+		cfg.Faults = fault.MustEngine(plan, 16)
+		cfg.Resilience = resil
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", resil.Label(), err)
+		}
+		return res
+	}
+	plain := run(fault.Resilience{})
+	hedged := run(fault.Resilience{Hedge: true})
+	if hedged.HedgesIssued == 0 {
+		t.Fatal("hedged run issued no hedges")
+	}
+	if hedged.HedgeWins == 0 {
+		t.Error("hedged run won no races")
+	}
+	pp, err := plain.Overall.P99()
+	if err != nil {
+		t.Fatalf("P99(plain): %v", err)
+	}
+	hp, err := hedged.Overall.P99()
+	if err != nil {
+		t.Fatalf("P99(hedged): %v", err)
+	}
+	if hp >= pp {
+		t.Errorf("hedged p99 %v not better than un-hedged %v", hp, pp)
+	}
+	t.Logf("p99 un-hedged %.3f ms, hedged %.3f ms (%d hedges, %d wins)",
+		pp, hp, hedged.HedgesIssued, hedged.HedgeWins)
+}
+
+// TestDegradedAdmissionActivates: once the miss window turns
+// fault-dominated, the admission threshold is scaled down, and it is
+// restored to nominal when the run finalizes.
+func TestDegradedAdmissionActivates(t *testing.T) {
+	classes, _ := workload.SingleClass(1) // 1 ms SLO: every 2 ms query misses
+	svc := dist.Deterministic{V: 2}
+	fan, _ := workload.NewFixed(1)
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 1, Arrival: fixedGap{gap: 5}, Fanout: fan, Classes: classes,
+	}, 1)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	est, _ := core.NewHomogeneousStaticTailEstimator(svc, 1)
+	dl, _ := core.NewDeadliner(core.FIFO, est, classes)
+	adm, err := core.NewAdmissionController(1000, 0.5)
+	if err != nil {
+		t.Fatalf("NewAdmissionController: %v", err)
+	}
+	minScale := 1.0
+	cfg := Config{
+		Servers: 1, Spec: core.FIFO, ServiceTimes: []dist.Distribution{svc},
+		Generator: gen, Classes: classes, Deadliner: dl, Queries: 40,
+		Admission:  adm,
+		Resilience: fault.Resilience{DegradedAdmission: true},
+		OnQueryDone: func(workload.Query, float64, float64) []workload.Query {
+			if s := adm.ThresholdScale(); s < minScale {
+				minScale = s
+			}
+			return nil
+		},
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if minScale != fault.DefaultDegradedScale {
+		t.Errorf("min threshold scale = %v, want %v", minScale, fault.DefaultDegradedScale)
+	}
+	if got := adm.ThresholdScale(); got != 1 {
+		t.Errorf("post-run threshold scale = %v, want restored to 1", got)
+	}
+}

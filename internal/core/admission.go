@@ -44,6 +44,7 @@ type AdmissionController struct {
 	misses    int              // guarded by mu; misses among live events
 	dropProb  float64          // guarded by mu
 	lastCtl   float64          // guarded by mu; time of the last drop-probability update
+	scale     float64          // guarded by mu; Rth multiplier in (0,1], 1 = nominal
 	accepted  int              // guarded by mu
 	rejected  int              // guarded by mu
 }
@@ -68,6 +69,7 @@ func NewAdmissionController(windowMs, threshold float64) (*AdmissionController, 
 	return &AdmissionController{
 		windowMs:  windowMs,
 		threshold: threshold,
+		scale:     1,
 		rng:       rand.New(rand.NewSource(admissionSeed)),
 	}, nil
 }
@@ -93,7 +95,7 @@ func (a *AdmissionController) updateDropLocked(now float64) {
 	if step > 0.25 {
 		step = 0.25 // a single long gap must not slam the control
 	}
-	if a.ratioLocked() > a.threshold {
+	if a.ratioLocked() > a.threshold*a.scale {
 		a.dropProb += step
 		if a.dropProb > 1 {
 			a.dropProb = 1
@@ -179,8 +181,37 @@ func (a *AdmissionController) MissRatio(now float64) float64 {
 	return a.ratioLocked()
 }
 
-// Threshold returns Rth.
+// Threshold returns the nominal Rth.
 func (a *AdmissionController) Threshold() float64 { return a.threshold }
+
+// SetThresholdScale sets the degraded-admission multiplier on Rth: the
+// controller targets threshold×s until told otherwise. s is clamped to
+// (0, 1] — values ≤ 0 or > 1 restore the nominal threshold. Tightening
+// the target makes the controller shed load earlier, which is the
+// resilience layer's response to a fault-dominated miss window.
+func (a *AdmissionController) SetThresholdScale(s float64) {
+	if s <= 0 || s > 1 {
+		s = 1
+	}
+	a.mu.Lock()
+	a.scale = s
+	a.mu.Unlock()
+}
+
+// ThresholdScale returns the current degraded-admission multiplier.
+func (a *AdmissionController) ThresholdScale() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.scale
+}
+
+// EffectiveThreshold returns the miss-ratio target currently in force
+// (Rth × scale).
+func (a *AdmissionController) EffectiveThreshold() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.threshold * a.scale
+}
 
 // WindowMs returns the moving-window span.
 func (a *AdmissionController) WindowMs() float64 { return a.windowMs }
@@ -200,4 +231,5 @@ func (a *AdmissionController) Reset() {
 	a.head, a.misses = 0, 0
 	a.accepted, a.rejected = 0, 0
 	a.dropProb, a.lastCtl = 0, 0
+	a.scale = 1
 }

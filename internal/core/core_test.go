@@ -412,3 +412,70 @@ func TestAdmissionControllerValidation(t *testing.T) {
 		t.Error("threshold 1 succeeded, want error")
 	}
 }
+
+func TestAdmissionThresholdScale(t *testing.T) {
+	a, err := NewAdmissionController(10, 0.2)
+	if err != nil {
+		t.Fatalf("NewAdmissionController: %v", err)
+	}
+	if got := a.ThresholdScale(); got != 1 {
+		t.Fatalf("initial ThresholdScale = %v, want 1", got)
+	}
+	if got := a.EffectiveThreshold(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("initial EffectiveThreshold = %v, want 0.2", got)
+	}
+	// Hold the windowed ratio at 15%: below nominal Rth, above the
+	// degraded target 0.2×0.5 = 10%.
+	feed := func(ts float64) {
+		for i := 0; i < 17; i++ {
+			a.ObserveTask(false, ts)
+		}
+		for i := 0; i < 3; i++ {
+			a.ObserveTask(true, ts)
+		}
+	}
+	for ts := 0.0; ts <= 100; ts++ {
+		feed(ts)
+		a.DropProbability(ts)
+	}
+	if got := a.DropProbability(100); got != 0 {
+		t.Fatalf("DropProbability below nominal Rth = %v, want 0", got)
+	}
+	// Degrade: same traffic now exceeds the effective threshold, so the
+	// controller starts shedding.
+	a.SetThresholdScale(0.5)
+	if got := a.EffectiveThreshold(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("degraded EffectiveThreshold = %v, want 0.1", got)
+	}
+	for ts := 101.0; ts <= 200; ts++ {
+		feed(ts)
+		a.DropProbability(ts)
+	}
+	if got := a.DropProbability(200); got != 1 {
+		t.Fatalf("DropProbability at degraded Rth = %v, want 1", got)
+	}
+	// Restoring the scale lets the same traffic pass again.
+	a.SetThresholdScale(1)
+	for ts := 201.0; ts <= 300; ts++ {
+		feed(ts)
+		a.DropProbability(ts)
+	}
+	if got := a.DropProbability(300); got != 0 {
+		t.Fatalf("DropProbability after restore = %v, want 0", got)
+	}
+	// Out-of-range scales restore nominal.
+	a.SetThresholdScale(-3)
+	if got := a.ThresholdScale(); got != 1 {
+		t.Fatalf("ThresholdScale(-3) left %v, want 1", got)
+	}
+	a.SetThresholdScale(2)
+	if got := a.ThresholdScale(); got != 1 {
+		t.Fatalf("ThresholdScale(2) left %v, want 1", got)
+	}
+	// Reset restores the nominal scale.
+	a.SetThresholdScale(0.5)
+	a.Reset()
+	if got := a.ThresholdScale(); got != 1 {
+		t.Fatalf("ThresholdScale after Reset = %v, want 1", got)
+	}
+}

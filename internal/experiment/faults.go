@@ -1,0 +1,330 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tailguard/internal/cluster"
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/fault"
+	"tailguard/internal/obs"
+	"tailguard/internal/workload"
+)
+
+// FaultConfig parameterizes the fault-injection resilience sweep: every
+// policy runs the shared diagnostic scenario under each canonical fault
+// class, plus one TF-EDFQ run with the resilience mitigations enabled, so
+// the table shows what each fault does to each policy and what the
+// mitigations buy back.
+type FaultConfig struct {
+	// Workload names the Tailbench service-time model (default "masstree").
+	Workload string
+	// Load is the offered load for every run (default 0.30 — the paper's
+	// moderate operating point, so fault damage is not masked by overload).
+	Load float64
+	// Specs lists the policies to run un-mitigated (default core.Specs()).
+	Specs []core.Spec
+	// Resilience is the mitigation bundle for the extra TF-EDFQ run
+	// (default hedging + 2 retries + degraded admission).
+	Resilience fault.Resilience
+	// Classes overrides the canonical fault classes (e.g. a user-supplied
+	// plan loaded by tgsim -faults). Nil selects FaultClasses over the
+	// estimated horizon.
+	Classes []FaultClass
+	// RingCap, when positive, attaches the lifecycle tracer to every run
+	// and captures the newest RingCap events into FaultRun.Events (so a
+	// faulted trace — including task_lost and hedge instants — can be
+	// exported and validated).
+	RingCap  int
+	Fidelity Fidelity
+}
+
+func (c *FaultConfig) setDefaults() {
+	if c.Workload == "" {
+		c.Workload = "masstree"
+	}
+	if c.Load == 0 {
+		c.Load = 0.30
+	}
+	if c.Specs == nil {
+		c.Specs = core.Specs()
+	}
+	if !c.Resilience.Enabled() {
+		c.Resilience = fault.Resilience{Hedge: true, RetryBudget: 2, DegradedAdmission: true}
+	}
+}
+
+// FaultClass is one named fault plan of the sweep.
+type FaultClass struct {
+	Name string
+	Plan *fault.Plan // nil for the fault-free baseline
+}
+
+// FaultClasses returns the canonical fault classes over a simulated
+// horizon of horizonMs, seeded for the transport-drop stream: a clean
+// baseline, a 10x slowdown straggler, a full stall, a crash with queue
+// loss, and a lossy transport path — all on server 0, with windows placed
+// as fixed fractions of the horizon so every fidelity exercises the same
+// shape.
+func FaultClasses(horizonMs float64, seed int64) []FaultClass {
+	return []FaultClass{
+		{Name: "baseline", Plan: nil},
+		{Name: "slowdown-10x", Plan: &fault.Plan{
+			Name: "slowdown-10x", Seed: seed,
+			Faults: []fault.Fault{{
+				Kind: fault.Slowdown, Server: 0,
+				StartMs: 0.2 * horizonMs, EndMs: 0.8 * horizonMs, Factor: 10,
+			}},
+		}},
+		{Name: "stall", Plan: &fault.Plan{
+			Name: "stall", Seed: seed,
+			Faults: []fault.Fault{{
+				Kind: fault.Stall, Server: 0,
+				StartMs: 0.3 * horizonMs, EndMs: 0.4 * horizonMs,
+			}},
+		}},
+		{Name: "crash", Plan: &fault.Plan{
+			Name: "crash", Seed: seed,
+			Faults: []fault.Fault{{
+				Kind: fault.Crash, Server: 0,
+				StartMs: 0.3 * horizonMs, EndMs: 0.4 * horizonMs,
+			}},
+		}},
+		{Name: "transport-drop", Plan: &fault.Plan{
+			Name: "transport-drop", Seed: seed,
+			Faults: []fault.Fault{{
+				Kind: fault.TransportDrop, Server: 0,
+				StartMs: 0.2 * horizonMs, EndMs: 0.8 * horizonMs, DropProb: 0.05,
+			}},
+		}},
+	}
+}
+
+// FaultRun is one (fault class, policy, resilience) cell of the sweep.
+type FaultRun struct {
+	Class string
+	// Hash is the fault plan's content hash ("00000000" for the baseline),
+	// the same value stamped into emitted artifact filenames.
+	Hash   string
+	Spec   core.Spec
+	Resil  fault.Resilience
+	Result *cluster.Result
+	// Report is the deadline-miss attribution under the fault.
+	Report *obs.Attribution
+	// Events is the lifecycle ring's snapshot (oldest first); nil unless
+	// FaultConfig.RingCap was set.
+	Events []obs.Event
+}
+
+// Violations returns the run's SLO-violation rate: post-warmup queries
+// finishing past their class SLO plus queries failed outright by
+// unabsorbed task losses, over all post-warmup outcomes.
+func (r *FaultRun) Violations() float64 {
+	misses, queries := 0, 0
+	for _, c := range r.Report.ByClass {
+		misses += c.Misses
+		queries += c.Queries
+	}
+	misses += r.Result.Failed
+	queries += r.Result.Failed
+	if queries == 0 {
+		return 0
+	}
+	return float64(misses) / float64(queries)
+}
+
+// faultHorizonMs estimates the simulated duration of one diagnostic run,
+// used to place fault windows as fractions of the run.
+func faultHorizonMs(cfg FaultConfig) (float64, error) {
+	w, err := dist.TailbenchWorkload(cfg.Workload)
+	if err != nil {
+		return 0, err
+	}
+	fan, err := workload.NewInverseProportional(PaperFanouts)
+	if err != nil {
+		return 0, err
+	}
+	rate, err := workload.RateForLoad(cfg.Load, 100, fan.MeanTasks(), w.ServiceTime.Mean())
+	if err != nil {
+		return 0, err
+	}
+	return float64(cfg.Fidelity.Queries) / rate, nil
+}
+
+// FaultSweep runs the resilience sweep: for every canonical fault class,
+// each configured policy un-mitigated plus TF-EDFQ with the mitigation
+// bundle. Runs are sequential with a fixed seed, so the whole sweep is
+// bit-identical across invocations (same plan hash, same drop stream,
+// same latencies).
+func FaultSweep(cfg FaultConfig) ([]*FaultRun, error) {
+	cfg.setDefaults()
+	if err := cfg.Fidelity.validate(); err != nil {
+		return nil, err
+	}
+	horizon, err := faultHorizonMs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	classes := cfg.Classes
+	if classes == nil {
+		classes = FaultClasses(horizon, cfg.Fidelity.Seed)
+	}
+
+	type variant struct {
+		spec  core.Spec
+		resil fault.Resilience
+	}
+	variants := make([]variant, 0, len(cfg.Specs)+1)
+	for _, spec := range cfg.Specs {
+		variants = append(variants, variant{spec: spec})
+	}
+	variants = append(variants, variant{spec: core.TFEDFQ, resil: cfg.Resilience})
+
+	runs := make([]*FaultRun, 0, len(classes)*len(variants))
+	for _, fc := range classes {
+		hash := fc.Plan.Hash()
+		for _, v := range variants {
+			sc, err := diagnosticScenario(cfg.Workload, cfg.Load, v.spec, cfg.Fidelity)
+			if err != nil {
+				return nil, err
+			}
+			if v.resil.DegradedAdmission {
+				// Degraded admission needs a live controller; size its
+				// window to a tenth of the horizon so the detector reacts
+				// within a fault window.
+				sc.AdmissionWindowMs = horizon / 10
+				sc.AdmissionThreshold = 0.05
+			}
+			ccfg, err := sc.Build()
+			if err != nil {
+				return nil, err
+			}
+			if fc.Plan != nil {
+				eng, err := fault.NewEngine(fc.Plan, ccfg.Servers)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: fault class %s: %w", fc.Name, err)
+				}
+				ccfg.Faults = eng
+			}
+			ccfg.Resilience = v.resil
+			attrib := obs.NewAttributor()
+			ccfg.Attribution = attrib
+			var ring *obs.Ring
+			if cfg.RingCap > 0 {
+				ring, err = obs.NewRing(cfg.RingCap)
+				if err != nil {
+					return nil, err
+				}
+				ccfg.Obs = obs.NewTracer(obs.TracerConfig{Sink: ring})
+			}
+			res, err := cluster.Run(ccfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fault run %s/%s/%s: %w", fc.Name, v.spec.Name, v.resil.Label(), err)
+			}
+			run := &FaultRun{
+				Class:  fc.Name,
+				Hash:   hash,
+				Spec:   v.spec,
+				Resil:  v.resil,
+				Result: res,
+				Report: attrib.Report(),
+			}
+			if ring != nil {
+				run.Events = ring.Snapshot(nil)
+			}
+			runs = append(runs, run)
+		}
+	}
+	return runs, nil
+}
+
+// FaultTable renders the sweep's headline comparison: one row per (fault
+// class, policy, resilience) with the overall p99, the SLO-violation
+// rate, and the fault/mitigation counters.
+func FaultTable(runs []*FaultRun) *Table {
+	t := &Table{
+		ID:    "faults",
+		Title: "SLO violations and tail latency per policy under injected faults",
+		Columns: []string{
+			"fault", "plan", "policy", "resilience", "p99_ms", "viol_pct",
+			"failed", "lost", "retries", "hedges", "hedge_wins",
+		},
+	}
+	for _, run := range runs {
+		p99 := 0.0
+		if run.Result.Overall.Count() > 0 {
+			if v, err := run.Result.Overall.P99(); err == nil {
+				p99 = v
+			}
+		}
+		viol := run.Violations()
+		t.Rows = append(t.Rows, []string{
+			run.Class,
+			run.Hash,
+			run.Spec.Name,
+			run.Resil.Label(),
+			f2(p99),
+			pct(viol),
+			fmt.Sprint(run.Result.Failed),
+			fmt.Sprint(run.Result.LostTasks),
+			fmt.Sprint(run.Result.Retries),
+			fmt.Sprint(run.Result.HedgesIssued),
+			fmt.Sprint(run.Result.HedgeWins),
+		})
+		t.Raw = append(t.Raw, map[string]float64{
+			"p99_ms":     p99,
+			"viol_pct":   viol,
+			"failed":     float64(run.Result.Failed),
+			"lost":       float64(run.Result.LostTasks),
+			"retries":    float64(run.Result.Retries),
+			"hedges":     float64(run.Result.HedgesIssued),
+			"hedge_wins": float64(run.Result.HedgeWins),
+		})
+	}
+	return t
+}
+
+// FaultMissTable renders the per-class miss-cause breakdown of every
+// fault run: the same decomposition as ObsTable with the fault class and
+// resilience columns prepended, so a fault-dominated window is visible as
+// service-dominated misses concentrating under the faulted classes.
+func FaultMissTable(runs []*FaultRun) *Table {
+	t := &Table{
+		ID:    "fault_misscause",
+		Title: "Deadline-miss attribution per fault class and policy",
+		Columns: []string{
+			"fault", "policy", "resilience", "class", "queries", "misses",
+			"miss_pct", "queue_dom", "service_dom", "slack_p1_ms",
+		},
+	}
+	for _, run := range runs {
+		for _, c := range run.Report.ByClass {
+			missPct := 0.0
+			if c.Queries > 0 {
+				missPct = float64(c.Misses) / float64(c.Queries)
+			}
+			t.Rows = append(t.Rows, []string{
+				run.Class,
+				run.Spec.Name,
+				run.Resil.Label(),
+				fmt.Sprint(c.Class),
+				fmt.Sprint(c.Queries),
+				fmt.Sprint(c.Misses),
+				pct(missPct),
+				fmt.Sprint(c.QueueDominated),
+				fmt.Sprint(c.ServiceDominated),
+				f2(c.SlackP1Ms),
+			})
+			t.Raw = append(t.Raw, map[string]float64{
+				"class":       float64(c.Class),
+				"queries":     float64(c.Queries),
+				"misses":      float64(c.Misses),
+				"miss_pct":    missPct,
+				"queue_dom":   float64(c.QueueDominated),
+				"service_dom": float64(c.ServiceDominated),
+				"slack_p1_ms": c.SlackP1Ms,
+			})
+		}
+	}
+	return t
+}

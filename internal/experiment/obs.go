@@ -63,11 +63,12 @@ type ObsRun struct {
 	Registry *obs.Registry
 }
 
-// obsScenario is the diagnostic setup: N=100, mixed fanouts 1/10/100, two
-// classes with a 1.5x SLO spread (the Fig. 4 mid-grid SLO as the tight
-// class), chosen so all four policies differentiate.
-func obsScenario(cfg ObsConfig, spec core.Spec) (Scenario, error) {
-	w, err := dist.TailbenchWorkload(cfg.Workload)
+// diagnosticScenario is the shared diagnostic setup used by the obs and
+// fault sweeps: N=100, mixed fanouts 1/10/100, two classes with a 1.5x
+// SLO spread (the Fig. 4 mid-grid SLO as the tight class), chosen so all
+// four policies differentiate.
+func diagnosticScenario(workloadName string, load float64, spec core.Spec, fid Fidelity) (Scenario, error) {
+	w, err := dist.TailbenchWorkload(workloadName)
 	if err != nil {
 		return Scenario{}, err
 	}
@@ -75,9 +76,9 @@ func obsScenario(cfg ObsConfig, spec core.Spec) (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
-	slos, ok := Fig4SLOs[cfg.Workload]
+	slos, ok := Fig4SLOs[workloadName]
 	if !ok {
-		return Scenario{}, fmt.Errorf("experiment: no SLO grid for %q", cfg.Workload)
+		return Scenario{}, fmt.Errorf("experiment: no SLO grid for %q", workloadName)
 	}
 	classes, err := workload.TwoClasses(slos[1], 1.5)
 	if err != nil {
@@ -89,9 +90,14 @@ func obsScenario(cfg ObsConfig, spec core.Spec) (Scenario, error) {
 		Spec:     spec,
 		Fanout:   fan,
 		Classes:  classes,
-		Load:     cfg.Load,
-		Fidelity: cfg.Fidelity,
+		Load:     load,
+		Fidelity: fid,
 	}, nil
+}
+
+// obsScenario adapts the shared diagnostic setup to an ObsConfig.
+func obsScenario(cfg ObsConfig, spec core.Spec) (Scenario, error) {
+	return diagnosticScenario(cfg.Workload, cfg.Load, spec, cfg.Fidelity)
 }
 
 // ObsSweep runs every policy with the obs plane attached and returns one

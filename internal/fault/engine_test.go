@@ -1,0 +1,260 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func mustEngine(t *testing.T, p *Plan, servers int) *Engine {
+	t.Helper()
+	e, err := NewEngine(p, servers)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNilEngineIsNoFaults(t *testing.T) {
+	var e *Engine
+	if got := e.Stretch(0, 10, 7); got != 7 {
+		t.Fatalf("nil Stretch = %g", got)
+	}
+	if e.StretchExtra(0, 10, 7) != 0 || e.CrashedAt(0, 10) || e.SendDelay(0, 10) != 0 || e.DropSend(0, 10) {
+		t.Fatal("nil engine injected something")
+	}
+	if e.Crashes(0) != nil || e.Active(0, 1e9) {
+		t.Fatal("nil engine reports windows")
+	}
+	e.Reset() // must not panic
+	if e.Hash() != (*Plan)(nil).Hash() {
+		t.Fatal("nil engine hash mismatch")
+	}
+	got, err := NewEngine(nil, 4)
+	if err != nil || got != nil {
+		t.Fatalf("NewEngine(nil) = %v, %v", got, err)
+	}
+}
+
+func TestStretchSlowdown(t *testing.T) {
+	e := mustEngine(t, &Plan{Faults: []Fault{
+		{Kind: Slowdown, Server: 0, StartMs: 100, EndMs: 200, Factor: 10},
+	}}, 2)
+
+	cases := []struct {
+		name              string
+		start, work, want float64
+	}{
+		{"entirely before", 0, 50, 50},
+		{"entirely after", 200, 50, 50},
+		{"entirely inside", 120, 5, 50},
+		{"starts before, finishes inside", 95, 10, 5 + 50},
+		// 10ms of work starting at 150: 50ms of window stretch 5 units,
+		// the last 5 run at full speed after 200.
+		{"spans the end", 150, 10, 50 + 5},
+		// 150ms of work at t=0: 100 pre-window, then 100ms of window
+		// yields 10 units, then 40 after.
+		{"spans the whole window", 0, 150, 100 + 100 + 40},
+		{"zero work", 120, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := e.Stretch(0, tc.start, tc.work); !almost(got, tc.want) {
+			t.Errorf("%s: Stretch(0, %g, %g) = %g, want %g", tc.name, tc.start, tc.work, got, tc.want)
+		}
+	}
+	if got := e.Stretch(1, 0, 1e6); got != 1e6 {
+		t.Errorf("window-free server stretched: Stretch(1, 0, 1e6) = %g", got)
+	}
+	if got := e.StretchExtra(0, 120, 5); !almost(got, 45) {
+		t.Errorf("StretchExtra = %g, want 45", got)
+	}
+	if got := e.StretchExtra(0, 0, 50); got != 0 {
+		t.Errorf("fault-free StretchExtra = %g, want 0", got)
+	}
+}
+
+func TestStretchStall(t *testing.T) {
+	e := mustEngine(t, &Plan{Faults: []Fault{
+		{Kind: Stall, Server: 0, StartMs: 100, EndMs: 150},
+	}}, 1)
+	// Work that reaches the stall waits it out, then resumes.
+	if got := e.Stretch(0, 90, 20); !almost(got, 10+50+10) {
+		t.Fatalf("Stretch through stall = %g, want 70", got)
+	}
+	// Work starting inside the stall waits for the window end.
+	if got := e.Stretch(0, 120, 5); !almost(got, 30+5) {
+		t.Fatalf("Stretch from inside stall = %g, want 35", got)
+	}
+	// Work that finishes exactly at the stall start is unaffected.
+	if got := e.Stretch(0, 90, 10); !almost(got, 10) {
+		t.Fatalf("Stretch ending at stall start = %g, want 10", got)
+	}
+}
+
+func TestStretchMultipleWindows(t *testing.T) {
+	e := mustEngine(t, &Plan{Faults: []Fault{
+		{Kind: Slowdown, Server: 0, StartMs: 10, EndMs: 20, Factor: 2},
+		{Kind: Stall, Server: 0, StartMs: 30, EndMs: 40},
+	}}, 1)
+	// 30ms of work at t=0: 10 free, 10ms window at half speed -> 5 units
+	// (15 done at t=20), 10 free to t=30 (25 done), stall to t=40, last
+	// 5 finish at t=45.
+	if got := e.Stretch(0, 0, 30); !almost(got, 45) {
+		t.Fatalf("Stretch across two windows = %g, want 45", got)
+	}
+}
+
+func TestCrashLookup(t *testing.T) {
+	e := mustEngine(t, &Plan{Faults: []Fault{
+		{Kind: Crash, Server: 1, StartMs: 100, EndMs: 200},
+		{Kind: Crash, Server: 1, StartMs: 400, EndMs: 450},
+	}}, 2)
+	for _, tc := range []struct {
+		t    float64
+		want bool
+	}{{99, false}, {100, true}, {199.99, true}, {200, false}, {399, false}, {420, true}, {450, false}} {
+		if got := e.CrashedAt(1, tc.t); got != tc.want {
+			t.Errorf("CrashedAt(1, %g) = %v", tc.t, got)
+		}
+	}
+	if e.CrashedAt(0, 150) {
+		t.Error("server 0 reported crashed")
+	}
+	wins := e.Crashes(1)
+	if len(wins) != 2 || wins[0].Start != 100 || wins[1].End != 450 {
+		t.Fatalf("Crashes(1) = %+v", wins)
+	}
+	if e.Crashes(0) != nil {
+		t.Fatalf("Crashes(0) = %+v", e.Crashes(0))
+	}
+}
+
+func TestSendDelay(t *testing.T) {
+	e := mustEngine(t, &Plan{Faults: []Fault{
+		{Kind: TransportDelay, Server: AllServers, StartMs: 100, EndMs: 200, DelayMs: 7},
+	}}, 3)
+	if got := e.SendDelay(2, 150); got != 7 {
+		t.Fatalf("SendDelay inside window = %g", got)
+	}
+	if got := e.SendDelay(2, 250); got != 0 {
+		t.Fatalf("SendDelay outside window = %g", got)
+	}
+}
+
+func TestDropSendDeterministicAndSeeded(t *testing.T) {
+	plan := &Plan{Seed: 7, Faults: []Fault{
+		{Kind: TransportDrop, Server: 0, StartMs: 0, EndMs: 1e6, DropProb: 0.3},
+	}}
+	a := mustEngine(t, plan, 2)
+	b := mustEngine(t, plan, 2)
+	const n = 4096
+	var seqA, seqB []bool
+	drops := 0
+	for i := 0; i < n; i++ {
+		da, db := a.DropSend(0, float64(i)), b.DropSend(0, float64(i))
+		seqA, seqB = append(seqA, da), append(seqB, db)
+		if da {
+			drops++
+		}
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("drop stream diverged at send %d", i)
+		}
+	}
+	// The empirical rate should be near 0.3 (binomial sd ~0.007).
+	rate := float64(drops) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("drop rate %g far from 0.3", rate)
+	}
+	// Reset replays the identical stream.
+	a.Reset()
+	for i := 0; i < n; i++ {
+		if a.DropSend(0, float64(i)) != seqA[i] {
+			t.Fatalf("post-Reset stream diverged at send %d", i)
+		}
+	}
+	// A different seed yields a different stream.
+	planB := &Plan{Seed: 8, Faults: plan.Faults}
+	c := mustEngine(t, planB, 2)
+	same := true
+	for i := 0; i < n; i++ {
+		if c.DropSend(0, float64(i)) != seqA[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed change did not change the drop stream")
+	}
+}
+
+func TestDropSendOutsideWindowConsumesNothing(t *testing.T) {
+	plan := &Plan{Seed: 7, Faults: []Fault{
+		{Kind: TransportDrop, Server: 0, StartMs: 100, EndMs: 200, DropProb: 0.5},
+	}}
+	a := mustEngine(t, plan, 1)
+	b := mustEngine(t, plan, 1)
+	// a interleaves out-of-window sends; b does not. In-window streams
+	// must still agree.
+	var got, want []bool
+	for i := 0; i < 256; i++ {
+		a.DropSend(0, 50) // outside: no draw
+		got = append(got, a.DropSend(0, 150))
+		want = append(want, b.DropSend(0, 150))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("out-of-window sends perturbed the stream at %d", i)
+		}
+	}
+}
+
+// TestEngineConcurrentUse drives lookups and drop flips from many
+// goroutines; run with -race this proves the engine is safe on the
+// multi-threaded saas path.
+func TestEngineConcurrentUse(t *testing.T) {
+	e := mustEngine(t, &Plan{Seed: 3, Faults: []Fault{
+		{Kind: Slowdown, Server: 0, StartMs: 0, EndMs: 1e6, Factor: 2},
+		{Kind: TransportDrop, Server: AllServers, StartMs: 0, EndMs: 1e6, DropProb: 0.2},
+		{Kind: Crash, Server: 1, StartMs: 10, EndMs: 20},
+	}}, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ts := float64(i)
+				e.DropSend(g%2, ts)
+				e.Stretch(0, ts, 5)
+				e.CrashedAt(1, ts)
+				e.SendDelay(0, ts)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMustEnginePanicsOnBadPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEngine accepted an invalid plan")
+		}
+	}()
+	MustEngine(&Plan{Faults: []Fault{{Kind: "meteor", StartMs: 0, EndMs: 1}}}, 1)
+}
+
+func TestActive(t *testing.T) {
+	e := mustEngine(t, &Plan{Faults: []Fault{
+		{Kind: Slowdown, Server: 0, StartMs: 100, EndMs: 200, Factor: 2},
+	}}, 1)
+	if !e.Active(150, 160) || !e.Active(0, 101) {
+		t.Fatal("overlapping horizon reported inactive")
+	}
+	if e.Active(200, 300) || e.Active(0, 100) {
+		t.Fatal("disjoint horizon reported active")
+	}
+}

@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validPlan() *Plan {
+	return &Plan{
+		Name: "test",
+		Seed: 42,
+		Faults: []Fault{
+			{Kind: Slowdown, Server: 0, StartMs: 100, EndMs: 200, Factor: 10},
+			{Kind: Stall, Server: 1, StartMs: 50, EndMs: 60},
+			{Kind: Crash, Server: 2, StartMs: 300, EndMs: 400},
+			{Kind: TransportDelay, Server: AllServers, StartMs: 0, EndMs: 1000, DelayMs: 5},
+			{Kind: TransportDrop, Server: 3, StartMs: 0, EndMs: 1000, DropProb: 0.1},
+		},
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := validPlan()
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	q, err := ParsePlan(data)
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if q.Hash() != p.Hash() {
+		t.Fatalf("round-trip changed hash: %s -> %s", p.Hash(), q.Hash())
+	}
+	if err := q.Validate(4); err != nil {
+		t.Fatalf("Validate after round-trip: %v", err)
+	}
+}
+
+func TestLoadPlan(t *testing.T) {
+	p := validPlan()
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	q, err := LoadPlan(path)
+	if err != nil {
+		t.Fatalf("LoadPlan: %v", err)
+	}
+	if q.Hash() != p.Hash() {
+		t.Fatalf("LoadPlan changed hash: %s -> %s", p.Hash(), q.Hash())
+	}
+	if _, err := LoadPlan(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("LoadPlan on a missing file succeeded")
+	}
+}
+
+func TestParsePlanRejectsUnknownFields(t *testing.T) {
+	if _, err := ParsePlan([]byte(`{"seed":1,"faults":[{"kind":"slowdown","sever":0}]}`)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Plan
+		want string
+	}{
+		{"unknown kind", Plan{Faults: []Fault{{Kind: "meteor", StartMs: 0, EndMs: 1}}}, "unknown kind"},
+		{"server out of range", Plan{Faults: []Fault{{Kind: Stall, Server: 9, StartMs: 0, EndMs: 1}}}, "out of range"},
+		{"backward window", Plan{Faults: []Fault{{Kind: Stall, Server: 0, StartMs: 5, EndMs: 5}}}, "forward interval"},
+		{"negative start", Plan{Faults: []Fault{{Kind: Stall, Server: 0, StartMs: -1, EndMs: 5}}}, "forward interval"},
+		{"factor too small", Plan{Faults: []Fault{{Kind: Slowdown, Server: 0, StartMs: 0, EndMs: 1, Factor: 1}}}, "must exceed 1"},
+		{"zero delay", Plan{Faults: []Fault{{Kind: TransportDelay, Server: 0, StartMs: 0, EndMs: 1}}}, "must be positive"},
+		{"drop prob too big", Plan{Faults: []Fault{{Kind: TransportDrop, Server: 0, StartMs: 0, EndMs: 1, DropProb: 1.5}}}, "outside (0,1]"},
+		{"overlapping service windows", Plan{Faults: []Fault{
+			{Kind: Slowdown, Server: 0, StartMs: 0, EndMs: 100, Factor: 2},
+			{Kind: Stall, Server: 0, StartMs: 50, EndMs: 60},
+		}}, "overlapping service windows"},
+		{"all-servers overlap", Plan{Faults: []Fault{
+			{Kind: Crash, Server: AllServers, StartMs: 0, EndMs: 100},
+			{Kind: Crash, Server: 1, StartMs: 50, EndMs: 150},
+		}}, "overlapping crash windows"},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate(4)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (&Plan{}).Validate(0); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if err := (*Plan)(nil).Validate(4); err == nil {
+		t.Error("nil plan accepted")
+	}
+}
+
+func TestValidateAllowsDisjointAndCrossCategoryOverlap(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Kind: Slowdown, Server: 0, StartMs: 0, EndMs: 100, Factor: 2},
+		{Kind: Slowdown, Server: 0, StartMs: 100, EndMs: 200, Factor: 3},
+		// A crash overlapping a slowdown is fine: different categories.
+		{Kind: Crash, Server: 0, StartMs: 50, EndMs: 150},
+		// Same window on a different server is fine.
+		{Kind: Slowdown, Server: 1, StartMs: 0, EndMs: 100, Factor: 2},
+	}}
+	if err := p.Validate(2); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestHashSemantics(t *testing.T) {
+	p := validPlan()
+	q := validPlan()
+	if p.Hash() != q.Hash() {
+		t.Fatal("identical plans hash differently")
+	}
+	q.Name = "renamed"
+	if p.Hash() != q.Hash() {
+		t.Fatal("display name changed the hash")
+	}
+	q.Seed = 43
+	if p.Hash() == q.Hash() {
+		t.Fatal("seed change did not change the hash")
+	}
+	r := validPlan()
+	r.Faults[0].Factor = 11
+	if p.Hash() == r.Hash() {
+		t.Fatal("fault change did not change the hash")
+	}
+	if h := (*Plan)(nil).Hash(); h != "00000000" {
+		t.Fatalf("nil plan hash = %q", h)
+	}
+	if len(p.Hash()) != 8 {
+		t.Fatalf("hash %q is not 8 hex chars", p.Hash())
+	}
+}
+
+func TestResilience(t *testing.T) {
+	var zero Resilience
+	if zero.Enabled() {
+		t.Fatal("zero Resilience reports enabled")
+	}
+	if zero.Label() != "none" {
+		t.Fatalf("zero label = %q", zero.Label())
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero Validate: %v", err)
+	}
+	r := Resilience{Hedge: true, RetryBudget: 2, DegradedAdmission: true}
+	if !r.Enabled() {
+		t.Fatal("full Resilience reports disabled")
+	}
+	if got := r.Label(); got != "hedge+retry2+degrade" {
+		t.Fatalf("label = %q", got)
+	}
+	if r.Scale() != DefaultDegradedScale {
+		t.Fatalf("default scale = %g", r.Scale())
+	}
+	r.DegradedScale = 0.25
+	if r.Scale() != 0.25 {
+		t.Fatalf("explicit scale = %g", r.Scale())
+	}
+	if err := (Resilience{RetryBudget: -1}).Validate(); err == nil {
+		t.Fatal("negative retry budget accepted")
+	}
+	if err := (Resilience{DegradedScale: 1.5}).Validate(); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultDegradedScale is the Rth multiplier applied while admission is
+// degraded and the caller did not choose one.
+const DefaultDegradedScale = 0.5
+
+// Resilience selects the mitigation half of the subsystem: what the
+// cluster does *about* injected faults. The zero value disables all
+// mitigations and must leave scheduling behavior bit-identical to a
+// build without the fault subsystem.
+type Resilience struct {
+	// Hedge duplicates a task to the least-loaded other live server once
+	// its slack goes negative (still queued at its deadline); first
+	// finish wins, the loser is cancelled.
+	Hedge bool
+	// RetryBudget is the number of lost-task retries each query may
+	// spend. A task lost to a crash or transport drop is re-dispatched
+	// to another live server while budget remains and the query's SLO
+	// deadline has not passed; past either limit the query fails.
+	RetryBudget int
+	// DegradedAdmission tightens the admission threshold (Rth ×
+	// DegradedScale) while miss-cause attribution reports a
+	// fault-dominated window, shedding load the cluster cannot serve.
+	DegradedAdmission bool
+	// DegradedScale is the Rth multiplier used while degraded; 0 means
+	// DefaultDegradedScale. Must stay in (0, 1].
+	DegradedScale float64
+}
+
+// Enabled reports whether any mitigation is switched on.
+func (r Resilience) Enabled() bool {
+	return r.Hedge || r.RetryBudget > 0 || r.DegradedAdmission
+}
+
+// Scale returns the effective degraded-admission multiplier.
+func (r Resilience) Scale() float64 {
+	if r.DegradedScale == 0 {
+		return DefaultDegradedScale
+	}
+	return r.DegradedScale
+}
+
+// Validate rejects configurations with no defined semantics.
+func (r Resilience) Validate() error {
+	if r.RetryBudget < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", r.RetryBudget)
+	}
+	if r.DegradedScale < 0 || r.DegradedScale > 1 {
+		return fmt.Errorf("fault: degraded-admission scale %g outside (0,1]", r.DegradedScale)
+	}
+	return nil
+}
+
+// Label renders the enabled mitigations as a short stable tag for table
+// rows and filenames ("none", "hedge", "hedge+retry2+degrade", ...).
+func (r Resilience) Label() string {
+	var parts []string
+	if r.Hedge {
+		parts = append(parts, "hedge")
+	}
+	if r.RetryBudget > 0 {
+		parts = append(parts, fmt.Sprintf("retry%d", r.RetryBudget))
+	}
+	if r.DegradedAdmission {
+		parts = append(parts, "degrade")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}

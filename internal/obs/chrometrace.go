@@ -102,6 +102,12 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		case KindQueueDepth:
 			emit(fmt.Sprintf(`{"name":"queue depth s%d","ph":"C","ts":%s,"pid":0,"tid":%d,"args":{"depth":%s}}`,
 				e.Server, traceNum(ts), e.Server+1, traceNum(e.Value)))
+		case KindTaskLost:
+			emit(fmt.Sprintf(`{"name":"lost q%d.%d","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"class":%d,"absorbed":%s}}`,
+				e.QueryID, e.Task, traceNum(ts), e.Server+1, e.Class, traceNum(e.Value)))
+		case KindHedge:
+			emit(fmt.Sprintf(`{"name":"hedge q%d.%d","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"class":%d,"primary_server":%s}}`,
+				e.QueryID, e.Task, traceNum(ts), e.Server+1, e.Class, traceNum(e.Value)))
 		}
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {

@@ -1,0 +1,153 @@
+package obs
+
+// MissWindow is the fault-dominated-window detector behind degraded
+// admission: a moving time window over per-query outcomes that reports
+// whether recent SLO violations look like a fault (service-dominated
+// misses concentrating on one straggler server, or outright lost
+// queries) rather than ordinary queueing pressure. The resilience layer
+// polls FaultDominated and tightens the admission threshold while it
+// holds (DESIGN.md §11).
+//
+// Like the Attributor it is single-owner (the simulator is
+// single-threaded; the testbed locks around it), and a nil *MissWindow
+// is the disabled state: Observe no-ops, FaultDominated reports false.
+type MissWindow struct {
+	windowMs  float64
+	minMisses int
+
+	events []missEvent
+	head   int
+
+	// Live aggregates over events[head:].
+	misses      int // SLO violations (failed queries included)
+	serviceDom  int // misses whose straggler service exceeded its wait
+	perServer   []int
+	serverTotal int // misses carrying a straggler-server identity
+}
+
+type missEvent struct {
+	at     float64
+	miss   bool
+	svcDom bool
+	server int32
+}
+
+// Fault-dominance thresholds: at least minMisses misses in the window,
+// a majority of them service-dominated, and at least this share of the
+// attributed ones pointing at a single straggler server.
+const (
+	defaultMinMisses   = 20
+	svcDominatedShare  = 0.5
+	serverConcentrated = 0.4
+)
+
+// NewMissWindow builds a detector over the given moving window (same
+// clock unit as the times passed to Observe). minMisses <= 0 selects the
+// default; windowMs <= 0 yields a nil (disabled) detector.
+func NewMissWindow(windowMs float64, minMisses int) *MissWindow {
+	if windowMs <= 0 {
+		return nil
+	}
+	if minMisses <= 0 {
+		minMisses = defaultMinMisses
+	}
+	return &MissWindow{windowMs: windowMs, minMisses: minMisses}
+}
+
+// Observe folds in one completed (or failed) query: whether it missed
+// its SLO, whether the miss was service-dominated, and the straggler (or
+// fault-hit) server, -1 when unknown. Times must be non-decreasing.
+// Safe on a nil receiver.
+func (m *MissWindow) Observe(at float64, miss, serviceDominated bool, server int32) {
+	if m == nil {
+		return
+	}
+	m.evict(at)
+	m.events = append(m.events, missEvent{at: at, miss: miss, svcDom: serviceDominated, server: server})
+	if !miss {
+		return
+	}
+	m.misses++
+	if serviceDominated {
+		m.serviceDom++
+	}
+	if server >= 0 {
+		for len(m.perServer) <= int(server) {
+			m.perServer = append(m.perServer, 0)
+		}
+		m.perServer[server]++
+		m.serverTotal++
+	}
+}
+
+// evict expires events older than at - windowMs and compacts the backing
+// slice when the dead prefix dominates.
+func (m *MissWindow) evict(at float64) {
+	cutoff := at - m.windowMs
+	for m.head < len(m.events) && m.events[m.head].at < cutoff {
+		e := m.events[m.head]
+		if e.miss {
+			m.misses--
+			if e.svcDom {
+				m.serviceDom--
+			}
+			if e.server >= 0 {
+				m.perServer[e.server]--
+				m.serverTotal--
+			}
+		}
+		m.head++
+	}
+	if m.head > 1024 && m.head*2 >= len(m.events) {
+		m.events = append(m.events[:0], m.events[m.head:]...)
+		m.head = 0
+	}
+}
+
+// FaultDominated reports whether the window as of time `at` looks
+// fault-driven: enough misses, mostly service-dominated, concentrating
+// on one server. Safe on a nil receiver (false).
+func (m *MissWindow) FaultDominated(at float64) bool {
+	if m == nil {
+		return false
+	}
+	m.evict(at)
+	if m.misses < m.minMisses {
+		return false
+	}
+	if float64(m.serviceDom) < svcDominatedShare*float64(m.misses) {
+		return false
+	}
+	if m.serverTotal == 0 {
+		return false
+	}
+	top := 0
+	for _, n := range m.perServer {
+		if n > top {
+			top = n
+		}
+	}
+	return float64(top) >= serverConcentrated*float64(m.serverTotal)
+}
+
+// Misses returns the current windowed miss count as of the last Observe
+// or FaultDominated call.
+func (m *MissWindow) Misses() int {
+	if m == nil {
+		return 0
+	}
+	return m.misses
+}
+
+// Reset discards all windowed state, keeping capacity.
+func (m *MissWindow) Reset() {
+	if m == nil {
+		return
+	}
+	m.events = m.events[:0]
+	m.head = 0
+	m.misses, m.serviceDom, m.serverTotal = 0, 0, 0
+	for i := range m.perServer {
+		m.perServer[i] = 0
+	}
+}

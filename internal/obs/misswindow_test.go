@@ -1,0 +1,106 @@
+package obs
+
+import "testing"
+
+func TestMissWindowNilSafe(t *testing.T) {
+	var m *MissWindow
+	m.Observe(0, true, true, 0)
+	if m.FaultDominated(0) {
+		t.Fatal("nil MissWindow reported fault-dominated")
+	}
+	if m.Misses() != 0 {
+		t.Fatal("nil MissWindow reported misses")
+	}
+	m.Reset()
+	if NewMissWindow(0, 5) != nil {
+		t.Fatal("zero window did not yield a disabled detector")
+	}
+}
+
+func TestMissWindowFaultDominated(t *testing.T) {
+	m := NewMissWindow(100, 10)
+	// Healthy traffic: hits only.
+	for i := 0; i < 50; i++ {
+		m.Observe(float64(i), false, false, -1)
+	}
+	if m.FaultDominated(50) {
+		t.Fatal("healthy window reported fault-dominated")
+	}
+	// A burst of service-dominated misses all pointing at server 3.
+	for i := 0; i < 20; i++ {
+		m.Observe(50+float64(i), true, true, 3)
+	}
+	if !m.FaultDominated(70) {
+		t.Fatal("concentrated service-dominated misses not detected")
+	}
+	if m.Misses() != 20 {
+		t.Fatalf("Misses = %d, want 20", m.Misses())
+	}
+	// The window heals once the burst ages out.
+	if m.FaultDominated(500) {
+		t.Fatal("expired burst still reported fault-dominated")
+	}
+	if m.Misses() != 0 {
+		t.Fatalf("Misses after expiry = %d, want 0", m.Misses())
+	}
+}
+
+func TestMissWindowRejectsQueueDominated(t *testing.T) {
+	m := NewMissWindow(100, 10)
+	// Plenty of misses, but queue-dominated: overload, not a fault.
+	for i := 0; i < 20; i++ {
+		m.Observe(float64(i), true, false, 3)
+	}
+	if m.FaultDominated(20) {
+		t.Fatal("queue-dominated misses reported as fault")
+	}
+}
+
+func TestMissWindowRejectsDiffuseStragglers(t *testing.T) {
+	m := NewMissWindow(100, 10)
+	// Service-dominated misses spread evenly over 8 servers: capacity
+	// problem, not one faulty machine.
+	for i := 0; i < 40; i++ {
+		m.Observe(float64(i), true, true, int32(i%8))
+	}
+	if m.FaultDominated(40) {
+		t.Fatal("diffuse stragglers reported as fault")
+	}
+	// The same volume on one server is a fault signature.
+	m.Reset()
+	for i := 0; i < 40; i++ {
+		m.Observe(float64(i), true, true, 5)
+	}
+	if !m.FaultDominated(40) {
+		t.Fatal("single-server stragglers not detected after Reset")
+	}
+}
+
+func TestMissWindowBelowMinMisses(t *testing.T) {
+	m := NewMissWindow(100, 10)
+	for i := 0; i < 9; i++ {
+		m.Observe(float64(i), true, true, 0)
+	}
+	if m.FaultDominated(9) {
+		t.Fatal("below-threshold miss count reported fault-dominated")
+	}
+	m.Observe(9, true, true, 0)
+	if !m.FaultDominated(9.5) {
+		t.Fatal("threshold miss count not detected")
+	}
+}
+
+func TestMissWindowEviction(t *testing.T) {
+	m := NewMissWindow(10, 1)
+	// Push enough traffic to trigger slice compaction (head > 1024).
+	for i := 0; i < 5000; i++ {
+		m.Observe(float64(i), i%2 == 0, true, 0)
+	}
+	// Only events in (4989, 4999] remain: 5 misses (even times).
+	if got := m.Misses(); got != 5 {
+		t.Fatalf("windowed misses = %d, want 5", got)
+	}
+	if len(m.events)-m.head > 11 {
+		t.Fatalf("window retains %d events, want <= 11", len(m.events)-m.head)
+	}
+}

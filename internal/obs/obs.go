@@ -59,14 +59,24 @@ const (
 	// KindQueueDepth samples one server queue's depth; Value is the
 	// number of queued tasks after the triggering push or pop.
 	KindQueueDepth
+	// KindTaskLost marks one task copy destroyed by a fault (server
+	// crash, transport drop) before finishing; Value is 1 when the loss
+	// was absorbed (retried or covered by a hedge sibling), 0 when it
+	// failed the query.
+	KindTaskLost
+	// KindHedge marks a hedge duplicate issued to Server after the
+	// primary copy overstayed its queuing deadline; Value is the primary
+	// copy's server index.
+	KindHedge
 
-	numKinds = int(KindQueueDepth) + 1
+	numKinds = int(KindHedge) + 1
 )
 
 // kindNames are the stable exposition names, indexed by Kind.
 var kindNames = [numKinds]string{
 	"arrival", "deadline", "reject", "enqueue", "dispatch",
 	"service_start", "service_end", "query_done", "queue_depth",
+	"task_lost", "hedge",
 }
 
 // String returns the event kind's stable lowercase name.

@@ -1,0 +1,136 @@
+package policy
+
+// HedgeState links the two copies of a hedged task: the primary that
+// missed its queuing deadline and the backup the dispatcher issued to
+// another server. The first copy to finish service wins the race and
+// completes the query-side accounting; the loser is cancelled and
+// discarded wherever it happens to be (skimmed from its queue by the
+// Hedged decorator, or ignored at completion if already in service).
+//
+// HedgeState is owned by a single dispatcher goroutine, like the queues
+// themselves. It is heap-allocated per hedge (not pooled): hedge-probe
+// events outlive the tasks they reference, so recycling states would
+// alias generations. Hedging is therefore the one dispatcher feature
+// allowed to allocate per event; the unhedged hot path is unaffected.
+type HedgeState struct {
+	Primary *Task
+	Backup  *Task // nil until the duplicate is issued
+	Winner  *Task // first copy to finish service; nil while the race is open
+
+	// Dispatched records that a copy entered service, which cancels the
+	// pending hedge probe (hedging a task already being served buys
+	// nothing under our no-preemption model).
+	Dispatched bool
+
+	lostPrimary bool
+	lostBackup  bool
+}
+
+// Resolve records t finishing service. It returns true when t wins the
+// race (no copy finished before it) and false when t is the cancelled
+// loser.
+func (h *HedgeState) Resolve(t *Task) bool {
+	if h.Winner != nil {
+		return false
+	}
+	h.Winner = t
+	return true
+}
+
+// Cancelled reports whether t lost the race and should be discarded
+// instead of served.
+func (h *HedgeState) Cancelled(t *Task) bool {
+	return h.Winner != nil && h.Winner != t
+}
+
+// Other returns t's sibling copy (nil when no backup was issued).
+func (h *HedgeState) Other(t *Task) *Task {
+	if t == h.Primary {
+		return h.Backup
+	}
+	return h.Primary
+}
+
+// MarkLost records that copy t was destroyed before finishing (server
+// crash, transport drop).
+func (h *HedgeState) MarkLost(t *Task) {
+	switch t {
+	case h.Primary:
+		h.lostPrimary = true
+	case h.Backup:
+		h.lostBackup = true
+	}
+}
+
+// SiblingAlive reports whether, after losing copy t, another copy can
+// still finish the task — in which case the loss needs no retry.
+func (h *HedgeState) SiblingAlive(t *Task) bool {
+	if h.Winner != nil && h.Winner != t {
+		return true
+	}
+	if t == h.Primary {
+		return h.Backup != nil && !h.lostBackup
+	}
+	return !h.lostPrimary
+}
+
+// NeedsHedge reports whether the pending hedge probe should still issue
+// a duplicate: the race is unresolved, no copy entered service, the
+// primary still exists, and no backup was issued yet.
+func (h *HedgeState) NeedsHedge() bool {
+	return h.Winner == nil && !h.Dispatched && !h.lostPrimary && h.Backup == nil
+}
+
+// Hedged decorates a Queue to skim cancelled hedge losers: a Pop or Peek
+// never surfaces a task whose sibling already won. Discarded losers are
+// handed to Drop so the dispatcher can return them to its task pool.
+//
+// Stacking order with Observed matters: wrap Hedged *around* Observed
+// (Hedged{Queue: Observed{...}}) so the silent removals Hedged performs
+// inside Peek flow through Observed.Pop and keep the depth gauge honest.
+// Len reports the wrapped queue's count, which may still include
+// not-yet-skimmed losers — an upper bound, exact again after the next
+// Pop/Peek passes them.
+//
+// The wrapper inherits the wrapped queue's (lack of) concurrency safety.
+type Hedged struct {
+	Queue
+	Drop func(*Task)
+}
+
+// Pop removes and returns the highest-priority live task, discarding any
+// cancelled losers ahead of it.
+func (h Hedged) Pop() *Task {
+	for {
+		t := h.Queue.Pop()
+		if t == nil {
+			return nil
+		}
+		if t.Hedge != nil && t.Hedge.Cancelled(t) {
+			if h.Drop != nil {
+				h.Drop(t)
+			}
+			continue
+		}
+		return t
+	}
+}
+
+// Peek returns the highest-priority live task without removing it,
+// removing (and discarding) any cancelled losers ahead of it.
+func (h Hedged) Peek() *Task {
+	for {
+		t := h.Queue.Peek()
+		if t == nil {
+			return nil
+		}
+		if t.Hedge != nil && t.Hedge.Cancelled(t) {
+			h.Queue.Pop()
+			if h.Drop != nil {
+				h.Drop(t)
+			}
+			continue
+		}
+		return t
+	}
+}

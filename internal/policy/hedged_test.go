@@ -1,0 +1,298 @@
+package policy
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHedgeStateRace(t *testing.T) {
+	p, b := &Task{QueryID: 1}, &Task{QueryID: 1}
+	h := &HedgeState{Primary: p, Backup: b}
+	p.Hedge, b.Hedge = h, h
+
+	if h.Cancelled(p) || h.Cancelled(b) {
+		t.Fatal("copy cancelled before the race resolved")
+	}
+	if !h.Resolve(b) {
+		t.Fatal("first finisher did not win")
+	}
+	if h.Resolve(p) {
+		t.Fatal("second finisher also won")
+	}
+	if !h.Cancelled(p) || h.Cancelled(b) {
+		t.Fatal("cancellation does not match the race outcome")
+	}
+	if h.Other(p) != b || h.Other(b) != p {
+		t.Fatal("Other does not link the siblings")
+	}
+}
+
+func TestHedgeStateNeedsHedge(t *testing.T) {
+	p := &Task{}
+	h := &HedgeState{Primary: p}
+	if !h.NeedsHedge() {
+		t.Fatal("fresh state does not need a hedge")
+	}
+	h.Dispatched = true
+	if h.NeedsHedge() {
+		t.Fatal("dispatched primary still hedges")
+	}
+	h = &HedgeState{Primary: p}
+	h.MarkLost(p)
+	if h.NeedsHedge() {
+		t.Fatal("lost primary still hedges")
+	}
+	h = &HedgeState{Primary: p, Backup: &Task{}}
+	if h.NeedsHedge() {
+		t.Fatal("double hedge allowed")
+	}
+	h = &HedgeState{Primary: p}
+	h.Winner = p
+	if h.NeedsHedge() {
+		t.Fatal("resolved race still hedges")
+	}
+}
+
+func TestHedgeStateSiblingAlive(t *testing.T) {
+	p, b := &Task{}, &Task{}
+	// No backup issued: losing the primary leaves nothing.
+	h := &HedgeState{Primary: p}
+	if h.SiblingAlive(p) {
+		t.Fatal("phantom sibling for unhedged loss")
+	}
+	// Backup alive: losing the primary is survivable.
+	h = &HedgeState{Primary: p, Backup: b}
+	if !h.SiblingAlive(p) || !h.SiblingAlive(b) {
+		t.Fatal("live sibling not seen")
+	}
+	// Both lost, in either order.
+	h.MarkLost(b)
+	if h.SiblingAlive(p) {
+		t.Fatal("dead backup counted as alive")
+	}
+	if !h.SiblingAlive(b) {
+		t.Fatal("losing the backup should lean on the live primary")
+	}
+	h.MarkLost(p)
+	if h.SiblingAlive(b) {
+		t.Fatal("dead primary counted as alive")
+	}
+	// A finished winner keeps the loser's loss survivable.
+	h = &HedgeState{Primary: p, Backup: b, Winner: p}
+	if !h.SiblingAlive(b) {
+		t.Fatal("winner already finished; losing the loser is harmless")
+	}
+}
+
+func TestHedgedSkimsCancelledLosers(t *testing.T) {
+	inner, err := New(EDF)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var dropped []*Task
+	q := Hedged{Queue: inner, Drop: func(t *Task) { dropped = append(dropped, t) }}
+
+	// loser (deadline 1) would pop first, but its sibling already won.
+	loser := &Task{Deadline: 1}
+	winner := &Task{Deadline: 9}
+	h := &HedgeState{Primary: loser, Backup: winner}
+	loser.Hedge, winner.Hedge = h, h
+	h.Resolve(winner)
+
+	live := &Task{Deadline: 5}
+	q.Push(loser)
+	q.Push(live)
+
+	if got := q.Peek(); got != live {
+		t.Fatalf("Peek = %+v, want the live task", got)
+	}
+	if len(dropped) != 1 || dropped[0] != loser {
+		t.Fatalf("dropped = %v, want [loser]", dropped)
+	}
+	if got := q.Pop(); got != live {
+		t.Fatalf("Pop = %+v, want the live task", got)
+	}
+	if q.Pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestHedgedPopSkimsWithoutPeek(t *testing.T) {
+	inner, err := New(FIFO)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	drops := 0
+	q := Hedged{Queue: inner, Drop: func(*Task) { drops++ }}
+
+	mkLoser := func() *Task {
+		l, w := &Task{}, &Task{}
+		h := &HedgeState{Primary: l, Backup: w}
+		l.Hedge, w.Hedge = h, h
+		h.Resolve(w)
+		return l
+	}
+	q.Push(mkLoser())
+	q.Push(mkLoser())
+	live := &Task{}
+	q.Push(live)
+
+	if got := q.Pop(); got != live {
+		t.Fatalf("Pop = %+v, want the live task", got)
+	}
+	if drops != 2 {
+		t.Fatalf("drops = %d, want 2", drops)
+	}
+	if q.Pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+	// Nil Drop must not panic.
+	q.Drop = nil
+	q.Push(mkLoser())
+	if q.Pop() != nil {
+		t.Fatal("lone loser should skim to empty")
+	}
+}
+
+// TestObservedHedgedComposition pins the documented stacking order —
+// Hedged around Observed — and that every silent loser removal flows
+// through the depth callback, so decorator stacking preserves queue-depth
+// accounting.
+func TestObservedHedgedComposition(t *testing.T) {
+	inner, err := New(EDF)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var depths []int
+	var dropped []*Task
+	q := Hedged{
+		Queue: Observed{Queue: inner, OnDepth: func(d int) { depths = append(depths, d) }},
+		Drop:  func(t *Task) { dropped = append(dropped, t) },
+	}
+
+	loser := &Task{Deadline: 1}
+	winner := &Task{Deadline: 9}
+	h := &HedgeState{Primary: loser, Backup: winner}
+	loser.Hedge, winner.Hedge = h, h
+
+	live := &Task{Deadline: 5}
+	q.Push(loser) // depth 1
+	q.Push(live)  // depth 2
+
+	h.Resolve(winner)
+
+	// Peek must skim the loser through Observed.Pop (depth 1) and
+	// surface the live task without removing it.
+	if got := q.Peek(); got != live {
+		t.Fatalf("Peek = %+v, want live task", got)
+	}
+	if got := q.Pop(); got != live { // depth 0
+		t.Fatalf("Pop = %+v, want live task", got)
+	}
+	want := []int{1, 2, 1, 0}
+	if len(depths) != len(want) {
+		t.Fatalf("depths = %v, want %v", depths, want)
+	}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Fatalf("depths = %v, want %v", depths, want)
+		}
+	}
+	if len(dropped) != 1 || dropped[0] != loser {
+		t.Fatalf("dropped = %v, want [loser]", dropped)
+	}
+}
+
+// TestObservedHedgedDequeuedSemantics checks the Task.Dequeued contract
+// across the stacked decorators: the dispatcher stamps Dequeued on the
+// task a Pop surfaces; skimmed losers are never surfaced, so they are
+// never stamped.
+func TestObservedHedgedDequeuedSemantics(t *testing.T) {
+	inner, err := New(FIFO)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var depth int
+	q := Hedged{Queue: Observed{Queue: inner, OnDepth: func(d int) { depth = d }}}
+
+	loser := &Task{}
+	winner := &Task{}
+	h := &HedgeState{Primary: loser, Backup: winner}
+	loser.Hedge, winner.Hedge = h, h
+	live := &Task{}
+	q.Push(loser)
+	q.Push(live)
+	h.Resolve(winner)
+
+	now := 42.0
+	got := q.Pop()
+	if got != live {
+		t.Fatalf("Pop = %+v, want live task", got)
+	}
+	got.Dequeued = now
+	if loser.Dequeued != 0 {
+		t.Fatalf("skimmed loser got a Dequeued stamp: %g", loser.Dequeued)
+	}
+	if live.Dequeued != now {
+		t.Fatalf("surfaced task Dequeued = %g, want %g", live.Dequeued, now)
+	}
+	if depth != 0 {
+		t.Fatalf("final depth = %d, want 0", depth)
+	}
+}
+
+// TestObservedHedgedCompositionRace exercises the stacked decorators
+// from concurrent goroutines behind a lock, the way the live testbed
+// drives its queues; under -race this proves the composition adds no
+// unsynchronized state of its own.
+func TestObservedHedgedCompositionRace(t *testing.T) {
+	inner, err := New(EDF)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var mu sync.Mutex
+	var depth int
+	pool := &TaskPool{}
+	q := Hedged{
+		Queue: Observed{Queue: inner, OnDepth: func(d int) { depth = d }},
+		Drop:  func(t *Task) { pool.Put(t) },
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				mu.Lock()
+				switch i % 3 {
+				case 0:
+					a, b := pool.Get(), pool.Get()
+					a.Deadline = float64((g*500 + i) % 17)
+					b.Deadline = a.Deadline + 1
+					h := &HedgeState{Primary: a, Backup: b}
+					a.Hedge, b.Hedge = h, h
+					q.Push(a)
+					q.Push(b)
+					// Resolve immediately: one of the two becomes a
+					// skimmable loser while still queued.
+					h.Resolve(a)
+				case 1:
+					if tk := q.Pop(); tk != nil {
+						tk.Dequeued = float64(i)
+						pool.Put(tk)
+					}
+				case 2:
+					q.Peek()
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	for q.Pop() != nil {
+	}
+	_ = depth
+	mu.Unlock()
+}

@@ -30,8 +30,11 @@ type Task struct {
 	// Payload carries transport-specific data (e.g. the live testbed's
 	// HTTP request body) opaque to the queue disciplines.
 	Payload any
-	key     float64 // ordering key snapshotted at Push (EDF/SJF)
-	seq     uint64  // assigned by the queue at Push for tie-breaking
+	// Hedge links the task to its duplicate when the dispatcher hedges
+	// it (see HedgeState); nil for unhedged tasks.
+	Hedge *HedgeState
+	key   float64 // ordering key snapshotted at Push (EDF/SJF)
+	seq   uint64  // assigned by the queue at Push for tie-breaking
 }
 
 // TaskPool is a freelist of Tasks for a single-goroutine owner (one

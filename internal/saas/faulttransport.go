@@ -1,0 +1,55 @@
+package saas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tailguard/internal/fault"
+)
+
+// ErrDropped is the cause wrapped into FaultTransport send failures; test
+// with errors.Is.
+var ErrDropped = errors.New("saas: send dropped by fault injection")
+
+// FaultTransport decorates a Transport with the fault engine's transport
+// faults, keyed by the handler's compressed clock: a send inside a drop
+// window fails with ErrDropped (the handler surfaces it as a task error
+// and completes the query without the task's records), and a send inside
+// a delay window sleeps the configured delay before reaching the inner
+// transport. Slowdown/stall/crash windows are server-side faults and are
+// ignored here — inject those on the edge nodes or in the simulator.
+//
+// Drop decisions come from the engine's seeded per-server counter stream,
+// so a testbed run that issues the same per-node send sequence replays
+// the same drops regardless of wall time.
+type FaultTransport struct {
+	// Inner is the wrapped wire transport (required).
+	Inner Transport
+	// Engine supplies the fault windows; nil injects nothing.
+	Engine *fault.Engine
+	// NowMs supplies the handler clock in compressed ms (required).
+	NowMs func() float64
+	// Sleep overrides delay injection in tests; the default sleeps real
+	// wall time via time.Sleep.
+	Sleep func(ms float64)
+}
+
+// Send implements Transport.
+func (t *FaultTransport) Send(node int, req TaskRequest) (*TaskResponse, error) {
+	now := t.NowMs()
+	if t.Engine.DropSend(node, now) {
+		return nil, fmt.Errorf("%w: node %d at %.3f ms", ErrDropped, node, now)
+	}
+	if d := t.Engine.SendDelay(node, now); d > 0 {
+		if t.Sleep != nil {
+			t.Sleep(d)
+		} else {
+			time.Sleep(time.Duration(d * float64(time.Millisecond)))
+		}
+	}
+	return t.Inner.Send(node, req)
+}
+
+// Close implements Transport.
+func (t *FaultTransport) Close() error { return t.Inner.Close() }

@@ -1,0 +1,161 @@
+package saas
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/fault"
+)
+
+// recordTransport is a canned inner transport that records its calls.
+type recordTransport struct {
+	sends  []int
+	closed bool
+}
+
+func (r *recordTransport) Send(node int, req TaskRequest) (*TaskResponse, error) {
+	r.sends = append(r.sends, node)
+	return &TaskResponse{QueryID: req.QueryID, TaskID: req.TaskID, Node: node}, nil
+}
+
+func (r *recordTransport) Close() error {
+	r.closed = true
+	return nil
+}
+
+func TestFaultTransportDrop(t *testing.T) {
+	inner := &recordTransport{}
+	eng := fault.MustEngine(&fault.Plan{Seed: 1, Faults: []fault.Fault{
+		{Kind: fault.TransportDrop, Server: 0, StartMs: 0, EndMs: 100, DropProb: 1},
+	}}, 2)
+	clock := 5.0
+	ft := &FaultTransport{Inner: inner, Engine: eng, NowMs: func() float64 { return clock }}
+
+	if _, err := ft.Send(0, TaskRequest{}); !errors.Is(err, ErrDropped) {
+		t.Fatalf("Send inside drop window: err = %v, want ErrDropped", err)
+	}
+	if len(inner.sends) != 0 {
+		t.Errorf("dropped send reached the inner transport: %v", inner.sends)
+	}
+	// The other node and times outside the window pass through.
+	if _, err := ft.Send(1, TaskRequest{}); err != nil {
+		t.Fatalf("Send to healthy node: %v", err)
+	}
+	clock = 200
+	if _, err := ft.Send(0, TaskRequest{}); err != nil {
+		t.Fatalf("Send after window: %v", err)
+	}
+	if len(inner.sends) != 2 {
+		t.Errorf("inner sends = %v, want [1 0]", inner.sends)
+	}
+	if err := ft.Close(); err != nil || !inner.closed {
+		t.Errorf("Close: err=%v closed=%v", err, inner.closed)
+	}
+}
+
+func TestFaultTransportDelay(t *testing.T) {
+	inner := &recordTransport{}
+	eng := fault.MustEngine(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.TransportDelay, Server: 0, StartMs: 0, EndMs: 100, DelayMs: 7},
+	}}, 1)
+	var slept []float64
+	clock := 5.0
+	ft := &FaultTransport{
+		Inner:  inner,
+		Engine: eng,
+		NowMs:  func() float64 { return clock },
+		Sleep:  func(ms float64) { slept = append(slept, ms) },
+	}
+	if _, err := ft.Send(0, TaskRequest{}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 7 {
+		t.Errorf("slept %v, want [7]", slept)
+	}
+	clock = 150
+	if _, err := ft.Send(0, TaskRequest{}); err != nil {
+		t.Fatalf("Send after window: %v", err)
+	}
+	if len(slept) != 1 {
+		t.Errorf("send outside the window slept: %v", slept)
+	}
+	if len(inner.sends) != 2 {
+		t.Errorf("inner sends = %v, want both delivered", inner.sends)
+	}
+}
+
+func TestFaultTransportNilEngine(t *testing.T) {
+	inner := &recordTransport{}
+	ft := &FaultTransport{Inner: inner, NowMs: func() float64 { return 0 }}
+	if _, err := ft.Send(0, TaskRequest{}); err != nil {
+		t.Fatalf("Send with nil engine: %v", err)
+	}
+	if len(inner.sends) != 1 {
+		t.Errorf("inner sends = %v, want passthrough", inner.sends)
+	}
+}
+
+func TestHandlerFaultEngineMismatchRejected(t *testing.T) {
+	classes, _ := SaSClasses(100)
+	eng := fault.MustEngine(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.TransportDrop, Server: 0, StartMs: 0, EndMs: 10, DropProb: 0.5},
+	}}, 4)
+	if _, err := NewHandler(HandlerConfig{
+		Nodes:   []NodeRef{testEdge(t, 0).Ref()},
+		Spec:    core.FIFO,
+		Classes: classes,
+		Faults:  eng,
+	}); err == nil {
+		t.Error("mismatched fault engine succeeded, want error")
+	}
+}
+
+// TestHandlerDropsSurfaceAsTaskErrors runs a live handler with a
+// certain-drop window on node 1: every task to that node fails with
+// ErrDropped, yet every query still completes (the aggregate just misses
+// the dropped node's records), so Drain terminates.
+func TestHandlerDropsSurfaceAsTaskErrors(t *testing.T) {
+	edges := []*EdgeNode{testEdge(t, 0), testEdge(t, 1)}
+	classes, err := SaSClasses(100)
+	if err != nil {
+		t.Fatalf("SaSClasses: %v", err)
+	}
+	refs := make([]NodeRef, len(edges))
+	for i, e := range edges {
+		refs[i] = e.Ref()
+	}
+	eng := fault.MustEngine(&fault.Plan{Seed: 1, Faults: []fault.Fault{
+		{Kind: fault.TransportDrop, Server: 1, StartMs: 0, EndMs: 1e9, DropProb: 1},
+	}}, len(edges))
+	h, err := NewHandler(HandlerConfig{
+		Nodes:   refs,
+		Spec:    core.FIFO,
+		Classes: classes,
+		Faults:  eng,
+	})
+	if err != nil {
+		t.Fatalf("NewHandler: %v", err)
+	}
+	defer h.Close()
+	const queries = 8
+	for i := 0; i < queries; i++ {
+		if err := h.Submit(validQuery(t, int64(i), []int{0, 1})); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	h.Drain()
+	stats := h.Snapshot()
+	if rec := stats.ByClass[0]; rec == nil || rec.Count() != queries {
+		t.Fatalf("completed = %v, want %d (drops must not wedge queries)", rec, queries)
+	}
+	if len(stats.Errors) != queries {
+		t.Fatalf("got %d task errors, want %d", len(stats.Errors), queries)
+	}
+	for _, err := range stats.Errors {
+		if !errors.Is(err, ErrDropped) || !strings.Contains(err.Error(), "node 1") {
+			t.Errorf("task error = %v, want wrapped ErrDropped on node 1", err)
+		}
+	}
+}

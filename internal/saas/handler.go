@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tailguard/internal/core"
+	"tailguard/internal/fault"
 	"tailguard/internal/metrics"
 	"tailguard/internal/obs"
 	"tailguard/internal/policy"
@@ -107,6 +108,11 @@ type HandlerConfig struct {
 	// the handler's compressed wall clock. The sink must be safe for
 	// concurrent use (e.g. obs.LockedRing).
 	Obs *obs.Tracer
+	// Faults, if non-nil, wraps the transport in a FaultTransport driven
+	// by the handler clock, injecting the plan's transport delay and drop
+	// windows on the wire path. The engine must be compiled for exactly
+	// len(Nodes) servers.
+	Faults *fault.Engine
 }
 
 // ErrRejected is returned by Submit when admission control rejects the
@@ -165,6 +171,10 @@ func NewHandler(cfg HandlerConfig) (*Handler, error) {
 	}
 	if cfg.Estimator == nil && cfg.Spec.Deadline != core.DeadlineNone {
 		return nil, fmt.Errorf("saas: policy %s needs an estimator", cfg.Spec.Name)
+	}
+	if cfg.Faults != nil && cfg.Faults.Servers() != len(cfg.Nodes) {
+		return nil, fmt.Errorf("saas: fault engine compiled for %d servers, handler has %d nodes",
+			cfg.Faults.Servers(), len(cfg.Nodes))
 	}
 	dl, err := core.NewDeadliner(cfg.Spec, cfg.Estimator, cfg.Classes)
 	if err != nil {
@@ -228,6 +238,9 @@ func NewHandler(cfg HandlerConfig) (*Handler, error) {
 		h.transport = newTCPClient(addrs, timeout)
 	default:
 		return nil, fmt.Errorf("saas: unknown transport %q", cfg.Transport)
+	}
+	if cfg.Faults != nil {
+		h.transport = &FaultTransport{Inner: h.transport, Engine: cfg.Faults, NowMs: h.nowMs}
 	}
 	return h, nil
 }

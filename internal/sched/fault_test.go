@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/fault"
+	"tailguard/internal/workload"
+)
+
+// fakeClock is a manually advanced scheduler clock. Sleep advances it, so
+// fault-injected holds are visible in query latency without wall time.
+type fakeClock struct {
+	mu sync.Mutex
+	ms float64
+}
+
+func (c *fakeClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ms
+}
+
+func (c *fakeClock) Advance(ms float64) {
+	c.mu.Lock()
+	c.ms += ms
+	c.mu.Unlock()
+}
+
+// faultScheduler builds a FIFO scheduler on the fake clock with the given
+// engine (FIFO needs no offline seed, keeping the fixture deterministic).
+func faultScheduler(t *testing.T, clock *fakeClock, servers int, eng *fault.Engine) *Scheduler {
+	t.Helper()
+	classes, err := workload.SingleClass(1000)
+	if err != nil {
+		t.Fatalf("SingleClass: %v", err)
+	}
+	s, err := New(Config{
+		Servers: servers,
+		Spec:    core.FIFO,
+		Classes: classes,
+		Faults:  eng,
+		now:     clock.Now,
+		sleep:   clock.Advance,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// clockTask models a task whose execution takes ms on the fake clock.
+func clockTask(clock *fakeClock, server int, ms float64) Task {
+	return Task{Server: server, Run: func(context.Context) error {
+		clock.Advance(ms)
+		return nil
+	}}
+}
+
+func TestFaultEngineServerMismatchRejected(t *testing.T) {
+	classes, _ := workload.SingleClass(1000)
+	eng := fault.MustEngine(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Server: 0, StartMs: 0, EndMs: 10, Factor: 2},
+	}}, 4)
+	if _, err := New(Config{Servers: 2, Spec: core.FIFO, Classes: classes, Faults: eng}); err == nil {
+		t.Error("mismatched fault engine succeeded, want error")
+	}
+}
+
+func TestFaultSlowdownStretchesExecution(t *testing.T) {
+	clock := &fakeClock{}
+	// Server 0 runs at 1/5 speed for the whole test horizon; server 1 is
+	// healthy.
+	eng := fault.MustEngine(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Server: 0, StartMs: 0, EndMs: 1e6, Factor: 5},
+	}}, 2)
+	s := faultScheduler(t, clock, 2, eng)
+
+	lat, err := s.Do(context.Background(), 0, []Task{clockTask(clock, 0, 2)})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	// 2 ms of work at 1/5 speed occupies 10 ms: the engine holds the
+	// server for the 8 ms difference.
+	if lat != 10 {
+		t.Errorf("slowed latency = %v ms, want 10", lat)
+	}
+	lat, err = s.Do(context.Background(), 0, []Task{clockTask(clock, 1, 2)})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if lat != 2 {
+		t.Errorf("healthy-server latency = %v ms, want 2", lat)
+	}
+}
+
+func TestFaultStallHoldsServer(t *testing.T) {
+	clock := &fakeClock{}
+	// A stall from t=1 ms to t=7 ms: work started at t=0 pauses for the
+	// whole window.
+	eng := fault.MustEngine(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Stall, Server: 0, StartMs: 1, EndMs: 7},
+	}}, 1)
+	s := faultScheduler(t, clock, 1, eng)
+	lat, err := s.Do(context.Background(), 0, []Task{clockTask(clock, 0, 2)})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	// 1 ms of work, 6 ms stalled, then the last 1 ms: 8 ms total.
+	if lat != 8 {
+		t.Errorf("stalled latency = %v ms, want 8", lat)
+	}
+}
+
+func TestFaultWindowOutsideRunIsDormant(t *testing.T) {
+	clock := &fakeClock{}
+	eng := fault.MustEngine(&fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Server: 0, StartMs: 1e6, EndMs: 2e6, Factor: 10},
+	}}, 1)
+	s := faultScheduler(t, clock, 1, eng)
+	lat, err := s.Do(context.Background(), 0, []Task{clockTask(clock, 0, 3)})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if lat != 3 {
+		t.Errorf("latency with dormant fault = %v ms, want 3", lat)
+	}
+}

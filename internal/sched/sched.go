@@ -23,6 +23,7 @@ import (
 
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
+	"tailguard/internal/fault"
 	"tailguard/internal/metrics"
 	"tailguard/internal/obs"
 	"tailguard/internal/policy"
@@ -75,8 +76,18 @@ type Config struct {
 	// (tg_sched_* families). Series are registered once in New; the
 	// request path only touches pre-resolved atomics.
 	Metrics *obs.Registry
+	// Faults, if non-nil, injects the plan's slowdown and stall windows
+	// into task execution: after a task's function returns, the server is
+	// held for the extra occupancy the fault engine's stretched service
+	// implies on the scheduler clock. The engine must be compiled for
+	// exactly Servers servers. Transport faults (delay/drop) have no
+	// meaning here — tasks are in-process function calls; see
+	// saas.FaultTransport for the wire-level equivalent.
+	Faults *fault.Engine
 	// now overrides the clock in tests (ms since scheduler start).
 	now func() float64
+	// sleep overrides fault-delay injection in tests (ms).
+	sleep func(ms float64)
 }
 
 // Scheduler dispatches fanned-out queries over per-server TF-EDFQ queues.
@@ -89,8 +100,10 @@ type Scheduler struct {
 	admission *core.AdmissionController
 	obs       *obs.Tracer
 	met       *schedMetrics // nil when Config.Metrics is nil
+	faults    *fault.Engine // nil-safe; injects slowdown/stall occupancy
 	queryID   atomic.Int64  // trace query IDs
 	now       func() float64
+	sleep     func(ms float64)
 
 	mu      sync.Mutex
 	queues  []policy.Queue          // guarded by mu (the slice is fixed; elements need mu)
@@ -197,6 +210,10 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Classes == nil {
 		return nil, fmt.Errorf("sched: class set is required")
 	}
+	if cfg.Faults != nil && cfg.Faults.Servers() != cfg.Servers {
+		return nil, fmt.Errorf("sched: fault engine compiled for %d servers, scheduler has %d",
+			cfg.Faults.Servers(), cfg.Servers)
+	}
 	if cfg.Spec.Name == "" {
 		cfg.Spec = core.TFEDFQ
 	}
@@ -228,7 +245,9 @@ func New(cfg Config) (*Scheduler, error) {
 		classes:   cfg.Classes,
 		estimator: est,
 		deadliner: dl,
+		faults:    cfg.Faults,
 		now:       cfg.now,
+		sleep:     cfg.sleep,
 		queues:    make([]policy.Queue, cfg.Servers),
 		busy:      make([]bool, cfg.Servers),
 		byClass:   metrics.NewBreakdown[int](1024),
@@ -244,6 +263,9 @@ func New(cfg Config) (*Scheduler, error) {
 	if s.now == nil {
 		start := time.Now()
 		s.now = func() float64 { return float64(time.Since(start)) / float64(time.Millisecond) }
+	}
+	if s.sleep == nil {
+		s.sleep = func(ms float64) { time.Sleep(time.Duration(ms * float64(time.Millisecond))) }
 	}
 	if cfg.AdmissionWindowMs > 0 {
 		adm, err := core.NewAdmissionController(cfg.AdmissionWindowMs, cfg.AdmissionThreshold)
@@ -454,6 +476,15 @@ func (s *Scheduler) serveOne(server int, pt *policy.Task) {
 		return
 	}
 	err := q.run(q.ctx)
+	if s.faults != nil {
+		// Fault injection: stretch the observed execution time over the
+		// engine's slowdown/stall windows and hold the server for the
+		// difference, so the injected straggler occupies real capacity
+		// exactly as the simulator's stretched occupancy does.
+		if extra := s.faults.StretchExtra(server, dequeue, s.now()-dequeue); extra > 0 {
+			s.sleep(extra)
+		}
+	}
 	finished := s.now()
 	s.obs.TaskEvent(obs.KindServiceEnd, finished, pt.QueryID, int32(pt.Index), int32(server), int32(pt.Class), finished-dequeue)
 	if s.estimator != nil {

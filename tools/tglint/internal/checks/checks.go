@@ -3,6 +3,7 @@ package checks
 
 import (
 	"tailguard/tools/tglint/internal/checks/errreturn"
+	"tailguard/tools/tglint/internal/checks/faultdet"
 	"tailguard/tools/tglint/internal/checks/floateq"
 	"tailguard/tools/tglint/internal/checks/guardedby"
 	"tailguard/tools/tglint/internal/checks/obsclock"
@@ -16,6 +17,7 @@ import (
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		errreturn.Analyzer,
+		faultdet.Analyzer,
 		floateq.Analyzer,
 		guardedby.Analyzer,
 		obsclock.Analyzer,

@@ -1,0 +1,74 @@
+// Package faultdet keeps the fault-injection engine deterministic. A
+// fault schedule is part of an experiment's identity: identical (plan,
+// seed) pairs must replay bit-identical fault decisions, so
+// internal/fault may consume neither the wall clock (all windows live on
+// the caller's millisecond clock) nor math/rand (drop decisions come from
+// a counter-keyed SplitMix64 stream, which is replayable regardless of
+// goroutine interleaving — a *rand.Rand is not, because its draw order
+// depends on who asks first). The rule is stricter than seededrand: even
+// seeded generators are banned inside the package.
+package faultdet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// faultPkgPath is the package governed by the determinism contract.
+const faultPkgPath = "tailguard/internal/fault"
+
+// clockFuncs are the time-package functions that read the wall clock or
+// arm wall-clock timers. Pure duration arithmetic stays legal.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "faultdet",
+	Doc:  "forbid wall-clock reads and math/rand (seeded or not) inside internal/fault; fault schedules must be pure functions of (plan, seed, sim time)",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	pkg := pass.PkgPath()
+	if pkg != faultPkgPath && !strings.HasPrefix(pkg, faultPkgPath+"/") {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return
+		}
+		switch path := obj.Pkg().Path(); path {
+		case "time":
+			fn, ok := obj.(*types.Func)
+			if !ok || !clockFuncs[fn.Name()] {
+				return
+			}
+			pass.Reportf(sel.Pos(),
+				"wall-clock call time.%s inside %s: fault windows live on the caller's sim/ms clock (DESIGN.md, Fault model)",
+				fn.Name(), pass.PkgPath())
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(sel.Pos(),
+				"%s.%s inside %s: fault randomness must come from the counter-keyed SplitMix64 stream, not a rand source (DESIGN.md, Fault model)",
+				path, obj.Name(), pass.PkgPath())
+		}
+	})
+	return nil
+}

@@ -1,0 +1,16 @@
+package faultdet_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/faultdet"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestFaultdetFiresInsideFault(t *testing.T) {
+	linttest.Run(t, ".", faultdet.Analyzer, "tailguard/internal/fault")
+}
+
+func TestFaultdetSilentOutsideFault(t *testing.T) {
+	linttest.Run(t, ".", faultdet.Analyzer, "tailguard/internal/cluster")
+}

@@ -1,0 +1,9 @@
+package cluster
+
+import "time"
+
+// elapsedMs reads the wall clock outside internal/fault: faultdet stays
+// silent here (other analyzers govern the simulator's clock discipline).
+func elapsedMs(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
+}

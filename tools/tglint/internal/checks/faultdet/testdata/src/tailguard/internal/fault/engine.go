@@ -1,0 +1,42 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badClock stamps a fault decision from the wall clock.
+func badClock() float64 {
+	return float64(time.Now().UnixNano()) // want "wall-clock call time.Now inside tailguard/internal/fault"
+}
+
+// badElapsed measures real elapsed time.
+func badElapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "wall-clock call time.Since inside tailguard/internal/fault"
+}
+
+// badSleep blocks on the wall clock.
+func badSleep() {
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep inside tailguard/internal/fault"
+}
+
+// badRand draws from a rand source — even seeded ones are banned here,
+// because draw order under concurrency is not replayable.
+func badRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // want "math/rand.New inside" "math/rand.NewSource inside"
+	return r.Float64()                  // want "math/rand.Float64 inside"
+}
+
+// okDuration does pure duration arithmetic, which stays legal.
+func okDuration() time.Duration {
+	return 5 * time.Millisecond
+}
+
+// okSplitMix is the sanctioned randomness: a pure function of its inputs.
+func okSplitMix(seed uint64, n uint64) float64 {
+	z := seed + n*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
