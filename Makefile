@@ -4,7 +4,7 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke ci clean
+.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke ci clean
 
 # Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair
 # plus the fast-path micro-benchmarks the harness PR optimizes.
@@ -19,11 +19,25 @@ $(TGLINT): $(shell find tools/tglint -name '*.go' -not -path '*/testdata/*')
 	$(GO) build -o $(TGLINT) ./tools/tglint
 
 # lint runs the tglint analyzer suite twice: standalone over the module
-# (fast, one process) and as a `go vet -vettool` (exercises the unitchecker
-# wire protocol the way CI consumers drive it).
+# (fast, one process, honoring the expiring suppressions in
+# lint-baseline.json) and as a `go vet -vettool` (exercises the
+# unitchecker wire protocol the way CI consumers drive it).
 lint: $(TGLINT)
-	./$(TGLINT) ./...
+	./$(TGLINT) -baseline lint-baseline.json ./...
 	$(GO) vet -vettool=$(TGLINT) ./...
+
+# lint-report regenerates the committed reference report that CI's
+# lint-diff step compares fresh runs against. Refresh it whenever
+# findings are fixed (lintdiff prints a reminder).
+lint-report: $(TGLINT)
+	./$(TGLINT) -json -o lint-report.json ./... || true
+
+# lint-diff emulates the CI gate locally: fail only on findings absent
+# from the committed reference report.
+lint-diff: $(TGLINT)
+	./$(TGLINT) -json -o lint-report.new.json ./... || true
+	$(GO) run ./tools/lintdiff lint-report.json lint-report.new.json
+	rm -f lint-report.new.json
 
 vet:
 	$(GO) vet ./...

@@ -12,9 +12,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"tailguard"
+	"tailguard/internal/saas"
 )
 
 func main() {
@@ -56,7 +58,13 @@ func main() {
 	}
 
 	fmt.Println("\nper-cluster task post-queuing times (paper-scale ms):")
-	for name, c := range res.PerCluster {
+	clusters := make([]saas.ClusterName, 0, len(res.PerCluster))
+	for name := range res.PerCluster {
+		clusters = append(clusters, name)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
+	for _, name := range clusters {
+		c := res.PerCluster[name]
 		fmt.Printf("  %-12s mean=%-5.0f p95=%-5.0f p99=%-5.0f (n=%d)\n",
 			name, c.MeanMs, c.P95Ms, c.P99Ms, c.Samples)
 	}

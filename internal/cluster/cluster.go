@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
@@ -311,6 +312,8 @@ type stateStore struct {
 // claim reserves the state slot for id; ok is false if id is in flight.
 // Claiming may grow the dense slice: callers must not hold a *queryState
 // from an earlier claim across a claim call.
+//
+//tg:hotpath
 func (s *stateStore) claim(id int64) (st *queryState, ok bool) {
 	if id >= 0 && id < int64(len(s.dense))+maxDenseGap {
 		for int64(len(s.dense)) <= id {
@@ -329,7 +332,7 @@ func (s *stateStore) claim(id int64) (st *queryState, ok bool) {
 		return st, true
 	}
 	if s.overflow == nil {
-		s.overflow = make(map[int64]*queryState)
+		s.overflow = make(map[int64]*queryState) //tg:cold lazy init, first sparse ID only
 	}
 	if _, dup := s.overflow[id]; dup {
 		return nil, false
@@ -339,7 +342,7 @@ func (s *stateStore) claim(id int64) (st *queryState, ok bool) {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 	} else {
-		st = new(queryState)
+		st = new(queryState) //tg:cold freelist warm-up, reused ever after
 	}
 	st.active = true
 	s.overflow[id] = st
@@ -347,6 +350,8 @@ func (s *stateStore) claim(id int64) (st *queryState, ok bool) {
 }
 
 // get returns the in-flight state for id, or nil.
+//
+//tg:hotpath
 func (s *stateStore) get(id int64) *queryState {
 	if id >= 0 && id < int64(len(s.dense)) {
 		if st := &s.dense[id]; st.active {
@@ -357,6 +362,8 @@ func (s *stateStore) get(id int64) *queryState {
 }
 
 // release zeroes id's state and returns its slot for reuse.
+//
+//tg:hotpath
 func (s *stateStore) release(id int64) {
 	if id >= 0 && id < int64(len(s.dense)) && s.dense[id].active {
 		s.dense[id] = queryState{}
@@ -376,7 +383,15 @@ func (s *stateStore) reset() {
 			s.dense[i] = queryState{}
 		}
 	}
-	for id, st := range s.overflow {
+	// Drain the overflow in sorted-ID order so the freelist — and with it
+	// the pointer each later claim hands out — is identical run to run.
+	ids := make([]int64, 0, len(s.overflow))
+	for id := range s.overflow {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.overflow[id]
 		delete(s.overflow, id)
 		*st = queryState{}
 		s.free = append(s.free, st)
@@ -421,6 +436,8 @@ func (a *Arena) Release(res *Result) {
 }
 
 // getQueryBox returns a pooled query box for an arrival event payload.
+//
+//tg:hotpath
 func (a *Arena) getQueryBox() *workload.Query {
 	if n := len(a.qboxes); n > 0 {
 		b := a.qboxes[n-1]
@@ -428,10 +445,12 @@ func (a *Arena) getQueryBox() *workload.Query {
 		a.qboxes = a.qboxes[:n-1]
 		return b
 	}
-	return new(workload.Query)
+	return new(workload.Query) //tg:cold pool warm-up, recycled by putQueryBox
 }
 
 // putQueryBox zeroes b and returns it to the pool.
+//
+//tg:hotpath
 func (a *Arena) putQueryBox(b *workload.Query) {
 	*b = workload.Query{}
 	a.qboxes = append(a.qboxes, b)

@@ -119,7 +119,7 @@ func (p *Plan) Validate(servers int) error {
 		return errors.New("fault: nil plan")
 	}
 	if servers <= 0 {
-		return fmt.Errorf("fault: plan validated against %d servers", servers)
+		return fmt.Errorf("fault: plan requires a positive server count, got %d", servers)
 	}
 	type key struct {
 		server   int
@@ -161,7 +161,21 @@ func (p *Plan) Validate(servers int) error {
 			wins[k] = append(wins[k], span{f.StartMs, f.EndMs})
 		}
 	}
-	for k, spans := range wins {
+	// Check the (server, category) groups in sorted order: with several
+	// overlap violations present, which one Validate names must not depend
+	// on map iteration order.
+	keys := make([]key, 0, len(wins))
+	for k := range wins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].server != keys[j].server {
+			return keys[i].server < keys[j].server
+		}
+		return keys[i].category < keys[j].category
+	})
+	for _, k := range keys {
+		spans := wins[k]
 		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
 		for i := 1; i < len(spans); i++ {
 			if spans[i].start < spans[i-1].end {

@@ -51,7 +51,7 @@ func (r Resilience) Validate() error {
 		return fmt.Errorf("fault: negative retry budget %d", r.RetryBudget)
 	}
 	if r.DegradedScale < 0 || r.DegradedScale > 1 {
-		return fmt.Errorf("fault: degraded-admission scale %g outside (0,1]", r.DegradedScale)
+		return fmt.Errorf("fault: degraded-admission scale %g outside (0,1] (leave zero for the default %g)", r.DegradedScale, DefaultDegradedScale)
 	}
 	return nil
 }

@@ -9,7 +9,11 @@ import "sort"
 // the tail latency SLO" (Section IV.B).
 type Breakdown[K comparable] struct {
 	recorders map[K]*LatencyRecorder
-	hint      int
+	// keys remembers first-observation order so traversals (Each, Reset)
+	// are deterministic; map iteration order is randomized per run and K
+	// is only comparable, not sortable.
+	keys []K
+	hint int
 	// free holds recorders released by Reset so Observe can reuse them
 	// (with their sample capacity) instead of allocating per key.
 	free []*LatencyRecorder
@@ -22,6 +26,8 @@ func NewBreakdown[K comparable](capacityHint int) *Breakdown[K] {
 }
 
 // Observe records a sample under the given key.
+//
+//tg:hotpath
 func (b *Breakdown[K]) Observe(key K, v float64) error {
 	r, ok := b.recorders[key]
 	if !ok {
@@ -33,6 +39,7 @@ func (b *Breakdown[K]) Observe(key K, v float64) error {
 			r = NewLatencyRecorder(b.hint)
 		}
 		b.recorders[key] = r
+		b.keys = append(b.keys, key)
 	}
 	return r.Observe(v)
 }
@@ -53,21 +60,25 @@ func (b *Breakdown[K]) Total() int {
 	return n
 }
 
-// Each calls fn for every (key, recorder) pair in unspecified order.
+// Each calls fn for every (key, recorder) pair in first-observation
+// order, which is deterministic for a deterministic workload.
 func (b *Breakdown[K]) Each(fn func(key K, r *LatencyRecorder)) {
-	for k, r := range b.recorders {
-		fn(k, r)
+	for _, k := range b.keys {
+		fn(k, b.recorders[k])
 	}
 }
 
 // Reset discards all keys and samples, keeping the key map's buckets and
-// the recorders (emptied onto a freelist) for reuse.
+// the recorders (emptied onto a freelist in first-observation order) for
+// reuse.
 func (b *Breakdown[K]) Reset() {
-	for k, r := range b.recorders {
+	for _, k := range b.keys {
+		r := b.recorders[k]
 		r.Reset()
 		b.free = append(b.free, r)
 		delete(b.recorders, k)
 	}
+	b.keys = b.keys[:0]
 }
 
 // IntKeys returns the observed keys of an integer-keyed breakdown in

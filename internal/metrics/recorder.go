@@ -36,9 +36,11 @@ func NewLatencyRecorder(capacityHint int) *LatencyRecorder {
 
 // Observe records one latency sample. Negative and NaN samples are
 // rejected: they always indicate a bookkeeping bug upstream.
+//
+//tg:hotpath
 func (r *LatencyRecorder) Observe(v float64) error {
 	if v < 0 || math.IsNaN(v) {
-		return fmt.Errorf("metrics: invalid latency sample %v", v)
+		return fmt.Errorf("metrics: invalid latency sample %v", v) //tg:cold error path, indicates an upstream bug
 	}
 	r.samples = append(r.samples, v)
 	r.sorted = false

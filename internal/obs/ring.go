@@ -26,6 +26,8 @@ func NewRing(capacity int) (*Ring, error) {
 }
 
 // Record implements Sink.
+//
+//tg:hotpath
 func (r *Ring) Record(e Event) {
 	e.Seq = r.next
 	if len(r.buf) < cap(r.buf) {

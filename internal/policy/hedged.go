@@ -100,6 +100,8 @@ type Hedged struct {
 
 // Pop removes and returns the highest-priority live task, discarding any
 // cancelled losers ahead of it.
+//
+//tg:hotpath
 func (h Hedged) Pop() *Task {
 	for {
 		t := h.Queue.Pop()

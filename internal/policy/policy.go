@@ -161,6 +161,9 @@ type fifoQueue struct {
 	seq  uint64
 }
 
+// Push enqueues one task, stamping its FIFO sequence.
+//
+//tg:hotpath
 func (q *fifoQueue) Push(t *Task) {
 	q.seq++
 	t.seq = q.seq
@@ -169,6 +172,8 @@ func (q *fifoQueue) Push(t *Task) {
 
 // push inserts without assigning a sequence (used by priQueue, which
 // owns the cross-class sequence counter).
+//
+//tg:hotpath
 func (q *fifoQueue) push(t *Task) {
 	if q.n == len(q.buf) {
 		q.grow()
@@ -191,6 +196,9 @@ func (q *fifoQueue) grow() {
 	q.head = 0
 }
 
+// Pop dequeues the oldest task, or nil when empty.
+//
+//tg:hotpath
 func (q *fifoQueue) Pop() *Task {
 	if q.n == 0 {
 		return nil
@@ -226,12 +234,18 @@ type lifoQueue struct {
 	seq uint64
 }
 
+// Push stacks one task.
+//
+//tg:hotpath
 func (q *lifoQueue) Push(t *Task) {
 	q.seq++
 	t.seq = q.seq
 	q.buf = append(q.buf, t)
 }
 
+// Pop unstacks the newest task, or nil when empty.
+//
+//tg:hotpath
 func (q *lifoQueue) Pop() *Task {
 	n := len(q.buf)
 	if n == 0 {
@@ -268,13 +282,17 @@ type priQueue struct {
 	seq      uint64
 }
 
+// Push enqueues into the task's class ring, growing the class table on
+// first sight of a new class.
+//
+//tg:hotpath
 func (q *priQueue) Push(t *Task) {
 	c := t.Class
 	if c < 0 {
 		c = 0
 	}
 	for len(q.perClass) <= c {
-		q.perClass = append(q.perClass, &fifoQueue{})
+		q.perClass = append(q.perClass, &fifoQueue{}) //tg:cold once per class, never steady-state
 	}
 	q.seq++
 	t.seq = q.seq
@@ -282,6 +300,9 @@ func (q *priQueue) Push(t *Task) {
 	q.n++
 }
 
+// Pop drains the lowest-numbered non-empty class.
+//
+//tg:hotpath
 func (q *priQueue) Pop() *Task {
 	for _, f := range q.perClass {
 		if f.n > 0 {
@@ -339,6 +360,9 @@ func before(a, b *Task) bool {
 	return a.seq < b.seq
 }
 
+// Push inserts one task by its snapshotted ordering key.
+//
+//tg:hotpath
 func (q *keyQueue) Push(t *Task) {
 	q.seq++
 	t.seq = q.seq
@@ -361,6 +385,9 @@ func (q *keyQueue) Push(t *Task) {
 	}
 }
 
+// Pop removes the minimum-(key, seq) task, or nil when empty.
+//
+//tg:hotpath
 func (q *keyQueue) Pop() *Task {
 	s := q.items
 	if len(s) == 0 {

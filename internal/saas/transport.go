@@ -60,21 +60,36 @@ func newTCPClient(addrs []string, timeout time.Duration) *tcpClient {
 }
 
 // get returns (dialing if needed) the persistent connection for a node.
+// The dial happens with c.mu released: holding it would serialize every
+// node's sends behind one slow handshake — a per-node stall amplified
+// into a transport-wide one, exactly the head-of-line coupling TailGuard
+// exists to avoid. If two callers race to dial the same node, the loser's
+// connection is closed and the winner's kept.
 func (c *tcpClient) get(node int) (*tcpConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if node < 0 || node >= len(c.conns) {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("saas: tcp transport node %d out of range", node)
 	}
-	if c.conns[node] != nil {
-		return c.conns[node], nil
+	if tc := c.conns[node]; tc != nil {
+		c.mu.Unlock()
+		return tc, nil
 	}
+	c.mu.Unlock()
+
 	conn, err := net.DialTimeout("tcp", c.addrs[node], c.timeout)
 	if err != nil {
 		return nil, fmt.Errorf("saas: dialing node %d: %w", node, err)
 	}
 	w := bufio.NewWriter(conn)
 	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(w), dec: gob.NewDecoder(bufio.NewReader(conn)), w: w}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing := c.conns[node]; existing != nil {
+		_ = conn.Close()
+		return existing, nil
+	}
 	c.conns[node] = tc
 	return tc, nil
 }

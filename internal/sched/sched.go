@@ -105,6 +105,11 @@ type Scheduler struct {
 	now       func() float64
 	sleep     func(ms float64)
 
+	// Do and serveLoop emit trace events while holding mu; when the
+	// tracer's sink is a LockedRing, its lock nests strictly inside ours.
+	// Sinks must never call back into the scheduler.
+	//
+	//tg:lockorder Scheduler.mu < tailguard/internal/obs.LockedRing.mu
 	mu      sync.Mutex
 	queues  []policy.Queue          // guarded by mu (the slice is fixed; elements need mu)
 	busy    []bool                  // guarded by mu

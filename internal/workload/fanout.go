@@ -168,11 +168,18 @@ func NewEmpirical(observed []int) (*Weighted, error) {
 		}
 		counts[k]++
 	}
+	// Build the support in ascending fanout order: the CDF NewWeighted
+	// derives from it decides which fanout each uniform draw maps to, so
+	// map-ordered support would make the same seed sample different
+	// fanout sequences run to run.
 	fanouts := make([]int, 0, len(counts))
-	weights := make([]float64, 0, len(counts))
-	for k, c := range counts {
+	for k := range counts {
 		fanouts = append(fanouts, k)
-		weights = append(weights, float64(c))
+	}
+	sort.Ints(fanouts)
+	weights := make([]float64, 0, len(counts))
+	for _, k := range fanouts {
+		weights = append(weights, float64(counts[k]))
 	}
 	return NewWeighted(fanouts, weights)
 }

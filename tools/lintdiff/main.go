@@ -1,0 +1,109 @@
+// Command lintdiff compares two tglint -json reports and fails only on
+// findings that are new in the second one. It is the incremental-adoption
+// gate: CI runs `tglint -json -o lint-report.json`, diffs it against the
+// committed reference report, and blocks the build on regressions while
+// tolerating the (expiring, baselined) backlog.
+//
+//	lintdiff OLD.json NEW.json
+//
+// Findings match by (analyzer, file, message) — never by line or column,
+// so unrelated edits that shift a finding within its file do not read as
+// a new finding. Matching is multiset-aware: two identical findings in
+// NEW against one in OLD is one regression. Exit status: 0 when NEW
+// introduces nothing, 1 when it does (each new finding is printed), 2 on
+// usage or read errors. Fixed findings (present in OLD, gone from NEW)
+// are reported to stderr as a reminder to refresh the reference report.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// finding mirrors the stable JSON shape emitted by tglint -json. The
+// struct is deliberately re-declared here rather than imported: lintdiff
+// consumes the serialized contract, and must notice if it drifts.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// identity is the line-insensitive match key.
+func (f finding) identity() string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// readReport loads one tglint -json report.
+func readReport(path string) ([]finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fs []finding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("%s: not a tglint -json report: %w", path, err)
+	}
+	return fs, nil
+}
+
+// diff returns NEW findings with no OLD counterpart and the count of OLD
+// findings no longer present (fixed).
+func diff(oldFs, newFs []finding) (fresh []finding, fixed int) {
+	budget := make(map[string]int, len(oldFs))
+	for _, f := range oldFs {
+		budget[f.identity()]++
+	}
+	for _, f := range newFs {
+		if budget[f.identity()] > 0 {
+			budget[f.identity()]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, left := range budget {
+		fixed += left
+	}
+	return fresh, fixed
+}
+
+func run(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdiff OLD.json NEW.json")
+		return 2
+	}
+	oldFs, err := readReport(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintdiff: %v\n", err)
+		return 2
+	}
+	newFs, err := readReport(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintdiff: %v\n", err)
+		return 2
+	}
+	fresh, fixed := diff(oldFs, newFs)
+	if fixed > 0 {
+		fmt.Fprintf(os.Stderr, "lintdiff: %d finding(s) fixed since the reference report; consider refreshing it\n", fixed)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintf(os.Stderr, "lintdiff: no new findings (%d total, all in reference)\n", len(newFs))
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "lintdiff: %d new finding(s):\n", len(fresh))
+	for _, f := range fresh {
+		fmt.Fprintf(os.Stderr, "  %s\n", f)
+	}
+	return 1
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}

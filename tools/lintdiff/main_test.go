@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func f(analyzer, file, msg string, line int) finding {
+	return finding{Analyzer: analyzer, File: file, Line: line, Col: 2, Message: msg}
+}
+
+func TestDiffLineInsensitive(t *testing.T) {
+	oldFs := []finding{f("maporder", "a.go", "map order reaches append", 10)}
+	newFs := []finding{f("maporder", "a.go", "map order reaches append", 99)}
+	fresh, fixed := diff(oldFs, newFs)
+	if len(fresh) != 0 || fixed != 0 {
+		t.Fatalf("line-shifted finding counted as new: fresh=%v fixed=%d", fresh, fixed)
+	}
+}
+
+func TestDiffNewAndFixed(t *testing.T) {
+	oldFs := []finding{
+		f("detflow", "a.go", "old finding", 1),
+		f("maporder", "b.go", "kept finding", 2),
+	}
+	newFs := []finding{
+		f("maporder", "b.go", "kept finding", 2),
+		f("lockorder", "c.go", "brand new", 3),
+	}
+	fresh, fixed := diff(oldFs, newFs)
+	if len(fresh) != 1 || fresh[0].Analyzer != "lockorder" {
+		t.Fatalf("fresh = %v, want the lockorder finding", fresh)
+	}
+	if fixed != 1 {
+		t.Fatalf("fixed = %d, want 1 (the detflow finding went away)", fixed)
+	}
+}
+
+func TestDiffMultiset(t *testing.T) {
+	oldFs := []finding{f("hotalloc", "a.go", "make allocates", 1)}
+	newFs := []finding{
+		f("hotalloc", "a.go", "make allocates", 1),
+		f("hotalloc", "a.go", "make allocates", 50),
+	}
+	fresh, _ := diff(oldFs, newFs)
+	if len(fresh) != 1 {
+		t.Fatalf("duplicate beyond the old count must be new; fresh = %v", fresh)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	empty := write("empty.json", "[]\n")
+	one := write("one.json", `[{"analyzer":"detflow","file":"a.go","line":1,"col":1,"message":"m"}]`)
+	bad := write("bad.json", "{not json")
+
+	if got := run([]string{empty, empty}); got != 0 {
+		t.Errorf("clean diff exit = %d, want 0", got)
+	}
+	if got := run([]string{empty, one}); got != 1 {
+		t.Errorf("new finding exit = %d, want 1", got)
+	}
+	if got := run([]string{one, empty}); got != 0 {
+		t.Errorf("only-fixed diff exit = %d, want 0", got)
+	}
+	if got := run([]string{empty, bad}); got != 2 {
+		t.Errorf("bad report exit = %d, want 2", got)
+	}
+	if got := run([]string{empty}); got != 2 {
+		t.Errorf("usage error exit = %d, want 2", got)
+	}
+}

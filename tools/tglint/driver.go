@@ -1,0 +1,28 @@
+package main
+
+// The single analyzer registry both drivers consume. Standalone and
+// vettool modes MUST expose identical analyzer sets — an analyzer that
+// runs in only one mode silently weakens either local `tglint ./...`
+// runs or the CI `go vet -vettool` gate. driver_test.go locks this
+// invariant; add new analyzers in internal/checks.All, never here.
+
+import (
+	"tailguard/tools/tglint/internal/checks"
+	"tailguard/tools/tglint/internal/lint"
+	"tailguard/tools/tglint/internal/report"
+)
+
+// suite is the analyzer set shared by runStandalone and runVetUnit.
+var suite = checks.All()
+
+// factRegistry deserializes facts for every analyzer in the suite.
+var factRegistry = lint.NewFactRegistry(suite)
+
+// suiteRules renders the suite as SARIF rule metadata.
+func suiteRules() []report.Rule {
+	rules := make([]report.Rule, 0, len(suite))
+	for _, a := range suite {
+		rules = append(rules, report.Rule{ID: a.Name, Doc: a.Doc})
+	}
+	return rules
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks"
+)
+
+// TestDriversShareOneRegistry locks the invariant documented in
+// driver.go: the standalone and vettool drivers consume the single
+// shared suite, so an analyzer registered in internal/checks.All runs
+// in both modes or in neither. The suite must also be well-formed —
+// unique names, docs for SARIF rule metadata, sorted so reports and
+// the -sarif rule table are stable across runs.
+func TestDriversShareOneRegistry(t *testing.T) {
+	fromChecks := checks.All()
+	if len(suite) != len(fromChecks) {
+		t.Fatalf("shared suite has %d analyzers, checks.All() has %d; both drivers must consume the same var",
+			len(suite), len(fromChecks))
+	}
+	for i, a := range suite {
+		if a.Name != fromChecks[i].Name {
+			t.Errorf("suite[%d] = %q, checks.All()[%d] = %q", i, a.Name, i, fromChecks[i].Name)
+		}
+	}
+
+	seen := make(map[string]bool)
+	for _, a := range suite {
+		if a.Name == "" {
+			t.Error("analyzer with empty name in suite")
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc; SARIF rules require one", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer name %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if !sort.SliceIsSorted(suite, func(i, j int) bool { return suite[i].Name < suite[j].Name }) {
+		t.Error("suite is not sorted by name; report and rule-table order would drift")
+	}
+
+	for _, name := range []string{"detflow", "lockorder", "hotalloc", "maporder"} {
+		if !seen[name] {
+			t.Errorf("interprocedural analyzer %q missing from suite", name)
+		}
+	}
+}
+
+// TestFactRegistryCoversSuite: every fact type any analyzer declares
+// must deserialize through the shared registry, or the vettool driver
+// silently drops cross-package facts for that analyzer.
+func TestFactRegistryCoversSuite(t *testing.T) {
+	total := 0
+	for _, a := range suite {
+		total += len(a.FactTypes)
+	}
+	if total == 0 {
+		t.Fatal("no analyzer declares fact types; the interprocedural suite requires facts")
+	}
+	if len(factRegistry) == 0 {
+		t.Fatal("factRegistry is empty")
+	}
+	for _, a := range suite {
+		for _, ft := range a.FactTypes {
+			typ := reflect.TypeOf(ft)
+			for typ.Kind() == reflect.Pointer {
+				typ = typ.Elem()
+			}
+			if _, ok := factRegistry[typ.String()]; !ok {
+				t.Errorf("fact type %s of analyzer %q missing from factRegistry", typ, a.Name)
+			}
+		}
+	}
+}
+
+// TestSuiteRulesMirrorSuite: SARIF rule metadata covers every analyzer.
+func TestSuiteRulesMirrorSuite(t *testing.T) {
+	rules := suiteRules()
+	if len(rules) != len(suite) {
+		t.Fatalf("suiteRules() has %d entries, suite has %d", len(rules), len(suite))
+	}
+	for i, r := range rules {
+		if r.ID != suite[i].Name {
+			t.Errorf("rules[%d].ID = %q, want %q", i, r.ID, suite[i].Name)
+		}
+		if r.Doc != suite[i].Doc {
+			t.Errorf("rules[%d].Doc mismatch for %q", i, r.ID)
+		}
+	}
+}

@@ -2,10 +2,14 @@
 package checks
 
 import (
+	"tailguard/tools/tglint/internal/checks/detflow"
 	"tailguard/tools/tglint/internal/checks/errreturn"
 	"tailguard/tools/tglint/internal/checks/faultdet"
 	"tailguard/tools/tglint/internal/checks/floateq"
 	"tailguard/tools/tglint/internal/checks/guardedby"
+	"tailguard/tools/tglint/internal/checks/hotalloc"
+	"tailguard/tools/tglint/internal/checks/lockorder"
+	"tailguard/tools/tglint/internal/checks/maporder"
 	"tailguard/tools/tglint/internal/checks/obsclock"
 	"tailguard/tools/tglint/internal/checks/poolzero"
 	"tailguard/tools/tglint/internal/checks/seededrand"
@@ -13,13 +17,19 @@ import (
 	"tailguard/tools/tglint/internal/lint"
 )
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, in stable order. Both drivers
+// (standalone and vettool) consume exactly this list via the shared
+// `suite` variable in the main package; driver_test.go locks that.
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
+		detflow.Analyzer,
 		errreturn.Analyzer,
 		faultdet.Analyzer,
 		floateq.Analyzer,
 		guardedby.Analyzer,
+		hotalloc.Analyzer,
+		lockorder.Analyzer,
+		maporder.Analyzer,
 		obsclock.Analyzer,
 		poolzero.Analyzer,
 		seededrand.Analyzer,

@@ -1,0 +1,24 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/detflow"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+// TestDetflowCrossPackageFacts analyzes the protected cluster fixture,
+// which consumes nondeterminism exclusively through the unprotected
+// jitter fixture package: every diagnostic there depends on a NondetFact
+// exported by jitter's facts pass and imported across the package
+// boundary.
+func TestDetflowCrossPackageFacts(t *testing.T) {
+	linttest.Run(t, ".", detflow.Analyzer, "tailguard/internal/cluster")
+}
+
+// TestDetflowSilentInUnprotectedPackage runs the fixture that defines
+// the tainted helpers: facts are exported, but no diagnostics fire
+// outside the protected package list.
+func TestDetflowSilentInUnprotectedPackage(t *testing.T) {
+	linttest.Run(t, ".", detflow.Analyzer, "tailguard/internal/jitter")
+}

@@ -1,0 +1,76 @@
+// Package cluster is a PROTECTED package in the detflow fixture: any
+// function whose result derives from a nondeterminism source — directly,
+// through a local chain, or through a NondetFact imported from the
+// ../jitter package — is reported.
+package cluster
+
+import (
+	"sort"
+
+	"tailguard/internal/jitter"
+)
+
+// Budget consumes cross-package taint through jitter.Amount's fact.
+func Budget() float64 {
+	return 10 + jitter.Amount() // want "result of Budget derives from nondeterministic source math/rand\.Float64 \(via tailguard/internal/jitter\.Amount\)"
+}
+
+// Stamp consumes wall-clock taint through jitter.NowMs.
+func Stamp() float64 {
+	return jitter.NowMs() // want "derives from nondeterministic source time\.Now \(via tailguard/internal/jitter\.NowMs\)"
+}
+
+// Mode consumes environment taint.
+func Mode() string {
+	return jitter.Mode() // want "derives from nondeterministic source os\.Getenv \(via tailguard/internal/jitter\.Mode\)"
+}
+
+// Chained consumes taint that crossed two same-package hops in jitter
+// before export; the chain names the exported function, not the helper.
+func Chained() float64 {
+	return jitter.Indirect() // want "derives from nondeterministic source math/rand\.Float64 \(via tailguard/internal/jitter\.Indirect\)"
+}
+
+// Base calls only the deterministic helper: clean.
+func Base() float64 {
+	return jitter.Fixed()
+}
+
+// Keys is the canonical collect-then-sort idiom: the sort sanitizes the
+// map-order taint, so the function is clean and exports no fact.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BadKeys skips the sort: map iteration order reaches the result.
+func BadKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "result of BadKeys derives from nondeterministic source map iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Count accumulates with integer +=, which is commutative and exact:
+// iteration order cannot change the result, so it is clean.
+func Count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Sum accumulates floats, where addition order changes rounding.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "result of Sum derives from nondeterministic source map iteration order"
+		total += v
+	}
+	return total
+}

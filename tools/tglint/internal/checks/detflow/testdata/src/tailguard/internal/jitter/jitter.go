@@ -1,0 +1,47 @@
+// Package jitter is an UNPROTECTED package: detflow exports NondetFacts
+// for its tainted functions but reports no diagnostics here. The facts
+// are consumed by the ../cluster fixture across the package boundary.
+package jitter
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// NowMs reads the wall clock: exports a NondetFact, no diagnostic.
+func NowMs() float64 {
+	return float64(time.Now().UnixNano()) / 1e6
+}
+
+// Amount draws from the global math/rand source.
+func Amount() float64 {
+	return rand.Float64()
+}
+
+// Mode reads the process environment.
+func Mode() string {
+	v := os.Getenv("TG_MODE")
+	return v
+}
+
+// Indirect is tainted through a same-package helper chain, exercising
+// the in-package fixpoint before the fact is exported.
+func Indirect() float64 {
+	return helper()
+}
+
+func helper() float64 {
+	return Amount()
+}
+
+// Fixed is deterministic: no fact, and callers stay clean.
+func Fixed() float64 {
+	return 4
+}
+
+// Seeded draws from a caller-provided generator: seeded draws are
+// deterministic, so no fact.
+func Seeded(r *rand.Rand) float64 {
+	return r.Float64()
+}

@@ -1,0 +1,392 @@
+// Package hotalloc enforces allocation-freedom on annotated hot paths.
+// The simulation inner loop (PR 3) was made allocation-free by hand and
+// is guarded dynamically by testing.AllocsPerRun; hotalloc guards it
+// statically, so a regression is a lint finding at the offending line,
+// not a failed benchmark assertion three layers up.
+//
+// A function opts in with a `//tg:hotpath` line in its doc comment.
+// Inside an annotated function, the analyzer flags the constructs that
+// force heap allocations:
+//
+//   - &T{...} composite literals and new(T) — always heap-escaping when
+//     they outlive the statement; value literals (t = T{}) are fine.
+//   - Slice and map composite literals and every make() — fresh backing
+//     stores on each call.
+//   - append to a slice that is function-local and was not declared with
+//     an explicit capacity (make([]T, n, cap)): growth reallocates in
+//     exactly the steady-state iterations the annotation protects.
+//   - Closures that capture variables — the capture set escapes.
+//   - Interface boxing: passing, assigning, or returning a non-pointer
+//     concrete value where an interface (including any) is expected.
+//   - Variadic calls with arguments — the callee's ...slice is allocated
+//     at the call site (fmt.Errorf on a hot path, canonically).
+//
+// A line ending in `//tg:cold` suppresses findings on that line: it marks
+// a deliberate cold branch (growth path, error path) inside a hot
+// function. Test files are skipped.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap allocations (escaping literals, growing appends, capturing closures, interface boxing, variadic calls) in //tg:hotpath functions",
+	Run:  run,
+}
+
+// Marker is the annotation that opts a function into the check.
+const Marker = "//tg:hotpath"
+
+// coldMarker suppresses findings on its line.
+const coldMarker = "//tg:cold"
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		cold := coldLines(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hotpath(fn) {
+				continue
+			}
+			c := &checker{pass: pass, cold: cold, fn: fn}
+			c.prealloc = c.preallocatedSlices()
+			c.check()
+		}
+	}
+	return nil
+}
+
+// hotpath reports whether the function's doc comment carries the marker.
+func hotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == Marker || strings.HasPrefix(c.Text, Marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// coldLines collects the line numbers carrying a //tg:cold suppression.
+func coldLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if c.Text == coldMarker || strings.HasPrefix(c.Text, coldMarker+" ") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// checker walks one annotated function.
+type checker struct {
+	pass     *lint.Pass
+	cold     map[int]bool
+	fn       *ast.FuncDecl
+	prealloc map[types.Object]bool
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if c.cold[c.pass.Fset.Position(pos).Line] {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// preallocatedSlices finds local slice variables declared with an
+// explicit capacity — appends to them are amortized-free and exempt.
+func (c *checker) preallocatedSlices() map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	markIfCap := func(name *ast.Ident, val ast.Expr) {
+		call, ok := val.(*ast.CallExpr)
+		if !ok || len(call.Args) != 3 {
+			return // only make([]T, len, cap) commits a capacity
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+			return
+		}
+		if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						markIfCap(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					markIfCap(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (c *checker) check() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkClosure(n)
+			return false // its body runs elsewhere; captures are the cost here
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.reportf(n.Pos(), "&%s{...} allocates on the hot path; reuse a pooled or receiver-owned value", typeLabel(c.pass, n.X))
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := c.pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					c.reportf(n.Pos(), "%s literal allocates a fresh backing store on the hot path; hoist it or reuse a buffer", typeLabel(c.pass, n))
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					c.checkBoxing(lhs, n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			c.checkReturnBoxing(n)
+		}
+		return true
+	})
+}
+
+// checkClosure flags function literals that capture enclosing variables.
+func (c *checker) checkClosure(lit *ast.FuncLit) {
+	captured := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function (or a parameter/
+		// receiver of it) but outside the literal.
+		if v.Pos() >= c.fn.Pos() && v.Pos() < c.fn.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured[v.Name()] = true
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return // a non-capturing literal compiles to a static function value
+	}
+	var names []string
+	for n := range captured {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	c.reportf(lit.Pos(), "closure captures %s on the hot path; the capture set escapes to the heap", strings.Join(names, ", "))
+}
+
+// checkCall handles make/new builtins, growing appends, variadic calls,
+// and boxing at argument positions.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				c.reportf(call.Pos(), "make allocates on the hot path; hoist it out of the steady-state loop or reuse a pooled buffer")
+			case "new":
+				c.reportf(call.Pos(), "new allocates on the hot path; reuse a pooled or receiver-owned value")
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // a conversion, not a call
+	}
+	c.checkArgs(call, sig)
+}
+
+// checkAppend flags appends whose target is a local slice without a
+// committed capacity.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return // fields and pooled buffers manage their own growth policy
+	}
+	obj, isVar := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if !isVar || c.prealloc[obj] {
+		return
+	}
+	// Only locals: appends to parameters extend caller-owned storage.
+	if obj.Pos() < c.fn.Body.Pos() || obj.Pos() >= c.fn.Body.End() {
+		return
+	}
+	c.reportf(call.Pos(), "append grows %s without a preallocated capacity on the hot path; declare it with make(len, cap) or reuse a buffer", id.Name)
+}
+
+// checkArgs flags interface boxing at parameter positions and the
+// implicit slice of a variadic call.
+func (c *checker) checkArgs(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	n := params.Len()
+	if sig.Variadic() {
+		if len(call.Args) >= n && call.Ellipsis == token.NoPos {
+			variadic := call.Args[n-1:]
+			if len(variadic) > 0 {
+				c.reportf(call.Pos(), "variadic call allocates its ...%s argument slice on the hot path", elemLabel(params.At(n-1).Type()))
+			}
+			// Boxing inside the variadic slice is subsumed by the slice report.
+			call = &ast.CallExpr{Fun: call.Fun, Args: call.Args[:n-1], Lparen: call.Lparen}
+		}
+		n--
+	}
+	for i, arg := range call.Args {
+		if i >= n {
+			break
+		}
+		c.checkValueBoxing(arg, params.At(i).Type())
+	}
+}
+
+// checkBoxing flags an assignment that boxes a concrete value into an
+// interface-typed destination.
+func (c *checker) checkBoxing(lhs, rhs ast.Expr) {
+	ltv, ok := c.pass.TypesInfo.Types[lhs]
+	if !ok {
+		if id, isID := lhs.(*ast.Ident); isID {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.checkValueBoxing(rhs, obj.Type())
+			}
+		}
+		return
+	}
+	c.checkValueBoxing(rhs, ltv.Type)
+}
+
+// checkReturnBoxing flags returns that box into interface results.
+func (c *checker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	results := c.fn.Type.Results
+	if results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, f := range results.List {
+		tv, ok := c.pass.TypesInfo.Types[f.Type]
+		if !ok {
+			continue
+		}
+		reps := len(f.Names)
+		if reps == 0 {
+			reps = 1
+		}
+		for i := 0; i < reps; i++ {
+			resultTypes = append(resultTypes, tv.Type)
+		}
+	}
+	if len(resultTypes) != len(ret.Results) {
+		return
+	}
+	for i, e := range ret.Results {
+		c.checkValueBoxing(e, resultTypes[i])
+	}
+}
+
+// checkValueBoxing reports when expr's concrete value is stored into an
+// interface destination and the store requires a heap allocation:
+// pointer-shaped values (pointers, channels, maps, funcs, unsafe
+// pointers) ride in the interface word for free, everything else is
+// copied to the heap.
+func (c *checker) checkValueBoxing(expr ast.Expr, dst types.Type) {
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if _, isIface := src.Underlying().(*types.Interface); isIface {
+		return // interface-to-interface conversions copy the word pair
+	}
+	if tv.Value != nil {
+		return // untyped constants box once into read-only storage
+	}
+	if tv.IsNil() {
+		return // nil stores a zero interface word pair, no allocation
+	}
+	if pointerShaped(src) {
+		return
+	}
+	qual := func(p *types.Package) string { return p.Name() }
+	c.reportf(expr.Pos(), "storing %s into %s boxes the value on the hot path; pass a pointer or keep the concrete type",
+		types.TypeString(src, qual), types.TypeString(dst, qual))
+}
+
+// pointerShaped reports whether values of t fit an interface data word
+// without allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// typeLabel renders the type of a composite literal for diagnostics.
+func typeLabel(pass *lint.Pass, e ast.Expr) string {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return types.TypeString(tv.Type, func(p *types.Package) string { return p.Name() })
+	}
+	return "composite"
+}
+
+// elemLabel names a variadic parameter's element type.
+func elemLabel(t types.Type) string {
+	if s, ok := t.Underlying().(*types.Slice); ok {
+		return types.TypeString(s.Elem(), func(p *types.Package) string { return p.Name() })
+	}
+	return t.String()
+}

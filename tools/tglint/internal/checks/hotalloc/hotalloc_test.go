@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/hotalloc"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, ".", hotalloc.Analyzer, "tailguard/internal/hot")
+}

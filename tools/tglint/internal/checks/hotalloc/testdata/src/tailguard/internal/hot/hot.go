@@ -1,0 +1,133 @@
+// Package hot exercises hotalloc: only functions annotated //tg:hotpath
+// are checked, //tg:cold lines inside them are exempt, and each class of
+// forced heap allocation is flagged.
+package hot
+
+import "fmt"
+
+// Task is a plain value type used across the cases.
+type Task struct {
+	ID   int
+	Cost float64
+}
+
+// Sink is an interface target for the boxing cases.
+type Sink interface {
+	Put(v any)
+}
+
+// Unannotated allocates freely: not on the hot path, no findings.
+func Unannotated() *Task {
+	return &Task{ID: 1}
+}
+
+// Escape returns a fresh pointer each call.
+//
+//tg:hotpath
+func Escape(id int) *Task {
+	return &Task{ID: id} // want "&hot\.Task\{\.\.\.\} allocates on the hot path"
+}
+
+// ValueReset writes a zero value through a pointer: no allocation, clean.
+//
+//tg:hotpath
+func ValueReset(t *Task) {
+	*t = Task{}
+}
+
+// FreshSlices builds new backing stores each call.
+//
+//tg:hotpath
+func FreshSlices(n int) int {
+	buf := make([]float64, 0, n) // want "make allocates on the hot path"
+	m := map[int]bool{}          // want "map\[int\]bool literal allocates a fresh backing store"
+	ids := []int{1, 2, 3}        // want "\[\]int literal allocates a fresh backing store"
+	_ = buf
+	_ = m
+	return len(ids)
+}
+
+// ColdGrowth marks its growth path cold: exempt.
+//
+//tg:hotpath
+func ColdGrowth(pool [][]byte, n int) []byte {
+	if len(pool) == 0 {
+		return make([]byte, n) //tg:cold growth path, amortized away
+	}
+	return pool[0]
+}
+
+// GrowingAppend appends to a local slice declared without capacity.
+//
+//tg:hotpath
+func GrowingAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2) // want "append grows out without a preallocated capacity"
+	}
+	return out
+}
+
+// PreallocAppend commits a capacity first: clean. (The make itself is
+// marked cold: it is the one-time setup the loop amortizes.)
+//
+//tg:hotpath
+func PreallocAppend(xs []int) []int {
+	out := make([]int, 0, len(xs)) //tg:cold one-time setup
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// CapturingClosure captures a local: the capture set escapes.
+//
+//tg:hotpath
+func CapturingClosure(xs []int) func() int {
+	total := 0
+	return func() int { // want "closure captures total, xs on the hot path"
+		for _, x := range xs {
+			total += x
+		}
+		return total
+	}
+}
+
+// StaticClosure captures nothing: compiles to a static function, clean.
+//
+//tg:hotpath
+func StaticClosure() func() int {
+	return func() int { return 42 }
+}
+
+// Boxing stores a concrete struct into an interface.
+//
+//tg:hotpath
+func Boxing(s Sink, t Task) {
+	s.Put(t) // want "storing hot\.Task into any boxes the value"
+}
+
+// PointerNoBox passes a pointer: rides the interface word, clean.
+//
+//tg:hotpath
+func PointerNoBox(s Sink, t *Task) {
+	s.Put(t)
+}
+
+// VariadicCall pays for the argument slice of fmt.Errorf.
+//
+//tg:hotpath
+func VariadicCall(id int) error {
+	return fmt.Errorf("task %d failed", id) // want "variadic call allocates its \.\.\.any argument slice"
+}
+
+// NilError returns nil through an interface result: a zero word pair,
+// no allocation, clean.
+//
+//tg:hotpath
+func NilError(v float64) error {
+	if v < 0 {
+		return fmt.Errorf("negative %g", v) //tg:cold error path
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/lockorder"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+// TestLockorderCrossPackage analyzes locka, whose every diagnostic
+// depends on facts imported from lockb: the acquisition-order cycle
+// needs lockb's EdgesFact, and the held-across-blocking-call case needs
+// WaitForSignal's BlockingFact.
+func TestLockorderCrossPackage(t *testing.T) {
+	linttest.Run(t, ".", lockorder.Analyzer, "tailguard/internal/locka")
+}
+
+// TestLockorderCleanProducer analyzes lockb alone: consistent order and
+// a blocking function with no lock held — facts exported, no findings.
+func TestLockorderCleanProducer(t *testing.T) {
+	linttest.Run(t, ".", lockorder.Analyzer, "tailguard/internal/lockb")
+}

@@ -1,0 +1,74 @@
+// Package locka consumes ../lockb's facts and violates both contracts:
+// it acquires lockb's mutexes against the exported order (a cross-package
+// deadlock cycle) and holds its own mutex across blocking operations,
+// including a call that only a BlockingFact reveals as blocking.
+package locka
+
+import (
+	"sync"
+	"time"
+
+	"tailguard/internal/lockb"
+)
+
+// Cache is the local lock for the hold-across-blocking cases.
+type Cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ReverseOrder acquires Index.Mu before Store.Mu — the opposite of the
+// edge lockb exports — completing a cycle across the package boundary.
+func ReverseOrder() {
+	lockb.I.Mu.Lock()
+	lockb.S.Mu.Lock() // want "lock-order cycle: acquiring tailguard/internal/lockb\.Store\.Mu while holding tailguard/internal/lockb\.Index\.Mu"
+	lockb.S.Mu.Unlock()
+	lockb.I.Mu.Unlock()
+}
+
+// BadFactCall holds the cache mutex across a call whose blocking nature
+// arrives via lockb's BlockingFact, not local syntax.
+func (c *Cache) BadFactCall(ch chan int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return lockb.WaitForSignal(ch) // want "Cache\.mu held across blocking call to tailguard/internal/lockb\.WaitForSignal \(channel receive\)"
+}
+
+// BadSend holds the mutex across a direct channel send.
+func (c *Cache) BadSend(ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want "Cache\.mu held across blocking channel send"
+	c.mu.Unlock()
+}
+
+// BadSleep holds the mutex across time.Sleep.
+func (c *Cache) BadSleep() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want "Cache\.mu held across blocking time\.Sleep"
+	c.mu.Unlock()
+}
+
+// GoodSend moves the send outside the critical section: clean.
+func (c *Cache) GoodSend(ch chan int) {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	ch <- v
+}
+
+// SpawnOK starts a goroutine while holding the mutex: the goroutine's
+// send runs outside the caller's critical section, so this is clean.
+func (c *Cache) SpawnOK(ch chan int) {
+	c.mu.Lock()
+	go func() { ch <- 1 }()
+	c.mu.Unlock()
+}
+
+// NestedSameOrder locks lockb's mutexes in the declared order: the
+// observed edge matches the imported one, no cycle, clean.
+func NestedSameOrder() {
+	lockb.S.Mu.Lock()
+	lockb.I.Mu.Lock()
+	lockb.I.Mu.Unlock()
+	lockb.S.Mu.Unlock()
+}

@@ -1,0 +1,44 @@
+// Package lockb is the dependency half of the lockorder fixture: it
+// declares a lock order, observes the matching acquisition edge, and
+// exports a blocking function. Everything here is consistent, so the
+// package itself is clean — its EdgesFact and BlockingFact exports are
+// what ../locka trips over.
+package lockb
+
+import "sync"
+
+// Store is the outer lock of the declared order.
+type Store struct {
+	Mu   sync.Mutex
+	Data map[string]int
+}
+
+// Index is the inner lock of the declared order.
+type Index struct {
+	Mu    sync.Mutex
+	Terms []string
+}
+
+// S and I are the shared instances the fixture packages lock.
+var (
+	S Store
+	I Index
+)
+
+//tg:lockorder Store.Mu < Index.Mu
+
+// AcquireBoth nests the locks in the declared order: this observes the
+// edge Store.Mu -> Index.Mu and exports it, but completes no cycle.
+func AcquireBoth() {
+	S.Mu.Lock()
+	I.Mu.Lock()
+	I.Terms = append(I.Terms, "x")
+	I.Mu.Unlock()
+	S.Mu.Unlock()
+}
+
+// WaitForSignal blocks on a channel receive; lockorder exports a
+// BlockingFact for it, which ../locka imports.
+func WaitForSignal(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,209 @@
+// Package maporder flags map iteration whose order leaks into
+// order-sensitive sinks. Go randomizes map range order per iteration, so
+// any `for k := range m` that appends to a slice, writes to an output
+// stream, sends on a channel, or returns range-derived values produces a
+// different ordering every run — the single most common way determinism
+// regressions enter this codebase (golden tables, CSV exports, metrics
+// snapshots all traverse maps).
+//
+// The canonical fix is collect-then-sort, and the analyzer recognizes it:
+// a slice appended to inside the range is exempt if the function later
+// passes the same expression (compared structurally, so `fs.series` and
+// sorted struct fields match too) to a sort.* or slices.Sort* call, or if
+// the loop ranges over an already-sorted key slice instead. Everything
+// else — direct fmt.Fprintf/Write calls inside the range, channel sends,
+// returning a range variable — is reported at the range statement.
+//
+// detflow covers the interprocedural half of this story (a map-ordered
+// slice *returned* across packages); maporder is the local, always-on
+// half that applies to every package, not just the deterministic core.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tailguard/tools/tglint/internal/lint"
+)
+
+// Analyzer implements the check.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map range loops whose iteration order reaches slices, writers, channels, or return values without a deterministic sort",
+	Run:  run,
+}
+
+// sortFuncs are the sorting entry points recognized as the second half
+// of collect-then-sort.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// writerMethods are stream-output calls whose emission order is the
+// iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	sorted := sortedExprs(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink := orderSink(pass, rng, sorted); sink != "" {
+			pass.Reportf(rng.Pos(),
+				"map iteration order reaches %s; collect the keys, sort them, and iterate the sorted slice (determinism contract)",
+				sink)
+		}
+		return true
+	})
+}
+
+// sortedExprs collects the structural renderings of every expression the
+// function passes to a sorting call — appends into these are exempt.
+func sortedExprs(pass *lint.Pass, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if names := sortFuncs[fn.Pkg().Path()]; names != nil && names[fn.Name()] {
+			out[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	return out
+}
+
+// orderSink scans one map-range body for order-sensitive sinks and names
+// the first one found ("" when the loop is order-safe).
+func orderSink(pass *lint.Pass, rng *ast.RangeStmt, sorted map[string]bool) string {
+	rangeVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	usesRangeVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && rangeVars[pass.TypesInfo.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rng {
+				return true // nested ranges report themselves
+			}
+		case *ast.SendStmt:
+			if usesRangeVar(n.Value) {
+				sink = "a channel send"
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if usesRangeVar(e) {
+					sink = "a return value"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if s := callSink(pass, n, sorted, usesRangeVar); s != "" {
+				sink = s
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// callSink classifies a call inside the range body: an append into an
+// unsorted slice, or a writer-method call carrying a range variable.
+func callSink(pass *lint.Pass, call *ast.CallExpr, sorted map[string]bool, usesRangeVar func(ast.Expr) bool) string {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+			if len(call.Args) < 2 {
+				return ""
+			}
+			carries := false
+			for _, a := range call.Args[1:] {
+				if usesRangeVar(a) {
+					carries = true
+				}
+			}
+			if !carries {
+				return ""
+			}
+			if sorted[types.ExprString(call.Args[0])] {
+				return "" // collect-then-sort: the append target is sorted later
+			}
+			return "append into " + types.ExprString(call.Args[0]) + " (never sorted)"
+		}
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writerMethods[sel.Sel.Name] {
+		return ""
+	}
+	for _, a := range call.Args {
+		if usesRangeVar(a) {
+			return "a " + sel.Sel.Name + " call (stream output)"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"tailguard/tools/tglint/internal/checks/maporder"
+	"tailguard/tools/tglint/internal/lint/linttest"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, ".", maporder.Analyzer, "tailguard/internal/morder")
+}

@@ -1,0 +1,89 @@
+// Package morder exercises maporder: map range loops whose iteration
+// order escapes into order-sensitive sinks are flagged; the
+// collect-then-sort idiom and order-insensitive uses are not.
+package morder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Registry wraps a map behind a struct, for the selector-target case.
+type Registry struct {
+	series map[string]int
+	names  []string
+}
+
+// SortedKeys is the canonical idiom: append then sort. Clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// UnsortedKeys never sorts what it collected.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order reaches append into keys \(never sorted\)"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Snapshot appends into a struct field and sorts that field later —
+// the sorted-target match must compare expressions structurally, not
+// just bare identifiers. Clean.
+func (r *Registry) Snapshot() []string {
+	r.names = r.names[:0]
+	for name := range r.series {
+		r.names = append(r.names, name)
+	}
+	sort.Strings(r.names)
+	return r.names
+}
+
+// Dump streams entries in iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches a Fprintf call \(stream output\)"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Publish sends keys into a channel in iteration order.
+func Publish(m map[string]int, ch chan string) {
+	for k := range m { // want "map iteration order reaches a channel send"
+		ch <- k
+	}
+}
+
+// FirstError returns out of the loop carrying the key.
+func FirstError(m map[string]int) error {
+	for k, v := range m { // want "map iteration order reaches a return value"
+		if v < 0 {
+			return fmt.Errorf("negative count for %s", k)
+		}
+	}
+	return nil
+}
+
+// Total accumulates without ordering: nothing order-sensitive, clean.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map: key-addressed, order-free. Clean.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package lint
+
+// Facts are tglint's interprocedural layer, mirroring the shape of
+// golang.org/x/tools' analysis.Fact: an analyzer attaches a serializable
+// fact to a package-level object (or to a package as a whole) while
+// analyzing the package that declares it, and analyzers of downstream
+// packages read those facts back. Two transports exist:
+//
+//   - the standalone driver and the golden-test harness share one
+//     in-process FactStore across a Session, analyzing module
+//     dependencies facts-first;
+//   - the `go vet -vettool` driver serializes the store into the .vetx
+//     file cmd/go caches per package and reloads the .vetx files of the
+//     unit's imports (PackageVetx), so facts survive process boundaries.
+//
+// Facts are keyed by (normalized package path, object key, fact type),
+// never by go/types object identity, so the two transports and repeated
+// type-checks of the same source agree on what a fact is attached to.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a serializable datum an analyzer exports for a package-level
+// object or a package. Implementations must be pointers to JSON-encodable
+// structs and are registered via Analyzer.FactTypes.
+type Fact interface {
+	// AFact marks the type as a fact; it has no behavior.
+	AFact()
+}
+
+// factKey identifies one stored fact. obj is "" for package facts.
+type factKey struct {
+	pkg  string // normalized import path of the declaring package
+	obj  string // ObjectKey of the declaring object, or "" for the package
+	fact string // reflect type string of the fact, e.g. "detflow.NondetFact"
+}
+
+// FactStore holds facts across an analysis session or vet unit.
+// Drivers are single-threaded; the store is not safe for concurrent use.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+// factName names a fact's concrete type for keys and serialization.
+func factName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.String()
+}
+
+// ObjectKey renders a package-level object as a stable string: "F" for
+// functions, vars, types, and consts; "T.M" for methods (pointer and
+// value receivers collapse to the same key).
+func ObjectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				return n.Obj().Name() + "." + fn.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+// objectPkgPath returns the normalized package path of obj, or "" when
+// obj has no package (builtins).
+func objectPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return NormalizePkgPath(obj.Pkg().Path())
+}
+
+// set stores a fact, replacing any previous fact of the same type on the
+// same target.
+func (s *FactStore) set(pkg, obj string, f Fact) {
+	s.m[factKey{pkg, obj, factName(f)}] = f
+}
+
+// get copies the stored fact for (pkg, obj, type of target) into target,
+// which must be a pointer to a fact struct. It reports whether a fact was
+// found.
+func (s *FactStore) get(pkg, obj string, target Fact) bool {
+	stored, ok := s.m[factKey{pkg, obj, factName(target)}]
+	if !ok {
+		return false
+	}
+	dst := reflect.ValueOf(target)
+	src := reflect.ValueOf(stored)
+	if dst.Kind() != reflect.Pointer || src.Kind() != reflect.Pointer {
+		return false
+	}
+	dst.Elem().Set(src.Elem())
+	return true
+}
+
+// factEntry is the serialized form of one fact.
+type factEntry struct {
+	Pkg  string          `json:"pkg"`
+	Obj  string          `json:"obj,omitempty"`
+	Fact string          `json:"fact"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Encode serializes every fact in the store (imported facts included, so
+// a package's .vetx re-exports its dependencies' facts and transitive
+// imports need not be walked by the consumer). Output is deterministic.
+func (s *FactStore) Encode() ([]byte, error) {
+	keys := make([]factKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.pkg != b.pkg {
+			return a.pkg < b.pkg
+		}
+		if a.obj != b.obj {
+			return a.obj < b.obj
+		}
+		return a.fact < b.fact
+	})
+	entries := make([]factEntry, 0, len(keys))
+	for _, k := range keys {
+		data, err := json.Marshal(s.m[k])
+		if err != nil {
+			return nil, fmt.Errorf("lint: encoding fact %s on %s.%s: %w", k.fact, k.pkg, k.obj, err)
+		}
+		entries = append(entries, factEntry{Pkg: k.pkg, Obj: k.obj, Fact: k.fact, Data: data})
+	}
+	return json.Marshal(entries)
+}
+
+// FactRegistry maps serialized fact type names to prototypes, built from
+// the analyzer suite's FactTypes declarations.
+type FactRegistry map[string]reflect.Type
+
+// NewFactRegistry collects the fact types declared by analyzers.
+func NewFactRegistry(analyzers []*Analyzer) FactRegistry {
+	reg := make(FactRegistry)
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			for t.Kind() == reflect.Pointer {
+				t = t.Elem()
+			}
+			reg[t.String()] = t
+		}
+	}
+	return reg
+}
+
+// Decode merges serialized facts into the store. Facts of types absent
+// from the registry are skipped (an older tool version may have written
+// them); malformed data is an error. Empty input is a valid empty set.
+func (s *FactStore) Decode(data []byte, reg FactRegistry) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var entries []factEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("lint: decoding facts: %w", err)
+	}
+	for _, e := range entries {
+		t, ok := reg[e.Fact]
+		if !ok {
+			continue
+		}
+		f, ok := reflect.New(t).Interface().(Fact)
+		if !ok {
+			continue
+		}
+		if err := json.Unmarshal(e.Data, f); err != nil {
+			return fmt.Errorf("lint: decoding fact %s on %s.%s: %w", e.Fact, e.Pkg, e.Obj, err)
+		}
+		s.m[factKey{e.Pkg, e.Obj, e.Fact}] = f
+	}
+	return nil
+}
+
+// ExportObjectFact attaches a fact to obj, a package-level object of the
+// pass's package.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	pkg := objectPkgPath(obj)
+	if pkg == "" {
+		return
+	}
+	p.facts.set(pkg, ObjectKey(obj), f)
+}
+
+// ImportObjectFact copies the fact of target's type attached to obj into
+// target and reports whether one exists. Same-session facts exported by
+// earlier passes (dependencies first) are visible.
+func (p *Pass) ImportObjectFact(obj types.Object, target Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	pkg := objectPkgPath(obj)
+	if pkg == "" {
+		return false
+	}
+	return p.facts.get(pkg, ObjectKey(obj), target)
+}
+
+// ExportPackageFact attaches a fact to the pass's package.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.set(p.PkgPath(), "", f)
+}
+
+// ImportPackageFact copies the package fact of target's type attached to
+// pkgPath into target and reports whether one exists.
+func (p *Pass) ImportPackageFact(pkgPath string, target Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.get(NormalizePkgPath(pkgPath), "", target)
+}

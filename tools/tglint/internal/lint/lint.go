@@ -27,6 +27,9 @@ type Analyzer struct {
 	Doc string
 	// Run executes the check against one package.
 	Run func(*Pass) error
+	// FactTypes lists prototypes of every fact type the analyzer exports
+	// or imports; required for the vet driver to deserialize them.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -44,6 +47,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts *FactStore // nil when the driver provides no fact transport
 	diags *[]Diagnostic
 }
 
@@ -92,8 +96,10 @@ func (p *Pass) Preorder(f func(ast.Node)) {
 }
 
 // Run executes the analyzers against one package and returns their
-// diagnostics sorted by position.
-func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// diagnostics sorted by position. facts, when non-nil, is the session's
+// fact store: analyzers read facts exported by previously analyzed
+// dependencies from it and add this package's facts to it.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -102,6 +108,7 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

@@ -72,31 +72,35 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expecta
 }
 
 // Run loads the package at importPath from dir/testdata/src and checks
-// the analyzer's diagnostics against the `// want` expectations.
+// the analyzer's diagnostics against the `// want` expectations. The
+// analysis is fact-aware: packages the fixture imports from the same
+// testdata tree get a facts-only pass first (in dependency order), so a
+// multi-package fixture exercises Fact export/import exactly like the
+// real drivers.
 func Run(t *testing.T, dir string, a *lint.Analyzer, importPath string) {
 	t.Helper()
 	srcRoot := filepath.Join(dir, "testdata", "src")
-	loader := lint.NewLoader(lint.GopathResolver(srcRoot), "")
-	units, err := loader.LoadForAnalysis(importPath, true)
+	resolve := lint.GopathResolver(srcRoot)
+	loader := lint.NewLoader(resolve, "")
+	inScope := func(p string) bool { return resolve(p) != "" }
+	session := lint.NewSession(loader, []*lint.Analyzer{a}, inScope)
+	diags, units, err := session.Analyze(importPath)
 	if err != nil {
 		t.Fatalf("loading %s: %v", importPath, err)
 	}
+	var wants []*expectation
 	for _, unit := range units {
-		diags, err := lint.Run([]*lint.Analyzer{a}, loader.Fset, unit.Files, unit.Pkg, unit.Info)
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, unit.Path, err)
+		wants = append(wants, parseWants(t, loader.Fset, unit.Files)...)
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
 		}
-		wants := parseWants(t, loader.Fset, unit.Files)
-		for _, d := range diags {
-			pos := loader.Fset.Position(d.Pos)
-			if !claim(wants, pos, d.Message) {
-				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
-			}
-		}
-		for _, w := range wants {
-			if !w.matched {
-				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
-			}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
 		}
 	}
 }

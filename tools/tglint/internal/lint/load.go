@@ -38,8 +38,12 @@ type Loader struct {
 	// version accepted by the type checker.
 	GoVersion string
 
-	std  types.ImporterFrom
-	pkgs map[string]*types.Package
+	std types.ImporterFrom
+	// pkgs caches the canonical library-only unit per import path. Exactly
+	// one *types.Package instance may ever exist per path within a loader:
+	// the type checker compares Named types by identity, so a second check
+	// of the same source produces types incompatible with the first.
+	pkgs map[string]*Unit
 }
 
 // NewLoader returns a loader resolving imports through resolve.
@@ -50,7 +54,7 @@ func NewLoader(resolve func(string) string, goVersion string) *Loader {
 		Resolve:   resolve,
 		GoVersion: goVersion,
 		std:       importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:      make(map[string]*types.Package),
+		pkgs:      make(map[string]*Unit),
 	}
 }
 
@@ -120,14 +124,28 @@ func (l *Loader) parseDir(dir string) (lib, test, xtest []*ast.File, err error) 
 }
 
 // importPkg type-checks the compiled (non-test) variant of path for use
-// as an import, caching the result.
+// as an import, caching the resulting unit.
 func (l *Loader) importPkg(path string) (*types.Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
+	unit, err := l.libUnit(path)
+	if err != nil {
+		return nil, err
+	}
+	if unit == nil {
+		return l.std.Import(path)
+	}
+	return unit.Pkg, nil
+}
+
+// libUnit returns the canonical library-only unit for path (nil when the
+// resolver does not provide it, i.e. the standard library), checking it
+// on first use.
+func (l *Loader) libUnit(path string) (*Unit, error) {
+	if unit, ok := l.pkgs[path]; ok {
+		return unit, nil
 	}
 	dir := l.Resolve(path)
 	if dir == "" {
-		return l.std.Import(path)
+		return nil, nil
 	}
 	lib, _, _, err := l.parseDir(dir)
 	if err != nil {
@@ -136,12 +154,13 @@ func (l *Loader) importPkg(path string) (*types.Package, error) {
 	if len(lib) == 0 {
 		return nil, fmt.Errorf("no buildable Go files for %q in %s", path, dir)
 	}
-	pkg, _, err := l.check(path, lib, nil)
+	pkg, info, err := l.check(path, lib, nil)
 	if err != nil {
 		return nil, err
 	}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	unit := &Unit{Path: path, Files: lib, Pkg: pkg, Info: info}
+	l.pkgs[path] = unit
+	return unit, nil
 }
 
 // importerFunc adapts a function to types.Importer.
@@ -199,18 +218,28 @@ func (l *Loader) LoadForAnalysis(path string, includeTests bool) ([]*Unit, error
 		test, xtest = nil, nil
 	}
 	var units []*Unit
-	primary := append(append([]*ast.File(nil), lib...), test...)
 	var primaryPkg *types.Package
-	if len(primary) > 0 {
+	if len(test) == 0 && len(lib) > 0 {
+		// No in-package tests: the primary unit IS the canonical library
+		// unit — reuse it (and make it canonical if not yet imported) so
+		// dependents see the same *types.Package instance.
+		unit, err := l.libUnit(path)
+		if err != nil {
+			return nil, err
+		}
+		primaryPkg = unit.Pkg
+		units = append(units, unit)
+	} else if len(lib)+len(test) > 0 {
+		// The test-inclusive variant is checked fresh and never cached: it
+		// must not leak into the import graph, where the library variant is
+		// canonical.
+		primary := append(append([]*ast.File(nil), lib...), test...)
 		pkg, info, err := l.check(path, primary, nil)
 		if err != nil {
 			return nil, err
 		}
 		primaryPkg = pkg
 		units = append(units, &Unit{Path: path, Files: primary, Pkg: pkg, Info: info})
-		if len(test) == 0 {
-			l.pkgs[path] = pkg // pure lib build is reusable for imports
-		}
 	}
 	if len(xtest) > 0 {
 		override := func(p string) (*types.Package, bool) {

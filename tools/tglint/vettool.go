@@ -4,9 +4,13 @@ package main
 // (see vetConfig in cmd/go/internal/work/exec.go) and invokes the tool
 // with its path. The tool type-checks the unit against the export data
 // cmd/go already built for its imports, runs the analyzers, prints
-// findings to stderr as file:line:col: messages, and writes the
-// (for tglint: empty — no cross-package facts) .vetx output file that
-// cmd/go caches. This mirrors x/tools' unitchecker, which cannot be
+// findings to stderr as file:line:col: messages, and writes the .vetx
+// output file that cmd/go caches. Facts ride the .vetx files: the facts
+// of this unit's imports arrive via PackageVetx, the unit's own facts
+// (plus re-exported imported facts, so transitivity needs no graph walk
+// here) leave via VetxOutput. Dependency-only units (VetxOnly) of this
+// module are analyzed for their facts; diagnostics print only for the
+// requested packages. This mirrors x/tools' unitchecker, which cannot be
 // vendored here (offline build).
 
 import (
@@ -20,8 +24,9 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
-	"tailguard/tools/tglint/internal/checks"
 	"tailguard/tools/tglint/internal/lint"
 )
 
@@ -65,14 +70,50 @@ func selfHash() (string, error) {
 	return fmt.Sprintf("%x", h.Sum(nil)[:16]), nil
 }
 
-// writeVetx writes the facts output cmd/go expects. tglint's analyzers
-// are package-local, so the facts file is always empty; writing it keeps
-// cmd/go's vet result caching working.
-func writeVetx(cfg *vetConfig) error {
+// writeVetx serializes the fact store into the output file cmd/go
+// caches and hands to dependent units via their PackageVetx maps.
+func writeVetx(cfg *vetConfig, facts *lint.FactStore) error {
 	if cfg.VetxOutput == "" {
 		return nil
 	}
-	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	data, err := facts.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+// loadImportFacts merges the .vetx fact files of the unit's imports into
+// a fresh store. Missing files are tolerated (stdlib units produce empty
+// fact sets); malformed ones are errors.
+func loadImportFacts(cfg *vetConfig) (*lint.FactStore, error) {
+	facts := lint.NewFactStore()
+	pkgs := make([]string, 0, len(cfg.PackageVetx))
+	for pkg := range cfg.PackageVetx {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs) // deterministic merge (and error) order
+	for _, pkg := range pkgs {
+		data, err := os.ReadFile(cfg.PackageVetx[pkg])
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("reading facts of %s: %w", pkg, err)
+		}
+		if err := facts.Decode(data, factRegistry); err != nil {
+			return nil, fmt.Errorf("facts of %s: %w", pkg, err)
+		}
+	}
+	return facts, nil
+}
+
+// factProducingUnit reports whether the unit can contribute facts: only
+// this module's packages export them, so standard-library dependency
+// units skip parsing and type-checking entirely.
+func factProducingUnit(cfg *vetConfig) bool {
+	return !cfg.Standard[cfg.ImportPath] &&
+		strings.HasPrefix(lint.NormalizePkgPath(cfg.ImportPath), "tailguard")
 }
 
 // runVetUnit processes one vet.cfg and returns the process exit code.
@@ -87,12 +128,18 @@ func runVetUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "tglint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	if err := writeVetx(cfg); err != nil {
+	facts, err := loadImportFacts(cfg)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
 		return 2
 	}
-	if cfg.VetxOnly {
-		// Dependency pass: cmd/go only wants facts, and we have none.
+	if cfg.VetxOnly && !factProducingUnit(cfg) {
+		// Dependency pass outside the module: nothing to analyze, no facts
+		// beyond the (re-exported) imported ones.
+		if err := writeVetx(cfg, facts); err != nil {
+			fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
+			return 2
+		}
 		return 0
 	}
 
@@ -102,7 +149,7 @@ func runVetUnit(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return exitWritingVetx(cfg, facts, 0)
 			}
 			fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
 			return 2
@@ -132,24 +179,41 @@ func runVetUnit(cfgPath string) int {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return exitWritingVetx(cfg, facts, 0)
 		}
 		fmt.Fprintf(os.Stderr, "tglint: typechecking %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
 
-	diags, err := lint.Run(checks.All(), fset, files, pkg, info)
+	diags, err := lint.Run(suite, fset, files, pkg, info, facts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
 		return 2
 	}
+	if cfg.VetxOnly {
+		// Facts pass for a dependency of the requested packages: the facts
+		// file is the product; diagnostics belong to the unit that owns
+		// them and will print when (if) it is requested itself.
+		return exitWritingVetx(cfg, facts, 0)
+	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
+	exit := 0
 	if len(diags) > 0 {
-		return 1
+		exit = 1
 	}
-	return 0
+	return exitWritingVetx(cfg, facts, exit)
+}
+
+// exitWritingVetx writes the facts output and returns exit, upgrading it
+// to an operational error if the write fails.
+func exitWritingVetx(cfg *vetConfig, facts *lint.FactStore, exit int) int {
+	if err := writeVetx(cfg, facts); err != nil {
+		fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
+		return 2
+	}
+	return exit
 }
 
 // importerFunc adapts a function to types.Importer.
