@@ -4,11 +4,11 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke ci clean
+.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke shard-smoke ci clean
 
-# Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair
-# plus the fast-path micro-benchmarks the harness PR optimizes.
-BENCH_PATTERN := SweepFig4|SimulatorThroughput|SchedulerDo|OnlineCDFAdd|DeadlineEstimation
+# Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair,
+# the sharded-core throughput pair, and the fast-path micro-benchmarks.
+BENCH_PATTERN := SweepFig4|SimulatorThroughput|ShardedClusterThroughput|SchedulerDo|OnlineCDFAdd|DeadlineEstimation
 
 all: build
 
@@ -54,16 +54,19 @@ race:
 
 # bench runs the harness benchmarks at full benchtime and writes
 # BENCH_harness.json (ns/op, allocs/op, custom metrics, and the derived
-# fig4_sweep_speedup ratio).
+# speedup ratios). Each parallel benchmark reports the GOMAXPROCS it
+# actually ran at; benchjson withholds any speedup measured at
+# GOMAXPROCS=1 and records a note instead.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench.txt
 	$(GO) run ./tools/benchjson -o BENCH_harness.json bench.txt
 
-# bench-smoke is the CI-sized variant: one iteration per benchmark, just
-# enough to prove the harness runs and to publish a BENCH_harness.json
-# artifact from every commit.
+# bench-smoke is the CI-sized variant: one iteration per benchmark at
+# -short scale (the sharded throughput pair shrinks to 1000 servers /
+# 200k queries), just enough to prove the harness runs and to publish a
+# BENCH_harness.json artifact from every commit.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . | tee bench.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -short -benchtime 1x -benchmem . | tee bench.txt
 	$(GO) run ./tools/benchjson -o BENCH_harness.json bench.txt
 
 # bench-compare diffs a fresh smoke run against the committed
@@ -71,7 +74,7 @@ bench-smoke:
 # report, never a gate: the diff always exits 0 when both files parse.
 bench-compare:
 	git show HEAD:BENCH_harness.json > bench_baseline.json
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . | tee bench.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -short -benchtime 1x -benchmem . | tee bench.txt
 	$(GO) run ./tools/benchjson -o bench_fresh.json bench.txt
 	$(GO) run ./tools/benchcompare bench_baseline.json bench_fresh.json
 
@@ -103,7 +106,14 @@ fault-smoke:
 	done
 	rm -rf fault-smoke-out
 
-ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke
+# shard-smoke proves the sharded parallel core end to end: a small
+# shardscale run through cmd/tgsim that executes the stock scenario
+# sequentially and at 2/4/8 shards and fails on any bit-level divergence
+# (experiment.ShardScale gates every sharded run on Result.Equal).
+shard-smoke:
+	$(GO) run ./cmd/tgsim -exp shardscale -shard-servers 128 -queries 6000
+
+ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke shard-smoke
 
 clean:
 	rm -rf bin

@@ -9,6 +9,7 @@ package tailguard
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -477,4 +478,41 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		tasks += int(float64(res.Completed) * fan.MeanTasks())
 	}
 	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkShardedClusterThroughput is the stock sharded-core benchmark:
+// the 10k-server, 10M-query scenario (experiment.ShardScaleScenario) run
+// once on the sequential engine (shards=1) and once sharded (shards=4),
+// each reporting simulated tasks per wall-clock second plus the
+// gomaxprocs and shards it ran at. tools/benchjson derives the
+// speedup-vs-1-shard ratio from the pair — and refuses to publish it as
+// a speedup when gomaxprocs is 1, where parallel scaling is impossible
+// by construction. Under -short (CI's bench-smoke) the scenario shrinks
+// to 1000 servers / 200k queries.
+func BenchmarkShardedClusterThroughput(b *testing.B) {
+	servers, queries, warmup := 10000, 10_000_000, 100_000
+	if testing.Short() {
+		servers, queries, warmup = 1000, 200_000, 2000
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var tasks float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fid := experiment.Fidelity{Queries: queries, Warmup: warmup, MinSamples: 1, LoadTol: 0.02, Seed: int64(i + 1)}
+				s, err := experiment.ShardScaleScenario(fid, servers, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				tasks += float64(res.Completed) * s.Fanout.MeanTasks()
+			}
+			b.ReportMetric(tasks/b.Elapsed().Seconds(), "tasks/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(shards), "shards")
+		})
+	}
 }

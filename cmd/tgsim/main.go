@@ -7,8 +7,14 @@
 //	tgsim -exp all -fidelity quick    # everything, CI-sized
 //
 // Experiments: fig3, table2, fig4, table3, fig5, fig6, fig7, nscale,
-// request, ablation, all. Output is an aligned plain-text table per
-// experiment (the same rows/series the paper plots).
+// request, ablation, shardscale, all. Output is an aligned plain-text
+// table per experiment (the same rows/series the paper plots).
+//
+// `-exp shardscale` compares the sequential engine against the sharded
+// parallel core (`-shards` picks the shard counts, `-shard-servers` the
+// cluster size, default 10000); every sharded run is gated on
+// bit-identity with the sequential result and any divergence is a fatal
+// error, so the experiment doubles as the `make shard-smoke` check.
 //
 // Sweeps run on a worker pool sized by -parallel (default: all cores);
 // results are bit-identical at every setting, including -parallel 1.
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,6 +55,8 @@ func run(args []string) error {
 	faultOut := fs.String("fault-out", "", "with -faults: write the rendered tables into this directory, named with the plan hash and seed")
 	faultLoad := fs.Float64("fault-load", 0.30, "with -faults: offered load for the fault sweep")
 	par := fs.Int("parallel", 0, "worker pool size for experiment sweeps (0 = all cores, 1 = sequential); results are identical at any value")
+	shards := fs.String("shards", "2,4,8", "with -exp shardscale: comma-separated shard counts to compare against the sequential engine")
+	shardServers := fs.Int("shard-servers", 0, "with -exp shardscale: cluster size (0 = the stock 10000-server scenario)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +123,17 @@ func run(args []string) error {
 		"surge": func() ([]*experiment.Table, error) {
 			return one(experiment.ExtSurge(fid, 0.40, 0.5))
 		},
+		"shardscale": func() ([]*experiment.Table, error) {
+			counts, err := parseShardCounts(*shards)
+			if err != nil {
+				return nil, err
+			}
+			// The experiment package is virtual-time; the wall clock for
+			// the wall_s/speedup columns is injected from here.
+			start := time.Now()
+			wall := func() float64 { return time.Since(start).Seconds() }
+			return one(experiment.ShardScale(fid, *shardServers, counts, wall))
+		},
 		"ablation": func() ([]*experiment.Table, error) {
 			var tables []*experiment.Table
 			q, err := experiment.AblationQueues(fid, 0.30)
@@ -139,7 +159,7 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig3", "table2", "fig4", "table3", "fig5", "fig6", "fig7", "nscale", "request", "failure", "surge", "ablation"}
+	order := []string{"fig3", "table2", "fig4", "table3", "fig5", "fig6", "fig7", "nscale", "request", "failure", "surge", "ablation", "shardscale"}
 	var selected []string
 	if *exp == "all" {
 		selected = order
@@ -190,4 +210,24 @@ func one(t *experiment.Table, err error) ([]*experiment.Table, error) {
 		return nil, err
 	}
 	return []*experiment.Table{t}, nil
+}
+
+// parseShardCounts parses the -shards flag ("2,4,8") into shard counts.
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("-shards wants comma-separated counts >= 2, got %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-shards needs at least one shard count")
+	}
+	return counts, nil
 }

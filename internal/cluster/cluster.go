@@ -107,6 +107,20 @@ type Config struct {
 	// latencies and admission decisions by arrival time, enabling
 	// transient analysis (e.g. behavior across a failure window).
 	TimelineBucketMs float64
+	// Shards, when > 1, runs the simulation on the sharded parallel core:
+	// servers are striped across Shards discrete-event shards that advance
+	// under a conservative time-window protocol, producing a Result
+	// bit-identical to the sequential engine (see DESIGN.md §13). The
+	// sharded core supports the data path only — admission control, online
+	// estimation, fault resilience, tracing, completion hooks and
+	// central-queuing dispatch delays are rejected with clear errors
+	// (validateSharded). 0 and 1 select the sequential engine.
+	Shards int
+	// ShardWindowMs overrides the conservative window width (ms) of the
+	// sharded core; 0 picks a default. Any positive width yields the same
+	// Result — the width trades barrier frequency against delivery batch
+	// size, nothing else.
+	ShardWindowMs float64
 	// Arena, if non-nil, supplies the run's reusable resources (event
 	// heap, freelists, queues, recorders) so repeated runs stop
 	// allocating. An Arena serves one run at a time.
@@ -194,6 +208,49 @@ func (c *Config) validate() error {
 	}
 	if c.Resilience.DegradedAdmission && c.Admission == nil {
 		return fmt.Errorf("cluster: degraded admission requires an admission controller")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: shards %d negative", c.Shards)
+	}
+	if c.Shards > c.Servers {
+		return fmt.Errorf("cluster: %d shards exceed %d servers", c.Shards, c.Servers)
+	}
+	if c.ShardWindowMs < 0 {
+		return fmt.Errorf("cluster: shard window %v negative", c.ShardWindowMs)
+	}
+	if c.Shards > 1 {
+		if err := c.validateSharded(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateSharded rejects features the sharded core does not carry. Each
+// restriction exists to preserve bit-identity with the sequential engine:
+// these features either consume the cluster rng outside the arrival-order
+// prefix the pump replays (central-queuing dispatch delay, hedging,
+// retries) or observe events in global completion order on the hot path
+// (admission feedback, online estimation, tracing, completion hooks),
+// which no per-shard schedule can reproduce without serializing.
+func (c *Config) validateSharded() error {
+	if c.Admission != nil {
+		return fmt.Errorf("cluster: sharded runs do not support admission control (its feedback loop observes tasks in global dequeue order)")
+	}
+	if c.Estimator != nil {
+		return fmt.Errorf("cluster: sharded runs do not support online estimation (it observes completions in global order)")
+	}
+	if c.OnQueryDone != nil {
+		return fmt.Errorf("cluster: sharded runs do not support completion hooks (injected arrivals would re-enter mid-window)")
+	}
+	if c.Resilience != (fault.Resilience{}) {
+		return fmt.Errorf("cluster: sharded runs do not support fault resilience (hedges and retries sample the rng at completion time)")
+	}
+	if c.Obs != nil {
+		return fmt.Errorf("cluster: sharded runs do not support lifecycle tracing; attribution is supported")
+	}
+	if c.DispatchDelay != nil && c.Queuing != PerServerQueuing {
+		return fmt.Errorf("cluster: sharded runs support a dispatch delay only under per-server queuing (central queuing samples it at dequeue time)")
 	}
 	return nil
 }
@@ -292,44 +349,88 @@ type queryState struct {
 	active    bool  // slot occupancy marker (dense store)
 }
 
-// maxDenseGap bounds how far past the current dense range a query ID may
-// land and still grow the dense store; larger jumps (arbitrary trace IDs)
-// go to the overflow map so a sparse ID space cannot exhaust memory.
+// maxDenseGap bounds how far past the current ring window a query ID may
+// land and still grow the ring; larger jumps (arbitrary trace IDs) go to
+// the overflow map so a sparse ID space cannot exhaust memory.
 const maxDenseGap = 4096
 
+// minRingCap is the ring's initial power-of-two capacity.
+const minRingCap = 1024
+
 // stateStore holds the in-flight query states. IDs are near-contiguous
-// for every built-in source (the generator counts from zero; request
-// workloads use req*m+idx), so states live in a dense slice indexed by
-// ID — claiming and releasing a state is then index arithmetic with no
-// map hashing and no per-query allocation. A released slot is zeroed so
-// no stale query data survives into its next claimant.
+// and (near-)monotone for every built-in source (the generator counts
+// from zero; request workloads use req*m+idx), so states live in a
+// sliding ring window [base, base+cap): claiming and releasing a state
+// is index arithmetic with no map hashing and no per-query allocation,
+// and the window advances as the lowest in-flight IDs release. Memory is
+// therefore bounded by the number of queries simultaneously in flight,
+// not by the run length — a 10M-query run with a few thousand in flight
+// keeps a few-thousand-slot ring, where a zero-based dense slice would
+// grow to 10M slots. A released slot is zeroed so no stale query data
+// survives into its next claimant; IDs outside the window (sparse trace
+// IDs, stragglers below base) use the overflow map exactly as before.
 type stateStore struct {
-	dense    []queryState
+	ring     []queryState // power-of-two capacity (or empty)
+	start    int          // ring index of base
+	base     int64        // lowest ID the ring can currently hold
+	used     int64        // one past the highest ID claimed in the window
 	overflow map[int64]*queryState
 	free     []*queryState
 }
 
+// slot maps an in-window ID to its ring index.
+func (s *stateStore) slot(id int64) int {
+	return (s.start + int(id-s.base)) & (len(s.ring) - 1)
+}
+
+// grow rehomes the window into a ring that can hold offset off from base.
+func (s *stateStore) grow(off int64) {
+	newCap := minRingCap
+	for newCap < 2*len(s.ring) {
+		newCap <<= 1
+	}
+	for int64(newCap) <= off {
+		newCap <<= 1
+	}
+	ring := make([]queryState, newCap)
+	if len(s.ring) > 0 {
+		mask := len(s.ring) - 1
+		for i := 0; int64(i) < s.used-s.base; i++ {
+			ring[i] = s.ring[(s.start+i)&mask]
+		}
+	}
+	s.ring = ring
+	s.start = 0
+}
+
 // claim reserves the state slot for id; ok is false if id is in flight.
-// Claiming may grow the dense slice: callers must not hold a *queryState
-// from an earlier claim across a claim call.
+// Claiming may grow the ring: callers must not hold a *queryState from an
+// earlier claim across a claim call.
 //
 //tg:hotpath
 func (s *stateStore) claim(id int64) (st *queryState, ok bool) {
-	if id >= 0 && id < int64(len(s.dense))+maxDenseGap {
-		for int64(len(s.dense)) <= id {
-			s.dense = append(s.dense, queryState{})
+	if id >= s.base {
+		off := id - s.base
+		if off >= int64(len(s.ring)) && off < int64(len(s.ring))+maxDenseGap {
+			s.grow(off) //tg:cold ring growth, amortized across the window
+			off = id - s.base
 		}
-		st = &s.dense[id]
-		if st.active {
-			return nil, false
-		}
-		if s.overflow != nil {
-			if _, dup := s.overflow[id]; dup {
+		if off < int64(len(s.ring)) {
+			st = &s.ring[s.slot(id)]
+			if st.active {
 				return nil, false
 			}
+			if s.overflow != nil {
+				if _, dup := s.overflow[id]; dup {
+					return nil, false
+				}
+			}
+			st.active = true
+			if id >= s.used {
+				s.used = id + 1
+			}
+			return st, true
 		}
-		st.active = true
-		return st, true
 	}
 	if s.overflow == nil {
 		s.overflow = make(map[int64]*queryState) //tg:cold lazy init, first sparse ID only
@@ -353,21 +454,28 @@ func (s *stateStore) claim(id int64) (st *queryState, ok bool) {
 //
 //tg:hotpath
 func (s *stateStore) get(id int64) *queryState {
-	if id >= 0 && id < int64(len(s.dense)) {
-		if st := &s.dense[id]; st.active {
+	if id >= s.base && id < s.base+int64(len(s.ring)) {
+		if st := &s.ring[s.slot(id)]; st.active {
 			return st
 		}
 	}
 	return s.overflow[id]
 }
 
-// release zeroes id's state and returns its slot for reuse.
+// release zeroes id's state and returns its slot for reuse, sliding the
+// window forward when the lowest in-flight ID goes.
 //
 //tg:hotpath
 func (s *stateStore) release(id int64) {
-	if id >= 0 && id < int64(len(s.dense)) && s.dense[id].active {
-		s.dense[id] = queryState{}
-		return
+	if id >= s.base && id < s.base+int64(len(s.ring)) {
+		i := s.slot(id)
+		if s.ring[i].active {
+			s.ring[i] = queryState{}
+			if id == s.base {
+				s.advance()
+			}
+			return
+		}
 	}
 	if st, ok := s.overflow[id]; ok {
 		delete(s.overflow, id)
@@ -376,13 +484,35 @@ func (s *stateStore) release(id int64) {
 	}
 }
 
-// reset clears any states left over from an aborted run, keeping capacity.
+// advance slides base past released (and never-claimed) low slots.
+//
+//tg:hotpath
+func (s *stateStore) advance() {
+	mask := len(s.ring) - 1
+	for s.base < s.used && !s.ring[s.start].active {
+		s.start = (s.start + 1) & mask
+		s.base++
+	}
+	if s.base == s.used {
+		// Empty window: rehome to the ring's front for locality.
+		s.start = 0
+	}
+}
+
+// reset clears any states left over from an aborted run, keeping
+// capacity, and rewinds the window to zero so the next run's claims land
+// in the ring again.
 func (s *stateStore) reset() {
-	for i := range s.dense {
-		if s.dense[i].active {
-			s.dense[i] = queryState{}
+	if s.used > s.base {
+		mask := len(s.ring) - 1
+		for i := 0; int64(i) < s.used-s.base; i++ {
+			j := (s.start + i) & mask
+			if s.ring[j].active {
+				s.ring[j] = queryState{}
+			}
 		}
 	}
+	s.start, s.base, s.used = 0, 0, 0
 	// Drain the overflow in sorted-ID order so the freelist — and with it
 	// the pointer each later claim hands out — is identical run to run.
 	ids := make([]int64, 0, len(s.overflow))
@@ -422,6 +552,10 @@ type Arena struct {
 	crashed  []bool
 	inflight []*policy.Task
 	wrapped  []policy.Queue
+	// Sharded-core state (shard engines, worker gang, exchange buffers),
+	// built on the first sharded run and reused while the (shards,
+	// servers, queue kind) shape holds.
+	sharded *shardedState
 }
 
 // NewArena returns an empty arena. The zero value is also usable.
@@ -454,6 +588,41 @@ func (a *Arena) getQueryBox() *workload.Query {
 func (a *Arena) putQueryBox(b *workload.Query) {
 	*b = workload.Query{}
 	a.qboxes = append(a.qboxes, b)
+}
+
+// takeResult returns the arena's spare Result (or a fresh one) reset and
+// shaped for cfg: spec name set, timeline recorders present exactly when
+// the timeline is enabled.
+func (a *Arena) takeResult(cfg *Config) *Result {
+	res := a.spare
+	a.spare = nil
+	if res == nil {
+		res = &Result{
+			Overall:  metrics.NewLatencyRecorder(cfg.Queries - cfg.Warmup),
+			ByClass:  metrics.NewBreakdown[int](1024),
+			ByFanout: metrics.NewBreakdown[int](1024),
+			ByType:   metrics.NewBreakdown[ClassFanout](1024),
+			TaskWait: metrics.NewLatencyRecorder(4096),
+		}
+	} else {
+		res.reset()
+	}
+	res.Spec = cfg.Spec.Name
+	if cfg.TimelineBucketMs > 0 {
+		if res.Timeline == nil {
+			res.Timeline = metrics.NewBreakdown[int](256)
+		}
+		if res.TimelineAdmitted == nil {
+			res.TimelineAdmitted = make(map[int]int)
+		}
+		if res.TimelineRejected == nil {
+			res.TimelineRejected = make(map[int]int)
+		}
+	} else {
+		res.Timeline = nil
+		res.TimelineAdmitted, res.TimelineRejected = nil, nil
+	}
+	return res
 }
 
 // resetBools returns s resized to n with all elements false, reusing its
@@ -533,6 +702,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
+	}
 	a := cfg.Arena
 	if a == nil {
 		a = NewArena()
@@ -562,34 +734,7 @@ func Run(cfg Config) (*Result, error) {
 	a.paused = resetBools(a.paused, cfg.Servers)
 	a.busyAcc = resetFloats(a.busyAcc, cfg.Servers)
 
-	res := a.spare
-	a.spare = nil
-	if res == nil {
-		res = &Result{
-			Overall:  metrics.NewLatencyRecorder(cfg.Queries - cfg.Warmup),
-			ByClass:  metrics.NewBreakdown[int](1024),
-			ByFanout: metrics.NewBreakdown[int](1024),
-			ByType:   metrics.NewBreakdown[ClassFanout](1024),
-			TaskWait: metrics.NewLatencyRecorder(4096),
-		}
-	} else {
-		res.reset()
-	}
-	res.Spec = cfg.Spec.Name
-	if cfg.TimelineBucketMs > 0 {
-		if res.Timeline == nil {
-			res.Timeline = metrics.NewBreakdown[int](256)
-		}
-		if res.TimelineAdmitted == nil {
-			res.TimelineAdmitted = make(map[int]int)
-		}
-		if res.TimelineRejected == nil {
-			res.TimelineRejected = make(map[int]int)
-		}
-	} else {
-		res.Timeline = nil
-		res.TimelineAdmitted, res.TimelineRejected = nil, nil
-	}
+	res := a.takeResult(&cfg)
 
 	r := &runner{
 		cfg:     cfg,
@@ -674,12 +819,31 @@ func (r *runner) fail(err error) {
 	}
 }
 
+// serviceDistFor returns cfg's service-time distribution for server s.
+//
+//tg:hotpath
+func serviceDistFor(cfg *Config, s int) dist.Distribution {
+	if len(cfg.ServiceTimes) == 1 {
+		return cfg.ServiceTimes[0]
+	}
+	return cfg.ServiceTimes[s]
+}
+
 // serviceDist returns the service-time distribution for server s.
 func (r *runner) serviceDist(s int) dist.Distribution {
-	if len(r.cfg.ServiceTimes) == 1 {
-		return r.cfg.ServiceTimes[0]
+	return serviceDistFor(&r.cfg, s)
+}
+
+// deadlineForQuery computes the task queuing deadline for a query under
+// cfg, honoring per-query budget overrides (the request-level extension).
+func deadlineForQuery(cfg *Config, q workload.Query) (float64, error) {
+	if q.HasBudget {
+		return q.Arrival + q.Budget, nil
 	}
-	return r.cfg.ServiceTimes[s]
+	if cfg.HeterogeneousDeadlines {
+		return cfg.Deadliner.DeadlineServers(q.Arrival, q.Class, q.Servers)
+	}
+	return cfg.Deadliner.Deadline(q.Arrival, q.Class, q.Fanout)
 }
 
 // scheduleNextArrival draws the next query from the generator and
@@ -891,13 +1055,7 @@ func (r *runner) timelineBucket(arrival float64) int {
 // deadlineFor computes the task queuing deadline for a query, honoring
 // per-query budget overrides (the request-level extension).
 func (r *runner) deadlineFor(q workload.Query) (float64, error) {
-	if q.HasBudget {
-		return q.Arrival + q.Budget, nil
-	}
-	if r.cfg.HeterogeneousDeadlines {
-		return r.cfg.Deadliner.DeadlineServers(q.Arrival, q.Class, q.Servers)
-	}
-	return r.cfg.Deadliner.Deadline(q.Arrival, q.Class, q.Fanout)
+	return deadlineForQuery(&r.cfg, q)
 }
 
 // startService begins serving a task on an idle server.

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/workload"
+)
+
+// steadyShardedRun executes one arena-backed sharded run of the given
+// size and returns the result to the arena.
+func steadyShardedRun(t *testing.T, arena *Arena, dl *core.Deadliner,
+	classes *workload.ClassSet, svc dist.Distribution, queries int) {
+	t.Helper()
+	fan, err := workload.NewFixed(2)
+	if err != nil {
+		t.Fatalf("NewFixed: %v", err)
+	}
+	arrival, err := workload.NewPoisson(1)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers: 8,
+		Arrival: arrival,
+		Fanout:  fan,
+		Classes: classes,
+	}, 7)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	res, err := Run(Config{
+		Servers:      8,
+		Spec:         core.TFEDFQ,
+		ServiceTimes: []dist.Distribution{svc},
+		Generator:    gen,
+		Classes:      classes,
+		Deadliner:    dl,
+		Queries:      queries,
+		Warmup:       100,
+		Seed:         8,
+		Shards:       4,
+		Arena:        arena,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	arena.Release(res)
+}
+
+// TestShardedSteadyStateAllocations pins the sharded core's per-shard
+// steady state: with a warmed arena, a sharded run's allocation count is
+// per-run setup only (generator, RNG, channels, goroutine spawns) and
+// does not scale with the number of queries. Exchange batches, bundles,
+// per-shard tasks, shard event heaps and the merger's state ring all
+// recycle through the arena's sharded state.
+func TestShardedSteadyStateAllocations(t *testing.T) {
+	classes, err := workload.SingleClass(10)
+	if err != nil {
+		t.Fatalf("SingleClass: %v", err)
+	}
+	svc := dist.Exponential{M: 1}
+	est, err := core.NewHomogeneousStaticTailEstimator(svc, 8)
+	if err != nil {
+		t.Fatalf("NewHomogeneousStaticTailEstimator: %v", err)
+	}
+	dl, err := core.NewDeadliner(core.TFEDFQ, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner: %v", err)
+	}
+	arena := NewArena()
+	// Warm at the largest size so the exchange pools, shard heaps,
+	// freelists and recorders reach their high-water capacity.
+	steadyShardedRun(t, arena, dl, classes, svc, 4000)
+
+	small := testing.AllocsPerRun(5, func() { steadyShardedRun(t, arena, dl, classes, svc, 1000) })
+	large := testing.AllocsPerRun(5, func() { steadyShardedRun(t, arena, dl, classes, svc, 4000) })
+	// 3000 extra queries × 2 tasks each: a per-query or per-task
+	// allocation anywhere in the pump/shard/merger pipeline would put
+	// thousands of allocations in this delta. The allowance covers only
+	// window-count-dependent incidentals (the larger run crosses more
+	// window barriers, which must still allocate nothing per window).
+	if large-small > 64 {
+		t.Errorf("sharded allocations scale with query count: %0.f/run at 1000 queries, %0.f/run at 4000 (delta %0.f, want <= 64)",
+			small, large, large-small)
+	}
+}

@@ -38,6 +38,12 @@ type Scenario struct {
 	// simulated time), sized to the horizon over which the SLO must hold.
 	AdmissionWindowMs  float64
 	AdmissionThreshold float64
+	// Shards > 1 runs the cluster on the sharded parallel core
+	// (cluster.Config.Shards); results are bit-identical to the
+	// sequential engine (DESIGN.md §13). ShardWindowMs optionally
+	// overrides the synchronization window width.
+	Shards        int
+	ShardWindowMs float64
 }
 
 // Build assembles the cluster configuration (generator, estimator,
@@ -101,15 +107,17 @@ func (s Scenario) Build() (cluster.Config, error) {
 		return cluster.Config{}, err
 	}
 	cfg := cluster.Config{
-		Servers:      s.Servers,
-		Spec:         s.Spec,
-		ServiceTimes: []dist.Distribution{s.Workload.ServiceTime},
-		Generator:    gen,
-		Classes:      s.Classes,
-		Deadliner:    dl,
-		Queries:      s.Fidelity.Queries,
-		Warmup:       s.Fidelity.Warmup,
-		Seed:         s.Fidelity.Seed + 1,
+		Servers:       s.Servers,
+		Spec:          s.Spec,
+		ServiceTimes:  []dist.Distribution{s.Workload.ServiceTime},
+		Generator:     gen,
+		Classes:       s.Classes,
+		Deadliner:     dl,
+		Queries:       s.Fidelity.Queries,
+		Warmup:        s.Fidelity.Warmup,
+		Seed:          s.Fidelity.Seed + 1,
+		Shards:        s.Shards,
+		ShardWindowMs: s.ShardWindowMs,
 	}
 	if s.AdmissionWindowMs > 0 {
 		adm, err := core.NewAdmissionController(s.AdmissionWindowMs, s.AdmissionThreshold)

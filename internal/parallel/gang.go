@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"sync"
+)
+
+// Gang is a fixed set of persistent workers executing barrier-synchronized
+// sections. Unlike Pool/Map — which spawn goroutines per call and collect
+// heterogeneous results — a Gang keeps its workers parked between sections
+// so a caller can run tens of thousands of short parallel phases (one per
+// conservative time window of a sharded simulation) without per-phase
+// goroutine spawns or allocations: Do is allocation-free when handed a
+// pre-bound function value.
+//
+// A Gang belongs to one coordinating goroutine: Do must not be called
+// concurrently with itself or Close. Workers communicate results through
+// caller-owned per-worker slots (distinct indices, no locking needed);
+// the channel handshake in Do orders every worker write before Do returns.
+type Gang struct {
+	fn    func(worker int)
+	start []chan struct{}
+	wg    sync.WaitGroup
+	done  sync.WaitGroup
+}
+
+// NewGang starts n parked workers (n >= 1).
+func NewGang(n int) *Gang {
+	if n < 1 {
+		n = 1
+	}
+	g := &Gang{start: make([]chan struct{}, n)}
+	for i := range g.start {
+		g.start[i] = make(chan struct{}, 1)
+		g.done.Add(1)
+		go g.worker(i)
+	}
+	return g
+}
+
+// Workers returns the gang size.
+func (g *Gang) Workers() int { return len(g.start) }
+
+func (g *Gang) worker(i int) {
+	defer g.done.Done()
+	for range g.start[i] {
+		g.fn(i)
+		g.wg.Done()
+	}
+}
+
+// Do runs fn(0..n-1) on the workers and returns once all have finished
+// (a full barrier). The channel send releasing each worker orders the
+// coordinator's prior writes before the worker's read of fn and of any
+// shared setup state; wg.Wait orders every worker's writes before Do
+// returns.
+//
+//tg:hotpath
+func (g *Gang) Do(fn func(worker int)) {
+	g.fn = fn
+	g.wg.Add(len(g.start))
+	for _, ch := range g.start {
+		ch <- struct{}{}
+	}
+	g.wg.Wait()
+}
+
+// Close terminates the workers and waits for them to exit. The gang must
+// not be used afterwards.
+func (g *Gang) Close() {
+	for _, ch := range g.start {
+		close(ch)
+	}
+	g.done.Wait()
+}

@@ -1,0 +1,63 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGangRunsAllWorkers(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	var hits [4]atomic.Int64
+	for round := 0; round < 100; round++ {
+		g.Do(func(i int) { hits[i].Add(1) })
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 100 {
+			t.Errorf("worker %d ran %d sections, want 100", i, got)
+		}
+	}
+}
+
+func TestGangBarrierOrdersWrites(t *testing.T) {
+	// Every worker's write in section k must be visible to the
+	// coordinator before section k+1 starts; the race detector verifies
+	// the handshake provides the happens-before edges.
+	g := NewGang(8)
+	defer g.Close()
+	slots := make([]int, 8)
+	for round := 0; round < 500; round++ {
+		r := round
+		g.Do(func(i int) { slots[i] = r })
+		for i, v := range slots {
+			if v != round {
+				t.Fatalf("round %d: slot %d = %d", round, i, v)
+			}
+		}
+	}
+}
+
+func TestGangMinimumSize(t *testing.T) {
+	g := NewGang(0)
+	defer g.Close()
+	if g.Workers() != 1 {
+		t.Fatalf("workers = %d, want 1", g.Workers())
+	}
+	ran := false
+	g.Do(func(int) { ran = true })
+	if !ran {
+		t.Fatal("section did not run")
+	}
+}
+
+func TestGangDoAllocs(t *testing.T) {
+	g := NewGang(2)
+	defer g.Close()
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) }
+	g.Do(fn) // warm
+	allocs := testing.AllocsPerRun(100, func() { g.Do(fn) })
+	if allocs > 0 {
+		t.Errorf("Do allocates %.1f per section with a pre-bound fn, want 0", allocs)
+	}
+}

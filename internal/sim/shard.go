@@ -1,0 +1,144 @@
+// Shard coordination: a ShardSet runs one Engine per shard under the
+// conservative time-window protocol. Within a window [lo, hi) every shard
+// advances independently (no shard reads another shard's state); at the
+// window barrier the coordinator delivers cross-shard events — all stamped
+// at or after hi — into the destination shards' heaps, in a fixed
+// (window, source, sequence) order. Because each engine orders its own
+// events by (time, schedule order) and deliveries are injected in the
+// same deterministic order every run, the executed event sequence per
+// shard is bit-identical run to run and independent of how the OS
+// schedules the worker goroutines.
+package sim
+
+import (
+	"tailguard/internal/parallel"
+)
+
+// ShardSet owns P shard engines and a persistent worker gang that drives
+// them through barrier-synchronized windows. The set's engines and error
+// slots persist across runs (Reset reuses their heap capacity); the gang
+// is started per run (Start/Stop) so an idle set parks no goroutines.
+//
+// The coordinator goroutine owns the set: RunWindow, Drain, Start, Stop
+// and Reset must not be called concurrently. Worker callbacks receive
+// only their own shard index and must touch only that shard's state.
+type ShardSet struct {
+	engines []*Engine
+	errs    []error
+	gang    *parallel.Gang
+
+	// Per-window parameters, written by the coordinator before the gang
+	// barrier releases the workers (the channel handshake in Gang.Do is
+	// the happens-before edge) and read-only inside the window.
+	limit Time
+	setup func(shard int) error
+	drain bool
+	runFn func(int) // bound once so Do stays allocation-free
+}
+
+// NewShardSet returns a set of n shard engines (n >= 1), not yet started.
+func NewShardSet(n int) *ShardSet {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardSet{
+		engines: make([]*Engine, n),
+		errs:    make([]error, n),
+	}
+	for i := range s.engines {
+		s.engines[i] = NewEngine()
+	}
+	s.runFn = s.runShard
+	return s
+}
+
+// Len returns the number of shards.
+func (s *ShardSet) Len() int { return len(s.engines) }
+
+// Engine returns shard i's engine. Between windows it belongs to the
+// coordinator; inside a window only worker i may touch it.
+func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
+
+// Start spawns the worker gang for one run.
+func (s *ShardSet) Start() {
+	if s.gang == nil {
+		s.gang = parallel.NewGang(len(s.engines))
+	}
+}
+
+// Stop terminates the worker gang. The set (and its engines) remain
+// reusable via Start.
+func (s *ShardSet) Stop() {
+	if s.gang != nil {
+		s.gang.Close()
+		s.gang = nil
+	}
+}
+
+func (s *ShardSet) runShard(i int) {
+	s.errs[i] = nil
+	if s.setup != nil {
+		if err := s.setup(i); err != nil {
+			s.errs[i] = err
+			return
+		}
+	}
+	if s.drain {
+		s.engines[i].Run()
+	} else {
+		s.engines[i].RunBefore(s.limit)
+	}
+}
+
+// firstErr returns the lowest-shard-index error of the last window — the
+// same winner parallel.Map's sequential-equivalence rule would pick.
+func (s *ShardSet) firstErr() error {
+	for _, err := range s.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWindow runs one conservative window: on each shard's worker, setup
+// (delivering that shard's cross-shard events, all stamped >= the
+// previous window's limit) runs first, then the shard executes events
+// strictly before limit. RunWindow returns after the full barrier with
+// the lowest-shard-index setup error, if any (a failed shard skips its
+// window, and the caller is expected to abort the run).
+//
+//tg:hotpath
+func (s *ShardSet) RunWindow(limit Time, setup func(shard int) error) error {
+	s.limit, s.setup, s.drain = limit, setup, false
+	s.gang.Do(s.runFn)
+	return s.firstErr()
+}
+
+// Drain runs every shard to completion (the final window, after the last
+// cross-shard delivery).
+func (s *ShardSet) Drain(setup func(shard int) error) error {
+	s.setup, s.drain = setup, true
+	s.gang.Do(s.runFn)
+	return s.firstErr()
+}
+
+// MaxNow returns the latest shard clock.
+func (s *ShardSet) MaxNow() Time {
+	var max Time
+	for _, e := range s.engines {
+		if e.now > max {
+			max = e.now
+		}
+	}
+	return max
+}
+
+// Reset rewinds every shard engine for the next run, keeping heap
+// capacity.
+func (s *ShardSet) Reset() {
+	for i, e := range s.engines {
+		e.Reset()
+		s.errs[i] = nil
+	}
+}

@@ -201,6 +201,24 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
+// RunBefore executes events with time strictly before limit, leaving
+// later events queued. Unlike RunUntil it does not advance the clock to
+// the limit: the clock stays at the last executed event, so events a
+// shard coordinator delivers for the next window (all stamped >= limit)
+// can never land in this engine's past. It is the building block of the
+// conservative time-window protocol (ShardSet).
+//
+//tg:hotpath
+func (e *Engine) RunBefore(limit Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 || e.events[0].at >= limit {
+			break
+		}
+		e.Step()
+	}
+}
+
 // Stop makes the current Run/RunUntil return after the executing event
 // completes. Pending events remain queued.
 func (e *Engine) Stop() { e.stopped = true }

@@ -154,6 +154,13 @@ func Compare(out io.Writer, oldRep, newRep *report) {
 	for _, k := range keys {
 		oldV, had := oldRep.Derived[k]
 		newV := newRep.Derived[k]
+		// A flagged baseline (e.g. a "speedup" measured at GOMAXPROCS=1)
+		// is not a reference point: report the fresh value on its own
+		// instead of presenting the move as a regression or improvement.
+		if !strings.HasSuffix(k, "_flagged") && oldRep.Derived[k+"_flagged"] == 1 {
+			fmt.Fprintf(out, "derived %s: %s (baseline was flagged, not a comparison baseline)\n", k, humanize(newV))
+			continue
+		}
 		if !had {
 			fmt.Fprintf(out, "derived %s: %s (new)\n", k, humanize(newV))
 		} else if oldV != newV {

@@ -41,6 +41,32 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareSkipsFlaggedBaseline: a baseline speedup carrying its
+// *_flagged marker (measured at GOMAXPROCS=1) must not be presented as a
+// comparison baseline — the fresh value is reported standalone.
+func TestCompareSkipsFlaggedBaseline(t *testing.T) {
+	oldRep := &report{
+		Benchmarks: []benchmark{{Name: "BenchmarkShardedClusterThroughput/shards=4", NsPerOp: 4e8}},
+		Derived: map[string]float64{
+			"sharded_speedup_vs_1shard":         0.83,
+			"sharded_speedup_vs_1shard_flagged": 1,
+		},
+	}
+	newRep := &report{
+		Benchmarks: []benchmark{{Name: "BenchmarkShardedClusterThroughput/shards=4-8", NsPerOp: 1e8}},
+		Derived:    map[string]float64{"sharded_speedup_vs_1shard": 3.2},
+	}
+	var sb strings.Builder
+	Compare(&sb, oldRep, newRep)
+	out := sb.String()
+	if !strings.Contains(out, "derived sharded_speedup_vs_1shard: 3.2 (baseline was flagged, not a comparison baseline)") {
+		t.Errorf("flagged baseline not annotated:\n%s", out)
+	}
+	if strings.Contains(out, "0.83 -> 3.2") {
+		t.Errorf("flagged baseline presented as a comparison:\n%s", out)
+	}
+}
+
 func TestRunRejectsBadArgs(t *testing.T) {
 	if err := run(nil, &strings.Builder{}); err == nil {
 		t.Error("run with no args succeeded, want usage error")

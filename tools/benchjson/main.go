@@ -12,7 +12,12 @@
 // When both BenchmarkSweepFig4Sequential and BenchmarkSweepFig4Parallel
 // appear in the input, the report's derived section includes
 // fig4_sweep_speedup (sequential ns/op over parallel ns/op) and each
-// sweep's wall-clock in seconds.
+// sweep's wall-clock in seconds; the BenchmarkShardedClusterThroughput
+// pair likewise yields sharded_tasks_per_s_{1,4}shard and
+// sharded_speedup_vs_1shard. Speedup ratios measured at GOMAXPROCS=1 are
+// withheld entirely (a *_flagged marker and a note take their place):
+// on a single-core runner parallel scaling is impossible by
+// construction, so no number is published that could be quoted as one.
 package main
 
 import (
@@ -208,16 +213,17 @@ func derive(bs []Benchmark) (map[string]float64, []string) {
 	}
 	if seq != nil && par != nil && par.NsPerOp > 0 {
 		speedup := seq.NsPerOp / par.NsPerOp
-		d["fig4_sweep_speedup"] = speedup
 		switch {
 		case procs == 1:
 			// Single-core runner: any ratio near 1.0 is dispatch noise,
-			// not scaling. Flag it even when it lands a hair above 1.0.
+			// not scaling. Refuse to publish the number as a speedup at
+			// all — only the flag and the note appear in the report.
 			d["fig4_sweep_speedup_flagged"] = 1
 			notes = append(notes, fmt.Sprintf(
-				"fig4_sweep_speedup %.2fx was measured at GOMAXPROCS=1, where parallel scaling is impossible; rerun on a multi-core runner",
+				"fig4_sweep_speedup withheld: the %.2fx ratio was measured at GOMAXPROCS=1, where parallel scaling is impossible; rerun on a multi-core runner",
 				speedup))
 		case speedup <= 1.0:
+			d["fig4_sweep_speedup"] = speedup
 			d["fig4_sweep_speedup_flagged"] = 1
 			note := fmt.Sprintf("fig4_sweep_speedup %.2fx is not a speedup", speedup)
 			if procs > 1 {
@@ -226,10 +232,61 @@ func derive(bs []Benchmark) (map[string]float64, []string) {
 				note += "; the parallel sweep did not report its gomaxprocs metric"
 			}
 			notes = append(notes, note)
+		default:
+			d["fig4_sweep_speedup"] = speedup
 		}
 	}
+	deriveSharded(find, d, &notes)
 	if len(d) == 0 {
 		return nil, notes
 	}
 	return d, notes
+}
+
+// deriveSharded derives the sharded-core throughput metrics from the
+// BenchmarkShardedClusterThroughput pair: tasks/s at 1 and 4 shards and
+// the speedup-vs-1-shard ratio, under the same honesty rule as the Fig. 4
+// sweep — a "speedup" measured at GOMAXPROCS=1 is withheld (flag + note
+// only), because the shards are goroutines and cannot scale on one core.
+func deriveSharded(find func(string) *Benchmark, d map[string]float64, notes *[]string) {
+	one := find("BenchmarkShardedClusterThroughput/shards=1")
+	four := find("BenchmarkShardedClusterThroughput/shards=4")
+	if one != nil {
+		if v := one.Metrics["tasks/s"]; v > 0 {
+			d["sharded_tasks_per_s_1shard"] = v
+		}
+	}
+	if four == nil {
+		return
+	}
+	if v := four.Metrics["tasks/s"]; v > 0 {
+		d["sharded_tasks_per_s_4shard"] = v
+	}
+	procs := four.Metrics["gomaxprocs"]
+	if procs > 0 {
+		d["sharded_gomaxprocs"] = procs
+	}
+	if one == nil || one.Metrics["tasks/s"] <= 0 || four.Metrics["tasks/s"] <= 0 {
+		return
+	}
+	speedup := four.Metrics["tasks/s"] / one.Metrics["tasks/s"]
+	switch {
+	case procs == 1:
+		d["sharded_speedup_vs_1shard_flagged"] = 1
+		*notes = append(*notes, fmt.Sprintf(
+			"sharded_speedup_vs_1shard withheld: the %.2fx ratio was measured at GOMAXPROCS=1, where shard parallelism is impossible; rerun on a multi-core runner",
+			speedup))
+	case speedup <= 1.0:
+		d["sharded_speedup_vs_1shard"] = speedup
+		d["sharded_speedup_vs_1shard_flagged"] = 1
+		note := fmt.Sprintf("sharded_speedup_vs_1shard %.2fx is not a speedup", speedup)
+		if procs > 1 {
+			note += fmt.Sprintf(" despite GOMAXPROCS=%d; the sharded core is not scaling", int(procs))
+		} else {
+			note += "; the sharded benchmark did not report its gomaxprocs metric"
+		}
+		*notes = append(*notes, note)
+	default:
+		d["sharded_speedup_vs_1shard"] = speedup
+	}
 }

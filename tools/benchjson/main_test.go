@@ -78,6 +78,92 @@ PASS
 	}
 }
 
+// TestDeriveWithholdsSingleCoreSpeedup: at GOMAXPROCS=1 the speedup key
+// must be absent entirely — the report carries only the flag and a note,
+// never a number that could be quoted as a speedup.
+func TestDeriveWithholdsSingleCoreSpeedup(t *testing.T) {
+	const singleCore = `goos: linux
+BenchmarkSweepFig4Sequential 	       1	2794683432 ns/op
+BenchmarkSweepFig4Parallel   	       1	2018023464 ns/op	         1.000 gomaxprocs
+PASS
+`
+	rep, err := Parse(strings.NewReader(singleCore))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v, ok := rep.Derived["fig4_sweep_speedup"]; ok {
+		t.Errorf("fig4_sweep_speedup = %v emitted at GOMAXPROCS=1, want withheld", v)
+	}
+	if got := rep.Derived["fig4_sweep_speedup_flagged"]; got != 1 {
+		t.Errorf("fig4_sweep_speedup_flagged = %v, want 1", got)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "withheld") {
+		t.Errorf("notes = %v, want a withheld explanation", rep.Notes)
+	}
+}
+
+// TestDeriveShardedSingleCore: the sharded throughput pair surfaces
+// tasks/s for both shard counts, but the speedup-vs-1-shard ratio is
+// withheld (flag + note) when measured at GOMAXPROCS=1.
+func TestDeriveShardedSingleCore(t *testing.T) {
+	const sharded = `goos: linux
+BenchmarkShardedClusterThroughput/shards=1 	       1	 332838829 ns/op	         1.000 gomaxprocs	         1.000 shards	   1624042 tasks/s
+BenchmarkShardedClusterThroughput/shards=4 	       1	 399336299 ns/op	         1.000 gomaxprocs	         4.000 shards	   1353606 tasks/s
+PASS
+`
+	rep, err := Parse(strings.NewReader(sharded))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := rep.Derived["sharded_tasks_per_s_1shard"]; got != 1624042 {
+		t.Errorf("sharded_tasks_per_s_1shard = %v, want 1624042", got)
+	}
+	if got := rep.Derived["sharded_tasks_per_s_4shard"]; got != 1353606 {
+		t.Errorf("sharded_tasks_per_s_4shard = %v, want 1353606", got)
+	}
+	if got := rep.Derived["sharded_gomaxprocs"]; got != 1 {
+		t.Errorf("sharded_gomaxprocs = %v, want 1", got)
+	}
+	if v, ok := rep.Derived["sharded_speedup_vs_1shard"]; ok {
+		t.Errorf("sharded_speedup_vs_1shard = %v emitted at GOMAXPROCS=1, want withheld", v)
+	}
+	if got := rep.Derived["sharded_speedup_vs_1shard_flagged"]; got != 1 {
+		t.Errorf("sharded_speedup_vs_1shard_flagged = %v, want 1", got)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "sharded_speedup_vs_1shard withheld") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes = %v, want a sharded withheld explanation", rep.Notes)
+	}
+}
+
+// TestDeriveShardedMultiCore: on a real multi-core runner the ratio is
+// published unflagged.
+func TestDeriveShardedMultiCore(t *testing.T) {
+	const sharded = `goos: linux
+BenchmarkShardedClusterThroughput/shards=1-8 	       1	 300000000 ns/op	         8.000 gomaxprocs	         1.000 shards	   1000000 tasks/s
+BenchmarkShardedClusterThroughput/shards=4-8 	       1	 100000000 ns/op	         8.000 gomaxprocs	         4.000 shards	   3200000 tasks/s
+PASS
+`
+	rep, err := Parse(strings.NewReader(sharded))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := rep.Derived["sharded_speedup_vs_1shard"]; math.Abs(got-3.2) > 1e-9 {
+		t.Errorf("sharded_speedup_vs_1shard = %v, want 3.2", got)
+	}
+	if _, flagged := rep.Derived["sharded_speedup_vs_1shard_flagged"]; flagged {
+		t.Errorf("3.2x speedup at GOMAXPROCS=8 flagged: %v", rep.Notes)
+	}
+	if len(rep.Notes) != 0 {
+		t.Errorf("notes = %v, want none", rep.Notes)
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
 		t.Error("Parse of benchmark-free input succeeded, want error")
