@@ -4,7 +4,7 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke shard-smoke ci clean
+.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke shard-smoke perf-smoke ci clean
 
 # Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair,
 # the sharded-core throughput pair, and the fast-path micro-benchmarks.
@@ -70,13 +70,16 @@ bench-smoke:
 	$(GO) run ./tools/benchjson -o BENCH_harness.json bench.txt
 
 # bench-compare diffs a fresh smoke run against the committed
-# BENCH_harness.json (per-benchmark ns/op and allocs/op deltas). It is a
-# report, never a gate: the diff always exits 0 when both files parse.
+# BENCH_harness.json (per-benchmark ns/op and allocs/op deltas). By
+# default it is a report, not a gate: the diff exits 0 when both files
+# parse. Set BENCHCOMPARE_FLAGS='-max-regress 25' (or any threshold) to
+# make it fail on ns/op regressions beyond that percentage.
+BENCHCOMPARE_FLAGS ?=
 bench-compare:
 	git show HEAD:BENCH_harness.json > bench_baseline.json
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -short -benchtime 1x -benchmem . | tee bench.txt
 	$(GO) run ./tools/benchjson -o bench_fresh.json bench.txt
-	$(GO) run ./tools/benchcompare bench_baseline.json bench_fresh.json
+	$(GO) run ./tools/benchcompare $(BENCHCOMPARE_FLAGS) bench_baseline.json bench_fresh.json
 
 # obs-smoke proves the observability plane end to end: a short
 # instrumented tgsim sweep whose Chrome-trace and Prometheus dumps must
@@ -113,7 +116,15 @@ fault-smoke:
 shard-smoke:
 	$(GO) run ./cmd/tgsim -exp shardscale -shard-servers 128 -queries 6000
 
-ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke shard-smoke
+# perf-smoke proves the timing-wheel event queue: an end-to-end resilient
+# faulted run on the wheel engine and on the reference binary heap must
+# produce bit-identical Results, and the randomized wheel-vs-heap pop
+# order and least-loaded index-vs-scan property suites must hold.
+perf-smoke:
+	$(GO) test ./internal/cluster -run 'TestPerfSmokeWheelVsHeap|TestLeastLoadedIndexMatchesScanEndToEnd' -count=1
+	$(GO) test ./internal/sim -run 'TestWheel|FuzzWheelVsHeapPopOrder' -count=1
+
+ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke shard-smoke perf-smoke
 
 clean:
 	rm -rf bin

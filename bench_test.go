@@ -450,6 +450,12 @@ func BenchmarkSchedulerDo(b *testing.B) {
 	}
 }
 
+// reportTasksPerSec publishes the simulated-tasks-per-wall-second
+// metric shared by the throughput benchmarks.
+func reportTasksPerSec(b *testing.B, tasks float64) {
+	b.ReportMetric(tasks/b.Elapsed().Seconds(), "tasks/s")
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	// Tasks simulated per second of wall time, the figure that bounds
 	// every experiment's cost.
@@ -477,7 +483,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		tasks += int(float64(res.Completed) * fan.MeanTasks())
 	}
-	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+	reportTasksPerSec(b, float64(tasks))
 }
 
 // BenchmarkShardedClusterThroughput is the stock sharded-core benchmark:
@@ -510,7 +516,7 @@ func BenchmarkShardedClusterThroughput(b *testing.B) {
 				}
 				tasks += float64(res.Completed) * s.Fanout.MeanTasks()
 			}
-			b.ReportMetric(tasks/b.Elapsed().Seconds(), "tasks/s")
+			reportTasksPerSec(b, tasks)
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 			b.ReportMetric(float64(shards), "shards")
 		})

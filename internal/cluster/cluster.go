@@ -552,6 +552,12 @@ type Arena struct {
 	crashed  []bool
 	inflight []*policy.Task
 	wrapped  []policy.Queue
+	// Least-loaded tournament tree, maintained only on runs that can
+	// call leastLoaded (hedging or a retry budget). noLoadIndex is a
+	// test hook forcing the O(n) scan so the differential test can
+	// prove the index picks identical servers.
+	loadIx      *loadIndex
+	noLoadIndex bool
 	// Sharded-core state (shard engines, worker gang, exchange buffers),
 	// built on the first sharded run and reused while the (shards,
 	// servers, queue kind) shape holds.
@@ -691,6 +697,7 @@ type runner struct {
 	enqueueH  sim.Handler
 	completeH sim.Handler
 	hedgeH    sim.Handler
+	loadIx    *loadIndex // nil unless hedging or retries can read it
 	missed    int
 	tasks     int
 	err       error // first internal error; aborts the run
@@ -758,7 +765,7 @@ func Run(cfg Config) (*Result, error) {
 	r.hedgeH = r.onHedgeEvent
 	for _, f := range cfg.Failures {
 		f := f
-		if err := r.engine.Schedule(f.Start, func() { r.paused[f.Server] = true }); err != nil {
+		if err := r.engine.Schedule(f.Start, func() { r.pause(f.Server) }); err != nil {
 			return nil, err
 		}
 		if err := r.engine.Schedule(f.End, func() { r.resume(f.Server) }); err != nil {
@@ -795,6 +802,16 @@ func Run(cfg Config) (*Result, error) {
 			a.wrapped = append(a.wrapped, policy.Hedged{Queue: q, Drop: drop})
 		}
 		r.queues = a.wrapped
+	}
+	if (cfg.Resilience.Hedge || cfg.Resilience.RetryBudget > 0) && !a.noLoadIndex {
+		// Only hedging and retry placement ever call leastLoaded; other
+		// runs skip the index maintenance entirely. Built after the
+		// hedge wrapping so loadChanged reads the final queue set.
+		if a.loadIx == nil {
+			a.loadIx = new(loadIndex)
+		}
+		a.loadIx.init(cfg.Servers)
+		r.loadIx = a.loadIx
 	}
 	if cfg.Resilience.DegradedAdmission {
 		cfg.Admission.SetThresholdScale(1)
@@ -1006,6 +1023,7 @@ func (r *runner) enqueue(s int, t *policy.Task) {
 	}
 	if r.busy[s] || r.paused[s] {
 		r.queues[s].Push(t)
+		r.loadChanged(s)
 		if r.obs != nil {
 			r.obs.QueueDepth(r.engine.Now(), int32(s), r.queues[s].Len())
 		}
@@ -1029,17 +1047,27 @@ func (r *runner) enqueue(s int, t *policy.Task) {
 }
 
 // popNext dequeues the next task for server s, emitting the depth sample.
+// The index update is unconditional: a hedge-skimming Pop can shorten
+// the queue even when it returns nil.
 func (r *runner) popNext(s int) *policy.Task {
 	next := r.queues[s].Pop()
+	r.loadChanged(s)
 	if next != nil && r.obs != nil {
 		r.obs.QueueDepth(r.engine.Now(), int32(s), r.queues[s].Len())
 	}
 	return next
 }
 
+// pause starts a server's outage window.
+func (r *runner) pause(s int) {
+	r.paused[s] = true
+	r.loadChanged(s)
+}
+
 // resume ends a server's outage and restarts its queue.
 func (r *runner) resume(s int) {
 	r.paused[s] = false
+	r.loadChanged(s)
 	if !r.busy[s] {
 		if next := r.popNext(s); next != nil {
 			r.startService(s, next)
@@ -1062,6 +1090,7 @@ func (r *runner) deadlineFor(q workload.Query) (float64, error) {
 func (r *runner) startService(s int, t *policy.Task) {
 	now := r.engine.Now()
 	r.busy[s] = true
+	r.loadChanged(s)
 	r.tasks++
 	t.Dequeued = now
 	r.obs.TaskEvent(obs.KindDispatch, now, t.QueryID, int32(t.Index), int32(s), int32(t.Class), now-t.Enqueued)
@@ -1178,6 +1207,7 @@ func (r *runner) onComplete(s int, t *policy.Task, svc float64) {
 // task (work conservation).
 func (r *runner) serveNext(s int) {
 	r.busy[s] = false
+	r.loadChanged(s)
 	if r.paused[s] || (r.crashed != nil && r.crashed[s]) {
 		return
 	}
@@ -1270,6 +1300,9 @@ func (r *runner) taskLost(t *policy.Task, now float64, reusable bool) {
 func (r *runner) crash(s int) {
 	now := r.engine.Now()
 	r.crashed[s] = true
+	// Down before any taskLost below asks for a retry destination; the
+	// drained queue needs no per-pop updates while s carries loadDown.
+	r.loadChanged(s)
 	if r.busy[s] {
 		t := r.inflight[s]
 		r.inflight[s] = nil
@@ -1298,6 +1331,7 @@ func (r *runner) crash(s int) {
 // restart brings a crashed server back with an empty queue.
 func (r *runner) restart(s int) {
 	r.crashed[s] = false
+	r.loadChanged(s)
 	if !r.busy[s] && !r.paused[s] {
 		if next := r.popNext(s); next != nil {
 			r.startService(s, next)
@@ -1343,9 +1377,42 @@ func (r *runner) serverDown(s int) bool {
 	return r.crashed != nil && r.crashed[s]
 }
 
+// loadChanged recomputes server s's entry in the least-loaded index
+// after any queue, busy, or availability transition. No-op on runs that
+// do not maintain the index.
+//
+//tg:hotpath
+func (r *runner) loadChanged(s int) {
+	ix := r.loadIx
+	if ix == nil {
+		return
+	}
+	if r.paused[s] || (r.crashed != nil && r.crashed[s]) {
+		ix.update(s, loadDown)
+		return
+	}
+	load := int32(r.queues[s].Len())
+	if r.busy[s] {
+		load++
+	}
+	ix.update(s, load)
+}
+
 // leastLoaded returns the up server (excluding exclude) with the fewest
 // queued-plus-in-service tasks, lowest index winning ties; -1 if none.
+// The tournament tree answers in O(log n); the scan remains as the
+// fallback for index-less runs and as the differential-test oracle.
+//
+//tg:hotpath
 func (r *runner) leastLoaded(exclude int) int {
+	if r.loadIx != nil {
+		return r.loadIx.best(exclude)
+	}
+	return r.leastLoadedScan(exclude)
+}
+
+// leastLoadedScan is the O(n) reference answer to leastLoaded.
+func (r *runner) leastLoadedScan(exclude int) int {
 	best, bestLoad := -1, 0
 	for s := 0; s < r.cfg.Servers; s++ {
 		if s == exclude || r.serverDown(s) {

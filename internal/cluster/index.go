@@ -1,0 +1,119 @@
+// Least-loaded server index: an incrementally maintained tournament
+// tree replacing the O(n) scan in runner.leastLoaded (DESIGN.md §14).
+//
+// Hedging, crash re-dispatch, and retry placement all ask "which up
+// server, excluding one, has the fewest queued-plus-in-service tasks?"
+// On a 10k-server cluster under a crash fault that question used to be
+// a 10k-element scan per lost task. The tournament tree answers it in
+// O(log n) from per-server load values updated in O(log n) at each
+// queue, busy, or availability transition — and answers it with the
+// exact server the scan would have picked: the combine rule prefers the
+// left child on equal load, and the left subtree holds the lower server
+// indices, so ties resolve to the lowest index just like the scan's
+// strict-less update. Down (paused or crashed) servers carry the
+// loadDown sentinel, which never beats a real load and maps to the
+// scan's skip.
+//
+// The index is maintained only when the run can actually call
+// leastLoaded (hedging or a retry budget enabled); fault-free runs pay
+// nothing. Bit-identity with the scan is gated by the randomized
+// index-vs-scan property test and the end-to-end differential run in
+// index_test.go.
+package cluster
+
+import "math"
+
+// loadDown marks a server that cannot accept work (paused or crashed).
+// It exceeds any real load, so an all-down tree reports no winner.
+const loadDown = math.MaxInt32
+
+// loadIndex is a flat-array tournament (min) tree over per-server
+// loads. Nodes live in val/arg indexed 1..2*size-1: node i's children
+// are 2i and 2i+1, leaves start at size (a power of two), and leaf
+// size+s belongs to server s. Each node holds the minimum load in its
+// subtree and the lowest server index achieving it (arg -1 on padding
+// leaves past the server count).
+type loadIndex struct {
+	n    int // servers
+	size int // leaf count, power of two, >= n
+	val  []int32
+	arg  []int32
+}
+
+// init shapes the tree for n servers with every server up and idle
+// (load 0), reusing the backing arrays across runs when large enough.
+func (ix *loadIndex) init(n int) {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	if cap(ix.val) < 2*size {
+		ix.val = make([]int32, 2*size)
+		ix.arg = make([]int32, 2*size)
+	}
+	ix.val = ix.val[:2*size]
+	ix.arg = ix.arg[:2*size]
+	ix.n, ix.size = n, size
+	for s := 0; s < size; s++ {
+		if s < n {
+			ix.val[size+s], ix.arg[size+s] = 0, int32(s)
+		} else {
+			ix.val[size+s], ix.arg[size+s] = loadDown, -1
+		}
+	}
+	for i := size - 1; i >= 1; i-- {
+		ix.combine(i)
+	}
+}
+
+// combine recomputes node i from its children: minimum load, left
+// (lower-index) child winning ties.
+//
+//tg:hotpath
+func (ix *loadIndex) combine(i int) {
+	l, r := 2*i, 2*i+1
+	if ix.val[r] < ix.val[l] {
+		ix.val[i], ix.arg[i] = ix.val[r], ix.arg[r]
+	} else {
+		ix.val[i], ix.arg[i] = ix.val[l], ix.arg[l]
+	}
+}
+
+// update sets server s's load (or loadDown) and rebuilds its root path.
+//
+//tg:hotpath
+func (ix *loadIndex) update(s int, load int32) {
+	i := ix.size + s
+	ix.val[i] = load
+	for i >>= 1; i >= 1; i >>= 1 {
+		ix.combine(i)
+	}
+}
+
+// best returns the up server with the smallest load, excluding exclude,
+// lowest index winning ties; -1 when every other server is down. It
+// matches runner.leastLoadedScan exactly. With exclude outside [0, n)
+// the root answers directly; otherwise the answer is the best of the
+// sibling subtrees hanging off the excluded leaf's root path, compared
+// as (load, index) pairs since the subtrees' index ranges are disjoint.
+//
+//tg:hotpath
+func (ix *loadIndex) best(exclude int) int {
+	if exclude < 0 || exclude >= ix.n {
+		if ix.val[1] >= loadDown {
+			return -1
+		}
+		return int(ix.arg[1])
+	}
+	bv, ba := int32(loadDown), int32(-1)
+	for i := ix.size + exclude; i > 1; i >>= 1 {
+		sib := i ^ 1
+		if v, a := ix.val[sib], ix.arg[sib]; v < bv || (v == bv && a < ba) {
+			bv, ba = v, a
+		}
+	}
+	if bv >= loadDown {
+		return -1
+	}
+	return int(ba)
+}

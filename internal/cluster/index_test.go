@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"tailguard/internal/core"
+	"tailguard/internal/fault"
+	"tailguard/internal/policy"
+)
+
+// scanBest is the reference answer: lowest-index up server with the
+// strictly smallest load, mirroring runner.leastLoadedScan.
+func scanBest(loads []int32, exclude int) int {
+	best, bestLoad := -1, int32(0)
+	for s, load := range loads {
+		if s == exclude || load == loadDown {
+			continue
+		}
+		if best < 0 || load < bestLoad {
+			best, bestLoad = s, load
+		}
+	}
+	return best
+}
+
+// Property: across random load updates, outages, sizes (including the
+// non-power-of-two and single-server shapes), and every exclude value,
+// the tournament tree answers exactly like the scan — same server on
+// ties, -1 when nothing is up.
+func TestLoadIndexVsScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 129} {
+		var ix loadIndex
+		ix.init(n)
+		loads := make([]int32, n)
+		for step := 0; step < 400; step++ {
+			s := rng.Intn(n)
+			var load int32
+			switch rng.Intn(4) {
+			case 0:
+				load = loadDown // outage
+			default:
+				load = int32(rng.Intn(4)) // small loads force ties
+			}
+			loads[s] = load
+			ix.update(s, load)
+			for exclude := -1; exclude <= n; exclude++ {
+				if got, want := ix.best(exclude), scanBest(loads, exclude); got != want {
+					t.Fatalf("n=%d step=%d exclude=%d: index=%d scan=%d loads=%v",
+						n, step, exclude, got, want, loads)
+				}
+			}
+		}
+	}
+}
+
+// Index reuse across runs of different sizes must re-shape cleanly.
+func TestLoadIndexReuse(t *testing.T) {
+	var ix loadIndex
+	ix.init(100)
+	for s := 0; s < 100; s++ {
+		ix.update(s, int32(s+1))
+	}
+	ix.init(5) // shrink: stale large-tree state must not leak
+	if got := ix.best(-1); got != 0 {
+		t.Errorf("after re-init(5): best(-1) = %d, want 0", got)
+	}
+	ix.update(0, loadDown)
+	ix.update(1, 2)
+	if got := ix.best(1); got != 2 {
+		t.Errorf("best(1) = %d, want 2 (server 0 down, 2..4 idle)", got)
+	}
+}
+
+// resilientConfig is the end-to-end differential scenario: random
+// placement across 16 servers with every fault kind in the plan, plus
+// hedging and a retry budget so leastLoaded is hit from all three call
+// paths (hedge placement, crash re-dispatch, retry placement).
+func resilientConfig(t *testing.T, seed int64) Config {
+	t.Helper()
+	cfg := shardedConfig(t, core.TFEDFQ, 16, 400, 50, seed, canonicalShardPlan())
+	cfg.Resilience = fault.Resilience{Hedge: true, RetryBudget: 2}
+	return cfg
+}
+
+// TestLeastLoadedIndexMatchesScanEndToEnd proves the index never picks
+// a different server than the scan: the same resilient faulted run,
+// once with the tournament tree and once forced onto the O(n) scan,
+// must produce bit-identical Results.
+func TestLeastLoadedIndexMatchesScanEndToEnd(t *testing.T) {
+	var hedges, retries int64
+	for _, seed := range []int64{1, 2, 3} {
+		withIndex, err := Run(resilientConfig(t, seed))
+		if err != nil {
+			t.Fatalf("seed=%d indexed Run: %v", seed, err)
+		}
+		cfg := resilientConfig(t, seed)
+		a := NewArena()
+		a.noLoadIndex = true
+		cfg.Arena = a
+		scanned, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed=%d scan Run: %v", seed, err)
+		}
+		if err := withIndex.Equal(scanned); err != nil {
+			t.Errorf("seed=%d: indexed and scanned runs diverge: %v", seed, err)
+		}
+		hedges += int64(withIndex.HedgesIssued)
+		retries += int64(withIndex.Retries)
+	}
+	if hedges == 0 || retries == 0 {
+		t.Errorf("scenario too tame across seeds (hedges=%d retries=%d), index untested", hedges, retries)
+	}
+}
+
+// benchLeastLoaded measures one load transition plus one leastLoaded
+// answer on a large cluster — the per-lost-task cost under a crash
+// fault — with and without the tournament tree.
+func benchLeastLoaded(b *testing.B, servers int, indexed bool) {
+	r := &runner{cfg: Config{Servers: servers}}
+	r.busy = make([]bool, servers)
+	r.paused = make([]bool, servers)
+	r.queues = make([]policy.Queue, servers)
+	for s := range r.queues {
+		q, err := policy.New(core.FIFO.Queue)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.queues[s] = q
+	}
+	rng := rand.New(rand.NewSource(7))
+	for s := 0; s < servers; s++ {
+		r.busy[s] = rng.Intn(2) == 0
+	}
+	if indexed {
+		r.loadIx = new(loadIndex)
+		r.loadIx.init(servers)
+		for s := range r.busy {
+			r.loadChanged(s)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := i % servers
+		r.busy[s] = !r.busy[s]
+		r.loadChanged(s)
+		if r.leastLoaded(s) < 0 {
+			b.Fatal("no server")
+		}
+	}
+}
+
+func BenchmarkLeastLoadedIndex10k(b *testing.B) { benchLeastLoaded(b, 10000, true) }
+func BenchmarkLeastLoadedScan10k(b *testing.B)  { benchLeastLoaded(b, 10000, false) }

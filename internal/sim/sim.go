@@ -1,7 +1,10 @@
 // Package sim is a minimal deterministic discrete-event simulation engine.
-// It provides a virtual millisecond clock and an event heap with strict
+// It provides a virtual millisecond clock and an event queue with strict
 // FIFO tie-breaking, which the cluster simulator builds the TailGuard
-// query-processing model on.
+// query-processing model on. The queue is a hierarchical timing wheel
+// (wheel.go) with O(1) amortized schedule/pop; NewHeapEngine selects the
+// original binary heap, kept as the reference oracle — both produce the
+// exact same (at, seq) pop order, so results are bit-identical.
 //
 // The engine is single-threaded by design: determinism (bit-for-bit
 // reproducible experiments given a seed) matters more here than parallel
@@ -39,9 +42,11 @@ type event struct {
 // eventHeap is a binary min-heap of events ordered by (time, sequence),
 // stored by value with hand-specialized sift-up/sift-down. Scheduling
 // an event is then a plain slice append — no per-event heap allocation
-// and no container/heap interface boxing on the simulator's hottest
-// path. Pop order is identical to the previous container/heap version:
-// (at, seq) is a total order, so any heap yields the same sequence.
+// and no container/heap interface boxing. (at, seq) is a total order,
+// so any correct queue yields the same pop sequence; the heap serves as
+// the timing wheel's far-future overflow level and, via NewHeapEngine,
+// as the reference implementation the wheel is differentially tested
+// against.
 type eventHeap []event
 
 // before reports whether event i must pop before event j.
@@ -97,24 +102,78 @@ func (h *eventHeap) pop() event {
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
-// NewEngine.
+// NewEngine (timing-wheel event queue) or NewHeapEngine (reference
+// binary heap — identical pop order, used as the differential oracle).
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	w       wheel
+	events  eventHeap // reference queue, used only when heapRef is set
+	heapRef bool
 	stopped bool
 }
 
-// NewEngine returns an engine with the clock at zero.
+// NewEngine returns an engine with the clock at zero, backed by the
+// hierarchical timing wheel.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// NewHeapEngine returns an engine backed by the original binary event
+// heap. It executes the exact same event sequence as NewEngine — (at,
+// seq) is a total order, so both queues admit only one pop order — and
+// exists as the reference implementation for the wheel-vs-heap property
+// tests and the perf-smoke equivalence gate.
+func NewHeapEngine() *Engine {
+	return &Engine{heapRef: true}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	if e.heapRef {
+		return len(e.events)
+	}
+	return e.w.n
+}
+
+// pushEvent files ev into the engine's event queue.
+//
+//tg:hotpath
+func (e *Engine) pushEvent(ev event) {
+	if e.heapRef {
+		e.events.push(ev)
+		return
+	}
+	e.w.schedule(ev)
+}
+
+// peekEvent returns the next event to execute without removing it, or
+// nil when none is pending.
+//
+//tg:hotpath
+func (e *Engine) peekEvent() *event {
+	if e.heapRef {
+		if len(e.events) == 0 {
+			return nil
+		}
+		return &e.events[0]
+	}
+	return e.w.peek()
+}
+
+// popEvent removes and returns the earliest event. The caller
+// guarantees one is pending.
+//
+//tg:hotpath
+func (e *Engine) popEvent() event {
+	if e.heapRef {
+		return e.events.pop()
+	}
+	return e.w.pop()
+}
 
 // Schedule runs fn at absolute time at. Scheduling in the past (before
 // Now) is a bookkeeping bug and returns an error.
@@ -126,7 +185,7 @@ func (e *Engine) Schedule(at Time, fn func()) error {
 		return fmt.Errorf("sim: schedule with nil callback")
 	}
 	e.seq++
-	e.events.push(event{at: at, seq: e.seq, fn: fn})
+	e.pushEvent(event{at: at, seq: e.seq, fn: fn})
 	return nil
 }
 
@@ -142,7 +201,7 @@ func (e *Engine) ScheduleCall(at Time, h Handler, arg any, val float64) error {
 		return fmt.Errorf("sim: schedule with nil handler")
 	}
 	e.seq++
-	e.events.push(event{at: at, seq: e.seq, h: h, arg: arg, val: val})
+	e.pushEvent(event{at: at, seq: e.seq, h: h, arg: arg, val: val})
 	return nil
 }
 
@@ -165,10 +224,10 @@ func (e *Engine) ScheduleAfter(d Time, fn func()) error {
 // Step executes the earliest pending event, advancing the clock to it.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.Pending() == 0 {
 		return false
 	}
-	ev := e.events.pop()
+	ev := e.popEvent()
 	e.now = ev.at
 	if ev.h != nil {
 		ev.h(ev.arg, ev.val)
@@ -191,7 +250,8 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 || e.events[0].at > deadline {
+		ev := e.peekEvent()
+		if ev == nil || ev.at > deadline {
 			break
 		}
 		e.Step()
@@ -212,7 +272,8 @@ func (e *Engine) RunUntil(deadline Time) {
 func (e *Engine) RunBefore(limit Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 || e.events[0].at >= limit {
+		ev := e.peekEvent()
+		if ev == nil || ev.at >= limit {
 			break
 		}
 		e.Step()
@@ -224,9 +285,11 @@ func (e *Engine) RunBefore(limit Time) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Reset returns the engine to its initial state (clock at zero, no
-// pending events) while keeping the event heap's capacity, so a pooled
-// engine can run successive simulations without reallocating its heap.
+// pending events) while keeping the event queue's capacity — wheel slot
+// slices, overflow heap, and reference heap alike — so a pooled engine
+// can run successive simulations without reallocating.
 func (e *Engine) Reset() {
+	e.w.reset()
 	for i := range e.events {
 		e.events[i] = event{} // release callbacks and payloads for GC
 	}

@@ -7,14 +7,20 @@
 //
 // Usage:
 //
-//	go run ./tools/benchcompare OLD.json NEW.json
+//	go run ./tools/benchcompare [-max-regress PCT] OLD.json NEW.json
 //
-// Exit status is 0 whenever both inputs parse; the comparison itself
-// never fails the build — it is a report, not a gate.
+// By default exit status is 0 whenever both inputs parse; the
+// comparison itself never fails the build — it is a report, not a gate.
+// With -max-regress set to a positive percentage, any paired
+// benchmark's ns/op regressing by more than that threshold turns the
+// report into a gate: the offenders are listed and the exit status is
+// nonzero, so CI can opt in to blocking on real slowdowns while the
+// default stays advisory.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"math"
@@ -49,19 +55,43 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: benchcompare OLD.json NEW.json")
+	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
+	fs.SetOutput(out)
+	maxRegress := fs.Float64("max-regress", 0,
+		"fail when any paired benchmark's ns/op regresses more than this percentage (0 disables the gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	oldRep, err := load(args[0])
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchcompare [-max-regress PCT] OLD.json NEW.json")
+	}
+	oldRep, err := load(fs.Arg(0))
 	if err != nil {
-		return fmt.Errorf("%s: %w", args[0], err)
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
 	}
-	newRep, err := load(args[1])
+	newRep, err := load(fs.Arg(1))
 	if err != nil {
-		return fmt.Errorf("%s: %w", args[1], err)
+		return fmt.Errorf("%s: %w", fs.Arg(1), err)
 	}
-	Compare(out, oldRep, newRep)
+	regressed := Compare(out, oldRep, newRep)
+	if *maxRegress > 0 {
+		var over []string
+		for _, r := range regressed {
+			if r.pct > *maxRegress {
+				over = append(over, fmt.Sprintf("%s +%.1f%%", r.name, r.pct))
+			}
+		}
+		if len(over) > 0 {
+			return fmt.Errorf("ns/op regressions beyond %.1f%%: %s", *maxRegress, strings.Join(over, ", "))
+		}
+	}
 	return nil
+}
+
+// regression is one paired benchmark whose ns/op got slower.
+type regression struct {
+	name string
+	pct  float64
 }
 
 func load(path string) (*report, error) {
@@ -114,8 +144,11 @@ func humanize(v float64) string {
 	}
 }
 
-// Compare writes the per-benchmark and derived-metric diff.
-func Compare(out io.Writer, oldRep, newRep *report) {
+// Compare writes the per-benchmark and derived-metric diff and returns
+// the paired benchmarks whose ns/op regressed, for the -max-regress
+// gate.
+func Compare(out io.Writer, oldRep, newRep *report) []regression {
+	var regressed []regression
 	oldBy := map[string]benchmark{}
 	for _, b := range oldRep.Benchmarks {
 		oldBy[baseName(b.Name)] = b
@@ -128,6 +161,9 @@ func Compare(out io.Writer, oldRep, newRep *report) {
 			continue
 		}
 		delete(oldBy, name)
+		if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp {
+			regressed = append(regressed, regression{name: name, pct: (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100})
+		}
 		parts := []string{delta(ob.NsPerOp, nb.NsPerOp, "ns/op")}
 		if ob.AllocsPerOp != 0 || nb.AllocsPerOp != 0 {
 			parts = append(parts, delta(ob.AllocsPerOp, nb.AllocsPerOp, "allocs/op"))
@@ -170,4 +206,5 @@ func Compare(out io.Writer, oldRep, newRep *report) {
 	for _, n := range newRep.Notes {
 		fmt.Fprintf(out, "note: %s\n", n)
 	}
+	return regressed
 }

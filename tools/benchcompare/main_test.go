@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -73,5 +75,50 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"a.json", "missing.json"}, &strings.Builder{}); err == nil {
 		t.Error("run with missing files succeeded, want error")
+	}
+	if err := run([]string{"-max-regress", "bogus", "a.json", "b.json"}, &strings.Builder{}); err == nil {
+		t.Error("run with a non-numeric -max-regress succeeded, want error")
+	}
+}
+
+// writeReport marshals a report to a temp file for run() gate tests.
+func writeReport(t *testing.T, name string, rep *report) string {
+	t.Helper()
+	path := t.TempDir() + "/" + name
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal %s: %v", name, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	return path
+}
+
+// TestMaxRegressGate: the default run is a non-blocking report even
+// across a big slowdown; -max-regress turns the same slowdown into an
+// error naming the offender, and leaves within-threshold moves alone.
+func TestMaxRegressGate(t *testing.T) {
+	oldPath := writeReport(t, "old.json", &report{Benchmarks: []benchmark{
+		{Name: "BenchmarkFast", NsPerOp: 100},
+		{Name: "BenchmarkSlow", NsPerOp: 100},
+	}})
+	newPath := writeReport(t, "new.json", &report{Benchmarks: []benchmark{
+		{Name: "BenchmarkFast", NsPerOp: 104}, // +4%
+		{Name: "BenchmarkSlow", NsPerOp: 150}, // +50%
+	}})
+
+	if err := run([]string{oldPath, newPath}, &strings.Builder{}); err != nil {
+		t.Errorf("default run blocked on a regression: %v", err)
+	}
+	if err := run([]string{"-max-regress", "60", oldPath, newPath}, &strings.Builder{}); err != nil {
+		t.Errorf("run gated below threshold: %v", err)
+	}
+	err := run([]string{"-max-regress", "10", oldPath, newPath}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("run accepted a +50% regression against -max-regress 10")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSlow") || strings.Contains(err.Error(), "BenchmarkFast") {
+		t.Errorf("gate error = %q, want BenchmarkSlow flagged and BenchmarkFast spared", err)
 	}
 }
