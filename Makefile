@@ -4,11 +4,12 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke shard-smoke perf-smoke ci clean
+.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke shard-smoke perf-smoke tgd-smoke ci clean
 
 # Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair,
-# the sharded-core throughput pair, and the fast-path micro-benchmarks.
-BENCH_PATTERN := SweepFig4|SimulatorThroughput|ShardedClusterThroughput|SchedulerDo|OnlineCDFAdd|DeadlineEstimation
+# the sharded-core throughput pair, the scheduler-daemon wire cycle, and
+# the fast-path micro-benchmarks.
+BENCH_PATTERN := SweepFig4|SimulatorThroughput|ShardedClusterThroughput|SchedulerDo|OnlineCDFAdd|DeadlineEstimation|TgdEnqueueClaim
 
 all: build
 
@@ -124,7 +125,15 @@ perf-smoke:
 	$(GO) test ./internal/cluster -run 'TestPerfSmokeWheelVsHeap|TestLeastLoadedIndexMatchesScanEndToEnd' -count=1
 	$(GO) test ./internal/sim -run 'TestWheel|FuzzWheelVsHeapPopOrder' -count=1
 
-ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke shard-smoke perf-smoke
+# tgd-smoke proves the scheduler daemon end to end: enqueue a batch of
+# deadline-stamped queries over a journal file, crash a worker mid-lease,
+# kill and restart the daemon from the journal, drain, and assert zero
+# lost and zero double-counted tasks (cmd/tgd -smoke exits nonzero on
+# any violation).
+tgd-smoke:
+	$(GO) run ./cmd/tgd -smoke
+
+ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke shard-smoke perf-smoke tgd-smoke
 
 clean:
 	rm -rf bin

@@ -17,10 +17,12 @@ import (
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
 	"tailguard/internal/experiment"
+	"tailguard/internal/fault"
 	"tailguard/internal/policy"
 	"tailguard/internal/request"
 	"tailguard/internal/saas"
 	"tailguard/internal/sched"
+	"tailguard/internal/tgd"
 	"tailguard/internal/workload"
 )
 
@@ -521,4 +523,44 @@ func BenchmarkShardedClusterThroughput(b *testing.B) {
 			b.ReportMetric(float64(shards), "shards")
 		})
 	}
+}
+
+// BenchmarkTgdEnqueueClaim measures the scheduler daemon's wire
+// throughput: each iteration pushes one fanout-4 query through the full
+// enqueue → claim → complete cycle over the in-process client (real JSON
+// round trips, no sockets) against an in-memory store, reporting tasks
+// settled per wall-clock second.
+func BenchmarkTgdEnqueueClaim(b *testing.B) {
+	d, err := tgd.New(tgd.Config{
+		Resilience:     fault.Resilience{RetryBudget: 1},
+		DefaultLeaseMs: 60000, // never expires inside an iteration
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	c := tgd.NewInProcessClient(d)
+	ctx := context.Background()
+	const fanout = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Enqueue(ctx, tgd.EnqueueRequest{Fanout: fanout, DeadlineMs: 1e15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for range fanout {
+			lease, err := c.Claim(ctx, tgd.ClaimRequest{Worker: "bench"})
+			if err != nil || lease == nil {
+				b.Fatalf("claim: %v %v", lease, err)
+			}
+			if _, err := c.Complete(ctx, tgd.CompleteRequest{
+				QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID, Worker: "bench",
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = resp
+	}
+	reportTasksPerSec(b, float64(b.N*fanout))
 }

@@ -1,0 +1,17 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves a registry's Prometheus text exposition — the
+// shared /metrics endpoint of every daemon in the repo (the SaaS testbed
+// handler and the tgd scheduler daemon both mount it).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are already out; the truncated body is the best
+			// signal available to the scraper.
+			return
+		}
+	})
+}

@@ -3,6 +3,8 @@ package saas
 import (
 	"encoding/json"
 	"net/http"
+
+	"tailguard/internal/obs"
 )
 
 // QueueDebug is one node's live queue state, as served by /debug/queues.
@@ -56,14 +58,7 @@ func (h *Handler) queuesSnapshot() QueuesDebug {
 // Mount it on an operator listener (cmd/tgtestbed -metrics-addr).
 func (h *Handler) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := h.reg.WritePrometheus(w); err != nil {
-			// Headers are already out; the truncated body is the best
-			// signal available to the scraper.
-			return
-		}
-	})
+	mux.Handle("/metrics", obs.MetricsHandler(h.reg))
 	mux.HandleFunc("/debug/queues", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

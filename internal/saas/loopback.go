@@ -1,0 +1,30 @@
+package saas
+
+import "fmt"
+
+// LoopbackTransport is the in-process Transport: Send executes the task
+// directly on the target EdgeNode, bypassing sockets but not the node's
+// store lookup or injected service delay. It exists for deterministic
+// tests and single-process deployments (the tgd worker's fault-injection
+// suite wraps one in a FaultTransport), and as the fastest possible
+// baseline when comparing wire protocols.
+type LoopbackTransport struct {
+	nodes []*EdgeNode
+}
+
+// NewLoopbackTransport builds a transport over in-process nodes, indexed
+// by position. Nil entries reject sends to that index.
+func NewLoopbackTransport(nodes []*EdgeNode) *LoopbackTransport {
+	return &LoopbackTransport{nodes: append([]*EdgeNode(nil), nodes...)}
+}
+
+// Send implements Transport.
+func (t *LoopbackTransport) Send(node int, req TaskRequest) (*TaskResponse, error) {
+	if node < 0 || node >= len(t.nodes) || t.nodes[node] == nil {
+		return nil, fmt.Errorf("saas: loopback transport has no node %d", node)
+	}
+	return t.nodes[node].processTask(req)
+}
+
+// Close implements Transport. The nodes are owned by the caller.
+func (t *LoopbackTransport) Close() error { return nil }

@@ -1,0 +1,266 @@
+package tgd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tailguard/internal/fault"
+)
+
+// Client is the tgd wire client: context-aware JSON calls against a
+// daemon's HTTP surface. The zero value is not usable; construct with
+// NewClient (network) or NewInProcessClient (tests, benchmarks, and the
+// single-process smoke).
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7070"). transport may be nil for the default; pass a
+// FaultedTransport to inject deterministic transport faults.
+func NewClient(baseURL string, transport http.RoundTripper) *Client {
+	return &Client{
+		baseURL: baseURL,
+		http:    &http.Client{Transport: transport},
+	}
+}
+
+// NewInProcessClient builds a client that invokes the daemon's mux
+// directly — no sockets, no serialization skipped (requests still round-
+// trip through the full JSON wire format), so tests and benchmarks
+// exercise the real HTTP surface deterministically.
+func NewInProcessClient(d *Daemon) *Client {
+	return NewClient("http://tgd.inprocess", InProcessTransport(d))
+}
+
+// InProcessTransport returns the socket-free RoundTripper behind
+// NewInProcessClient, exposed so callers can wrap it (e.g. in a
+// FaultedTransport) before handing it to NewClient.
+func InProcessTransport(d *Daemon) http.RoundTripper {
+	return muxTransport{mux: d.Mux()}
+}
+
+// post sends one JSON request and decodes the response into out (which
+// may be nil for endpoints whose body the caller discards). A 204 returns
+// (false, nil); non-2xx statuses surface as *StatusError.
+func (c *Client) post(ctx context.Context, path string, in, out any) (bool, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return false, fmt.Errorf("tgd: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return false, fmt.Errorf("tgd: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		msg := string(data)
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return false, &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return false, fmt.Errorf("tgd: decoding %s response: %w", path, err)
+		}
+	}
+	return true, nil
+}
+
+// StatusError is a non-2xx daemon response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("tgd: daemon returned %d: %s", e.Code, e.Message)
+}
+
+// IsConflict reports whether err is the daemon rejecting a superseded
+// lease (409) — the signal that a slow worker lost its task to repair.
+func IsConflict(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusConflict
+}
+
+// Enqueue submits one query.
+func (c *Client) Enqueue(ctx context.Context, req EnqueueRequest) (*EnqueueResponse, error) {
+	var out EnqueueResponse
+	if _, err := c.post(ctx, "/v1/enqueue", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Claim asks for the earliest-deadline ready task, long-polling for
+// req.WaitMs. It returns (nil, nil) when the wait elapsed empty. The
+// context bounds the whole call, so callers can cancel a parked claim.
+func (c *Client) Claim(ctx context.Context, req ClaimRequest) (*Lease, error) {
+	var out Lease
+	ok, err := c.post(ctx, "/v1/claim", req, &out)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Complete settles a leased task.
+func (c *Client) Complete(ctx context.Context, req CompleteRequest) (*CompleteResponse, error) {
+	var out CompleteResponse
+	if _, err := c.post(ctx, "/v1/complete", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Nack returns a leased task for retry.
+func (c *Client) Nack(ctx context.Context, req NackRequest) (*NackResponse, error) {
+	var out NackResponse
+	if _, err := c.post(ctx, "/v1/nack", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the accounting snapshot.
+func (c *Client) Stats(ctx context.Context) (*Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode}
+	}
+	var s Snapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("tgd: decoding stats: %w", err)
+	}
+	return &s, nil
+}
+
+// --- in-process transport ------------------------------------------------
+
+// muxTransport serves requests straight through an http.Handler,
+// implementing http.RoundTripper without sockets.
+type muxTransport struct {
+	mux http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t muxTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
+	t.mux.ServeHTTP(rec, req)
+	return &http.Response{
+		StatusCode:    rec.code,
+		Status:        http.StatusText(rec.code),
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+	}, nil
+}
+
+// responseRecorder is a minimal in-memory http.ResponseWriter.
+type responseRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+	wrote  bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.body.Write(p)
+}
+
+// --- fault-injected transport --------------------------------------------
+
+// ErrDropped is the cause wrapped into FaultedTransport failures; test
+// with errors.Is. It mirrors saas.ErrDropped on the scheduler-daemon
+// wire.
+var ErrDropped = errors.New("tgd: request dropped by fault injection")
+
+// FaultedTransport decorates an http.RoundTripper with the fault
+// engine's transport faults — the same seam the SaaS testbed's
+// FaultTransport uses, applied to the tgd wire. A request inside a drop
+// window fails with ErrDropped before reaching the daemon; a request
+// inside a delay window sleeps the configured delay first. Drop decisions
+// come from the engine's seeded per-server counter stream, so a client
+// issuing the same request sequence replays the same drops.
+type FaultedTransport struct {
+	// Inner is the wrapped transport; nil means the in-process default
+	// is required and RoundTrip fails.
+	Inner http.RoundTripper
+	// Engine supplies the fault windows; nil injects nothing.
+	Engine *fault.Engine
+	// Node keys this client's drop stream and windows (a "server" index
+	// into the fault plan).
+	Node int
+	// NowMs supplies the clock the windows are expressed in (required
+	// when Engine is set).
+	NowMs func() float64
+	// Sleep overrides delay injection in tests; the default sleeps real
+	// wall time.
+	Sleep func(ms float64)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Inner == nil {
+		return nil, fmt.Errorf("tgd: FaultedTransport needs an inner transport")
+	}
+	if t.Engine != nil {
+		now := t.NowMs()
+		if t.Engine.DropSend(t.Node, now) {
+			return nil, fmt.Errorf("%w: node %d at %.3f ms", ErrDropped, t.Node, now)
+		}
+		if d := t.Engine.SendDelay(t.Node, now); d > 0 {
+			if t.Sleep != nil {
+				t.Sleep(d)
+			} else {
+				time.Sleep(time.Duration(d * float64(time.Millisecond)))
+			}
+		}
+	}
+	return t.Inner.RoundTrip(req)
+}

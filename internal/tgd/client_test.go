@@ -1,0 +1,153 @@
+package tgd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"tailguard/internal/fault"
+)
+
+func TestClaimContextCancel(t *testing.T) {
+	d, _ := testDaemon(t, nil, nil)
+	c := NewInProcessClient(d)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var lease *Lease
+	var err error
+	go func() {
+		defer close(done)
+		lease, err = c.Claim(ctx, ClaimRequest{Worker: "parked", WaitMs: 25000})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled claim never returned")
+	}
+	// Either the handler noticed first (204 → nil lease, nil error) or the
+	// client did (context error); both are prompt unparks, neither a lease.
+	if lease != nil {
+		t.Fatalf("cancelled claim returned a lease: %+v", lease)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled claim error = %v", err)
+	}
+}
+
+func TestStatusErrorAndIsConflict(t *testing.T) {
+	err := error(&StatusError{Code: http.StatusConflict, Message: "superseded"})
+	if !IsConflict(err) {
+		t.Error("IsConflict(409) = false")
+	}
+	if IsConflict(&StatusError{Code: http.StatusNotFound}) {
+		t.Error("IsConflict(404) = true")
+	}
+	if IsConflict(errors.New("plain")) {
+		t.Error("IsConflict(plain error) = true")
+	}
+	if got := err.Error(); got != "tgd: daemon returned 409: superseded" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+// TestWorkerLoopEndToEnd drives the library worker loop against a live
+// (real-clock) daemon: every task's first execution attempt fails, so
+// each travels claim → NACK → backoff → reclaim → complete, and the
+// worker tallies must reconcile with the daemon's accounting.
+func TestWorkerLoopEndToEnd(t *testing.T) {
+	const (
+		queries = 10
+		fanout  = 2
+	)
+	clk := nowWallClock()
+	d, err := New(Config{
+		Resilience:     fault.Resilience{RetryBudget: 2 * fanout},
+		DefaultLeaseMs: 1000,
+		BackoffBaseMs:  1,
+		RepairEvery:    time.Millisecond,
+		NowMs:          clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Start()
+	c := NewInProcessClient(d)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < queries; i++ {
+		if _, err := c.Enqueue(ctx, EnqueueRequest{Fanout: fanout, DeadlineMs: clk() + 10000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fail the first attempt of every task, succeed afterwards.
+	var mu sync.Mutex
+	attempts := make(map[[2]int64]int)
+	exec := func(_ context.Context, l *Lease) error {
+		mu.Lock()
+		defer mu.Unlock()
+		key := [2]int64{l.QueryID, int64(l.TaskIndex)}
+		attempts[key]++
+		if attempts[key] == 1 {
+			return errors.New("injected first-attempt failure")
+		}
+		return nil
+	}
+	workCtx, stopWorkers := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	stats := make([]WorkerStats, 3)
+	for i := range stats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := Worker{Client: c, Name: "e2e", Exec: exec, WaitMs: 5}
+			stats[i] = w.Run(workCtx)
+		}(i)
+	}
+	for {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.QueriesDone+st.QueriesFailed == queries {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("drain timed out: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopWorkers()
+	wg.Wait()
+
+	st := d.Snapshot()
+	if st.QueriesDone != queries || st.QueriesFailed != 0 {
+		t.Fatalf("done=%d failed=%d, want %d/0", st.QueriesDone, st.QueriesFailed, queries)
+	}
+	if st.CompletedTasks != queries*fanout {
+		t.Fatalf("CompletedTasks = %d, want %d", st.CompletedTasks, queries*fanout)
+	}
+	if st.Nacks != queries*fanout {
+		t.Fatalf("Nacks = %d, want exactly one per task (%d)", st.Nacks, queries*fanout)
+	}
+	var total WorkerStats
+	for _, s := range stats {
+		total.Claims += s.Claims
+		total.Completed += s.Completed
+		total.Nacked += s.Nacked
+		total.Conflicts += s.Conflicts
+		total.Errors += s.Errors
+	}
+	if total.Completed != queries*fanout || total.Nacked != queries*fanout {
+		t.Fatalf("worker tallies %+v disagree with daemon accounting", total)
+	}
+	if total.Errors != 0 {
+		t.Fatalf("worker transport errors: %+v", total)
+	}
+}

@@ -1,0 +1,196 @@
+package tgd
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"tailguard/internal/fault"
+)
+
+// goldenMissCount is the deadline-miss total of the seeded durability run
+// below: 1000 queries with seed-42 deadlines, completed one per simulated
+// millisecond across a daemon crash and journal recovery. The schedule is
+// fully deterministic (manual clock, single claimer, seeded deadlines),
+// so any drift here means the TF-EDFQ ordering, the journal replay, or
+// the miss accounting changed.
+const goldenMissCount = 495
+
+// TestDurabilityExactlyOnceAcrossRestart is the end-to-end determinism +
+// durability proof from the issue: enqueue 1k deadline-stamped queries,
+// crash a claimer mid-lease, kill the daemon, restart it from the
+// journal, and drain. Every query must complete exactly once, claims must
+// come out in TF-EDFQ deadline order, and the miss count must match the
+// golden value.
+func TestDurabilityExactlyOnceAcrossRestart(t *testing.T) {
+	const queries = 1000
+	journal := filepath.Join(t.TempDir(), "tgd.wal")
+	clk := &clock{}
+	ctx := context.Background()
+
+	newDaemon := func() *Daemon {
+		fs, err := OpenFileStore(journal, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(Config{
+			Store:          fs,
+			Resilience:     fault.Resilience{RetryBudget: 2},
+			DefaultLeaseMs: 100,
+			NowMs:          clk.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	// completeNext claims the earliest-deadline task and completes it one
+	// simulated millisecond later, returning the claimed deadline.
+	completeNext := func(c *Client) float64 {
+		t.Helper()
+		lease, err := c.Claim(ctx, ClaimRequest{Worker: "drain"})
+		if err != nil || lease == nil {
+			t.Fatalf("claim: %v %v", lease, err)
+		}
+		clk.Advance(1)
+		out, err := c.Complete(ctx, CompleteRequest{
+			QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID, Worker: "drain",
+		})
+		if err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+		if out.Duplicate {
+			t.Fatalf("fresh completion of query %d acknowledged as duplicate", lease.QueryID)
+		}
+		return lease.DeadlineMs
+	}
+
+	// Incarnation A: enqueue everything, drain 99 tasks, crash a claimer.
+	dA := newDaemon()
+	cA := NewInProcessClient(dA)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < queries; i++ {
+		if _, err := cA.Enqueue(ctx, EnqueueRequest{Fanout: 1, DeadlineMs: rng.Float64() * 1000}); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	lastDeadline := -1.0
+	for i := 0; i < 99; i++ {
+		dl := completeNext(cA)
+		if dl < lastDeadline {
+			t.Fatalf("claim %d deadline %v < previous %v: not TF-EDFQ order", i, dl, lastDeadline)
+		}
+		lastDeadline = dl
+	}
+	// The crashing claimer: takes the earliest remaining task and is never
+	// heard from again — the daemon dies with this lease outstanding.
+	crashed, err := cA.Claim(ctx, ClaimRequest{Worker: "crasher"})
+	if err != nil || crashed == nil {
+		t.Fatal(err)
+	}
+	if st := dA.Snapshot(); st.CompletedTasks != 99 || st.Leased != 1 {
+		t.Fatalf("pre-crash stats %+v", st)
+	}
+	if err := dA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation B: recover from the journal. Accounting is continuous;
+	// the orphaned lease did not survive (restart ≡ lease expiry), so its
+	// task is ready again.
+	dB := newDaemon()
+	defer dB.Close()
+	cB := NewInProcessClient(dB)
+	st := dB.Snapshot()
+	if st.Queries != queries || st.CompletedTasks != 99 || st.QueriesDone != 99 {
+		t.Fatalf("recovered stats %+v, want continuous accounting (1000 queries, 99 done)", st)
+	}
+	if st.Ready != queries-99 || st.Leased != 0 {
+		t.Fatalf("recovered queue %+v, want %d ready, no leases", st, queries-99)
+	}
+
+	// The pre-crash lease must not validate against the new incarnation,
+	// even though the task is live again.
+	out, err := cB.Complete(ctx, CompleteRequest{
+		QueryID: crashed.QueryID, TaskIndex: crashed.TaskIndex, LeaseID: crashed.LeaseID, Worker: "crasher",
+	})
+	if err == nil && !out.Duplicate {
+		t.Fatal("stale pre-restart lease completed a task")
+	}
+	if !IsConflict(err) {
+		t.Fatalf("stale pre-restart lease: err=%v, want 409 conflict", err)
+	}
+
+	// Drain the rest. The first claim must be the crashed task (it was the
+	// earliest-deadline task when the daemon died, and recovery preserved
+	// the EDF order).
+	lastDeadline = -1
+	for i := 0; i < queries-99; i++ {
+		dl := completeNext(cB)
+		if i == 0 && dl != crashed.DeadlineMs {
+			t.Fatalf("first post-restart claim deadline %v, want crashed task's %v", dl, crashed.DeadlineMs)
+		}
+		if dl < lastDeadline {
+			t.Fatalf("post-restart claim %d deadline %v < previous %v", i, dl, lastDeadline)
+		}
+		lastDeadline = dl
+	}
+
+	st = dB.Snapshot()
+	if st.QueriesDone != queries || st.CompletedTasks != queries {
+		t.Fatalf("final stats %+v, want all %d exactly-once", st, queries)
+	}
+	if st.QueriesFailed != 0 || st.Ready+st.Delayed+st.Leased+st.InFlight != 0 {
+		t.Fatalf("final stats %+v, want fully settled", st)
+	}
+	if st.Missed != goldenMissCount {
+		t.Fatalf("miss count %d, want golden %d", st.Missed, goldenMissCount)
+	}
+}
+
+// TestRestartIdempotentReplay reopens the same journal twice without new
+// traffic: replay must be repeatable (no state mutation on recovery).
+func TestRestartIdempotentReplay(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "tgd.wal")
+	clk := &clock{}
+	ctx := context.Background()
+	open := func() *Daemon {
+		fs, err := OpenFileStore(journal, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(Config{Store: fs, Resilience: fault.Resilience{RetryBudget: 0}, NowMs: clk.Now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d := open()
+	c := NewInProcessClient(d)
+	if _, err := c.Enqueue(ctx, EnqueueRequest{Fanout: 2, DeadlineMs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	lease, _ := c.Claim(ctx, ClaimRequest{Worker: "w"})
+	if _, err := c.Complete(ctx, CompleteRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID}); err != nil {
+		t.Fatal(err)
+	}
+	// NACK the second task with the budget at zero: the query fails, and
+	// the failure must survive restarts too.
+	lease, _ = c.Claim(ctx, ClaimRequest{Worker: "w"})
+	nack, err := c.Nack(ctx, NackRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID})
+	if err != nil || !nack.Failed {
+		t.Fatalf("nack = %+v, %v; want failed at zero budget", nack, err)
+	}
+	d.Close()
+
+	for i := 0; i < 2; i++ {
+		d = open()
+		st := d.Snapshot()
+		if st.Queries != 1 || st.CompletedTasks != 1 || st.QueriesFailed != 1 || st.Ready != 0 {
+			t.Fatalf("reopen %d: %+v, want 1 query / 1 completed / 1 failed / 0 ready", i, st)
+		}
+		d.Close()
+	}
+}

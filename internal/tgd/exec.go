@@ -1,0 +1,51 @@
+package tgd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"tailguard/internal/saas"
+)
+
+// The bridge between the scheduler daemon and the Sensing-as-a-Service
+// data plane: a tgd task payload can carry a saas.TaskRequest, and a
+// worker executes it against edge nodes through the existing
+// saas.Transport seam — which means saas.FaultTransport (deterministic
+// drop/delay injection) and both real wire protocols plug straight into
+// the daemon's retry and repair machinery.
+
+// SaaSTask is the payload schema SaaSExecutor expects: which edge node to
+// hit and the record-retrieval request to send it.
+type SaaSTask struct {
+	Node    int              `json:"node"`
+	Request saas.TaskRequest `json:"request"`
+}
+
+// MarshalSaaSTask renders one task payload.
+func MarshalSaaSTask(t SaaSTask) json.RawMessage {
+	data, err := json.Marshal(t)
+	if err != nil {
+		// SaaSTask contains only plain data; Marshal cannot fail.
+		panic(err)
+	}
+	return data
+}
+
+// SaaSExecutor returns a Worker.Exec that decodes SaaSTask payloads and
+// sends them through the given transport. Transport failures (including
+// saas.ErrDropped from a FaultTransport) surface as errors, which the
+// worker loop turns into NACKs — fault injection exercises the daemon's
+// deadline-aware retry path end to end.
+func SaaSExecutor(t saas.Transport) func(ctx context.Context, l *Lease) error {
+	return func(_ context.Context, l *Lease) error {
+		var task SaaSTask
+		if err := json.Unmarshal(l.Payload, &task); err != nil {
+			return fmt.Errorf("tgd: lease %d payload is not a SaaSTask: %w", l.LeaseID, err)
+		}
+		if _, err := t.Send(task.Node, task.Request); err != nil {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,92 @@
+package tgd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"tailguard/internal/dist"
+	"tailguard/internal/fault"
+	"tailguard/internal/saas"
+)
+
+// testEdgeNode builds one zero-delay edge node over the default dataset.
+func testEdgeNode(t *testing.T) *saas.EdgeNode {
+	t.Helper()
+	start, end := saas.DefaultStoreSpan()
+	store, err := saas.NewStore(saas.StoreConfig{Start: start, End: end, Interval: 24 * time.Hour, Node: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := saas.NewEdgeNode(saas.EdgeConfig{ID: 0, Store: store, Delay: dist.Deterministic{V: 0}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+// TestSaaSExecutorFaultInjection runs the scheduler's task payloads
+// through the SaaS data plane seam: a LoopbackTransport wrapped in the
+// fault engine's FaultTransport. Inside the drop window the execution
+// fails (which the worker loop would turn into a NACK); outside it the
+// task retrieves real records from the edge node.
+func TestSaaSExecutorFaultInjection(t *testing.T) {
+	node := testEdgeNode(t)
+	eng, err := fault.NewEngine(&fault.Plan{
+		Seed: 1,
+		Faults: []fault.Fault{{
+			Kind: fault.TransportDrop, Server: 0,
+			StartMs: 0, EndMs: 10, DropProb: 1,
+		}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &clock{}
+	transport := &saas.FaultTransport{
+		Inner:  saas.NewLoopbackTransport([]*saas.EdgeNode{node}),
+		Engine: eng,
+		NowMs:  clk.Now,
+	}
+	exec := SaaSExecutor(transport)
+
+	first, _ := start(t, node)
+	lease := &Lease{LeaseID: 1, Payload: MarshalSaaSTask(SaaSTask{
+		Node:    0,
+		Request: saas.TaskRequest{QueryID: 1, TaskID: 0, FromTs: first, ToTs: first + 1},
+	})}
+	// t=5: inside the drop window — the attempt fails and would NACK.
+	clk.Advance(5)
+	if err := exec(context.Background(), lease); !errors.Is(err, saas.ErrDropped) {
+		t.Fatalf("exec in drop window: err=%v, want saas.ErrDropped", err)
+	}
+	// t=20: past the window — the retry succeeds against the real store.
+	clk.Advance(15)
+	if err := exec(context.Background(), lease); err != nil {
+		t.Fatalf("exec past drop window: %v", err)
+	}
+	// Unroutable node and garbage payloads surface as errors, not panics.
+	bad := &Lease{LeaseID: 2, Payload: MarshalSaaSTask(SaaSTask{Node: 7})}
+	if err := exec(context.Background(), bad); err == nil {
+		t.Fatal("exec to unknown node succeeded")
+	}
+	if err := exec(context.Background(), &Lease{LeaseID: 3, Payload: json.RawMessage(`"not a task"`)}); err == nil {
+		t.Fatal("exec of non-SaaSTask payload succeeded")
+	}
+}
+
+// start returns the edge node store's first record timestamp.
+func start(t *testing.T, n *saas.EdgeNode) (int64, int64) {
+	t.Helper()
+	resp, err := saas.NewLoopbackTransport([]*saas.EdgeNode{n}).Send(0, saas.TaskRequest{FromTs: 0, ToTs: 1 << 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Records) == 0 {
+		t.Fatal("edge store empty")
+	}
+	return resp.Records[0].Timestamp, resp.Records[len(resp.Records)-1].Timestamp
+}

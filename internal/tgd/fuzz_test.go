@@ -1,0 +1,76 @@
+package tgd
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"tailguard/internal/fault"
+)
+
+// FuzzWireDecode holds the wire layer to its contract: an arbitrary body
+// POSTed at any endpoint yields a well-formed HTTP status — 400 for
+// malformed or invalid requests, the endpoint's normal statuses
+// otherwise — and never a panic or a hung handler. The daemon has no
+// estimator, a manual clock, and no long-poll (wait_ms is whatever the
+// body says, but the queue only gains tasks the fuzzer legitimately
+// enqueued, so claims return fast).
+func FuzzWireDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{{{`,
+		`null`,
+		`[1,2,3]`,
+		`"string"`,
+		`{"fanout":1,"deadline_ms":50}`,
+		`{"fanout":2,"deadline_ms":50,"payloads":["1","2"]}`,
+		`{"fanout":-1}`,
+		`{"fanout":1,"deadline_ms":1e308}`,
+		`{"fanout":1,"deadline_ms":-1e308}`,
+		`{"worker":"w","wait_ms":0,"lease_ms":5}`,
+		`{"wait_ms":-3}`,
+		`{"query_id":1,"task_index":0,"lease_id":1}`,
+		`{"query_id":-9,"task_index":-9,"lease_id":-9}`,
+		`{"query_id":1,"task_index":0,"lease_id":1,"reason":"x"}`,
+		`{"fanout":1,"deadline_ms":5} {"fanout":1}`,
+		`{"fanout":1,"deadline_ms":5,"unknown":true}`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		for target := 0; target < 4; target++ {
+			f.Add(target, []byte(s))
+		}
+	}
+	paths := []string{"/v1/enqueue", "/v1/claim", "/v1/complete", "/v1/nack"}
+	clk := &clock{}
+	d, err := New(Config{Resilience: fault.Resilience{RetryBudget: 1}, NowMs: clk.Now})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { _ = d.Close() })
+	rt := InProcessTransport(d)
+	f.Fuzz(func(t *testing.T, target int, body []byte) {
+		if target < 0 {
+			target = -target
+		}
+		path := paths[target%len(paths)]
+		req, err := http.NewRequest(http.MethodPost, "http://tgd.inprocess"+path, bytes.NewReader(body))
+		if err != nil {
+			t.Skip()
+		}
+		resp, err := rt.RoundTrip(req)
+		if err != nil {
+			t.Fatalf("in-process round trip failed: %v", err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusNoContent, http.StatusBadRequest,
+			http.StatusNotFound, http.StatusConflict:
+		default:
+			t.Fatalf("POST %s %q: unexpected status %d", path, body, resp.StatusCode)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package tgd
+
+import "time"
+
+// The lease-expiry repair loop: the daemon's guarantee that a worker
+// crash can delay a task but never lose it. Every RepairEvery the loop
+// requeues tasks whose lease expired (their holders went silent) and
+// promotes tasks whose retry backoff elapsed, waking parked claimers.
+// Claim also repairs inline, so repair latency only matters when every
+// claimer is parked — exactly the case the loop covers.
+
+// Start launches the repair loop. It is idempotent; Close stops it.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		return
+	}
+	d.started = true
+	d.stop = make(chan struct{})
+	d.loopWG.Add(1)
+	go d.repairLoop(d.stop)
+}
+
+// repairLoop ticks RepairNow until stopped.
+func (d *Daemon) repairLoop(stop <-chan struct{}) {
+	defer d.loopWG.Done()
+	ticker := time.NewTicker(d.cfg.RepairEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			d.RepairNow()
+		}
+	}
+}
+
+// RepairNow runs one repair pass and returns the number of expired
+// leases requeued. Tests with manual clocks call it directly instead of
+// starting the loop.
+func (d *Daemon) RepairNow() int {
+	n := d.table.Repair(d.nowMs())
+	if n > 0 {
+		d.met.expired.Add(uint64(n))
+	}
+	return n
+}
+
+// Close stops the repair loop and closes the store. The HTTP surface is
+// owned by the caller (shut the server down first); Close is idempotent.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.started {
+		d.started = false
+		close(d.stop)
+	}
+	d.mu.Unlock()
+	d.loopWG.Wait()
+	return d.store.Close()
+}

@@ -1,0 +1,397 @@
+package tgd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"tailguard/internal/fault"
+)
+
+// clock is a manual daemon clock: tests advance it explicitly, which also
+// makes lease expiry and retry backoff deterministic.
+type clock struct {
+	mu sync.Mutex
+	ms float64 // guarded by mu
+}
+
+func (c *clock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ms
+}
+
+func (c *clock) Advance(ms float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ms += ms
+}
+
+// testDaemon builds a manual-clock daemon over the given store (nil for
+// in-memory) and registers its cleanup.
+func testDaemon(t *testing.T, store Store, mutate func(*Config)) (*Daemon, *clock) {
+	t.Helper()
+	clk := &clock{}
+	cfg := Config{
+		Store:          store,
+		Resilience:     fault.Resilience{RetryBudget: 2},
+		DefaultLeaseMs: 100,
+		BackoffBaseMs:  10,
+		BackoffCapMs:   1000,
+		NowMs:          clk.Now,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	return d, clk
+}
+
+// postRaw sends raw bytes at the daemon mux and returns status and body.
+func postRaw(t *testing.T, d *Daemon, path string, body []byte) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://tgd.inprocess"+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := InProcessTransport(d).RoundTrip(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+func TestEnqueueClaimCompleteFlow(t *testing.T) {
+	d, clk := testDaemon(t, nil, nil)
+	c := NewInProcessClient(d)
+	ctx := context.Background()
+
+	// Enqueue three queries with deadlines deliberately out of arrival
+	// order; claims must come back in TF-EDFQ (earliest-deadline) order.
+	deadlines := []float64{300, 100, 200}
+	for _, dl := range deadlines {
+		resp, err := c.Enqueue(ctx, EnqueueRequest{Fanout: 1, DeadlineMs: dl})
+		if err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+		if resp.BudgetMs != dl {
+			t.Errorf("BudgetMs = %v, want %v (clock at 0)", resp.BudgetMs, dl)
+		}
+	}
+	var got []float64
+	for i := 0; i < 3; i++ {
+		lease, err := c.Claim(ctx, ClaimRequest{Worker: "w"})
+		if err != nil || lease == nil {
+			t.Fatalf("Claim %d: lease=%v err=%v", i, lease, err)
+		}
+		if lease.Attempt != 1 {
+			t.Errorf("Attempt = %d, want 1", lease.Attempt)
+		}
+		got = append(got, lease.DeadlineMs)
+		clk.Advance(1)
+		out, err := c.Complete(ctx, CompleteRequest{
+			QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID, Worker: "w",
+		})
+		if err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+		if !out.QueryDone || out.Duplicate || out.Missed {
+			t.Errorf("Complete outcome = %+v, want clean QueryDone", out)
+		}
+	}
+	want := []float64{100, 200, 300}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("claim deadlines %v, want EDF order %v", got, want)
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 3 || st.CompletedTasks != 3 || st.QueriesDone != 3 || st.Missed != 0 {
+		t.Errorf("stats %+v, want 3/3/3 done, 0 missed", st)
+	}
+	if st.Ready+st.Delayed+st.Leased+st.InFlight != 0 {
+		t.Errorf("live state not drained: %+v", st)
+	}
+}
+
+func TestEnqueuePayloadsAndDeadlineMiss(t *testing.T) {
+	d, clk := testDaemon(t, nil, nil)
+	c := NewInProcessClient(d)
+	ctx := context.Background()
+	if _, err := c.Enqueue(ctx, EnqueueRequest{
+		Fanout:     2,
+		DeadlineMs: 50,
+		Payloads:   []json.RawMessage{json.RawMessage(`{"shard":0}`), json.RawMessage(`{"shard":1}`)},
+	}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		lease, err := c.Claim(ctx, ClaimRequest{Worker: "w"})
+		if err != nil || lease == nil {
+			t.Fatalf("Claim: %v %v", lease, err)
+		}
+		seen[string(lease.Payload)] = true
+		// Finish the second task after the deadline.
+		if i == 1 {
+			clk.Advance(100)
+		}
+		out, err := c.Complete(ctx, CompleteRequest{
+			QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 && !out.Missed {
+			t.Error("second task completed at t=100 vs deadline 50; want Missed")
+		}
+	}
+	if !seen[`{"shard":0}`] || !seen[`{"shard":1}`] {
+		t.Errorf("payloads not delivered verbatim: %v", seen)
+	}
+	if st := d.Snapshot(); st.Missed != 1 || st.QueriesDone != 1 {
+		t.Errorf("stats %+v, want 1 missed, 1 done", st)
+	}
+}
+
+func TestEnqueueRejections(t *testing.T) {
+	d, _ := testDaemon(t, nil, nil)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{{{`},
+		{"unknown field", `{"fanout":1,"deadline_ms":5,"bogus":1}`},
+		{"zero fanout", `{"fanout":0,"deadline_ms":5}`},
+		{"huge fanout", `{"fanout":999999,"deadline_ms":5}`},
+		{"negative class", `{"fanout":1,"class":-1,"deadline_ms":5}`},
+		{"negative deadline", `{"fanout":1,"deadline_ms":-5}`},
+		{"payload mismatch", `{"fanout":2,"deadline_ms":5,"payloads":["a"]}`},
+		{"no estimator no deadline", `{"fanout":1}`},
+		{"trailing garbage", `{"fanout":1,"deadline_ms":5} extra`},
+	}
+	for _, tc := range cases {
+		if code, body := postRaw(t, d, "/v1/enqueue", []byte(tc.body)); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, code, body)
+		}
+	}
+	if st := d.Snapshot(); st.Queries != 0 {
+		t.Errorf("rejected enqueues were admitted: %+v", st)
+	}
+}
+
+func TestClaimRejections(t *testing.T) {
+	d, _ := testDaemon(t, nil, nil)
+	for name, body := range map[string]string{
+		"negative wait": `{"wait_ms":-1}`,
+		"huge wait":     `{"wait_ms":1e9}`,
+		"huge lease":    `{"lease_ms":1e9}`,
+	} {
+		if code, _ := postRaw(t, d, "/v1/claim", []byte(body)); code != http.StatusBadRequest {
+			t.Errorf("%s: want 400", name)
+		}
+	}
+	// Empty queue without wait: 204, not an error.
+	if code, _ := postRaw(t, d, "/v1/claim", []byte(`{}`)); code != http.StatusNoContent {
+		t.Errorf("empty claim: want 204")
+	}
+}
+
+func TestCompleteUnknownAndStale(t *testing.T) {
+	d, clk := testDaemon(t, nil, nil)
+	c := NewInProcessClient(d)
+	ctx := context.Background()
+
+	// Unknown query: acknowledged as duplicate (it may simply be settled
+	// and evicted — the worker cannot act on the difference).
+	out, err := c.Complete(ctx, CompleteRequest{QueryID: 42, TaskIndex: 0, LeaseID: 1})
+	if err != nil || !out.Duplicate {
+		t.Fatalf("unknown-query complete: %+v, %v; want duplicate ack", out, err)
+	}
+	// Bad task index on a live query: 404.
+	if _, err := c.Enqueue(ctx, EnqueueRequest{Fanout: 1, DeadlineMs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := postRaw(t, d, "/v1/complete", []byte(`{"query_id":1,"task_index":7,"lease_id":1}`)); code != http.StatusNotFound {
+		t.Errorf("bad index: want 404, got %d", code)
+	}
+	// Wrong lease ID on a live lease: 409.
+	lease, err := c.Claim(ctx, ClaimRequest{Worker: "w"})
+	if err != nil || lease == nil {
+		t.Fatal(err)
+	}
+	_, err = c.Complete(ctx, CompleteRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID + 999})
+	if !IsConflict(err) {
+		t.Fatalf("wrong lease ID: err=%v, want 409 conflict", err)
+	}
+	// Expired-and-repaired lease: 409, and the reclaim is attempt 2.
+	clk.Advance(1000)
+	if n := d.RepairNow(); n != 1 {
+		t.Fatalf("RepairNow = %d, want 1 expired lease", n)
+	}
+	_, err = c.Complete(ctx, CompleteRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID})
+	if !IsConflict(err) {
+		t.Fatalf("expired lease: err=%v, want 409 conflict", err)
+	}
+	lease2, err := c.Claim(ctx, ClaimRequest{Worker: "w2"})
+	if err != nil || lease2 == nil {
+		t.Fatal(err)
+	}
+	if lease2.Attempt != 2 || lease2.QueryID != lease.QueryID {
+		t.Errorf("reclaim = %+v, want attempt 2 of query %d", lease2, lease.QueryID)
+	}
+	if _, err := c.Complete(ctx, CompleteRequest{QueryID: lease2.QueryID, TaskIndex: lease2.TaskIndex, LeaseID: lease2.LeaseID}); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Snapshot()
+	if st.CompletedTasks != 1 || st.Expired != 1 || st.Duplicates != 1 {
+		t.Errorf("stats %+v, want exactly-once despite expiry (1 completed, 1 expired, 1 duplicate)", st)
+	}
+}
+
+func TestNackRetryBackoffAndBudget(t *testing.T) {
+	d, clk := testDaemon(t, nil, nil) // retry budget 2
+	c := NewInProcessClient(d)
+	ctx := context.Background()
+	// Deadline 400 away: first backoff is base (10), well under slack/2.
+	if _, err := c.Enqueue(ctx, EnqueueRequest{Fanout: 1, DeadlineMs: 400}); err != nil {
+		t.Fatal(err)
+	}
+	lease, _ := c.Claim(ctx, ClaimRequest{Worker: "w"})
+	nack, err := c.Nack(ctx, NackRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID, Reason: "transient"})
+	if err != nil || !nack.Requeued {
+		t.Fatalf("first NACK: %+v, %v; want requeued", nack, err)
+	}
+	if nack.RetryAtMs != 10 {
+		t.Errorf("RetryAtMs = %v, want 10 (base backoff)", nack.RetryAtMs)
+	}
+	// Not ready until the backoff elapses.
+	if l, _ := c.Claim(ctx, ClaimRequest{Worker: "w"}); l != nil {
+		t.Fatal("claimed a task still in backoff")
+	}
+	clk.Advance(11)
+	lease, _ = c.Claim(ctx, ClaimRequest{Worker: "w"})
+	if lease == nil || lease.Attempt != 2 {
+		t.Fatalf("post-backoff claim = %+v, want attempt 2", lease)
+	}
+	// Second attempt doubles the backoff: base·2^(attempt-1) = 20.
+	nack, _ = c.Nack(ctx, NackRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID})
+	if !nack.Requeued || nack.RetryAtMs != clk.Now()+20 {
+		t.Fatalf("second NACK = %+v, want retry at %v", nack, clk.Now()+20)
+	}
+	clk.Advance(21)
+	lease, _ = c.Claim(ctx, ClaimRequest{Worker: "w"})
+	if lease == nil || lease.Attempt != 3 {
+		t.Fatalf("third claim = %+v", lease)
+	}
+	// Budget (2) is spent: the third NACK fails the query permanently.
+	nack, err = c.Nack(ctx, NackRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID})
+	if err != nil || !nack.Failed || nack.Requeued {
+		t.Fatalf("third NACK = %+v, %v; want failed", nack, err)
+	}
+	st := d.Snapshot()
+	if st.QueriesFailed != 1 || st.Retries != 2 || st.Nacks != 3 || st.QueriesDone != 0 {
+		t.Errorf("stats %+v, want 1 failed / 2 retries / 3 nacks", st)
+	}
+	// A straggler completion for the failed query is acknowledged as a
+	// duplicate, never counted.
+	out, err := c.Complete(ctx, CompleteRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID})
+	if err != nil || !out.Duplicate {
+		t.Fatalf("post-fail complete = %+v, %v; want duplicate ack", out, err)
+	}
+	if st := d.Snapshot(); st.CompletedTasks != 0 {
+		t.Errorf("failed query's task was counted completed")
+	}
+}
+
+func TestNackBackoffDeadlineAware(t *testing.T) {
+	d, _ := testDaemon(t, nil, nil)
+	c := NewInProcessClient(d)
+	ctx := context.Background()
+	// Slack 8 ms: backoff is clamped to slack/2 = 4, below the base.
+	if _, err := c.Enqueue(ctx, EnqueueRequest{Fanout: 1, DeadlineMs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	lease, _ := c.Claim(ctx, ClaimRequest{Worker: "w"})
+	nack, _ := c.Nack(ctx, NackRequest{QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID})
+	if nack.RetryAtMs != 4 {
+		t.Errorf("near-deadline RetryAtMs = %v, want 4 (slack/2)", nack.RetryAtMs)
+	}
+}
+
+func TestLongPollWake(t *testing.T) {
+	d, _ := testDaemon(t, nil, nil)
+	c := NewInProcessClient(d)
+	ctx := context.Background()
+	got := make(chan *Lease, 1)
+	errs := make(chan error, 1)
+	go func() {
+		lease, err := c.Claim(ctx, ClaimRequest{Worker: "parked", WaitMs: 25000})
+		errs <- err
+		got <- lease
+	}()
+	// The claim parks (queue empty); the enqueue must wake it.
+	if _, err := c.Enqueue(ctx, EnqueueRequest{Fanout: 1, DeadlineMs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("parked claim: %v", err)
+	}
+	if lease := <-got; lease == nil || lease.QueryID != 1 {
+		t.Fatalf("parked claim returned %+v", lease)
+	}
+}
+
+func TestStatsAndMetricsEndpoints(t *testing.T) {
+	d, _ := testDaemon(t, nil, nil)
+	c := NewInProcessClient(d)
+	ctx := context.Background()
+	if _, err := c.Enqueue(ctx, EnqueueRequest{Fanout: 3, DeadlineMs: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/stats", "/debug/queues", "/metrics", "/healthz"} {
+		req, _ := http.NewRequest(http.MethodGet, "http://tgd.inprocess"+path, nil)
+		resp, err := InProcessTransport(d).RoundTrip(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+		switch path {
+		case "/v1/stats", "/debug/queues":
+			if !strings.Contains(string(body), `"ready":3`) {
+				t.Errorf("%s body %s missing ready=3", path, body)
+			}
+		case "/metrics":
+			for _, series := range []string{"tgd_queries_total 1", "tgd_tasks_total 3", "tgd_ready_tasks"} {
+				if !strings.Contains(string(body), series) {
+					t.Errorf("/metrics missing %q", series)
+				}
+			}
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NextDeadlineMs != 100 {
+		t.Errorf("NextDeadlineMs = %v, want 100", st.NextDeadlineMs)
+	}
+}

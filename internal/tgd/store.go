@@ -1,0 +1,235 @@
+package tgd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The durability seam. Every queue mutation that must survive a daemon
+// restart is appended to the Store as a Record *before* it is applied to
+// the in-memory lease table (write-ahead discipline); New replays the
+// store to rebuild the queue. Leases, NACK backoff timers, and long-poll
+// parking are deliberately volatile: a restart drops every outstanding
+// lease, which is indistinguishable from the leases expiring — the repair
+// contract (requeue and redeliver) already covers it.
+
+// OpKind names a journaled mutation.
+type OpKind string
+
+// Journaled operations.
+const (
+	// OpEnqueue records a fully validated, deadline-stamped query.
+	OpEnqueue OpKind = "enqueue"
+	// OpComplete records the first completion of one task.
+	OpComplete OpKind = "complete"
+	// OpFail records a query failed permanently (retry budget exhausted).
+	OpFail OpKind = "fail"
+)
+
+// QueryRecord is the durable form of one enqueued query.
+type QueryRecord struct {
+	ID         int64             `json:"id"`
+	Class      int               `json:"class"`
+	Fanout     int               `json:"fanout"`
+	ArrivalMs  float64           `json:"arrival_ms"`
+	DeadlineMs float64           `json:"deadline_ms"`
+	Payloads   []json.RawMessage `json:"payloads,omitempty"`
+}
+
+// Record is one durable queue mutation.
+type Record struct {
+	Op OpKind `json:"op"`
+	// Query is set for OpEnqueue.
+	Query *QueryRecord `json:"query,omitempty"`
+	// QueryID/TaskIndex identify the task for OpComplete and the query
+	// for OpFail (TaskIndex unused there).
+	QueryID   int64 `json:"query_id,omitempty"`
+	TaskIndex int   `json:"task_index,omitempty"`
+	// AtMs is the daemon time of the mutation; replay uses it to
+	// reconstruct deadline-miss accounting exactly.
+	AtMs float64 `json:"at_ms,omitempty"`
+}
+
+// validate rejects records that cannot have been produced by a daemon —
+// the replay-side guard against a corrupted or hand-edited journal.
+func (r Record) validate() error {
+	switch r.Op {
+	case OpEnqueue:
+		if r.Query == nil {
+			return fmt.Errorf("tgd: enqueue record without query")
+		}
+		if r.Query.Fanout < 1 {
+			return fmt.Errorf("tgd: enqueue record for query %d with fanout %d", r.Query.ID, r.Query.Fanout)
+		}
+		if n := len(r.Query.Payloads); n != 0 && n != r.Query.Fanout {
+			return fmt.Errorf("tgd: enqueue record for query %d with %d payloads, fanout %d", r.Query.ID, n, r.Query.Fanout)
+		}
+	case OpComplete, OpFail:
+		if r.QueryID <= 0 {
+			return fmt.Errorf("tgd: %s record without query_id", r.Op)
+		}
+	default:
+		return fmt.Errorf("tgd: unknown journal op %q", r.Op)
+	}
+	return nil
+}
+
+// Store persists queue mutations. Append must make the record durable (to
+// the store's own standard: MemStore survives nothing, FileStore a
+// process crash) before returning; Replay streams every previously
+// appended record in order. Implementations must be safe for concurrent
+// Append calls.
+type Store interface {
+	Append(r Record) error
+	Replay(apply func(Record) error) error
+	Close() error
+}
+
+// MemStore is the in-memory Store: records survive only as long as the
+// process (Replay still works, so tests can rebuild a table from one).
+// The zero value is ready to use.
+type MemStore struct {
+	mu   sync.Mutex
+	recs []Record // guarded by mu
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (s *MemStore) Append(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, r)
+	return nil
+}
+
+// Replay implements Store.
+func (s *MemStore) Replay(apply func(Record) error) error {
+	s.mu.Lock()
+	recs := append([]Record(nil), s.recs...)
+	s.mu.Unlock()
+	for _, r := range recs {
+		if err := apply(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is the write-ahead journal file Store: one JSON record per
+// line, appended with O_APPEND. With Sync enabled every Append fsyncs, so
+// an acknowledged enqueue survives power loss; without it the journal
+// survives a process crash but trusts the kernel for the final flush.
+type FileStore struct {
+	path string
+	sync bool
+
+	mu sync.Mutex
+	f  *os.File      // guarded by mu
+	w  *bufio.Writer // guarded by mu
+}
+
+// OpenFileStore opens (creating if absent) the journal at path.
+func OpenFileStore(path string, syncEvery bool) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tgd: opening journal: %w", err)
+	}
+	return &FileStore{path: path, sync: syncEvery, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append implements Store: encode, write one line, flush (and fsync when
+// configured) before acknowledging.
+func (s *FileStore) Append(r Record) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("tgd: encoding journal record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("tgd: journal %s is closed", s.path)
+	}
+	if _, err := s.w.Write(data); err != nil {
+		return fmt.Errorf("tgd: appending journal record: %w", err)
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("tgd: appending journal record: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("tgd: flushing journal: %w", err)
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("tgd: syncing journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replay implements Store: stream the journal from the start through a
+// separate read handle. A truncated final line (torn write at crash) ends
+// the replay cleanly; a malformed line earlier in the file is corruption
+// and an error.
+func (s *FileStore) Replay(apply func(Record) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("tgd: opening journal for replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 8*maxBodyBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			// Only a torn final write is forgivable; see above.
+			if peekEOF(sc) {
+				return nil
+			}
+			return fmt.Errorf("tgd: journal %s line %d corrupt: %v", s.path, line, err)
+		}
+		if err := r.validate(); err != nil {
+			return fmt.Errorf("tgd: journal %s line %d: %w", s.path, line, err)
+		}
+		if err := apply(r); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return fmt.Errorf("tgd: reading journal %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// peekEOF reports whether the scanner has no further lines.
+func peekEOF(sc *bufio.Scanner) bool { return !sc.Scan() }
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	flushErr := s.w.Flush()
+	closeErr := s.f.Close()
+	s.f = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

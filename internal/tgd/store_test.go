@@ -1,0 +1,145 @@
+package tgd
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMemStoreReplayOrder(t *testing.T) {
+	s := NewMemStore()
+	recs := []Record{
+		{Op: OpEnqueue, Query: &QueryRecord{ID: 1, Fanout: 1, DeadlineMs: 5}},
+		{Op: OpComplete, QueryID: 1, TaskIndex: 0, AtMs: 2},
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []OpKind
+	if err := s.Replay(func(r Record) error {
+		got = append(got, r.Op)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != OpEnqueue || got[1] != OpComplete {
+		t.Fatalf("replay order %v", got)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	s, err := OpenFileStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Op: OpEnqueue, Query: &QueryRecord{ID: 1, Fanout: 2, DeadlineMs: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Op: OpFail, QueryID: 1, AtMs: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append after close is an error, not a crash.
+	if err := s.Append(Record{Op: OpFail, QueryID: 2}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	// A fresh store over the same file replays both records.
+	s2, err := OpenFileStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n := 0
+	if err := s2.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d records, want 2", n)
+	}
+}
+
+func TestFileStoreTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	good := `{"op":"enqueue","query":{"id":1,"fanout":1,"deadline_ms":5}}` + "\n"
+	torn := `{"op":"complete","query_id":1,"task_i` // crashed mid-write
+	if err := os.WriteFile(path, []byte(good+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	if err := s.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatalf("torn final line must end replay cleanly, got %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records, want the 1 intact record", n)
+	}
+}
+
+func TestFileStoreMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	body := "GARBAGE NOT JSON\n" +
+		`{"op":"enqueue","query":{"id":1,"fanout":1,"deadline_ms":5}}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	err = s.Replay(func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption must fail replay, got %v", err)
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	bad := []Record{
+		{Op: "bogus"},
+		{Op: OpEnqueue},
+		{Op: OpEnqueue, Query: &QueryRecord{ID: 1, Fanout: 0}},
+		{Op: OpEnqueue, Query: &QueryRecord{ID: 1, Fanout: 2, Payloads: make([]json.RawMessage, 1)}},
+		{Op: OpComplete},
+		{Op: OpFail, QueryID: 0},
+	}
+	for i, r := range bad {
+		if err := r.validate(); err == nil {
+			t.Errorf("record %d (%+v) validated", i, r)
+		}
+	}
+	good := Record{Op: OpComplete, QueryID: 3, TaskIndex: 1, AtMs: 7}
+	if err := good.validate(); err != nil {
+		t.Errorf("good record rejected: %v", err)
+	}
+}
+
+// TestDaemonRejectsCorruptJournal: a daemon must refuse to start over a
+// journal it cannot trust rather than serve a half-recovered queue.
+func TestDaemonRejectsCorruptJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	// A complete for a query the journal never enqueued.
+	body := `{"op":"complete","query_id":9,"task_index":0,"at_ms":1}` + "\n" +
+		`{"op":"enqueue","query":{"id":9,"fanout":1,"deadline_ms":5}}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := New(Config{Store: s}); err == nil {
+		t.Fatal("daemon started over an out-of-order journal")
+	}
+}

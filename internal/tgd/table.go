@@ -1,0 +1,676 @@
+package tgd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"tailguard/internal/fault"
+	"tailguard/internal/policy"
+)
+
+// ErrUnknownTask marks lookups of task indices a query never had — the
+// caller-fault (404) error class, as opposed to journal failures (500).
+var ErrUnknownTask = errors.New("tgd: no such task")
+
+// The lease table: the daemon's in-memory queue state machine. Each task
+// moves through
+//
+//	ready ──claim──▶ leased ──complete──▶ done
+//	  ▲                │  │
+//	  │   lease expiry │  │ NACK (budget left)
+//	  ├────────────────┘  ▼
+//	  └──backoff──── delayed          NACK (budget spent) ──▶ failed
+//
+// Ready tasks are ordered by TF-EDFQ deadline in a policy.EDF queue (ties
+// by enqueue sequence — the same discipline the simulator's TailGuard
+// policy uses); delayed tasks wait out their retry backoff in a ready-time
+// heap; leased tasks sit in a lease-expiry heap the repair pass drains.
+// Completion accounting is exactly-once: a task counts the first time it
+// completes, later deliveries acknowledge as duplicates.
+//
+// The table is the concurrency boundary of the daemon: every method takes
+// the table mutex, and the policy queue / heaps / query map are only
+// touched under it. Durability is the caller's job (write-ahead append to
+// the Store before calling Apply*); the table itself is volatile.
+
+// Task states. A fresh task is stateNew until its first push; only
+// ready/delayed/leased states are depth-counted.
+const (
+	stateNew uint8 = iota
+	stateReady
+	stateDelayed
+	stateLeased
+	stateDone
+	stateFailed
+)
+
+// taskState is one task's live record.
+type taskState struct {
+	query   *queryState
+	index   int
+	payload []byte
+
+	state       uint8
+	attempt     int     // claims delivered so far
+	leaseID     int64   // current lease; 0 when not leased
+	expiryMs    float64 // lease expiry (state == stateLeased)
+	readyAtMs   float64 // backoff end (state == stateDelayed)
+	worker      string  // current/last lease holder
+	completedMs float64 // first completion time (state == stateDone)
+}
+
+// queryState is one query's live record.
+type queryState struct {
+	id         int64
+	class      int
+	fanout     int
+	arrivalMs  float64
+	deadlineMs float64
+	tasks      []*taskState
+	done       int  // tasks completed
+	retries    int  // NACK retries spent against the per-query budget
+	failed     bool // retry budget exhausted; remaining tasks cancelled
+}
+
+// delayEntry is one backoff-delayed task.
+type delayEntry struct {
+	readyAtMs float64
+	seq       int64 // FIFO tie-break so equal ready times stay ordered
+	task      *taskState
+}
+
+// leaseEntry is one outstanding lease in expiry order. Entries are lazy:
+// completion and NACK leave them in place, and the repair pass discards
+// entries whose lease ID no longer matches the task.
+type leaseEntry struct {
+	expiryMs float64
+	leaseID  int64
+	task     *taskState
+}
+
+// tableConfig carries the policy knobs the table needs.
+type tableConfig struct {
+	resilience    fault.Resilience
+	backoffBaseMs float64
+	backoffCapMs  float64
+}
+
+// table is the daemon's queue state. All fields below mu are its
+// critical section; the HTTP layer never touches them directly.
+//
+//tg:lockorder tailguard/internal/tgd.table.mu < tailguard/internal/tgd.MemStore.mu
+//tg:lockorder tailguard/internal/tgd.table.mu < tailguard/internal/tgd.FileStore.mu
+type table struct {
+	cfg tableConfig
+
+	mu       sync.Mutex
+	ready    policy.Queue          // guarded by mu
+	pool     policy.TaskPool       // guarded by mu
+	delayed  []delayEntry          // guarded by mu (min-heap on readyAtMs, seq)
+	leases   []leaseEntry          // guarded by mu (min-heap on expiryMs)
+	queries  map[int64]*queryState // guarded by mu
+	querySeq int64                 // guarded by mu
+	leaseSeq int64                 // guarded by mu
+	delaySeq int64                 // guarded by mu
+	notify   chan struct{}         // guarded by mu (replaced on every wake)
+	counts   Snapshot              // guarded by mu (cumulative fields only)
+	// Live per-state task counts. The ready queue and both heaps hold
+	// lazily-cancelled copies, so their lengths over-count; these are the
+	// exact depths.
+	nReady   int // guarded by mu
+	nDelayed int // guarded by mu
+	nLeased  int // guarded by mu
+}
+
+// setStateLocked moves a task between states, keeping the live depth
+// counters exact. Done/failed tasks are not depth-counted.
+func (t *table) setStateLocked(ts *taskState, state uint8) {
+	switch ts.state {
+	case stateReady:
+		t.nReady--
+	case stateDelayed:
+		t.nDelayed--
+	case stateLeased:
+		t.nLeased--
+	}
+	switch state {
+	case stateReady:
+		t.nReady++
+	case stateDelayed:
+		t.nDelayed++
+	case stateLeased:
+		t.nLeased++
+	}
+	ts.state = state
+}
+
+// newTable builds an empty table.
+func newTable(cfg tableConfig) (*table, error) {
+	q, err := policy.New(policy.EDF)
+	if err != nil {
+		return nil, err
+	}
+	return &table{
+		cfg:     cfg,
+		ready:   q,
+		queries: make(map[int64]*queryState),
+		notify:  make(chan struct{}),
+	}, nil
+}
+
+// waitChan returns the channel closed at the next wake-up (task becomes
+// ready). Callers grab it before their final claim attempt so a wake
+// between claim and wait is never lost.
+func (t *table) waitChan() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.notify
+}
+
+// wakeLocked signals every parked claimer and re-arms.
+func (t *table) wakeLocked() {
+	close(t.notify)
+	t.notify = make(chan struct{})
+}
+
+// pushReadyLocked moves a task into the EDF ready queue.
+func (t *table) pushReadyLocked(ts *taskState, nowMs float64) {
+	t.setStateLocked(ts, stateReady)
+	ts.leaseID = 0
+	p := t.pool.Get()
+	p.QueryID = ts.query.id
+	p.Index = ts.index
+	p.Class = ts.query.class
+	p.Arrival = ts.query.arrivalMs
+	p.Deadline = ts.query.deadlineMs
+	p.Enqueued = nowMs
+	p.Payload = ts
+	t.ready.Push(p)
+}
+
+// NextQueryID reserves the next query ID. The caller journals the
+// enqueue under this ID before applying it, so IDs are assigned in
+// arrival order and replay reconstructs the same sequence.
+func (t *table) NextQueryID() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.querySeq++
+	return t.querySeq
+}
+
+// ApplyEnqueue installs a journaled query and wakes claimers. It is the
+// single admission path: live enqueues and journal replay both land here,
+// which is what keeps restart recovery bit-equal to the original run.
+func (t *table) ApplyEnqueue(q *QueryRecord) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.queries[q.ID]; ok {
+		return fmt.Errorf("tgd: duplicate query id %d", q.ID)
+	}
+	qs := &queryState{
+		id:         q.ID,
+		class:      q.Class,
+		fanout:     q.Fanout,
+		arrivalMs:  q.ArrivalMs,
+		deadlineMs: q.DeadlineMs,
+		tasks:      make([]*taskState, q.Fanout),
+	}
+	for i := range qs.tasks {
+		ts := &taskState{query: qs, index: i}
+		if len(q.Payloads) == q.Fanout {
+			ts.payload = q.Payloads[i]
+		}
+		qs.tasks[i] = ts
+		t.pushReadyLocked(ts, q.ArrivalMs)
+	}
+	t.queries[q.ID] = qs
+	if q.ID > t.querySeq {
+		t.querySeq = q.ID
+	}
+	t.counts.Queries++
+	t.counts.Tasks += int64(q.Fanout)
+	t.wakeLocked()
+	return nil
+}
+
+// ApplyComplete marks one task done during journal replay. Live
+// completions go through Complete; replay bypasses lease validation
+// because the journal only ever records accepted completions.
+func (t *table) ApplyComplete(queryID int64, taskIndex int, atMs float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	qs := t.queries[queryID]
+	if qs == nil {
+		return fmt.Errorf("tgd: journal completes unknown query %d", queryID)
+	}
+	if taskIndex < 0 || taskIndex >= len(qs.tasks) {
+		return fmt.Errorf("tgd: journal completes query %d task %d of %d", queryID, taskIndex, len(qs.tasks))
+	}
+	ts := qs.tasks[taskIndex]
+	if ts.state == stateDone {
+		return fmt.Errorf("tgd: journal completes query %d task %d twice", queryID, taskIndex)
+	}
+	t.completeLocked(ts, atMs)
+	return nil
+}
+
+// ApplyFail marks a query permanently failed during journal replay.
+func (t *table) ApplyFail(queryID int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	qs := t.queries[queryID]
+	if qs == nil {
+		return fmt.Errorf("tgd: journal fails unknown query %d", queryID)
+	}
+	if qs.failed {
+		return fmt.Errorf("tgd: journal fails query %d twice", queryID)
+	}
+	t.failLocked(qs)
+	return nil
+}
+
+// completeLocked performs the exactly-once completion bookkeeping shared
+// by the live path and replay: the task leaves the state machine, the
+// deadline miss is attributed, and a finished query is evicted.
+func (t *table) completeLocked(ts *taskState, atMs float64) (queryDone, missed bool) {
+	t.setStateLocked(ts, stateDone)
+	ts.leaseID = 0
+	ts.completedMs = atMs
+	qs := ts.query
+	qs.done++
+	t.counts.CompletedTasks++
+	if atMs > qs.deadlineMs {
+		missed = true
+		t.counts.Missed++
+	}
+	if qs.done == qs.fanout {
+		queryDone = true
+		t.counts.QueriesDone++
+		delete(t.queries, qs.id)
+	}
+	return queryDone, missed
+}
+
+// failLocked cancels a query: every task not already done is failed, so
+// queued copies die lazily at pop time and outstanding leases become
+// duplicates on completion.
+func (t *table) failLocked(qs *queryState) {
+	qs.failed = true
+	for _, ts := range qs.tasks {
+		if ts.state != stateDone {
+			t.setStateLocked(ts, stateFailed)
+			ts.leaseID = 0
+		}
+	}
+	t.counts.QueriesFailed++
+	delete(t.queries, qs.id)
+}
+
+// Claim pops the earliest-deadline ready task and leases it until
+// nowMs + leaseMs. It returns nil when nothing is ready. Expired leases
+// and elapsed backoffs are repaired first, so a claim can never starve
+// behind a dead holder.
+func (t *table) Claim(nowMs, leaseMs float64, worker string) *Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.repairLocked(nowMs)
+	for {
+		p := t.ready.Pop()
+		if p == nil {
+			return nil
+		}
+		ts := p.Payload.(*taskState)
+		t.pool.Put(p)
+		// Cancelled (query failed) or re-pushed copies die here.
+		if ts.state != stateReady {
+			continue
+		}
+		t.leaseSeq++
+		t.setStateLocked(ts, stateLeased)
+		ts.leaseID = t.leaseSeq
+		ts.attempt++
+		ts.expiryMs = nowMs + leaseMs
+		ts.worker = worker
+		t.leases = leasePush(t.leases, leaseEntry{expiryMs: ts.expiryMs, leaseID: ts.leaseID, task: ts})
+		t.counts.Claims++
+		return &Lease{
+			LeaseID:    ts.leaseID,
+			QueryID:    ts.query.id,
+			TaskIndex:  ts.index,
+			Class:      ts.query.class,
+			Attempt:    ts.attempt,
+			EnqueuedMs: ts.query.arrivalMs,
+			DeadlineMs: ts.query.deadlineMs,
+			ExpiryMs:   ts.expiryMs,
+			NowMs:      nowMs,
+			Payload:    ts.payload,
+		}
+	}
+}
+
+// lookupLocked resolves a (queryID, taskIndex) pair, distinguishing
+// "never existed / already evicted" from "bad index".
+func (t *table) lookupLocked(queryID int64, taskIndex int) (*taskState, error) {
+	qs := t.queries[queryID]
+	if qs == nil {
+		return nil, nil
+	}
+	if taskIndex < 0 || taskIndex >= len(qs.tasks) {
+		return nil, fmt.Errorf("%w: query %d task %d of %d", ErrUnknownTask, queryID, taskIndex, len(qs.tasks))
+	}
+	return qs.tasks[taskIndex], nil
+}
+
+// CompleteOutcome classifies a live completion.
+type CompleteOutcome struct {
+	// OK means the lease was valid and the task is now done.
+	OK bool
+	// Duplicate means the task (or whole query) was already settled;
+	// acknowledged, not counted.
+	Duplicate bool
+	// QueryFailed means the query was cancelled before this completion.
+	QueryFailed bool
+	// Stale means the presented lease was superseded (expired and the
+	// task re-leased or requeued) — the 409 case.
+	Stale     bool
+	QueryDone bool
+	Missed    bool
+	// ArrivalMs is the query's arrival time (turnaround metrics).
+	ArrivalMs float64
+}
+
+// Complete settles one live completion. The caller must have journaled
+// the completion only when the returned outcome demanded it — but WAL
+// ordering requires append-before-apply, so Complete is split: Precheck
+// under the lock would race. Instead Complete validates, journals via the
+// appendFn callback while still holding the lock, then applies. A failed
+// append leaves the task leased (the holder can retry).
+func (t *table) Complete(queryID int64, taskIndex int, leaseID int64, nowMs float64, appendFn func(Record) error) (CompleteOutcome, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts, err := t.lookupLocked(queryID, taskIndex)
+	if err != nil {
+		return CompleteOutcome{}, err
+	}
+	if ts == nil {
+		// The query is gone: either it finished (every task done — this
+		// is a late duplicate) or it failed. Both acknowledge without
+		// counting; we cannot tell them apart post-eviction and the
+		// distinction carries no action for the worker.
+		t.counts.Duplicates++
+		return CompleteOutcome{Duplicate: true}, nil
+	}
+	switch ts.state {
+	case stateDone:
+		t.counts.Duplicates++
+		return CompleteOutcome{Duplicate: true}, nil
+	case stateFailed:
+		t.counts.Duplicates++
+		return CompleteOutcome{Duplicate: true, QueryFailed: true}, nil
+	case stateLeased:
+		if ts.leaseID != leaseID {
+			return CompleteOutcome{Stale: true}, nil
+		}
+	default:
+		// Ready or delayed: the lease expired and repair already
+		// requeued the task; this holder lost the race.
+		return CompleteOutcome{Stale: true}, nil
+	}
+	if appendFn != nil {
+		if err := appendFn(Record{Op: OpComplete, QueryID: queryID, TaskIndex: taskIndex, AtMs: nowMs}); err != nil {
+			return CompleteOutcome{}, err
+		}
+	}
+	arrival := ts.query.arrivalMs
+	done, missed := t.completeLocked(ts, nowMs)
+	return CompleteOutcome{OK: true, QueryDone: done, Missed: missed, ArrivalMs: arrival}, nil
+}
+
+// NackOutcome classifies a live NACK.
+type NackOutcome struct {
+	OK        bool // lease valid, decision taken
+	Requeued  bool
+	RetryAtMs float64
+	Failed    bool // retry budget exhausted; query failed
+	Duplicate bool
+	Stale     bool
+}
+
+// Nack returns a leased task after a failed attempt. While the query's
+// retry budget (fault.Resilience.RetryBudget, the same knob the
+// simulator's resilience stack spends on lost tasks) has room, the task
+// is requeued with deadline-aware backoff; once spent, the query fails
+// permanently and the failure is journaled through appendFn.
+func (t *table) Nack(queryID int64, taskIndex int, leaseID int64, nowMs float64, appendFn func(Record) error) (NackOutcome, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts, err := t.lookupLocked(queryID, taskIndex)
+	if err != nil {
+		return NackOutcome{}, err
+	}
+	if ts == nil {
+		return NackOutcome{Duplicate: true}, nil
+	}
+	switch ts.state {
+	case stateDone, stateFailed:
+		return NackOutcome{Duplicate: true}, nil
+	case stateLeased:
+		if ts.leaseID != leaseID {
+			return NackOutcome{Stale: true}, nil
+		}
+	default:
+		return NackOutcome{Stale: true}, nil
+	}
+	t.counts.Nacks++
+	qs := ts.query
+	if qs.retries >= t.cfg.resilience.RetryBudget {
+		if appendFn != nil {
+			if err := appendFn(Record{Op: OpFail, QueryID: queryID, AtMs: nowMs}); err != nil {
+				return NackOutcome{}, err
+			}
+		}
+		t.failLocked(qs)
+		return NackOutcome{OK: true, Failed: true}, nil
+	}
+	qs.retries++
+	t.counts.Retries++
+	retryAt := nowMs + t.backoffMs(ts.attempt, qs.deadlineMs-nowMs)
+	t.setStateLocked(ts, stateDelayed)
+	ts.leaseID = 0
+	ts.readyAtMs = retryAt
+	t.delaySeq++
+	t.delayed = delayPush(t.delayed, delayEntry{readyAtMs: retryAt, seq: t.delaySeq, task: ts})
+	return NackOutcome{OK: true, Requeued: true, RetryAtMs: retryAt}, nil
+}
+
+// backoffMs computes the deadline-aware retry backoff: exponential in the
+// attempt number (base·2^(attempt-1), capped), but never longer than half
+// the remaining deadline slack — a retry with a near deadline goes back
+// on the queue almost immediately, one with slack to spare waits out the
+// transient. A task already past its deadline retries after one base
+// interval (it is maximally urgent under EDF either way).
+func (t *table) backoffMs(attempt int, slackMs float64) float64 {
+	b := t.cfg.backoffBaseMs * math.Pow(2, float64(attempt-1))
+	if b > t.cfg.backoffCapMs {
+		b = t.cfg.backoffCapMs
+	}
+	if slackMs <= 0 {
+		return t.cfg.backoffBaseMs
+	}
+	if half := slackMs / 2; b > half {
+		b = half
+	}
+	return b
+}
+
+// Repair promotes elapsed backoffs and requeues expired leases, waking
+// claimers when anything became ready. It returns the number of leases
+// repaired. The daemon's repair loop calls it periodically; Claim calls
+// it inline so a single-threaded client never waits on the loop.
+func (t *table) Repair(nowMs float64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.repairLocked(nowMs)
+}
+
+// repairLocked is Repair's body; see there.
+func (t *table) repairLocked(nowMs float64) int {
+	woke := false
+	// Backoffs first: a task whose retry timer elapsed is ready again.
+	for len(t.delayed) > 0 && t.delayed[0].readyAtMs <= nowMs {
+		var e delayEntry
+		t.delayed, e = delayPop(t.delayed)
+		if e.task.state != stateDelayed {
+			continue
+		}
+		t.pushReadyLocked(e.task, nowMs)
+		woke = true
+	}
+	// Then expired leases: the holder went silent; take the task back.
+	expired := 0
+	for len(t.leases) > 0 && t.leases[0].expiryMs <= nowMs {
+		var e leaseEntry
+		t.leases, e = leasePop(t.leases)
+		if e.task.state != stateLeased || e.task.leaseID != e.leaseID {
+			continue // settled or re-leased; lazy entry
+		}
+		t.counts.Expired++
+		t.pushReadyLocked(e.task, nowMs)
+		expired++
+		woke = true
+	}
+	if woke {
+		t.wakeLocked()
+	}
+	return expired
+}
+
+// Snapshot captures counters and live depths.
+func (t *table) Snapshot(nowMs float64) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.counts
+	s.NowMs = nowMs
+	s.Ready = t.nReady
+	s.Delayed = t.nDelayed
+	s.Leased = t.nLeased
+	s.InFlight = len(t.queries)
+	// The head of the ready queue may be a lazily-cancelled copy; skim
+	// those off before peeking so NextDeadlineMs is a live deadline.
+	for {
+		p := t.ready.Peek()
+		if p == nil {
+			break
+		}
+		if ts := p.Payload.(*taskState); ts.state != stateReady {
+			t.pool.Put(t.ready.Pop())
+			continue
+		}
+		s.NextDeadlineMs = p.Deadline
+		break
+	}
+	return s
+}
+
+// --- small hand-rolled heaps --------------------------------------------
+//
+// container/heap costs an interface box per operation; these two
+// value-typed heaps mirror the simulator's hand-sifted style.
+
+// delayPush inserts into the (readyAtMs, seq) min-heap.
+func delayPush(h []delayEntry, e delayEntry) []delayEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !delayLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// delayPop removes the minimum.
+func delayPop(h []delayEntry) ([]delayEntry, delayEntry) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = delayEntry{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && delayLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && delayLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return h, top
+}
+
+func delayLess(a, b delayEntry) bool {
+	if a.readyAtMs != b.readyAtMs {
+		return a.readyAtMs < b.readyAtMs
+	}
+	return a.seq < b.seq
+}
+
+// leasePush inserts into the (expiryMs, leaseID) min-heap.
+func leasePush(h []leaseEntry, e leaseEntry) []leaseEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !leaseLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// leasePop removes the minimum.
+func leasePop(h []leaseEntry) ([]leaseEntry, leaseEntry) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = leaseEntry{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && leaseLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && leaseLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return h, top
+}
+
+func leaseLess(a, b leaseEntry) bool {
+	if a.expiryMs != b.expiryMs {
+		return a.expiryMs < b.expiryMs
+	}
+	return a.leaseID < b.leaseID
+}

@@ -1,0 +1,224 @@
+// Package tgd is TailGuard's networked scheduler daemon: an HTTP/JSON
+// service where producers enqueue deadline-stamped queries, task servers
+// claim work via long-poll leases ordered by TF-EDFQ deadline, and
+// complete or NACK with deadline-aware retry backoff. A lease-expiry
+// repair loop requeues tasks whose holders went silent, so every enqueued
+// task is delivered at least once while completion accounting stays
+// exactly-once. Queue mutations are write-ahead journaled through the
+// Store seam, letting a restarted daemon recover its queue (DESIGN.md
+// §15).
+package tgd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+)
+
+// Wire format v1. All endpoints are POST with JSON bodies except the
+// read-only GET endpoints (/v1/stats, /debug/queues, /metrics, /healthz).
+// Unknown fields are rejected so producer/daemon version skew surfaces as
+// a 400 instead of silently dropped options. All timestamps are absolute
+// daemon-clock milliseconds (the daemon serves its clock in every
+// response, so clients never need a synchronized clock of their own).
+
+// EnqueueRequest submits one query of Fanout tasks. The deadline is the
+// TF-EDFQ queue ordering key: either stamped explicitly by the producer
+// (DeadlineMs, absolute daemon ms) or computed by the daemon's estimator
+// seam from (Class, Fanout) as t0 + Tb(x_p^SLO, kf) — Eqn. 6.
+type EnqueueRequest struct {
+	// Class is the service class ID (0-based, validated against the
+	// daemon's class set when deadlines are estimated).
+	Class int `json:"class"`
+	// Fanout is the number of tasks the query fans out to (>= 1).
+	Fanout int `json:"fanout"`
+	// DeadlineMs is the absolute task queuing deadline. Zero means
+	// "estimate it for me" and requires the daemon to be configured with
+	// a deadline estimator. Negative values are rejected.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// Payloads carries one opaque payload per task, delivered verbatim in
+	// the matching lease. Length must be zero (no payloads) or Fanout.
+	Payloads []json.RawMessage `json:"payloads,omitempty"`
+}
+
+// EnqueueResponse acknowledges a durably journaled query.
+type EnqueueResponse struct {
+	QueryID    int64   `json:"query_id"`
+	Tasks      int     `json:"tasks"`
+	DeadlineMs float64 `json:"deadline_ms"`
+	// BudgetMs is DeadlineMs - arrival, the pre-dequeuing budget the
+	// daemon granted (negative budgets are legal: the SLO is unreachable
+	// and EDF treats the tasks as maximally urgent).
+	BudgetMs float64 `json:"budget_ms"`
+	NowMs    float64 `json:"now_ms"`
+}
+
+// ClaimRequest asks for the earliest-deadline ready task. WaitMs > 0
+// long-polls: the daemon parks the request until a task becomes ready or
+// the wait elapses (204 No Content).
+type ClaimRequest struct {
+	// Worker is a caller-chosen identity recorded on the lease.
+	Worker string `json:"worker"`
+	// WaitMs is the long-poll budget in milliseconds (capped by the
+	// daemon's MaxWaitMs). Zero returns immediately.
+	WaitMs float64 `json:"wait_ms,omitempty"`
+	// LeaseMs overrides the daemon's default lease duration. Zero means
+	// the default; values above the daemon's maximum are rejected.
+	LeaseMs float64 `json:"lease_ms,omitempty"`
+}
+
+// Lease is one claimed task: the claim response body and the handle the
+// holder must present to complete or NACK. A lease is valid until
+// ExpiryMs; past that the repair loop may requeue the task, after which
+// the old lease is rejected with 409.
+type Lease struct {
+	LeaseID    int64           `json:"lease_id"`
+	QueryID    int64           `json:"query_id"`
+	TaskIndex  int             `json:"task_index"`
+	Class      int             `json:"class"`
+	Attempt    int             `json:"attempt"` // 1 on first delivery
+	EnqueuedMs float64         `json:"enqueued_ms"`
+	DeadlineMs float64         `json:"deadline_ms"`
+	ExpiryMs   float64         `json:"lease_expiry_ms"`
+	NowMs      float64         `json:"now_ms"`
+	Payload    json.RawMessage `json:"payload,omitempty"`
+}
+
+// CompleteRequest reports a leased task finished. QueryID and TaskIndex
+// identify the task; LeaseID proves the caller still holds it.
+type CompleteRequest struct {
+	QueryID   int64  `json:"query_id"`
+	TaskIndex int    `json:"task_index"`
+	LeaseID   int64  `json:"lease_id"`
+	Worker    string `json:"worker"`
+}
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	// Duplicate is set when the task had already been completed (e.g. by
+	// a second delivery after lease expiry); duplicate completions are
+	// acknowledged but not counted — exactly-once accounting.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// QueryDone is set when this completion finished the whole query.
+	QueryDone bool `json:"query_done,omitempty"`
+	// QueryFailed reports the query was already failed (a sibling task
+	// exhausted the retry budget); the completion is discarded.
+	QueryFailed bool `json:"query_failed,omitempty"`
+	// Missed reports the task completed after its queuing deadline.
+	Missed bool    `json:"missed,omitempty"`
+	NowMs  float64 `json:"now_ms"`
+}
+
+// NackRequest returns a leased task to the daemon after a failed
+// execution attempt. The daemon requeues it with deadline-aware backoff
+// while the query's retry budget lasts; past the budget the query fails.
+type NackRequest struct {
+	QueryID   int64  `json:"query_id"`
+	TaskIndex int    `json:"task_index"`
+	LeaseID   int64  `json:"lease_id"`
+	Worker    string `json:"worker"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// NackResponse reports the retry decision.
+type NackResponse struct {
+	// Requeued is set when the task will be redelivered at RetryAtMs.
+	Requeued  bool    `json:"requeued,omitempty"`
+	RetryAtMs float64 `json:"retry_at_ms,omitempty"`
+	// Failed is set when the retry budget is exhausted and the query was
+	// failed permanently.
+	Failed bool    `json:"failed,omitempty"`
+	NowMs  float64 `json:"now_ms"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// Snapshot is the /v1/stats (and /debug/queues) response: cumulative
+// counters plus the live queue state. All fields are totals since the
+// journal's first record, so a restarted daemon reports continuous
+// numbers.
+type Snapshot struct {
+	NowMs float64 `json:"now_ms"`
+
+	// Live state.
+	Ready    int `json:"ready"`
+	Delayed  int `json:"delayed"`
+	Leased   int `json:"leased"`
+	InFlight int `json:"in_flight_queries"`
+	// NextDeadlineMs is the deadline of the head-of-queue ready task
+	// (the next claim's task); +Inf serialized as absent when empty.
+	NextDeadlineMs float64 `json:"next_deadline_ms,omitempty"`
+
+	// Cumulative accounting.
+	Queries        int64 `json:"queries"`
+	Tasks          int64 `json:"tasks"`
+	Claims         int64 `json:"claims"`
+	CompletedTasks int64 `json:"completed_tasks"`
+	QueriesDone    int64 `json:"queries_done"`
+	QueriesFailed  int64 `json:"queries_failed"`
+	Duplicates     int64 `json:"duplicates"`
+	Nacks          int64 `json:"nacks"`
+	Retries        int64 `json:"retries"`
+	Expired        int64 `json:"expired"`
+	Missed         int64 `json:"missed"`
+}
+
+// maxBodyBytes bounds request bodies so a malformed producer cannot park
+// unbounded memory in the decoder.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON strictly decodes one JSON value from an HTTP request body:
+// unknown fields, trailing garbage, and oversized bodies are errors. The
+// fuzz suite holds the daemon to "malformed bodies 400, never panic".
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("tgd: decoding request: %w", err)
+	}
+	// A second value (or garbage) after the document is a framing bug on
+	// the producer side; reject it rather than guess.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("tgd: trailing data after request body")
+	}
+	return nil
+}
+
+// validate checks an enqueue against daemon-independent invariants.
+func (e *EnqueueRequest) validate(maxFanout int) error {
+	if e.Fanout < 1 {
+		return fmt.Errorf("tgd: fanout %d < 1", e.Fanout)
+	}
+	if e.Fanout > maxFanout {
+		return fmt.Errorf("tgd: fanout %d exceeds daemon maximum %d", e.Fanout, maxFanout)
+	}
+	if e.Class < 0 {
+		return fmt.Errorf("tgd: negative class %d", e.Class)
+	}
+	if e.DeadlineMs < 0 || math.IsNaN(e.DeadlineMs) || math.IsInf(e.DeadlineMs, 0) {
+		return fmt.Errorf("tgd: deadline_ms %v must be a finite absolute daemon time (or 0 to estimate)", e.DeadlineMs)
+	}
+	if n := len(e.Payloads); n != 0 && n != e.Fanout {
+		return fmt.Errorf("tgd: %d payloads for fanout %d (want 0 or %d)", n, e.Fanout, e.Fanout)
+	}
+	return nil
+}
+
+// validate checks a claim request.
+func (c *ClaimRequest) validate(maxWaitMs, maxLeaseMs float64) error {
+	if c.WaitMs < 0 || math.IsNaN(c.WaitMs) {
+		return fmt.Errorf("tgd: wait_ms %v < 0", c.WaitMs)
+	}
+	if c.WaitMs > maxWaitMs {
+		return fmt.Errorf("tgd: wait_ms %v exceeds daemon maximum %v", c.WaitMs, maxWaitMs)
+	}
+	if c.LeaseMs < 0 || math.IsNaN(c.LeaseMs) || c.LeaseMs > maxLeaseMs {
+		return fmt.Errorf("tgd: lease_ms %v outside [0, %v]", c.LeaseMs, maxLeaseMs)
+	}
+	return nil
+}

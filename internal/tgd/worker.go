@@ -1,0 +1,118 @@
+package tgd
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Worker is a tgedge-style task-server loop against a tgd daemon: claim
+// the earliest-deadline task via long-poll, execute it, complete on
+// success or NACK on failure, repeat until the context is cancelled. One
+// process runs as many Workers as it has execution slots.
+type Worker struct {
+	// Client is the daemon connection (required).
+	Client *Client
+	// Name identifies the worker on its leases.
+	Name string
+	// Exec executes one leased task. Nil completes instantly (drain
+	// mode). Returning an error NACKs the lease with the error text;
+	// blocking past the lease expiry forfeits the task to repair.
+	Exec func(ctx context.Context, l *Lease) error
+	// WaitMs is the long-poll budget per claim (default 1000 ms).
+	WaitMs float64
+	// LeaseMs overrides the daemon's default lease duration.
+	LeaseMs float64
+}
+
+// WorkerStats counts one Run's outcomes.
+type WorkerStats struct {
+	Claims    int
+	Completed int
+	Nacked    int
+	// Conflicts counts completions/NACKs the daemon rejected with 409 —
+	// leases lost to expiry repair while this worker was executing.
+	Conflicts int
+	// Dropped counts claims lost to transport fault injection.
+	Dropped int
+	// Errors counts other transport or daemon errors.
+	Errors int
+}
+
+// Run claims and executes until ctx is cancelled, returning the tally.
+// Transport errors back off briefly and retry; they are expected under
+// fault injection and daemon restarts.
+func (w *Worker) Run(ctx context.Context) WorkerStats {
+	var st WorkerStats
+	for ctx.Err() == nil {
+		lease, err := w.Client.Claim(ctx, ClaimRequest{Worker: w.Name, WaitMs: w.WaitMs, LeaseMs: w.LeaseMs})
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			if errors.Is(err, ErrDropped) {
+				st.Dropped++
+			} else {
+				st.Errors++
+			}
+			// Don't hot-loop against a dropping or dead daemon.
+			sleepCtx(ctx, 2*time.Millisecond)
+			continue
+		}
+		if lease == nil {
+			continue // long-poll elapsed empty; claim again
+		}
+		st.Claims++
+		var execErr error
+		if w.Exec != nil {
+			execErr = w.Exec(ctx, lease)
+		}
+		if ctx.Err() != nil && execErr != nil {
+			// Cancelled mid-execution: abandon the lease to repair (the
+			// crash model) rather than racing a NACK against shutdown.
+			break
+		}
+		if execErr != nil {
+			_, err = w.Client.Nack(ctx, NackRequest{
+				QueryID:   lease.QueryID,
+				TaskIndex: lease.TaskIndex,
+				LeaseID:   lease.LeaseID,
+				Worker:    w.Name,
+				Reason:    execErr.Error(),
+			})
+			if err == nil {
+				st.Nacked++
+			} else if IsConflict(err) {
+				st.Conflicts++
+			} else {
+				st.Errors++
+			}
+			continue
+		}
+		_, err = w.Client.Complete(ctx, CompleteRequest{
+			QueryID:   lease.QueryID,
+			TaskIndex: lease.TaskIndex,
+			LeaseID:   lease.LeaseID,
+			Worker:    w.Name,
+		})
+		switch {
+		case err == nil:
+			st.Completed++
+		case IsConflict(err):
+			st.Conflicts++
+		default:
+			st.Errors++
+		}
+	}
+	return st
+}
+
+// sleepCtx sleeps d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
