@@ -4,12 +4,12 @@
 GO ?= go
 TGLINT := bin/tglint
 
-.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke shard-smoke perf-smoke tgd-smoke ci clean
+.PHONY: all build lint lint-report lint-diff vet fmt test race bench bench-smoke bench-compare obs-smoke fault-smoke shard-smoke perf-smoke tgd-smoke control-smoke ci clean
 
 # Benchmarks that feed BENCH_harness.json: the parallel-harness sweep pair,
 # the sharded-core throughput pair, the scheduler-daemon wire cycle, and
 # the fast-path micro-benchmarks.
-BENCH_PATTERN := SweepFig4|SimulatorThroughput|ShardedClusterThroughput|SchedulerDo|OnlineCDFAdd|DeadlineEstimation|TgdEnqueueClaim
+BENCH_PATTERN := SweepFig4|SimulatorThroughput|ShardedClusterThroughput|SchedulerDo|OnlineCDFAdd|DeadlineEstimation|TgdEnqueueClaim|ControlLoopOverhead
 
 all: build
 
@@ -133,7 +133,16 @@ perf-smoke:
 tgd-smoke:
 	$(GO) run ./cmd/tgd -smoke
 
-ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke shard-smoke perf-smoke tgd-smoke
+# control-smoke proves the adaptive control plane end to end: the
+# flash-crowd sweep's rendered table must match the committed golden
+# (byte-identical decision traces — the determinism gate), and the
+# headline claim must hold (controlled runs keep the windowed miss ratio
+# near Rth while uncontrolled runs collapse).
+control-smoke:
+	$(GO) test ./internal/experiment -run 'TestControlSmokeGolden|TestControlHoldsSLO' -count=1
+	$(GO) run ./cmd/tgsim -exp flashcrowd -control -queries 800 > /dev/null
+
+ci: build fmt vet lint race bench-smoke obs-smoke fault-smoke shard-smoke perf-smoke tgd-smoke control-smoke
 
 clean:
 	rm -rf bin

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"tailguard/internal/control"
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
 	"tailguard/internal/experiment"
@@ -563,4 +564,43 @@ func BenchmarkTgdEnqueueClaim(b *testing.B) {
 		_ = resp
 	}
 	reportTasksPerSec(b, float64(b.N*fanout))
+}
+
+// BenchmarkControlLoopOverhead measures one adaptive-control tick in
+// steady state — the AIMD loops, token-bucket refill, autoscale
+// hysteresis, and decision-ring record — the per-period cost the control
+// plane adds to a simulated or live scheduler. The miss ratio alternates
+// around the target band so both the shed and recover paths run; steady
+// state allocates nothing (gated by the control package's alloc test).
+func BenchmarkControlLoopOverhead(b *testing.B) {
+	ctl, err := control.New(control.Config{
+		TickMs:      10,
+		TargetRatio: 0.05,
+		ClassRates:  []float64{0, 2},
+		MinServers:  60,
+		MaxServers:  100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctl.InitServers(100, 80); err != nil {
+		b.Fatal(err)
+	}
+	gate, err := workload.NewCreditGate(ctl.Credits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl.AttachGate(gate)
+	now := 0.0
+	for i := 0; i < 2048; i++ { // fill the decision ring
+		now += 10
+		ctl.Tick(now, control.Signals{MissRatio: float64(i%2) * 0.2, InFlight: 64})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 10
+		ctl.Tick(now, control.Signals{MissRatio: float64(i%2) * 0.2, InFlight: 64})
+		ctl.AllowClass(1, now)
+	}
 }

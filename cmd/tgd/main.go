@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"tailguard/internal/control"
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
 	"tailguard/internal/fault"
@@ -53,6 +54,12 @@ type runConfig struct {
 	backoffCap  float64
 	workloadStr string
 	sloMs       float64
+
+	control     bool
+	ctlTickMs   float64
+	targetRatio float64
+	minCredits  int
+	maxCredits  int
 
 	work      bool
 	daemonURL string
@@ -84,6 +91,11 @@ func run(args []string, out *os.File, ready chan<- string) error {
 	fs.Float64Var(&cfg.backoffCap, "backoff-cap-ms", 1000, "NACK retry backoff cap")
 	fs.StringVar(&cfg.workloadStr, "workload", "", "tailbench workload for the TF-EDFQ deadline estimator (empty = producers must stamp deadline_ms)")
 	fs.Float64Var(&cfg.sloMs, "slo-ms", 50, "99th-percentile SLO for estimator-stamped deadlines")
+	fs.BoolVar(&cfg.control, "control", false, "attach the adaptive control plane: credit-gated enqueues (429 past the limit) and a live AIMD loop on the daemon's miss ratio")
+	fs.Float64Var(&cfg.ctlTickMs, "control-tick-ms", 100, "control loop period (-control)")
+	fs.Float64Var(&cfg.targetRatio, "target-ratio", 0.05, "deadline-miss ratio the control loop holds (-control)")
+	fs.IntVar(&cfg.minCredits, "min-credits", 16, "credit limit floor (-control)")
+	fs.IntVar(&cfg.maxCredits, "max-credits", 1024, "credit limit ceiling and start (-control)")
 	fs.BoolVar(&cfg.work, "work", false, "run a worker pool instead of the daemon")
 	fs.StringVar(&cfg.daemonURL, "daemon", "http://127.0.0.1:7070", "daemon base URL (worker/producer modes)")
 	fs.IntVar(&cfg.workers, "workers", 4, "worker goroutines (-work)")
@@ -138,6 +150,24 @@ func buildDaemon(cfg runConfig) (*tgd.Daemon, error) {
 			return nil, err
 		}
 	}
+	var ctl *control.Controller
+	if cfg.control {
+		var err error
+		ctl, err = control.New(control.Config{
+			TickMs:      cfg.ctlTickMs,
+			TargetRatio: cfg.targetRatio,
+			MinCredits:  cfg.minCredits,
+			MaxCredits:  cfg.maxCredits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gate, err := workload.NewCreditGate(ctl.Credits())
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachGate(gate)
+	}
 	return tgd.New(tgd.Config{
 		Store:          store,
 		Deadliner:      deadliner,
@@ -146,6 +176,7 @@ func buildDaemon(cfg runConfig) (*tgd.Daemon, error) {
 		BackoffBaseMs:  cfg.backoffMs,
 		BackoffCapMs:   cfg.backoffCap,
 		RepairEvery:    time.Duration(cfg.repairMs * float64(time.Millisecond)),
+		Control:        ctl,
 	})
 }
 

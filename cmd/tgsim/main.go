@@ -41,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("tgsim", flag.ContinueOnError)
-	exp := fs.String("exp", "table2", "experiment: fig3|table2|fig4|table3|fig5|fig6|fig7|nscale|request|ablation|all")
+	exp := fs.String("exp", "table2", "experiment: fig3|table2|fig4|table3|fig5|fig6|fig7|nscale|request|flashcrowd|ablation|all")
 	fidelity := fs.String("fidelity", "quick", "fidelity: quick|full")
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	queries := fs.Int("queries", 0, "override queries per probe (0 = fidelity default)")
@@ -55,6 +55,7 @@ func run(args []string) error {
 	faultOut := fs.String("fault-out", "", "with -faults: write the rendered tables into this directory, named with the plan hash and seed")
 	faultLoad := fs.Float64("fault-load", 0.30, "with -faults: offered load for the fault sweep")
 	par := fs.Int("parallel", 0, "worker pool size for experiment sweeps (0 = all cores, 1 = sequential); results are identical at any value")
+	control := fs.Bool("control", false, "with -exp flashcrowd: also run the adaptive-control-plane variants next to the uncontrolled baselines")
 	shards := fs.String("shards", "2,4,8", "with -exp shardscale: comma-separated shard counts to compare against the sequential engine")
 	shardServers := fs.Int("shard-servers", 0, "with -exp shardscale: cluster size (0 = the stock 10000-server scenario)")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +124,20 @@ func run(args []string) error {
 		"surge": func() ([]*experiment.Table, error) {
 			return one(experiment.ExtSurge(fid, 0.40, 0.5))
 		},
+		"flashcrowd": func() ([]*experiment.Table, error) {
+			variants := []string{experiment.Uncontrolled}
+			if *control {
+				variants = append(variants, experiment.Controlled)
+			}
+			runs, err := experiment.ControlSweep(experiment.ControlConfig{
+				Variants: variants,
+				Fidelity: fid,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return []*experiment.Table{experiment.ControlTable(runs)}, nil
+		},
 		"shardscale": func() ([]*experiment.Table, error) {
 			counts, err := parseShardCounts(*shards)
 			if err != nil {
@@ -159,7 +174,7 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig3", "table2", "fig4", "table3", "fig5", "fig6", "fig7", "nscale", "request", "failure", "surge", "ablation", "shardscale"}
+	order := []string{"fig3", "table2", "fig4", "table3", "fig5", "fig6", "fig7", "nscale", "request", "failure", "surge", "flashcrowd", "ablation", "shardscale"}
 	var selected []string
 	if *exp == "all" {
 		selected = order

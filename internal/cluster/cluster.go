@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"tailguard/internal/control"
 	"tailguard/internal/core"
 	"tailguard/internal/dist"
 	"tailguard/internal/fault"
@@ -125,6 +126,20 @@ type Config struct {
 	// heap, freelists, queues, recorders) so repeated runs stop
 	// allocating. An Arena serves one run at a time.
 	Arena *Arena
+	// Control, if non-nil, attaches the adaptive control plane
+	// (internal/control). The runner ticks it every Control TickMs on the
+	// simulated clock, feeding back the windowed query miss ratio; the
+	// controller's loops actuate the admission threshold scale (when
+	// Admission is set), the per-class token buckets (arrivals they shed
+	// count as Throttled), and — when a credit gate is attached — bound
+	// the number of in-flight generator queries, deferring the arrival
+	// chain while credits are exhausted (backpressure on the source).
+	// Autoscaling acts through the controller's ActiveSet, which the
+	// scenario wires into the generator's placement; the runner only
+	// drives the ticks. Sequential engine only, and mutually exclusive
+	// with Resilience.DegradedAdmission (both actuate the admission
+	// threshold scale).
+	Control *control.Controller
 	// Obs, if non-nil, receives query/task lifecycle events in virtual
 	// milliseconds. A nil tracer costs one pointer compare per event site
 	// and keeps the run allocation-free (the nil-sink contract).
@@ -158,6 +173,14 @@ const (
 // workload.Generator implements it to reuse its Servers allocations.
 type ServerRecycler interface {
 	Recycle(servers []int)
+}
+
+// arrivalRebaser is implemented by query sources whose arrival clock can
+// jump forward when the control plane's credit gate unblocks — the time
+// the source spent blocked must not be replayed as a burst of stale
+// arrivals. workload.Generator implements it via RebaseTo.
+type arrivalRebaser interface {
+	RebaseTo(t float64)
 }
 
 func (c *Config) validate() error {
@@ -209,6 +232,9 @@ func (c *Config) validate() error {
 	if c.Resilience.DegradedAdmission && c.Admission == nil {
 		return fmt.Errorf("cluster: degraded admission requires an admission controller")
 	}
+	if c.Control != nil && c.Resilience.DegradedAdmission {
+		return fmt.Errorf("cluster: the control plane and degraded admission both actuate the admission threshold scale; enable one")
+	}
 	if c.Shards < 0 {
 		return fmt.Errorf("cluster: shards %d negative", c.Shards)
 	}
@@ -249,6 +275,9 @@ func (c *Config) validateSharded() error {
 	if c.Obs != nil {
 		return fmt.Errorf("cluster: sharded runs do not support lifecycle tracing; attribution is supported")
 	}
+	if c.Control != nil {
+		return fmt.Errorf("cluster: sharded runs do not support the adaptive control plane (its feedback loop observes completions in global order)")
+	}
 	if c.DispatchDelay != nil && c.Queuing != PerServerQueuing {
 		return fmt.Errorf("cluster: sharded runs support a dispatch delay only under per-server queuing (central queuing samples it at dequeue time)")
 	}
@@ -275,6 +304,13 @@ type Result struct {
 	// HedgeWins counts races the duplicate won.
 	HedgesIssued int
 	HedgeWins    int
+	// CreditDeferred counts generator arrivals the control plane's credit
+	// gate held back (backpressure applied to the source); Throttled
+	// counts arrivals its per-class token buckets shed; ControlTicks
+	// counts controller decisions applied during the run.
+	CreditDeferred int
+	Throttled      int
+	ControlTicks   int
 
 	// Duration is the simulated time from t=0 to the last completion (ms).
 	Duration float64
@@ -312,6 +348,7 @@ func (res *Result) reset() {
 	res.Admitted, res.Rejected, res.Completed = 0, 0, 0
 	res.Failed, res.LostTasks, res.Retries = 0, 0, 0
 	res.HedgesIssued, res.HedgeWins = 0, 0
+	res.CreditDeferred, res.Throttled, res.ControlTicks = 0, 0, 0
 	res.Duration, res.Utilization = 0, 0
 	res.OfferedLoad, res.TaskMissRatio = 0, 0
 	res.Overall.Reset()
@@ -691,12 +728,20 @@ type runner struct {
 	inflight []*policy.Task // nil unless faults are injected
 	missWin  *obs.MissWindow
 	degraded bool
+	// Adaptive control plane (nil / zero unless cfg.Control is set).
+	ctl     *control.Controller
+	ctlWin  *obs.MissWindow      // feeds Tick's miss-ratio signal
+	gate    *workload.CreditGate // nil when backpressure is off
+	pending *workload.Query      // arrival deferred by an exhausted gate
+	rebase  arrivalRebaser       // generator clock hook, nil if unsupported
+	live    int                  // admitted queries not yet settled
 	// Event handlers bound once per run: binding a method value
 	// allocates, so the hot path must reuse these fields.
 	arrivalH  sim.Handler
 	enqueueH  sim.Handler
 	completeH sim.Handler
 	hedgeH    sim.Handler
+	ctlH      sim.Handler
 	loadIx    *loadIndex // nil unless hedging or retries can read it
 	missed    int
 	tasks     int
@@ -817,6 +862,20 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Admission.SetThresholdScale(1)
 		r.missWin = obs.NewMissWindow(cfg.Admission.WindowMs(), 0)
 	}
+	if cfg.Control != nil {
+		if cfg.Admission != nil {
+			cfg.Admission.SetThresholdScale(1)
+			cfg.Control.AttachAdmission(cfg.Admission)
+		}
+		r.ctl = cfg.Control
+		r.gate = cfg.Control.Gate()
+		r.ctlWin = obs.NewMissWindow(cfg.Control.Config().WindowMs, 1)
+		r.rebase, _ = cfg.Generator.(arrivalRebaser)
+		r.ctlH = r.onControlTick
+		if err := r.engine.ScheduleCall(cfg.Control.Config().TickMs, r.ctlH, nil, 0); err != nil {
+			return nil, err
+		}
+	}
 	if err := r.scheduleNextArrival(); err != nil {
 		return nil, err
 	}
@@ -914,6 +973,17 @@ func (r *runner) recycle(q workload.Query, injected bool) {
 // and task dispatch. Injected queries (request chaining) skip admission.
 func (r *runner) onArrival(q workload.Query, injected bool) {
 	if !injected {
+		if r.gate != nil && !r.gate.TryAcquire() {
+			// Credit gate exhausted: park this arrival and stop drawing
+			// from the generator until a settling query frees a credit
+			// (settleCredit re-injects it and resumes the chain). The
+			// source is blocked, not shedding — nothing is rejected here.
+			r.res.CreditDeferred++
+			box := r.arena.getQueryBox()
+			*box = q
+			r.pending = box
+			return
+		}
 		if err := r.scheduleNextArrival(); err != nil {
 			r.fail(err)
 			return
@@ -926,16 +996,33 @@ func (r *runner) onArrival(q workload.Query, injected bool) {
 	}
 	r.obs.Query(obs.KindArrival, q.Arrival, q.ID, int32(q.Class), float64(q.Fanout))
 
+	if !injected && r.ctl != nil && !r.ctl.AllowClass(q.Class, q.Arrival) {
+		// The control plane's token bucket shed this class: best-effort
+		// traffic thins first under overload (Value 1 distinguishes a
+		// throttle shed from an admission rejection).
+		r.res.Throttled++
+		if r.res.TimelineRejected != nil {
+			r.res.TimelineRejected[r.timelineBucket(q.Arrival)]++
+		}
+		r.obs.Query(obs.KindReject, q.Arrival, q.ID, int32(q.Class), 1)
+		r.settleCredit(q.Arrival)
+		r.recycle(q, injected)
+		return
+	}
 	if !injected && r.cfg.Admission != nil && !r.cfg.Admission.Admit(q.Arrival) {
 		r.res.Rejected++
 		if r.res.TimelineRejected != nil {
 			r.res.TimelineRejected[r.timelineBucket(q.Arrival)]++
 		}
 		r.obs.Query(obs.KindReject, q.Arrival, q.ID, int32(q.Class), 0)
+		r.settleCredit(q.Arrival)
 		r.recycle(q, injected)
 		return
 	}
 	r.res.Admitted++
+	if !injected {
+		r.live++
+	}
 	if r.res.TimelineAdmitted != nil && !injected {
 		r.res.TimelineAdmitted[r.timelineBucket(q.Arrival)]++
 	}
@@ -1459,6 +1546,54 @@ func (r *runner) updateDegraded(now float64) {
 	r.cfg.Admission.SetThresholdScale(scale)
 }
 
+// onControlTick advances the adaptive control plane by one period: the
+// controller reads the windowed query miss ratio and the in-flight count,
+// actuates the admission scale, credit limit, throttle, and active server
+// set, and the tick re-arms itself while the run still has work. Once the
+// source is exhausted and every query has settled the chain ends so the
+// event loop can drain.
+func (r *runner) onControlTick(_ any, _ float64) {
+	now := r.engine.Now()
+	d := r.ctl.Tick(now, control.Signals{MissRatio: r.ctlWin.Ratio(now), InFlight: r.live})
+	r.res.ControlTicks++
+	r.obs.Emit(obs.Event{
+		TimeMs: now, Kind: obs.KindControl, QueryID: -1,
+		Task: int32(d.Credits), Server: int32(d.Active), Class: int32(d.Warming),
+		Value: d.Scale,
+	})
+	if r.res.Queries >= r.cfg.Queries && r.live == 0 && r.pending == nil {
+		return
+	}
+	if err := r.engine.ScheduleCall(now+r.ctl.Config().TickMs, r.ctlH, nil, 0); err != nil {
+		r.fail(err)
+	}
+}
+
+// settleCredit returns a settled query's credit to the gate and, if the
+// arrival chain is parked behind an exhausted gate, re-injects the held
+// query at the current time. The query re-arrives when the frontend
+// unblocks, so its arrival — and the generator's clock — are rebased to
+// now; the interval the source spent blocked produces no arrivals, which
+// is exactly the backpressure the credit loop exists to apply.
+func (r *runner) settleCredit(now float64) {
+	if r.gate == nil {
+		return
+	}
+	r.gate.Release()
+	if r.pending == nil {
+		return
+	}
+	box := r.pending
+	r.pending = nil
+	box.Arrival = now
+	if r.rebase != nil {
+		r.rebase.RebaseTo(now)
+	}
+	if err := r.engine.ScheduleCall(now, r.arrivalH, box, 0); err != nil {
+		r.fail(err)
+	}
+}
+
 // onQueryDone records a finished query and lets the completion hook inject
 // follow-up queries (request chaining). st is released (and invalid) once
 // this returns.
@@ -1468,6 +1603,9 @@ func (r *runner) onQueryDone(id int64, st *queryState) {
 	injected := st.injected
 	counted := st.counted
 	latency := st.maxFinish - q.Arrival
+	if !injected {
+		r.live--
+	}
 	if st.failed {
 		// An unabsorbed task loss failed the query: it has no latency.
 		// The loss still feeds the fault-dominance detector (with the
@@ -1477,13 +1615,17 @@ func (r *runner) onQueryDone(id int64, st *queryState) {
 		lostSrv := st.lostSrv
 		r.arena.states.release(id)
 		r.missWin.Observe(now, true, true, lostSrv)
+		r.ctlWin.Observe(now, true, true, lostSrv)
 		r.updateDegraded(now)
+		if !injected {
+			r.settleCredit(now)
+		}
 		r.recycle(q, injected)
 		return
 	}
 	r.res.Completed++
 	var sloMs float64
-	if (r.attrib != nil && counted) || r.missWin != nil {
+	if (r.attrib != nil && counted) || r.missWin != nil || r.ctlWin != nil {
 		class, err := r.cfg.Classes.Class(q.Class)
 		if err != nil {
 			r.fail(fmt.Errorf("cluster: attributing query %d: %w", id, err))
@@ -1495,6 +1637,7 @@ func (r *runner) onQueryDone(id int64, st *queryState) {
 		r.missWin.Observe(now, latency > sloMs, st.stragSvc > st.stragWait, st.stragSrv)
 		r.updateDegraded(now)
 	}
+	r.ctlWin.Observe(now, latency > sloMs, st.stragSvc > st.stragWait, st.stragSrv)
 	if r.attrib != nil && counted {
 		r.attrib.Observe(obs.QueryOutcome{
 			QueryID:            id,
@@ -1535,6 +1678,9 @@ func (r *runner) onQueryDone(id int64, st *queryState) {
 			}
 		}
 	}
+	if !injected {
+		r.settleCredit(now)
+	}
 	if r.cfg.OnQueryDone != nil {
 		for _, next := range r.cfg.OnQueryDone(q, latency, now) {
 			if next.Arrival < now {
@@ -1554,7 +1700,7 @@ func (r *runner) onQueryDone(id int64, st *queryState) {
 
 // finalize computes the run-level aggregates.
 func (r *runner) finalize() {
-	if r.missWin != nil {
+	if r.missWin != nil || (r.ctl != nil && r.cfg.Admission != nil) {
 		// Leave the shared admission controller at its nominal threshold.
 		r.cfg.Admission.SetThresholdScale(1)
 	}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"testing"
+
+	"tailguard/internal/control"
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/fault"
+	"tailguard/internal/workload"
+)
+
+// controlledConfig builds a small overloaded run with the full control
+// plane attached: admission scale, credit gate, class buckets, and an
+// autoscaling active set wired into the generator's placement.
+func controlledConfig(t *testing.T, queries int, seed int64) (Config, *control.Controller) {
+	t.Helper()
+	const servers = 8
+	classes, err := workload.SingleClass(20)
+	if err != nil {
+		t.Fatalf("SingleClass: %v", err)
+	}
+	// Base load ~0.4 per server, flash crowd at t=200ms pushing ~4x.
+	arr, err := workload.NewFlashCrowd(0.8, 3.2, 200, 50, 400, 100)
+	if err != nil {
+		t.Fatalf("NewFlashCrowd: %v", err)
+	}
+	fan, err := workload.NewFixed(2)
+	if err != nil {
+		t.Fatalf("NewFixed: %v", err)
+	}
+	ctl, err := control.New(control.Config{
+		TickMs:      10,
+		WindowMs:    100,
+		TargetRatio: 0.05,
+		MinCredits:  4,
+		MaxCredits:  64,
+		ClassRates:  []float64{2},
+		MinServers:  4,
+		MaxServers:  servers,
+		WarmupMs:    30,
+	})
+	if err != nil {
+		t.Fatalf("control.New: %v", err)
+	}
+	if err := ctl.InitServers(servers, 4); err != nil {
+		t.Fatalf("InitServers: %v", err)
+	}
+	gate, err := workload.NewCreditGate(ctl.Credits())
+	if err != nil {
+		t.Fatalf("NewCreditGate: %v", err)
+	}
+	ctl.AttachGate(gate)
+	gen, err := workload.NewGenerator(workload.GeneratorConfig{
+		Servers:   servers,
+		Arrival:   arr,
+		Fanout:    fan,
+		Classes:   classes,
+		Placement: ctl.Active().Place,
+	}, seed)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	svc := dist.Deterministic{V: 4}
+	est, err := core.NewHomogeneousStaticTailEstimator(svc, servers)
+	if err != nil {
+		t.Fatalf("estimator: %v", err)
+	}
+	dl, err := core.NewDeadliner(core.TFEDFQ, est, classes)
+	if err != nil {
+		t.Fatalf("NewDeadliner: %v", err)
+	}
+	adm, err := core.NewAdmissionController(100, 0.05)
+	if err != nil {
+		t.Fatalf("NewAdmissionController: %v", err)
+	}
+	return Config{
+		Servers:      servers,
+		Spec:         core.TFEDFQ,
+		ServiceTimes: []dist.Distribution{svc},
+		Generator:    gen,
+		Classes:      classes,
+		Deadliner:    dl,
+		Queries:      queries,
+		Seed:         seed + 1,
+		Admission:    adm,
+		Control:      ctl,
+	}, ctl
+}
+
+// TestControlPlaneDeterministic runs the same controlled flash crowd
+// twice and requires bit-identical results and decision traces — the
+// control plane must advance only on the simulated clock and the run's
+// seeded randomness.
+func TestControlPlaneDeterministic(t *testing.T) {
+	cfgA, ctlA := controlledConfig(t, 400, 7)
+	resA, err := Run(cfgA)
+	if err != nil {
+		t.Fatalf("Run A: %v", err)
+	}
+	cfgB, ctlB := controlledConfig(t, 400, 7)
+	resB, err := Run(cfgB)
+	if err != nil {
+		t.Fatalf("Run B: %v", err)
+	}
+	if err := resA.Equal(resB); err != nil {
+		t.Fatalf("controlled runs diverge: %v", err)
+	}
+	da, db := ctlA.Decisions(), ctlB.Decisions()
+	if len(da) == 0 || len(da) != len(db) {
+		t.Fatalf("decision traces: %d vs %d entries", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("decision %d diverges: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+}
+
+// TestControlPlaneActs checks that the attached loops actually engage on
+// an overloaded run: the controller ticks, credits bound the in-flight
+// count (deferring the generator at least once), and every credit is
+// returned by the end of the run.
+func TestControlPlaneActs(t *testing.T) {
+	cfg, ctl := controlledConfig(t, 600, 11)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ControlTicks == 0 {
+		t.Error("ControlTicks = 0, controller never ticked")
+	}
+	if res.ControlTicks != ctl.Ticks() {
+		t.Errorf("ControlTicks = %d, controller counted %d", res.ControlTicks, ctl.Ticks())
+	}
+	if res.CreditDeferred == 0 {
+		t.Error("CreditDeferred = 0, want the flash crowd to hit the credit gate")
+	}
+	if got := ctl.Gate().InFlight(); got != 0 {
+		t.Errorf("gate holds %d credits after the run, want 0", got)
+	}
+	if ctl.Scale() >= 1 && res.Rejected == 0 && res.Throttled == 0 {
+		t.Error("no control actuation visible: scale nominal, nothing rejected or throttled")
+	}
+	settled := res.Completed + res.Failed
+	admitted := res.Admitted
+	if settled != admitted {
+		t.Errorf("settled %d != admitted %d", settled, admitted)
+	}
+	if res.Queries+res.Injected != res.Admitted+res.Rejected+res.Throttled {
+		t.Errorf("query accounting: %d generated+injected vs %d admitted + %d rejected + %d throttled",
+			res.Queries+res.Injected, res.Admitted, res.Rejected, res.Throttled)
+	}
+}
+
+// TestControlValidation covers the control plane's config interactions:
+// sharded runs reject it, and it is mutually exclusive with degraded
+// admission (both actuate the admission threshold scale).
+func TestControlValidation(t *testing.T) {
+	cfg, _ := controlledConfig(t, 10, 3)
+	cfg.Shards = 2
+	if _, err := Run(cfg); err == nil {
+		t.Error("sharded run with Control succeeded, want error")
+	}
+	cfg, _ = controlledConfig(t, 10, 3)
+	cfg.Resilience = fault.Resilience{DegradedAdmission: true}
+	if _, err := Run(cfg); err == nil {
+		t.Error("Control + DegradedAdmission succeeded, want error")
+	}
+}

@@ -116,6 +116,9 @@ func (res *Result) Equal(other *Result) error {
 		{"Retries", res.Retries, other.Retries},
 		{"HedgesIssued", res.HedgesIssued, other.HedgesIssued},
 		{"HedgeWins", res.HedgeWins, other.HedgeWins},
+		{"CreditDeferred", res.CreditDeferred, other.CreditDeferred},
+		{"Throttled", res.Throttled, other.Throttled},
+		{"ControlTicks", res.ControlTicks, other.ControlTicks},
 	}
 	for _, c := range ints {
 		if c.a != c.b {

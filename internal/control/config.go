@@ -1,0 +1,231 @@
+// Package control is TailGuard's adaptive control plane: a deterministic
+// closed-loop controller with a global view that turns the static knobs of
+// Section III.C — the admission threshold Rth and the degraded-admission
+// scale — into actuators driven by windowed deadline-miss feedback.
+//
+// One Controller owns three coupled AIMD loops plus an autoscaler:
+//
+//   - admission threshold scale: multiplicative shed under overload,
+//     additive recovery (actuated through a ScaleActuator such as
+//     core.AdmissionController.SetThresholdScale);
+//   - in-flight credits: the limit of a workload.CreditGate that bounds
+//     how many queries generators may have outstanding, so bursty sources
+//     block instead of free-running into a collapsing cluster;
+//   - per-class token buckets: lower-priority classes are throttled first
+//     when the miss ratio breaches the target band;
+//   - autoscaling: servers are added (with a warm-up ramp before they take
+//     full load) after sustained overload and removed after sustained
+//     slack, with hysteresis and a cooldown between actions.
+//
+// The controller has no clock and no randomness of its own: it advances
+// only when its owner calls Tick with the owner's (simulated or live)
+// time, and the warm-up placement draws come from the caller-supplied
+// *rand.Rand. Driven from the DES with a seeded generator, every decision
+// sequence is bit-reproducible.
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterizes a Controller. Zero values select the documented
+// defaults; Validate reports the first invalid field and never panics.
+type Config struct {
+	// TickMs is the controller period on the driving clock (ms). Required.
+	TickMs float64
+	// WindowMs is the feedback window the miss ratio should be measured
+	// over by whoever feeds Signals (informational for the controller
+	// itself). Default 20*TickMs.
+	WindowMs float64
+	// TargetRatio is Rth: the windowed deadline-miss ratio the loop holds.
+	// Required, in (0, 1).
+	TargetRatio float64
+	// HighBand/LowBand bound the dead zone around TargetRatio: the loop
+	// sheds when ratio > TargetRatio*HighBand and recovers when ratio <
+	// TargetRatio*LowBand. Defaults 1.2 and 0.8.
+	HighBand float64
+	LowBand  float64
+
+	// Admission-scale loop (applies when a ScaleActuator is attached).
+	ScaleMin     float64 // floor of the threshold scale; default 0.1
+	ScaleDecay   float64 // multiplicative factor per overloaded tick, in (0,1); default 0.7
+	ScaleRecover float64 // additive recovery per underloaded tick; default 0.05
+
+	// Credit loop (applies when a CreditGate is attached).
+	MinCredits    int     // floor of the credit limit; default 16
+	MaxCredits    int     // ceiling and starting credit limit; default 1024
+	CreditDecay   float64 // multiplicative factor per overloaded tick, in (0,1); default 0.7
+	CreditRecover int     // additive recovery per underloaded tick; default max(1, MaxCredits/64)
+
+	// Per-class token buckets. ClassRates[i] is class i's base admission
+	// rate in queries/ms (0 = unlimited); nil disables class throttling.
+	// Classes above 0 additionally see their refill scaled by the
+	// throttle loop, so best-effort traffic is shed first.
+	ClassRates      []float64
+	ClassBurst      float64 // bucket depth in queries; default 2*rate*TickMs (min 1)
+	ThrottleMin     float64 // floor of the throttle multiplier; default 0.1
+	ThrottleDecay   float64 // multiplicative factor per overloaded tick, in (0,1); default 0.7
+	ThrottleRecover float64 // additive recovery per underloaded tick; default 0.05
+
+	// Autoscaler. MaxServers == 0 disables it; otherwise the ActiveSet
+	// initialized via InitServers scales between MinServers and
+	// MaxServers.
+	MinServers            int
+	MaxServers            int
+	WarmupMs              float64 // ramp before a new server takes full load; default 5*TickMs
+	UpAfterTicks          int     // consecutive overloaded ticks before adding a server; default 3
+	DownAfterTicks        int     // consecutive underloaded ticks before removing one; default 10
+	CooldownTicks         int     // ticks between scaling actions; default 5
+	DownInflightPerServer float64 // scale down only while InFlight < this * active; default 4
+
+	// DecisionLog caps the in-memory decision ring (oldest overwritten).
+	// Default 1024.
+	DecisionLog int
+}
+
+// withDefaults returns cfg with zero-valued optional fields replaced by
+// their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.WindowMs == 0 {
+		c.WindowMs = 20 * c.TickMs
+	}
+	if c.HighBand == 0 {
+		c.HighBand = 1.2
+	}
+	if c.LowBand == 0 {
+		c.LowBand = 0.8
+	}
+	if c.ScaleMin == 0 {
+		c.ScaleMin = 0.1
+	}
+	if c.ScaleDecay == 0 {
+		c.ScaleDecay = 0.7
+	}
+	if c.ScaleRecover == 0 {
+		c.ScaleRecover = 0.05
+	}
+	if c.MinCredits == 0 {
+		c.MinCredits = 16
+	}
+	if c.MaxCredits == 0 {
+		c.MaxCredits = 1024
+	}
+	if c.CreditDecay == 0 {
+		c.CreditDecay = 0.7
+	}
+	if c.CreditRecover == 0 {
+		if c.CreditRecover = c.MaxCredits / 64; c.CreditRecover < 1 {
+			c.CreditRecover = 1
+		}
+	}
+	if c.ThrottleMin == 0 {
+		c.ThrottleMin = 0.1
+	}
+	if c.ThrottleDecay == 0 {
+		c.ThrottleDecay = 0.7
+	}
+	if c.ThrottleRecover == 0 {
+		c.ThrottleRecover = 0.05
+	}
+	if c.MaxServers > 0 {
+		if c.WarmupMs == 0 {
+			c.WarmupMs = 5 * c.TickMs
+		}
+		if c.UpAfterTicks == 0 {
+			c.UpAfterTicks = 3
+		}
+		if c.DownAfterTicks == 0 {
+			c.DownAfterTicks = 10
+		}
+		if c.CooldownTicks == 0 {
+			c.CooldownTicks = 5
+		}
+		if c.DownInflightPerServer == 0 {
+			c.DownInflightPerServer = 4
+		}
+	}
+	if c.DecisionLog == 0 {
+		c.DecisionLog = 1024
+	}
+	return c
+}
+
+// posFinite reports whether x is a positive finite float.
+func posFinite(x float64) bool {
+	return x > 0 && !math.IsInf(x, 0) // NaN > 0 is false
+}
+
+// Validate applies defaults and checks every field, returning the first
+// violation. It never panics, whatever the input.
+func (c Config) Validate() error {
+	if !posFinite(c.TickMs) {
+		return fmt.Errorf("control: TickMs must be positive and finite, got %v", c.TickMs)
+	}
+	d := c.withDefaults()
+	if !posFinite(d.WindowMs) || c.WindowMs < 0 {
+		return fmt.Errorf("control: WindowMs must be positive and finite, got %v", c.WindowMs)
+	}
+	if !(c.TargetRatio > 0 && c.TargetRatio < 1) {
+		return fmt.Errorf("control: TargetRatio must be in (0, 1), got %v", c.TargetRatio)
+	}
+	if !posFinite(d.LowBand) || !posFinite(d.HighBand) || d.LowBand > d.HighBand {
+		return fmt.Errorf("control: bands must be positive and finite with LowBand <= HighBand, got low %v high %v", d.LowBand, d.HighBand)
+	}
+	if !(d.ScaleMin > 0 && d.ScaleMin <= 1) {
+		return fmt.Errorf("control: ScaleMin must be in (0, 1], got %v", d.ScaleMin)
+	}
+	if !(d.ScaleDecay > 0 && d.ScaleDecay < 1) {
+		return fmt.Errorf("control: ScaleDecay must be in (0, 1), got %v", d.ScaleDecay)
+	}
+	if !posFinite(d.ScaleRecover) {
+		return fmt.Errorf("control: ScaleRecover must be positive and finite, got %v", d.ScaleRecover)
+	}
+	if c.MinCredits < 0 || c.MaxCredits < 0 || c.CreditRecover < 0 {
+		return fmt.Errorf("control: credit knobs must be >= 0")
+	}
+	if d.MinCredits < 1 || d.MaxCredits < d.MinCredits {
+		return fmt.Errorf("control: need 1 <= MinCredits (%d) <= MaxCredits (%d)", d.MinCredits, d.MaxCredits)
+	}
+	if !(d.CreditDecay > 0 && d.CreditDecay < 1) {
+		return fmt.Errorf("control: CreditDecay must be in (0, 1), got %v", d.CreditDecay)
+	}
+	for i, r := range c.ClassRates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("control: ClassRates[%d] must be >= 0 and finite, got %v", i, r)
+		}
+	}
+	if c.ClassBurst < 0 || math.IsNaN(c.ClassBurst) || math.IsInf(c.ClassBurst, 0) {
+		return fmt.Errorf("control: ClassBurst must be >= 0 and finite, got %v", c.ClassBurst)
+	}
+	if !(d.ThrottleMin > 0 && d.ThrottleMin <= 1) {
+		return fmt.Errorf("control: ThrottleMin must be in (0, 1], got %v", d.ThrottleMin)
+	}
+	if !(d.ThrottleDecay > 0 && d.ThrottleDecay < 1) {
+		return fmt.Errorf("control: ThrottleDecay must be in (0, 1), got %v", d.ThrottleDecay)
+	}
+	if !posFinite(d.ThrottleRecover) {
+		return fmt.Errorf("control: ThrottleRecover must be positive and finite, got %v", d.ThrottleRecover)
+	}
+	if c.MaxServers < 0 || c.MinServers < 0 {
+		return fmt.Errorf("control: server bounds must be >= 0, got min %d max %d", c.MinServers, c.MaxServers)
+	}
+	if c.MaxServers > 0 {
+		if c.MinServers < 1 || c.MinServers > c.MaxServers {
+			return fmt.Errorf("control: need 1 <= MinServers (%d) <= MaxServers (%d)", c.MinServers, c.MaxServers)
+		}
+		if d.WarmupMs < 0 || math.IsNaN(d.WarmupMs) || math.IsInf(d.WarmupMs, 0) {
+			return fmt.Errorf("control: WarmupMs must be >= 0 and finite, got %v", c.WarmupMs)
+		}
+		if c.UpAfterTicks < 0 || c.DownAfterTicks < 0 || c.CooldownTicks < 0 {
+			return fmt.Errorf("control: autoscale tick counts must be >= 0")
+		}
+		if c.DownInflightPerServer < 0 || math.IsNaN(c.DownInflightPerServer) || math.IsInf(c.DownInflightPerServer, 0) {
+			return fmt.Errorf("control: DownInflightPerServer must be >= 0 and finite, got %v", c.DownInflightPerServer)
+		}
+	}
+	if c.DecisionLog < 0 {
+		return fmt.Errorf("control: DecisionLog must be >= 0, got %d", c.DecisionLog)
+	}
+	return nil
+}

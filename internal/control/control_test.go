@@ -1,0 +1,358 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tailguard/internal/workload"
+)
+
+func newTestController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func baseConfig() Config {
+	return Config{TickMs: 10, TargetRatio: 0.01}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	bad := []Config{
+		{},
+		{TickMs: -1, TargetRatio: 0.01},
+		{TickMs: math.NaN(), TargetRatio: 0.01},
+		{TickMs: 10, TargetRatio: 0},
+		{TickMs: 10, TargetRatio: 1},
+		{TickMs: 10, TargetRatio: 0.01, LowBand: 2, HighBand: 1},
+		{TickMs: 10, TargetRatio: 0.01, ScaleDecay: 1.5},
+		{TickMs: 10, TargetRatio: 0.01, MinCredits: 10, MaxCredits: 5},
+		{TickMs: 10, TargetRatio: 0.01, ClassRates: []float64{-1}},
+		{TickMs: 10, TargetRatio: 0.01, MaxServers: 4},                              // MinServers 0
+		{TickMs: 10, TargetRatio: 0.01, MinServers: 8, MaxServers: 4},               // min > max
+		{TickMs: 10, TargetRatio: 0.01, MinServers: 1, MaxServers: 4, WarmupMs: -1}, // bad warmup
+		{TickMs: 10, TargetRatio: 0.01, MinServers: 1, MaxServers: 4, UpAfterTicks: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestAIMDShedAndRecover(t *testing.T) {
+	c := newTestController(t, baseConfig())
+	gate, err := workload.NewCreditGate(8)
+	if err != nil {
+		t.Fatalf("NewCreditGate: %v", err)
+	}
+	c.AttachGate(gate)
+	if gate.Limit() != c.Credits() {
+		t.Fatalf("AttachGate did not sync limit: gate %d, controller %d", gate.Limit(), c.Credits())
+	}
+
+	// Sustained overload: every actuator sheds multiplicatively.
+	now := 0.0
+	for i := 0; i < 30; i++ {
+		now += 10
+		c.Tick(now, Signals{MissRatio: 0.5})
+	}
+	d, ok := c.LastDecision()
+	if !ok {
+		t.Fatal("no decision recorded")
+	}
+	if d.Scale != c.Config().ScaleMin {
+		t.Errorf("scale after sustained overload = %v, want floor %v", d.Scale, c.Config().ScaleMin)
+	}
+	if d.Credits != c.Config().MinCredits {
+		t.Errorf("credits after sustained overload = %d, want floor %d", d.Credits, c.Config().MinCredits)
+	}
+	if d.Throttle != c.Config().ThrottleMin {
+		t.Errorf("throttle after sustained overload = %v, want floor %v", d.Throttle, c.Config().ThrottleMin)
+	}
+	if gate.Limit() != c.Config().MinCredits {
+		t.Errorf("gate limit not actuated: %d", gate.Limit())
+	}
+
+	// Sustained slack: additive recovery back to nominal.
+	for i := 0; i < 2000; i++ {
+		now += 10
+		c.Tick(now, Signals{MissRatio: 0})
+	}
+	d, _ = c.LastDecision()
+	if d.Scale != 1 || d.Throttle != 1 {
+		t.Errorf("scale/throttle after recovery = %v/%v, want 1/1", d.Scale, d.Throttle)
+	}
+	if d.Credits != c.Config().MaxCredits {
+		t.Errorf("credits after recovery = %d, want %d", d.Credits, c.Config().MaxCredits)
+	}
+
+	// Dead zone: nothing moves.
+	before := d
+	now += 10
+	d = c.Tick(now, Signals{MissRatio: 0.01})
+	if d.Scale != before.Scale || d.Credits != before.Credits || d.Throttle != before.Throttle {
+		t.Errorf("dead-zone tick moved actuators: %+v vs %+v", d, before)
+	}
+}
+
+func TestScaleActuatorAttached(t *testing.T) {
+	c := newTestController(t, baseConfig())
+	var got []float64
+	c.AttachAdmission(scaleFunc(func(s float64) { got = append(got, s) }))
+	c.Tick(10, Signals{MissRatio: 0.9})
+	c.Tick(20, Signals{MissRatio: 0.9})
+	if len(got) != 2 || got[1] >= got[0] {
+		t.Fatalf("actuations = %v, want two decreasing scales", got)
+	}
+	if got[1] >= 1 {
+		t.Errorf("second actuated scale %v not reduced", got[1])
+	}
+}
+
+type scaleFunc func(float64)
+
+func (f scaleFunc) SetThresholdScale(s float64) { f(s) }
+
+func TestAutoscaleHysteresisAndWarmup(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MinServers, cfg.MaxServers = 4, 8
+	cfg.UpAfterTicks, cfg.DownAfterTicks, cfg.CooldownTicks = 3, 4, 2
+	cfg.WarmupMs = 30 // 3 ticks to full warmth
+	cfg.DownInflightPerServer = 100
+	c := newTestController(t, cfg)
+	if err := c.InitServers(8, 4); err != nil {
+		t.Fatalf("InitServers: %v", err)
+	}
+	if err := c.InitServers(4, 4); err == nil {
+		t.Error("InitServers with too few slots accepted")
+	}
+
+	// Two overloaded ticks: below the hysteresis bar, no scaling.
+	now := 0.0
+	for i := 0; i < 2; i++ {
+		now += 10
+		if d := c.Tick(now, Signals{MissRatio: 0.5}); d.Added != -1 {
+			t.Fatalf("scaled up after only %d overloaded ticks", i+1)
+		}
+	}
+	// Third consecutive overloaded tick crosses it.
+	now += 10
+	d := c.Tick(now, Signals{MissRatio: 0.5})
+	if d.Added != 4 {
+		t.Fatalf("third overloaded tick: Added = %d, want slot 4", d.Added)
+	}
+	if d.Warming != 1 || d.Active != 4 {
+		t.Fatalf("after scale-up: active/warming = %d/%d, want 4/1", d.Active, d.Warming)
+	}
+	// Cooldown holds even under continued overload.
+	now += 10
+	if d = c.Tick(now, Signals{MissRatio: 0.5}); d.Added != -1 {
+		t.Fatal("scale-up during cooldown")
+	}
+	// Dead-zone ticks: the warming slot ramps 10ms per tick (ramp 30ms)
+	// and promotes on its third advance, with no further actions.
+	now += 10
+	d = c.Tick(now, Signals{MissRatio: 0.01})
+	if d.Active != 4 || d.Warming != 1 || d.Added != -1 {
+		t.Fatalf("mid-ramp: active/warming = %d/%d", d.Active, d.Warming)
+	}
+	now += 10
+	d = c.Tick(now, Signals{MissRatio: 0.01})
+	if d.Active != 5 || d.Warming != 0 {
+		t.Fatalf("warm-up promotion: active/warming = %d/%d, want 5/0", d.Active, d.Warming)
+	}
+
+	// Sustained slack scales back down to MinServers, one per cooldown.
+	for i := 0; i < 60; i++ {
+		now += 10
+		d = c.Tick(now, Signals{MissRatio: 0})
+	}
+	if d.Active != cfg.MinServers {
+		t.Fatalf("after sustained slack: active = %d, want MinServers %d", d.Active, cfg.MinServers)
+	}
+	// And never below MinServers.
+	if got := c.Active().Provisioned(); got != cfg.MinServers {
+		t.Errorf("provisioned = %d, want %d", got, cfg.MinServers)
+	}
+}
+
+func TestAutoscaleDownRequiresLowInflight(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MinServers, cfg.MaxServers = 2, 4
+	cfg.DownAfterTicks, cfg.CooldownTicks = 2, 0
+	cfg.DownInflightPerServer = 2
+	c := newTestController(t, cfg)
+	if err := c.InitServers(4, 4); err != nil {
+		t.Fatalf("InitServers: %v", err)
+	}
+	now := 0.0
+	for i := 0; i < 10; i++ {
+		now += 10
+		if d := c.Tick(now, Signals{MissRatio: 0, InFlight: 100}); d.Removed != -1 {
+			t.Fatal("scaled down while in-flight load was high")
+		}
+	}
+	now += 10
+	if d := c.Tick(now, Signals{MissRatio: 0, InFlight: 1}); d.Removed == -1 {
+		t.Fatal("did not scale down with slack and low in-flight")
+	}
+}
+
+func TestTokenBucketsThrottleLowPriorityFirst(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ClassRates = []float64{0, 1} // class 0 unlimited, class 1 at 1 q/ms
+	c := newTestController(t, cfg)
+
+	// Class 0 is never limited.
+	for i := 0; i < 100; i++ {
+		if !c.AllowClass(0, 1) {
+			t.Fatal("unlimited class throttled")
+		}
+	}
+	// Unknown classes are allowed.
+	if !c.AllowClass(7, 1) || !c.AllowClass(-1, 1) {
+		t.Fatal("unconfigured class throttled")
+	}
+
+	// Class 1: burst depth default 2*1*10 = 20 tokens, then rate-limited.
+	allowed := 0
+	for i := 0; i < 100; i++ {
+		if c.AllowClass(1, 5) {
+			allowed++
+		}
+	}
+	if allowed != 20 {
+		t.Fatalf("burst allowed %d, want bucket depth 20", allowed)
+	}
+	// 10ms later at full throttle: 10 more tokens.
+	allowed = 0
+	for i := 0; i < 100; i++ {
+		if c.AllowClass(1, 15) {
+			allowed++
+		}
+	}
+	if allowed != 10 {
+		t.Fatalf("refill allowed %d, want 10", allowed)
+	}
+
+	// Shed to the throttle floor, drain whatever refilled meanwhile, and
+	// measure a known interval: refill drops to ThrottleMin * rate.
+	now := 20.0
+	for i := 0; i < 30; i++ {
+		now += 10
+		c.Tick(now, Signals{MissRatio: 0.5})
+	}
+	for c.AllowClass(1, now) {
+	}
+	allowed = 0
+	for i := 0; i < 1000; i++ {
+		if c.AllowClass(1, now+100) {
+			allowed++
+		}
+	}
+	want := int(c.Config().ThrottleMin * 1 * 100) // 10 tokens over 100ms at the floor
+	if allowed != want {
+		t.Fatalf("throttled refill allowed %d, want %d", allowed, want)
+	}
+}
+
+func TestDecisionRingWrapsWithoutAllocating(t *testing.T) {
+	cfg := baseConfig()
+	cfg.DecisionLog = 4
+	c := newTestController(t, cfg)
+	for i := 1; i <= 10; i++ {
+		c.Tick(float64(i)*10, Signals{MissRatio: 0})
+	}
+	ds := c.Decisions()
+	if len(ds) != 4 {
+		t.Fatalf("ring kept %d decisions, want 4", len(ds))
+	}
+	for i, d := range ds {
+		if want := float64(7+i) * 10; d.AtMs != want {
+			t.Errorf("ring[%d].AtMs = %v, want %v", i, d.AtMs, want)
+		}
+	}
+	if c.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", c.Dropped())
+	}
+}
+
+// TestControllerDeterminism replays the same signal + rng sequence twice
+// and requires identical decisions and placements.
+func TestControllerDeterminism(t *testing.T) {
+	run := func() ([]Decision, [][]int) {
+		cfg := baseConfig()
+		cfg.MinServers, cfg.MaxServers = 4, 8
+		cfg.WarmupMs = 50
+		cfg.ClassRates = []float64{2, 1}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := c.InitServers(8, 4); err != nil {
+			t.Fatalf("InitServers: %v", err)
+		}
+		sig := rand.New(rand.NewSource(99))
+		place := rand.New(rand.NewSource(7))
+		var ds []Decision
+		var ps [][]int
+		now := 0.0
+		for i := 0; i < 200; i++ {
+			now += 10
+			ds = append(ds, c.Tick(now, Signals{MissRatio: sig.Float64() * 0.1, InFlight: sig.Intn(64)}))
+			ps = append(ps, c.Active().Place(place, 3))
+		}
+		return ds, ps
+	}
+	d1, p1 := run()
+	d2, p2 := run()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, d1[i], d2[i])
+		}
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatalf("placement %d diverged: %v vs %v", i, p1[i], p2[i])
+			}
+		}
+	}
+}
+
+// TestTickAllocationFree is the steady-state allocation regression gate:
+// once the decision ring is warm, Tick must not allocate.
+func TestTickAllocationFree(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MinServers, cfg.MaxServers = 4, 8
+	cfg.ClassRates = []float64{2, 1}
+	cfg.DecisionLog = 64
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.InitServers(8, 4); err != nil {
+		t.Fatalf("InitServers: %v", err)
+	}
+	gate, err := workload.NewCreditGate(16)
+	if err != nil {
+		t.Fatalf("NewCreditGate: %v", err)
+	}
+	c.AttachGate(gate)
+	now := 0.0
+	for i := 0; i < 128; i++ { // fill the ring, exercise both regimes
+		now += 10
+		c.Tick(now, Signals{MissRatio: float64(i%2) * 0.5})
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		now += 10
+		c.Tick(now, Signals{MissRatio: float64(int(now/10)%2) * 0.5, InFlight: 3})
+		c.AllowClass(1, now)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Tick allocates %v allocs/op, want 0", avg)
+	}
+}

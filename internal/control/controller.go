@@ -1,0 +1,309 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"tailguard/internal/workload"
+)
+
+// ScaleActuator receives the admission threshold scale the controller
+// decides each tick. core.AdmissionController satisfies it with
+// SetThresholdScale; the zero actuation (nil) is valid.
+type ScaleActuator interface {
+	SetThresholdScale(scale float64)
+}
+
+// Signals is the feedback the controller reads each tick.
+type Signals struct {
+	// MissRatio is the windowed deadline-miss ratio in [0, 1], measured
+	// over roughly Config.WindowMs by the owner (e.g. an obs.MissWindow).
+	MissRatio float64
+	// InFlight is the number of credits currently held (0 when no gate).
+	InFlight int
+}
+
+// Decision records everything one tick decided; Tick returns it by value
+// and the controller keeps the last Config.DecisionLog of them in a ring.
+type Decision struct {
+	AtMs      float64 // tick time on the driving clock
+	MissRatio float64 // the signal the decision was based on
+	Scale     float64 // admission threshold scale actuated this tick
+	Credits   int     // credit limit actuated this tick
+	Throttle  float64 // low-priority class refill multiplier
+	Active    int     // fully active servers after this tick
+	Warming   int     // servers still on the warm-up ramp
+	Added     int     // server index that started warming this tick, -1 if none
+	Removed   int     // server index deactivated this tick, -1 if none
+}
+
+// bucket is one class's token bucket.
+type bucket struct {
+	rate   float64 // base refill, queries/ms (0 = unlimited)
+	burst  float64 // depth in queries
+	tokens float64
+	lastMs float64
+}
+
+// Controller is the closed-loop control plane. It is single-owner (the
+// simulation event loop or the daemon control goroutine); only the
+// attached CreditGate is concurrency-safe. All state advances in Tick —
+// the controller never reads a clock or owns randomness, so a seeded
+// driver replays bit-identically.
+type Controller struct {
+	cfg  Config
+	adm  ScaleActuator
+	gate *workload.CreditGate
+	act  *ActiveSet
+
+	scale    float64
+	credits  int
+	throttle float64
+	buckets  []bucket
+
+	tick          int
+	overTicks     int
+	underTicks    int
+	cooldownUntil int
+
+	log     []Decision // ring of the last cfg.DecisionLog decisions
+	logHead int        // next write position once the ring is full
+	dropped int        // decisions overwritten
+}
+
+// New validates cfg (with defaults applied) and builds a controller. The
+// actuators start detached; wire them with AttachAdmission, AttachGate,
+// and InitServers before the first Tick.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:      cfg,
+		scale:    1,
+		credits:  cfg.MaxCredits,
+		throttle: 1,
+		log:      make([]Decision, 0, cfg.DecisionLog),
+	}
+	if n := len(cfg.ClassRates); n > 0 {
+		c.buckets = make([]bucket, n)
+		for i, r := range cfg.ClassRates {
+			burst := cfg.ClassBurst
+			if burst == 0 {
+				if burst = 2 * r * cfg.TickMs; burst < 1 {
+					burst = 1
+				}
+			}
+			c.buckets[i] = bucket{rate: r, burst: burst, tokens: burst}
+		}
+	}
+	return c, nil
+}
+
+// AttachAdmission wires the admission-scale actuator (may be nil).
+func (c *Controller) AttachAdmission(a ScaleActuator) { c.adm = a }
+
+// AttachGate wires the credit gate the credit loop actuates (may be nil).
+// The gate's limit is immediately set to the controller's current credit
+// target so gate and controller never disagree at start.
+func (c *Controller) AttachGate(g *workload.CreditGate) {
+	c.gate = g
+	if g != nil {
+		g.SetLimit(c.credits)
+	}
+}
+
+// Gate returns the attached credit gate (nil when backpressure is off).
+func (c *Controller) Gate() *workload.CreditGate { return c.gate }
+
+// InitServers creates the ActiveSet the autoscaler manages: total
+// provisioned slots of which the first initialActive start at full load.
+// Required when Config.MaxServers > 0 (total must be >= MaxServers).
+func (c *Controller) InitServers(total, initialActive int) error {
+	if c.cfg.MaxServers == 0 {
+		return fmt.Errorf("control: InitServers without autoscaling enabled (MaxServers == 0)")
+	}
+	if total < c.cfg.MaxServers {
+		return fmt.Errorf("control: %d provisioned slots cannot reach MaxServers %d", total, c.cfg.MaxServers)
+	}
+	if initialActive < c.cfg.MinServers || initialActive > c.cfg.MaxServers {
+		return fmt.Errorf("control: initialActive %d outside [MinServers %d, MaxServers %d]",
+			initialActive, c.cfg.MinServers, c.cfg.MaxServers)
+	}
+	act, err := NewActiveSet(total, initialActive, c.cfg.WarmupMs)
+	if err != nil {
+		return err
+	}
+	c.act = act
+	return nil
+}
+
+// Active returns the autoscaler's server set (nil without InitServers).
+func (c *Controller) Active() *ActiveSet { return c.act }
+
+// Config returns the controller's configuration with defaults applied.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Scale returns the current admission threshold scale.
+func (c *Controller) Scale() float64 { return c.scale }
+
+// Credits returns the current credit limit target.
+func (c *Controller) Credits() int { return c.credits }
+
+// Throttle returns the current low-priority refill multiplier.
+func (c *Controller) Throttle() float64 { return c.throttle }
+
+// Tick advances the loops by one period at time nowMs and actuates. It is
+// allocation-free in steady state: the decision ring is pre-sized and the
+// returned Decision is a value.
+func (c *Controller) Tick(nowMs float64, sig Signals) Decision {
+	c.tick++
+	ratio := sig.MissRatio
+	hi := c.cfg.TargetRatio * c.cfg.HighBand
+	lo := c.cfg.TargetRatio * c.cfg.LowBand
+	switch {
+	case ratio > hi:
+		// Overload: multiplicative shed on every actuator.
+		c.overTicks++
+		c.underTicks = 0
+		c.scale = math.Max(c.cfg.ScaleMin, c.scale*c.cfg.ScaleDecay)
+		if next := int(float64(c.credits) * c.cfg.CreditDecay); next >= c.cfg.MinCredits {
+			c.credits = next
+		} else {
+			c.credits = c.cfg.MinCredits
+		}
+		c.throttle = math.Max(c.cfg.ThrottleMin, c.throttle*c.cfg.ThrottleDecay)
+	case ratio < lo:
+		// Slack: additive recovery, so the loop probes capacity gently.
+		c.underTicks++
+		c.overTicks = 0
+		c.scale = math.Min(1, c.scale+c.cfg.ScaleRecover)
+		if next := c.credits + c.cfg.CreditRecover; next <= c.cfg.MaxCredits {
+			c.credits = next
+		} else {
+			c.credits = c.cfg.MaxCredits
+		}
+		c.throttle = math.Min(1, c.throttle+c.cfg.ThrottleRecover)
+	default:
+		// Inside the dead zone: hold, and reset the hysteresis streaks.
+		c.overTicks = 0
+		c.underTicks = 0
+	}
+
+	added, removed := -1, -1
+	if c.act != nil {
+		c.act.AdvanceWarm(c.cfg.TickMs)
+		switch {
+		case c.overTicks >= c.cfg.UpAfterTicks && c.tick >= c.cooldownUntil &&
+			c.act.Provisioned() < c.cfg.MaxServers:
+			added = c.act.StartWarm()
+			if added >= 0 {
+				c.cooldownUntil = c.tick + c.cfg.CooldownTicks
+			}
+		case c.underTicks >= c.cfg.DownAfterTicks && c.tick >= c.cooldownUntil &&
+			c.act.Provisioned() > c.cfg.MinServers &&
+			float64(sig.InFlight) < c.cfg.DownInflightPerServer*float64(c.act.ActiveCount()):
+			removed = c.act.Deactivate()
+			if removed >= 0 {
+				c.cooldownUntil = c.tick + c.cfg.CooldownTicks
+			}
+		}
+	}
+
+	if c.adm != nil {
+		c.adm.SetThresholdScale(c.scale)
+	}
+	if c.gate != nil {
+		c.gate.SetLimit(c.credits)
+	}
+
+	d := Decision{
+		AtMs:      nowMs,
+		MissRatio: ratio,
+		Scale:     c.scale,
+		Credits:   c.credits,
+		Throttle:  c.throttle,
+		Added:     added,
+		Removed:   removed,
+	}
+	if c.act != nil {
+		d.Active = c.act.ActiveCount()
+		d.Warming = c.act.WarmingCount()
+	}
+	c.record(d)
+	return d
+}
+
+// AllowClass runs class's token bucket at time nowMs and reports whether
+// one query may be admitted. Classes without a configured bucket (or with
+// rate 0) are always allowed; classes above 0 see their refill scaled by
+// the throttle loop so best-effort traffic sheds first.
+func (c *Controller) AllowClass(class int, nowMs float64) bool {
+	if class < 0 || class >= len(c.buckets) {
+		return true
+	}
+	b := &c.buckets[class]
+	if b.rate <= 0 {
+		return true
+	}
+	fill := b.rate
+	if class > 0 {
+		fill *= c.throttle
+	}
+	if nowMs > b.lastMs {
+		b.tokens = math.Min(b.burst, b.tokens+fill*(nowMs-b.lastMs))
+		b.lastMs = nowMs
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// record appends d to the decision ring, overwriting the oldest entry
+// once the ring is full. No allocation after the ring reaches capacity.
+func (c *Controller) record(d Decision) {
+	if cap(c.log) == 0 {
+		return
+	}
+	if len(c.log) < cap(c.log) {
+		c.log = append(c.log, d)
+		return
+	}
+	c.log[c.logHead] = d
+	c.logHead++
+	if c.logHead == len(c.log) {
+		c.logHead = 0
+	}
+	c.dropped++
+}
+
+// Decisions returns the retained decision trace in chronological order
+// (a fresh slice; safe to keep). Dropped reports how many older decisions
+// the ring overwrote.
+func (c *Controller) Decisions() []Decision {
+	out := make([]Decision, 0, len(c.log))
+	out = append(out, c.log[c.logHead:]...)
+	out = append(out, c.log[:c.logHead]...)
+	return out
+}
+
+// Dropped returns the number of decisions overwritten by the ring.
+func (c *Controller) Dropped() int { return c.dropped }
+
+// LastDecision returns the most recent decision, if any tick has run.
+func (c *Controller) LastDecision() (Decision, bool) {
+	if len(c.log) == 0 {
+		return Decision{}, false
+	}
+	idx := c.logHead - 1
+	if idx < 0 {
+		idx = len(c.log) - 1
+	}
+	return c.log[idx], true
+}
+
+// Ticks returns how many ticks have run.
+func (c *Controller) Ticks() int { return c.tick }

@@ -1,0 +1,55 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzConfigValidate drives Validate (and, when it accepts, New + a tick)
+// with arbitrary field values: whatever the input, nothing may panic.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(10.0, 200.0, 0.01, 1.2, 0.8, 0.1, 0.7, 0.05, 16, 1024, 8, 2.0, 1.0, 4, 150, 50.0, 3, 10, 5, 4.0, 1024)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0, 0, 0.0, 0.0, 0, 0, 0.0, 0, 0, 0, 0.0, 0)
+	f.Add(math.NaN(), math.Inf(1), -0.5, math.Inf(-1), math.NaN(), 1e308, -1e308, math.NaN(),
+		-1, math.MinInt, math.MaxInt, math.NaN(), math.Inf(1), -7, math.MaxInt, math.NaN(), -1, -1, -1, math.Inf(-1), -9)
+	f.Fuzz(func(t *testing.T,
+		tickMs, windowMs, target, highBand, lowBand, scaleMin, scaleDecay, scaleRecover float64,
+		minCredits, maxCredits, creditRecover int,
+		classRate0, classRate1 float64,
+		minServers, maxServers int, warmupMs float64,
+		upTicks, downTicks, cooldown int, downInflight float64,
+		decisionLog int,
+	) {
+		cfg := Config{
+			TickMs: tickMs, WindowMs: windowMs, TargetRatio: target,
+			HighBand: highBand, LowBand: lowBand,
+			ScaleMin: scaleMin, ScaleDecay: scaleDecay, ScaleRecover: scaleRecover,
+			MinCredits: minCredits, MaxCredits: maxCredits, CreditRecover: creditRecover,
+			ClassRates: []float64{classRate0, classRate1},
+			MinServers: minServers, MaxServers: maxServers, WarmupMs: warmupMs,
+			UpAfterTicks: upTicks, DownAfterTicks: downTicks, CooldownTicks: cooldown,
+			DownInflightPerServer: downInflight,
+			DecisionLog:           decisionLog,
+		}
+		err := cfg.Validate()
+		c, nerr := New(cfg)
+		if (err == nil) != (nerr == nil) {
+			t.Fatalf("Validate (%v) and New (%v) disagree", err, nerr)
+		}
+		if nerr != nil {
+			return
+		}
+		// An accepted config must survive being driven.
+		if cfg.MaxServers > 0 {
+			if ierr := c.InitServers(cfg.MaxServers, cfg.MinServers); ierr != nil {
+				t.Fatalf("InitServers on validated config: %v", ierr)
+			}
+		}
+		now := 0.0
+		for i := 0; i < 5; i++ {
+			now += cfg.TickMs
+			c.Tick(now, Signals{MissRatio: float64(i) * 0.3, InFlight: i})
+			c.AllowClass(i%3, now)
+		}
+	})
+}

@@ -223,6 +223,37 @@ func (a *AdmissionController) Counts() (accepted, rejected int) {
 	return a.accepted, a.rejected
 }
 
+// AdmissionSnapshot is a consistent view of the controller's internals as
+// of one instant — the export surface the observability plane charts
+// (obs gauges on /metrics and in `tgsim -obs` dumps) and the adaptive
+// control plane reads as feedback.
+type AdmissionSnapshot struct {
+	DropProbability    float64 // current rejection probability
+	MissRatio          float64 // windowed task deadline-miss ratio
+	ThresholdScale     float64 // degraded-admission multiplier on Rth
+	EffectiveThreshold float64 // Rth × scale currently in force
+	Accepted           int     // queries admitted so far
+	Rejected           int     // queries rejected so far
+}
+
+// Snapshot advances the window and control integrator to now and returns
+// every internal the controller exposes, under one lock acquisition so
+// the fields are mutually consistent.
+func (a *AdmissionController) Snapshot(now float64) AdmissionSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.evictLocked(now)
+	a.updateDropLocked(now)
+	return AdmissionSnapshot{
+		DropProbability:    a.dropProb,
+		MissRatio:          a.ratioLocked(),
+		ThresholdScale:     a.scale,
+		EffectiveThreshold: a.threshold * a.scale,
+		Accepted:           a.accepted,
+		Rejected:           a.rejected,
+	}
+}
+
 // Reset clears the window, the control state, and the decision counters.
 func (a *AdmissionController) Reset() {
 	a.mu.Lock()

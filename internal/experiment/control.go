@@ -1,0 +1,450 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tailguard/internal/cluster"
+	"tailguard/internal/control"
+	"tailguard/internal/core"
+	"tailguard/internal/dist"
+	"tailguard/internal/metrics"
+	"tailguard/internal/obs"
+	"tailguard/internal/workload"
+)
+
+// The flash-crowd pack: phase-change arrival scenarios run with and
+// without the adaptive control plane, so the table shows what the
+// closed loops buy when demand jumps past capacity. Scenarios:
+//
+//   - flashsale: a trapezoid flash crowd (ramp, hold past capacity,
+//     decay) over a steady base — the paper's overload motivation;
+//   - herd: a rectangular thundering herd, demand stepping straight to
+//     the peak and back;
+//   - diurnal: a sinusoidal day curve whose crest exceeds capacity.
+//
+// Each scenario runs at least the uncontrolled baseline; the controlled
+// variant attaches a control.Controller actuating admission scale,
+// in-flight credits (backpressure on the generator), a class token
+// bucket, and warm-ramp autoscaling of the placement set.
+
+// Control pack variants.
+const (
+	Uncontrolled = "uncontrolled"
+	Controlled   = "controlled"
+)
+
+// ControlScenarios are the phase-change arrival shapes of the pack.
+var ControlScenarios = []string{"flashsale", "herd", "diurnal"}
+
+// ControlConfig parameterizes the flash-crowd control sweep.
+type ControlConfig struct {
+	// Workload names the Tailbench service-time model (default "masstree").
+	Workload string
+	// BaseLoad is the steady offered load (default 0.35); PeakLoad is the
+	// crowd's offered load, deliberately past capacity (default 1.8).
+	BaseLoad float64
+	PeakLoad float64
+	// Scenarios selects the arrival shapes (default ControlScenarios).
+	Scenarios []string
+	// Variants selects which runs to do per scenario (default both, the
+	// uncontrolled baseline first).
+	Variants []string
+	Fidelity Fidelity
+}
+
+func (c *ControlConfig) setDefaults() {
+	if c.Workload == "" {
+		c.Workload = "masstree"
+	}
+	if c.BaseLoad == 0 {
+		c.BaseLoad = 0.35
+	}
+	if c.PeakLoad == 0 {
+		c.PeakLoad = 1.8
+	}
+	if c.Scenarios == nil {
+		c.Scenarios = ControlScenarios
+	}
+	if c.Variants == nil {
+		c.Variants = []string{Uncontrolled, Controlled}
+	}
+}
+
+// controlServers is the pack's cluster size; the controlled variant
+// starts with controlActive of them taking load and lets the autoscaler
+// manage the rest between controlMinServers and controlServers.
+const (
+	controlServers    = 100
+	controlActive     = 80
+	controlMinServers = 60
+)
+
+// ControlRun is one (scenario, variant) cell of the sweep.
+type ControlRun struct {
+	Scenario string
+	Variant  string
+	SLOMs    float64
+	Result   *cluster.Result
+	// Report is the deadline-miss attribution for the run.
+	Report *obs.Attribution
+	// Ctl is the controller driven by the run; nil for the uncontrolled
+	// baseline. Its decision trace is the tick-by-tick record of what the
+	// loops did.
+	Ctl *control.Controller
+	// Registry holds the tg_sim_* control/admission families (controlled
+	// variant only).
+	Registry *obs.Registry
+}
+
+// controlArrival builds the scenario's arrival process and estimates the
+// run horizon (ms). Windows are budgeted in query counts — fractions of
+// Fidelity.Queries at the rate in force — so every fidelity sees the
+// same shape: steady base, then the crowd, then a steady tail.
+func controlArrival(name string, baseRate, peakRate float64, queries int) (workload.ArrivalProcess, float64, error) {
+	q := float64(queries)
+	avgRate := (baseRate + peakRate) / 2
+	switch name {
+	case "flashsale":
+		start := 0.2 * q / baseRate
+		ramp := 0.05 * q / avgRate
+		hold := 0.4 * q / peakRate
+		decay := 0.1 * q / avgRate
+		horizon := start + ramp + hold + decay + 0.25*q/baseRate
+		arr, err := workload.NewFlashCrowd(baseRate, peakRate, start, ramp, hold, decay)
+		return arr, horizon, err
+	case "herd":
+		start := 0.25 * q / baseRate
+		dur := 0.4 * q / peakRate
+		horizon := start + dur + 0.35*q/baseRate
+		arr, err := workload.NewBurst(baseRate, peakRate, start, dur)
+		return arr, horizon, err
+	case "diurnal":
+		amp := (peakRate - avgRate) / avgRate
+		horizon := q / avgRate
+		arr, err := workload.NewSinusoidalPhased(avgRate, amp, horizon/2, 0)
+		return arr, horizon, err
+	default:
+		return nil, 0, fmt.Errorf("experiment: unknown control scenario %q", name)
+	}
+}
+
+// buildControlRun assembles and executes one cell.
+func buildControlRun(cfg ControlConfig, scenario, variant string) (*ControlRun, error) {
+	w, err := dist.TailbenchWorkload(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	fan, err := workload.NewInverseProportional(PaperFanouts)
+	if err != nil {
+		return nil, err
+	}
+	slos, ok := Fig4SLOs[cfg.Workload]
+	if !ok {
+		return nil, fmt.Errorf("experiment: no SLO grid for %q", cfg.Workload)
+	}
+	slo := slos[1]
+	classes, err := workload.SingleClass(slo)
+	if err != nil {
+		return nil, err
+	}
+	baseRate, err := workload.RateForLoad(cfg.BaseLoad, controlServers, fan.MeanTasks(), w.ServiceTime.Mean())
+	if err != nil {
+		return nil, err
+	}
+	peakRate, err := workload.RateForLoad(cfg.PeakLoad, controlServers, fan.MeanTasks(), w.ServiceTime.Mean())
+	if err != nil {
+		return nil, err
+	}
+	arrival, horizon, err := controlArrival(scenario, baseRate, peakRate, cfg.Fidelity.Queries)
+	if err != nil {
+		return nil, err
+	}
+
+	gcfg := workload.GeneratorConfig{
+		Servers: controlServers,
+		Arrival: arrival,
+		Fanout:  fan,
+		Classes: classes,
+	}
+	var ctl *control.Controller
+	if variant == Controlled {
+		tick := horizon / 400
+		ctl, err = control.New(control.Config{
+			TickMs:      tick,
+			WindowMs:    10 * tick,
+			TargetRatio: 0.05,
+			MinCredits:  8,
+			MaxCredits:  256,
+			// The class bucket caps admitted throughput at ~2x the base
+			// rate: it clips the worst of the crowd while leaving enough
+			// overload through for the AIMD loops to work against.
+			ClassRates: []float64{2 * baseRate},
+			MinServers: controlMinServers,
+			MaxServers: controlServers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := ctl.InitServers(controlServers, controlActive); err != nil {
+			return nil, err
+		}
+		gate, err := workload.NewCreditGate(ctl.Credits())
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachGate(gate)
+		gcfg.Placement = ctl.Active().Place
+	}
+	gen, err := workload.NewGenerator(gcfg, cfg.Fidelity.Seed)
+	if err != nil {
+		return nil, err
+	}
+	est, err := core.NewHomogeneousStaticTailEstimator(w.ServiceTime, controlServers)
+	if err != nil {
+		return nil, err
+	}
+	dl, err := core.NewDeadliner(core.TFEDFQ, est, classes)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := cluster.Config{
+		Servers:          controlServers,
+		Spec:             core.TFEDFQ,
+		ServiceTimes:     []dist.Distribution{w.ServiceTime},
+		Generator:        gen,
+		Classes:          classes,
+		Deadliner:        dl,
+		Queries:          cfg.Fidelity.Queries,
+		Warmup:           cfg.Fidelity.Warmup,
+		Seed:             cfg.Fidelity.Seed + 1,
+		TimelineBucketMs: horizon / 32,
+		Control:          ctl,
+	}
+	if variant == Controlled {
+		adm, err := core.NewAdmissionController(ctl.Config().WindowMs, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Admission = adm
+	}
+	attrib := obs.NewAttributor()
+	ccfg.Attribution = attrib
+	res, err := cluster.Run(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: control run %s/%s: %w", scenario, variant, err)
+	}
+	run := &ControlRun{
+		Scenario: scenario,
+		Variant:  variant,
+		SLOMs:    slo,
+		Result:   res,
+		Report:   attrib.Report(),
+		Ctl:      ctl,
+	}
+	if ctl != nil {
+		run.Registry = obs.NewRegistry()
+		snap := ccfg.Admission.Snapshot(res.Duration)
+		if err := fillControlRegistry(run.Registry, &snap, ctl); err != nil {
+			return nil, fmt.Errorf("experiment: control run %s/%s: %w", scenario, variant, err)
+		}
+	}
+	return run, nil
+}
+
+// ControlSweep runs the flash-crowd pack sequentially with a fixed seed:
+// every (scenario, variant) cell — including the controller's decision
+// trace — is bit-identical across invocations.
+func ControlSweep(cfg ControlConfig) ([]*ControlRun, error) {
+	cfg.setDefaults()
+	if err := cfg.Fidelity.validate(); err != nil {
+		return nil, err
+	}
+	runs := make([]*ControlRun, 0, len(cfg.Scenarios)*len(cfg.Variants))
+	for _, sc := range cfg.Scenarios {
+		for _, v := range cfg.Variants {
+			run, err := buildControlRun(cfg, sc, v)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, run)
+		}
+	}
+	return runs, nil
+}
+
+// Violations returns the run's overall SLO-violation rate (post-warmup).
+func (r *ControlRun) Violations() float64 {
+	misses, queries := 0, 0
+	for _, c := range r.Report.ByClass {
+		misses += c.Misses
+		queries += c.Queries
+	}
+	if queries == 0 {
+		return 0
+	}
+	return float64(misses) / float64(queries)
+}
+
+// PeakWindowMiss returns the worst per-arrival-window SLO-miss ratio of
+// the run: the fraction of queries arriving in each timeline bucket that
+// finished past the SLO, maximized over buckets with at least minSamples
+// completions. This is the "did the crowd collapse the window" reading —
+// an uncontrolled flash crowd sends it toward 1 while the controlled run
+// holds it near the target band.
+func (r *ControlRun) PeakWindowMiss(minSamples int) float64 {
+	if r.Result.Timeline == nil {
+		return 0
+	}
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	worst := 0.0
+	for _, bucket := range metrics.IntKeys(r.Result.Timeline) {
+		samples := r.Result.Timeline.Recorder(bucket).Samples()
+		if len(samples) < minSamples {
+			continue
+		}
+		missed := 0
+		for _, v := range samples {
+			if v > r.SLOMs {
+				missed++
+			}
+		}
+		if ratio := float64(missed) / float64(len(samples)); ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst
+}
+
+// ControlTable renders the sweep: one row per (scenario, variant) with
+// the shed/deferral counters, the tail, the overall and peak-window miss
+// ratios, and — for controlled runs — how far the loops swung.
+func ControlTable(runs []*ControlRun) *Table {
+	t := &Table{
+		ID:    "flashcrowd",
+		Title: "Flash-crowd scenarios with and without the adaptive control plane",
+		Columns: []string{
+			"scenario", "variant", "queries", "admitted", "rejected",
+			"throttled", "deferred", "p99_ms", "miss_pct", "peak_win_miss",
+			"scale_min", "credits_min", "active_min", "srv_added",
+		},
+	}
+	for _, run := range runs {
+		res := run.Result
+		p99 := 0.0
+		if res.Overall.Count() > 0 {
+			if v, err := res.Overall.P99(); err == nil {
+				p99 = v
+			}
+		}
+		viol := run.Violations()
+		peak := run.PeakWindowMiss(10)
+		scaleMin, creditsMin, activeMin, srvAdded := "-", "-", "-", "-"
+		raw := map[string]float64{
+			"queries":       float64(res.Queries),
+			"admitted":      float64(res.Admitted),
+			"rejected":      float64(res.Rejected),
+			"throttled":     float64(res.Throttled),
+			"deferred":      float64(res.CreditDeferred),
+			"p99_ms":        p99,
+			"miss_pct":      viol,
+			"peak_win_miss": peak,
+		}
+		if run.Ctl != nil {
+			// active_min shows the quiet-phase scale-down; srv_added counts
+			// scale-up actions, which a max over Active would hide behind
+			// the initial provisioning.
+			sMin, cMin, aMin, adds := 1.0, run.Ctl.Config().MaxCredits, run.Ctl.Config().MaxServers, 0
+			for _, d := range run.Ctl.Decisions() {
+				if d.Scale < sMin {
+					sMin = d.Scale
+				}
+				if d.Credits < cMin {
+					cMin = d.Credits
+				}
+				if d.Active < aMin {
+					aMin = d.Active
+				}
+				if d.Added >= 0 {
+					adds++
+				}
+			}
+			scaleMin, creditsMin, activeMin, srvAdded = f2(sMin), fmt.Sprint(cMin), fmt.Sprint(aMin), fmt.Sprint(adds)
+			raw["scale_min"] = sMin
+			raw["credits_min"] = float64(cMin)
+			raw["active_min"] = float64(aMin)
+			raw["srv_added"] = float64(adds)
+		}
+		t.Rows = append(t.Rows, []string{
+			run.Scenario,
+			run.Variant,
+			fmt.Sprint(res.Queries),
+			fmt.Sprint(res.Admitted),
+			fmt.Sprint(res.Rejected),
+			fmt.Sprint(res.Throttled),
+			fmt.Sprint(res.CreditDeferred),
+			f2(p99),
+			pct(viol),
+			pct(peak),
+			scaleMin,
+			creditsMin,
+			activeMin,
+			srvAdded,
+		})
+		t.Raw = append(t.Raw, raw)
+	}
+	return t
+}
+
+// fillControlRegistry exports the admission controller's internals and
+// the adaptive controller's state as tg_sim_* families — the same
+// closed-loop readings tgd serves live on /metrics.
+func fillControlRegistry(reg *obs.Registry, snap *core.AdmissionSnapshot, ctl *control.Controller) error {
+	type gaugeVal struct {
+		name, help string
+		v          float64
+	}
+	gauges := []gaugeVal{
+		{"tg_sim_admission_drop_probability", "Admission controller rejection probability.", snap.DropProbability},
+		{"tg_sim_admission_miss_ratio", "Windowed task deadline-miss ratio seen by admission control.", snap.MissRatio},
+		{"tg_sim_admission_threshold_scale", "Threshold scale actuated on the admission controller.", snap.ThresholdScale},
+		{"tg_sim_admission_effective_threshold", "Miss-ratio target currently in force (Rth x scale).", snap.EffectiveThreshold},
+	}
+	if ctl != nil {
+		gauges = append(gauges,
+			gaugeVal{"tg_sim_control_scale", "Adaptive control plane: admission threshold scale.", ctl.Scale()},
+			gaugeVal{"tg_sim_control_credits", "Adaptive control plane: in-flight credit limit.", float64(ctl.Credits())},
+			gaugeVal{"tg_sim_control_throttle", "Adaptive control plane: low-priority refill multiplier.", ctl.Throttle()},
+			gaugeVal{"tg_sim_control_ticks", "Adaptive control plane: controller ticks run.", float64(ctl.Ticks())},
+		)
+		if act := ctl.Active(); act != nil {
+			gauges = append(gauges,
+				gaugeVal{"tg_sim_control_active_servers", "Adaptive control plane: fully active servers.", float64(act.ActiveCount())},
+				gaugeVal{"tg_sim_control_warming_servers", "Adaptive control plane: servers on the warm-up ramp.", float64(act.WarmingCount())},
+			)
+		}
+	}
+	for _, g := range gauges {
+		gauge, err := reg.Gauge(g.name, g.help, "")
+		if err != nil {
+			return err
+		}
+		gauge.Set(g.v)
+	}
+	counters := []struct {
+		name, help string
+		v          int
+	}{
+		{"tg_sim_admission_accepted_total", "Queries admitted by admission control.", snap.Accepted},
+		{"tg_sim_admission_rejected_total", "Queries rejected by admission control.", snap.Rejected},
+	}
+	for _, c := range counters {
+		ctr, err := reg.Counter(c.name, c.help, "")
+		if err != nil {
+			return err
+		}
+		ctr.Add(uint64(c.v))
+	}
+	return nil
+}

@@ -58,6 +58,11 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	emit(`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"queries"}}`)
 	servers := map[int32]bool{}
 	for _, e := range ordered {
+		// KindControl's Server field is an active-server count, not a
+		// server identity; it names no track.
+		if e.Kind == KindControl {
+			continue
+		}
 		if e.Server >= 0 && !servers[e.Server] {
 			servers[e.Server] = true
 		}
@@ -108,6 +113,12 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		case KindHedge:
 			emit(fmt.Sprintf(`{"name":"hedge q%d.%d","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"class":%d,"primary_server":%s}}`,
 				e.QueryID, e.Task, traceNum(ts), e.Server+1, e.Class, traceNum(e.Value)))
+		case KindControl:
+			// Controller tick decisions render as counter tracks on the
+			// queries timeline: admission scale, credit limit, and the
+			// active/warming server split.
+			emit(fmt.Sprintf(`{"name":"control","ph":"C","ts":%s,"pid":0,"tid":0,"args":{"scale":%s,"credits":%d,"active":%d,"warming":%d}}`,
+				traceNum(ts), traceNum(e.Value), e.Task, e.Server, e.Class))
 		}
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {

@@ -139,6 +139,22 @@ func (m *MissWindow) Misses() int {
 	return m.misses
 }
 
+// Ratio returns the windowed miss ratio as of time `at` — the feedback
+// signal the adaptive control plane's loops consume (control.Signals).
+// An empty window (or a nil receiver) reports 0. Times must be
+// non-decreasing across Observe/FaultDominated/Ratio calls.
+func (m *MissWindow) Ratio(at float64) float64 {
+	if m == nil {
+		return 0
+	}
+	m.evict(at)
+	live := len(m.events) - m.head
+	if live == 0 {
+		return 0
+	}
+	return float64(m.misses) / float64(live)
+}
+
 // Reset discards all windowed state, keeping capacity.
 func (m *MissWindow) Reset() {
 	if m == nil {

@@ -68,15 +68,21 @@ const (
 	// primary copy overstayed its queuing deadline; Value is the primary
 	// copy's server index.
 	KindHedge
+	// KindControl marks one adaptive-control-plane tick decision
+	// (internal/control): Value is the actuated admission threshold
+	// scale, Task the credit limit, Server the number of fully active
+	// servers, and Class the number still on the warm-up ramp. QueryID
+	// is -1.
+	KindControl
 
-	numKinds = int(KindHedge) + 1
+	numKinds = int(KindControl) + 1
 )
 
 // kindNames are the stable exposition names, indexed by Kind.
 var kindNames = [numKinds]string{
 	"arrival", "deadline", "reject", "enqueue", "dispatch",
 	"service_start", "service_end", "query_done", "queue_depth",
-	"task_lost", "hedge",
+	"task_lost", "hedge", "control",
 }
 
 // String returns the event kind's stable lowercase name.

@@ -1,0 +1,133 @@
+package tgd
+
+import (
+	"sync"
+	"time"
+
+	"tailguard/internal/control"
+	"tailguard/internal/obs"
+)
+
+// The daemon's closed-loop seam: an attached control.Controller turns the
+// enqueue path into a credit-gated admission point and runs the AIMD
+// loops against the daemon's own live counters instead of a simulated
+// miss window.
+//
+//   - Every accepted enqueue holds one credit from admission until its
+//     query settles (all tasks done, or the retry budget fails it); an
+//     exhausted gate answers 429 so producers back off instead of
+//     piling work behind a deadline it can no longer meet.
+//   - Replay participates: queries recovered from the journal re-acquire
+//     their credits (past the limit if need be), so a daemon restarting
+//     under a backlog starts throttled rather than oversubscribed.
+//   - The control loop ticks on the controller's own period, deriving
+//     the windowed miss ratio from per-tick deltas of the completion and
+//     deadline-miss counters, and exports the loop state as
+//     tgd_control_* gauges on /metrics.
+
+// controlState is the daemon-side harness around an attached controller.
+type controlState struct {
+	ctl *control.Controller
+
+	mu            sync.Mutex
+	lastCompleted int64 // guarded by mu: completion counter at last tick
+	lastMissed    int64 // guarded by mu: miss counter at last tick
+
+	scale     *obs.Gauge
+	credits   *obs.Gauge
+	throttle  *obs.Gauge
+	missRatio *obs.Gauge
+	held      *obs.Gauge
+	rejected  *obs.Counter
+	ticks     *obs.Counter
+}
+
+// registerControlMetrics resolves the tgd_control_* families.
+func (d *Daemon) registerControlMetrics() error {
+	var err error
+	gauge := func(name, help string) *obs.Gauge {
+		if err != nil {
+			return nil
+		}
+		var g *obs.Gauge
+		g, err = d.reg.Gauge(name, help, "")
+		return g
+	}
+	c := d.ctl
+	c.scale = gauge("tgd_control_scale", "admission threshold scale actuated by the control loop")
+	c.credits = gauge("tgd_control_credits", "in-flight credit limit actuated by the control loop")
+	c.throttle = gauge("tgd_control_throttle", "low-priority refill multiplier actuated by the control loop")
+	c.missRatio = gauge("tgd_control_miss_ratio", "per-tick deadline-miss ratio fed to the control loop")
+	c.held = gauge("tgd_control_credits_held", "credits currently held by in-flight queries")
+	if err == nil {
+		c.rejected, err = d.reg.Counter("tgd_control_rejected_total", "enqueues rejected by the credit gate (429)", "")
+	}
+	if err == nil {
+		c.ticks, err = d.reg.Counter("tgd_control_ticks_total", "control loop ticks", "")
+	}
+	return err
+}
+
+// recoverCredits re-acquires one credit per query recovered from the
+// journal. New calls it after replay, before the daemon serves traffic.
+func (d *Daemon) recoverCredits() {
+	gate := d.ctl.ctl.Gate()
+	if gate == nil {
+		return
+	}
+	for i := d.Snapshot().InFlight; i > 0; i-- {
+		gate.ForceAcquire()
+	}
+}
+
+// ControlNow runs one control tick against the daemon's live counters and
+// returns the decision. The control loop calls it periodically; tests
+// with manual clocks call it directly.
+func (d *Daemon) ControlNow() control.Decision {
+	c := d.ctl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := d.Snapshot()
+	dc, dm := s.CompletedTasks-c.lastCompleted, s.Missed-c.lastMissed
+	c.lastCompleted, c.lastMissed = s.CompletedTasks, s.Missed
+	ratio := 0.0
+	if dc > 0 {
+		ratio = float64(dm) / float64(dc)
+	}
+	dec := c.ctl.Tick(s.NowMs, control.Signals{MissRatio: ratio, InFlight: s.InFlight})
+	c.scale.Set(dec.Scale)
+	c.credits.Set(float64(dec.Credits))
+	c.throttle.Set(dec.Throttle)
+	c.missRatio.Set(ratio)
+	if gate := c.ctl.Gate(); gate != nil {
+		c.held.Set(float64(gate.InFlight()))
+	}
+	c.ticks.Inc()
+	return dec
+}
+
+// controlLoop ticks ControlNow on the controller's period until stopped.
+func (d *Daemon) controlLoop(stop <-chan struct{}) {
+	defer d.loopWG.Done()
+	period := time.Duration(d.ctl.ctl.Config().TickMs * float64(time.Millisecond))
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			d.ControlNow()
+		}
+	}
+}
+
+// settleCredit releases one credit when a query leaves the system.
+func (d *Daemon) settleCredit() {
+	if d.ctl == nil {
+		return
+	}
+	if gate := d.ctl.ctl.Gate(); gate != nil {
+		gate.Release()
+	}
+}

@@ -1,0 +1,267 @@
+package tgd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tailguard/internal/control"
+	"tailguard/internal/fault"
+	"tailguard/internal/workload"
+)
+
+// newTestController builds a controller with an attached gate for daemon
+// tests. Credits start at MaxCredits.
+func newTestController(t *testing.T, cfg control.Config) *control.Controller {
+	t.Helper()
+	ctl, err := control.New(cfg)
+	if err != nil {
+		t.Fatalf("control.New: %v", err)
+	}
+	gate, err := workload.NewCreditGate(ctl.Credits())
+	if err != nil {
+		t.Fatalf("NewCreditGate: %v", err)
+	}
+	ctl.AttachGate(gate)
+	return ctl
+}
+
+// enqueueOne posts a fanout-1 enqueue with an explicit deadline and
+// returns the HTTP status plus the decoded response (zero on errors).
+func enqueueOne(t *testing.T, d *Daemon, deadlineMs float64) (int, EnqueueResponse) {
+	t.Helper()
+	body := fmt.Sprintf(`{"class":0,"fanout":1,"deadline_ms":%g}`, deadlineMs)
+	code, respBody := postRaw(t, d, "/v1/enqueue", []byte(body))
+	var resp EnqueueResponse
+	if code == http.StatusOK {
+		if err := json.Unmarshal([]byte(respBody), &resp); err != nil {
+			t.Fatalf("decoding enqueue response: %v", err)
+		}
+	}
+	return code, resp
+}
+
+// drainOne claims the next task and completes it at the current clock.
+func drainOne(t *testing.T, d *Daemon, c *Client) *CompleteResponse {
+	t.Helper()
+	ctx := context.Background()
+	lease, err := c.Claim(ctx, ClaimRequest{Worker: "w"})
+	if err != nil || lease == nil {
+		t.Fatalf("claim: %v %v", lease, err)
+	}
+	out, err := c.Complete(ctx, CompleteRequest{
+		QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID, Worker: "w",
+	})
+	if err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	return out
+}
+
+// TestControlCreditGate is the enqueue-side backpressure contract: with
+// the credit limit at 2, the third producer sees 429 until a query
+// settles and returns its credit.
+func TestControlCreditGate(t *testing.T) {
+	ctl := newTestController(t, control.Config{
+		TickMs: 10, TargetRatio: 0.05, MinCredits: 2, MaxCredits: 2,
+	})
+	d, _ := testDaemon(t, nil, func(c *Config) { c.Control = ctl })
+	c := NewInProcessClient(d)
+
+	for i := 0; i < 2; i++ {
+		if code, _ := enqueueOne(t, d, 1000); code != http.StatusOK {
+			t.Fatalf("enqueue %d: status %d", i, code)
+		}
+	}
+	code, _ := enqueueOne(t, d, 1000)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("enqueue past the limit: status %d, want 429", code)
+	}
+	if got := ctl.Gate().InFlight(); got != 2 {
+		t.Fatalf("gate holds %d credits, want 2", got)
+	}
+	// Settling one query frees its credit and the gate admits again.
+	out := drainOne(t, d, c)
+	if !out.QueryDone {
+		t.Fatal("single-task query not done after completion")
+	}
+	if got := ctl.Gate().InFlight(); got != 1 {
+		t.Fatalf("gate holds %d credits after settle, want 1", got)
+	}
+	if code, _ := enqueueOne(t, d, 1000); code != http.StatusOK {
+		t.Fatalf("enqueue after settle: status %d", code)
+	}
+	// The rejection shows up on /metrics.
+	req, _ := http.NewRequest(http.MethodGet, "http://tgd.inprocess/metrics", nil)
+	resp, err := InProcessTransport(d).RoundTrip(req)
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tgd_control_rejected_total 1", "tgd_control_credits_held"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestControlFailReleasesCredit checks the other settle path: a query
+// failed by retry-budget exhaustion returns its credit too.
+func TestControlFailReleasesCredit(t *testing.T) {
+	ctl := newTestController(t, control.Config{
+		TickMs: 10, TargetRatio: 0.05, MinCredits: 1, MaxCredits: 1,
+	})
+	d, _ := testDaemon(t, nil, func(c *Config) {
+		c.Control = ctl
+		c.Resilience = fault.Resilience{RetryBudget: 0}
+	})
+	c := NewInProcessClient(d)
+	ctx := context.Background()
+
+	if code, _ := enqueueOne(t, d, 1000); code != http.StatusOK {
+		t.Fatalf("enqueue: status %d", code)
+	}
+	lease, err := c.Claim(ctx, ClaimRequest{Worker: "w"})
+	if err != nil || lease == nil {
+		t.Fatalf("claim: %v %v", lease, err)
+	}
+	out, err := c.Nack(ctx, NackRequest{
+		QueryID: lease.QueryID, TaskIndex: lease.TaskIndex, LeaseID: lease.LeaseID, Worker: "w",
+	})
+	if err != nil {
+		t.Fatalf("nack: %v", err)
+	}
+	if !out.Failed {
+		t.Fatal("nack with zero retry budget did not fail the query")
+	}
+	if got := ctl.Gate().InFlight(); got != 0 {
+		t.Fatalf("gate holds %d credits after failure, want 0", got)
+	}
+	if code, _ := enqueueOne(t, d, 1000); code != http.StatusOK {
+		t.Fatalf("enqueue after failure: status %d", code)
+	}
+}
+
+// TestControlLoopShedsOnMisses drives the live feedback loop: ticks over
+// a window of deadline misses must shrink the credit limit and the
+// admission scale, and recovery ticks grow them back.
+func TestControlLoopShedsOnMisses(t *testing.T) {
+	ctl := newTestController(t, control.Config{
+		TickMs: 10, TargetRatio: 0.05, MinCredits: 2, MaxCredits: 8,
+	})
+	d, clk := testDaemon(t, nil, func(c *Config) { c.Control = ctl })
+	c := NewInProcessClient(d)
+
+	// Four queries whose deadlines are already behind the clock after the
+	// advance: every completion is a miss, so the tick's ratio is 1.
+	for i := 0; i < 4; i++ {
+		if code, _ := enqueueOne(t, d, 1); code != http.StatusOK {
+			t.Fatalf("enqueue %d: status %d", i, code)
+		}
+	}
+	clk.Advance(50)
+	for i := 0; i < 4; i++ {
+		if out := drainOne(t, d, c); !out.Missed {
+			t.Fatalf("completion %d not counted as a miss", i)
+		}
+	}
+	dec := d.ControlNow()
+	if dec.MissRatio != 1 {
+		t.Fatalf("tick saw miss ratio %v, want 1", dec.MissRatio)
+	}
+	if dec.Credits >= 8 {
+		t.Fatalf("credits %d did not shrink under misses", dec.Credits)
+	}
+	if dec.Scale >= 1 {
+		t.Fatalf("scale %v did not shed under misses", dec.Scale)
+	}
+	if got := ctl.Gate().Limit(); got != dec.Credits {
+		t.Fatalf("gate limit %d not actuated to %d", got, dec.Credits)
+	}
+	// Quiet ticks (no completions → ratio 0) recover additively.
+	clk.Advance(10)
+	rec := d.ControlNow()
+	if rec.Credits <= dec.Credits {
+		t.Fatalf("credits %d did not recover from %d on a quiet tick", rec.Credits, dec.Credits)
+	}
+	if rec.Scale <= dec.Scale {
+		t.Fatalf("scale %v did not recover from %v on a quiet tick", rec.Scale, dec.Scale)
+	}
+	if d.Snapshot().Missed != 4 {
+		t.Fatalf("snapshot misses = %d, want 4", d.Snapshot().Missed)
+	}
+}
+
+// TestControlReplayRecoversCredits restarts a daemon under a backlog: the
+// replayed in-flight queries must re-acquire their credits, so the fresh
+// incarnation starts throttled (429) instead of oversubscribed, and
+// settling the backlog frees admission again.
+func TestControlReplayRecoversCredits(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "tgd.wal")
+	clk := &clock{}
+	newDaemon := func() *Daemon {
+		fs, err := OpenFileStore(journal, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl := newTestController(t, control.Config{
+			TickMs: 10, TargetRatio: 0.05, MinCredits: 2, MaxCredits: 2,
+		})
+		d, err := New(Config{
+			Store:          fs,
+			Resilience:     fault.Resilience{RetryBudget: 2},
+			DefaultLeaseMs: 100,
+			NowMs:          clk.Now,
+			Control:        ctl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	d := newDaemon()
+	for i := 0; i < 2; i++ {
+		if code, _ := enqueueOne(t, d, 1000); code != http.StatusOK {
+			t.Fatalf("enqueue %d: status %d", i, code)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	d2 := newDaemon()
+	defer d2.Close()
+	if got := d2.cfg.Control.Gate().InFlight(); got != 2 {
+		t.Fatalf("restarted gate holds %d credits, want 2", got)
+	}
+	if code, _ := enqueueOne(t, d2, 1000); code != http.StatusTooManyRequests {
+		t.Fatalf("enqueue on a full recovered backlog: status %d, want 429", code)
+	}
+	c := NewInProcessClient(d2)
+	drainOne(t, d2, c)
+	if code, _ := enqueueOne(t, d2, 1000); code != http.StatusOK {
+		t.Fatalf("enqueue after draining one: status %d", code)
+	}
+}
+
+// TestControlConfigRequiresGate pins the construction contract.
+func TestControlConfigRequiresGate(t *testing.T) {
+	ctl, err := control.New(control.Config{TickMs: 10, TargetRatio: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{NowMs: (&clock{}).Now, Control: ctl})
+	if err == nil {
+		t.Fatal("New accepted a controller without a gate")
+	}
+}

@@ -9,7 +9,9 @@ import "time"
 // Claim also repairs inline, so repair latency only matters when every
 // claimer is parked — exactly the case the loop covers.
 
-// Start launches the repair loop. It is idempotent; Close stops it.
+// Start launches the repair loop — and, when a controller is attached,
+// the control loop ticking it on its own period. It is idempotent; Close
+// stops both.
 func (d *Daemon) Start() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -20,6 +22,10 @@ func (d *Daemon) Start() {
 	d.stop = make(chan struct{})
 	d.loopWG.Add(1)
 	go d.repairLoop(d.stop)
+	if d.ctl != nil {
+		d.loopWG.Add(1)
+		go d.controlLoop(d.stop)
+	}
 }
 
 // repairLoop ticks RepairNow until stopped.

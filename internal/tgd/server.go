@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"tailguard/internal/control"
 	"tailguard/internal/core"
 	"tailguard/internal/fault"
 	"tailguard/internal/obs"
@@ -49,6 +50,15 @@ type Config struct {
 	NowMs func() float64
 	// Registry receives daemon metrics; nil creates a private one.
 	Registry *obs.Registry
+	// Control attaches the adaptive control plane: enqueues hold credits
+	// from the controller's gate (429 when exhausted) until their query
+	// settles, and Start runs a loop ticking the controller on its own
+	// period with the daemon's live miss-ratio deltas. The controller
+	// must have a gate attached (control.Controller.AttachGate); queries
+	// recovered from the journal re-acquire their credits before the
+	// daemon serves. The daemon owns the controller from here on — no
+	// other goroutine may call its Tick.
+	Control *control.Controller
 }
 
 // daemonMetrics are the pre-resolved obs series (DESIGN.md §10: resolve
@@ -71,7 +81,8 @@ type Daemon struct {
 	store Store
 	reg   *obs.Registry
 	met   daemonMetrics
-	epoch float64 // NowMs at construction (uptime reporting)
+	ctl   *controlState // nil without Config.Control
+	epoch float64       // NowMs at construction (uptime reporting)
 
 	mu      sync.Mutex
 	started bool          // guarded by mu
@@ -139,8 +150,19 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	d := &Daemon{cfg: cfg, table: tbl, store: cfg.Store, reg: cfg.Registry, epoch: cfg.NowMs()}
+	if cfg.Control != nil {
+		if cfg.Control.Gate() == nil {
+			return nil, fmt.Errorf("tgd: Config.Control has no credit gate attached")
+		}
+		d.ctl = &controlState{ctl: cfg.Control}
+	}
 	if err := d.registerMetrics(); err != nil {
 		return nil, err
+	}
+	if d.ctl != nil {
+		if err := d.registerControlMetrics(); err != nil {
+			return nil, err
+		}
 	}
 	records := 0
 	err = cfg.Store.Replay(func(r Record) error {
@@ -166,6 +188,9 @@ func New(cfg Config) (*Daemon, error) {
 	tbl.mu.Lock()
 	tbl.leaseSeq = int64(records+1) << 20
 	tbl.mu.Unlock()
+	if d.ctl != nil {
+		d.recoverCredits()
+	}
 	return d, nil
 }
 
@@ -295,6 +320,16 @@ func (d *Daemon) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 		}
 		deadline = now + budget
 	}
+	// Credit-gated admission: the query holds one credit until it
+	// settles; an exhausted gate pushes back with 429 instead of queueing
+	// work past the deadline horizon.
+	if d.ctl != nil {
+		if !d.cfg.Control.Gate().TryAcquire() {
+			d.ctl.rejected.Inc()
+			writeErr(w, http.StatusTooManyRequests, fmt.Errorf("tgd: in-flight credit limit reached; retry later"))
+			return
+		}
+	}
 	id := d.table.NextQueryID()
 	qr := &QueryRecord{
 		ID:         id,
@@ -306,10 +341,12 @@ func (d *Daemon) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 	}
 	// Write-ahead: the enqueue is durable before it is claimable.
 	if err := d.store.Append(Record{Op: OpEnqueue, Query: qr, AtMs: now}); err != nil {
+		d.settleCredit()
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	if err := d.table.ApplyEnqueue(qr); err != nil {
+		d.settleCredit()
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -398,6 +435,7 @@ func (d *Daemon) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	if out.QueryDone {
 		d.met.done.Inc()
+		d.settleCredit()
 	}
 	writeJSON(w, http.StatusOK, CompleteResponse{QueryDone: out.QueryDone, Missed: out.Missed, NowMs: now})
 }
@@ -427,6 +465,7 @@ func (d *Daemon) handleNack(w http.ResponseWriter, r *http.Request) {
 	d.met.nacks.Inc()
 	if out.Failed {
 		d.met.failed.Inc()
+		d.settleCredit()
 		writeJSON(w, http.StatusOK, NackResponse{Failed: true, NowMs: now})
 		return
 	}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// CreditGate bounds the number of in-flight queries a workload source may
+// have outstanding: each admitted query holds one credit from arrival until
+// it leaves the system, and a generator with no credit blocks instead of
+// free-running. This turns thundering-herd pulls into bounded credit
+// grants — the backpressure half of the control plane.
+//
+// The gate is safe for concurrent use (live producers call the blocking
+// Acquire from many goroutines while a controller adjusts the limit); the
+// simulator uses the non-blocking TryAcquire/Release pair from its single
+// event-loop goroutine, so determinism is untouched.
+type CreditGate struct {
+	mu      sync.Mutex
+	limit   int           // guarded by mu
+	held    int           // guarded by mu
+	wait    chan struct{} // guarded by mu (closed and replaced whenever a credit may free up)
+	waiters int           // guarded by mu: parked acquirers on the current wait channel
+}
+
+// NewCreditGate returns a gate with the given credit limit (>= 1).
+func NewCreditGate(limit int) (*CreditGate, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("workload: credit limit must be >= 1, got %d", limit)
+	}
+	return &CreditGate{limit: limit, wait: make(chan struct{})}, nil
+}
+
+// TryAcquire takes a credit if one is free and reports whether it did.
+func (g *CreditGate) TryAcquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.held >= g.limit {
+		return false
+	}
+	g.held++
+	return true
+}
+
+// ForceAcquire takes a credit even when none is free, letting held exceed
+// the limit. It exists for recovery: a daemon replaying journaled
+// in-flight work must account for credits the previous incarnation
+// granted, then stop granting new ones until the backlog drains.
+func (g *CreditGate) ForceAcquire() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.held++
+}
+
+// Acquire blocks until a credit is free or ctx is done.
+func (g *CreditGate) Acquire(ctx context.Context) error {
+	for {
+		g.mu.Lock()
+		if g.held < g.limit {
+			g.held++
+			g.mu.Unlock()
+			return nil
+		}
+		ch := g.wait
+		g.waiters++
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Release returns a credit and wakes blocked acquirers. Releasing more
+// credits than were acquired is a pairing bug and panics.
+func (g *CreditGate) Release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.held == 0 {
+		panic("workload: CreditGate.Release without matching Acquire")
+	}
+	g.held--
+	g.wakeLocked()
+}
+
+// SetLimit changes the credit limit (clamped to >= 1). Shrinking below the
+// held count never revokes credits already granted — the gate simply stops
+// granting until enough are released.
+func (g *CreditGate) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	grew := n > g.limit
+	g.limit = n
+	if grew {
+		g.wakeLocked()
+	}
+}
+
+// wakeLocked signals every waiter to re-check for a free credit. With no
+// one parked it is a no-op, which keeps the simulator's TryAcquire/Release
+// path (and a controller growing the limit each tick) allocation-free.
+func (g *CreditGate) wakeLocked() {
+	if g.waiters == 0 {
+		return
+	}
+	close(g.wait)
+	g.wait = make(chan struct{})
+	g.waiters = 0
+}
+
+// Limit returns the current credit limit.
+func (g *CreditGate) Limit() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.limit
+}
+
+// InFlight returns the number of credits currently held.
+func (g *CreditGate) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.held
+}

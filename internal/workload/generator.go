@@ -149,6 +149,30 @@ func (g *Generator) Recycle(servers []int) {
 // Now returns the arrival time of the last generated query.
 func (g *Generator) Now() float64 { return g.now }
 
+// Rebaser is implemented by arrival processes that track an internal
+// absolute clock (the non-homogeneous ones); Rebase moves that clock
+// forward so the next gap is drawn from time t instead of from the last
+// arrival. Generator.RebaseTo uses it when a credit gate unblocks.
+type Rebaser interface {
+	Rebase(t float64)
+}
+
+// RebaseTo advances the generator clock to time t, so the next query's
+// arrival is drawn from t onward rather than from the last arrival — the
+// resume point after the generator was blocked on a credit gate. The
+// arrivals the free-running process would have emitted in between are
+// dropped, not queued: that is exactly the backpressure semantics. Moving
+// backwards is ignored so arrival times stay non-decreasing.
+func (g *Generator) RebaseTo(t float64) {
+	if t <= g.now {
+		return
+	}
+	g.now = t
+	if rb, ok := g.cfg.Arrival.(Rebaser); ok {
+		rb.Rebase(t)
+	}
+}
+
 // RateForLoad converts a target offered load (utilization in [0, 1]) into
 // the query arrival rate (queries/ms) that produces it:
 //

@@ -21,6 +21,7 @@ import (
 var VirtualTimePackages = []string{
 	"tailguard/internal/sim",
 	"tailguard/internal/cluster",
+	"tailguard/internal/control",
 	"tailguard/internal/core",
 	"tailguard/internal/dist",
 	"tailguard/internal/workload",
